@@ -1,0 +1,99 @@
+//! One benchmark per paper table/figure: each iteration runs a scaled-down
+//! instance of the corresponding experiment cell, so `cargo bench`
+//! exercises and times the full reproduction pipeline. The printed
+//! experiment data comes from the `cmpqos-experiments` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use cmpqos_experiments::{
+    ablation, fig1, fig3, fig5, fig6, fig7, fig8, fig9, lac_overhead, table1,
+    ExperimentParams,
+};
+use cmpqos_types::Instructions;
+
+fn quick() -> ExperimentParams {
+    ExperimentParams {
+        scale: 16,
+        work: Instructions::new(60_000),
+        seed: 1,
+    }
+}
+
+fn figure_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10).measurement_time(Duration::from_secs(20));
+    let p = quick();
+
+    group.bench_function("fig1_motivation", |b| b.iter(|| black_box(fig1::run(&p))));
+    group.bench_function("fig3_downgrade_illustration", |b| {
+        b.iter(|| black_box(fig3::run()))
+    });
+    group.bench_function("fig4_sensitivity_representatives", |b| {
+        // The three representative benchmarks (the full 15-benchmark sweep
+        // runs in the fig4 binary).
+        b.iter(|| {
+            for bench in ["bzip2", "hmmer", "gobmk"] {
+                for ways in [7u16, 4, 1] {
+                    black_box(cmpqos_workloads::calibrate::solo_run(
+                        bench,
+                        cmpqos_types::Ways::new(ways),
+                        p.work,
+                        p.scale,
+                        p.seed,
+                    ));
+                }
+            }
+        })
+    });
+    group.bench_function("table1_characteristics", |b| {
+        b.iter(|| black_box(table1::run(&p)))
+    });
+    group.bench_function("fig5_modes_one_workload", |b| {
+        b.iter(|| black_box(fig5::run_for(&p, &["gobmk"])))
+    });
+    group.bench_function("fig6_wallclock_by_mode", |b| {
+        b.iter(|| black_box(fig6::run_bench(&p, "gobmk")))
+    });
+    group.bench_function("fig7_execution_trace", |b| {
+        b.iter(|| black_box(fig7::run_bench(&p, "gobmk", 6)))
+    });
+    group.bench_function("fig8_stealing_two_slacks", |b| {
+        b.iter(|| black_box(fig8::run_bench(&p, "bzip2", &[5.0, 20.0])))
+    });
+    group.bench_function("fig9_mix1", |b| {
+        b.iter(|| {
+            black_box(fig9::run_mix(
+                &p,
+                cmpqos_workloads::WorkloadSpec::mix1(),
+            ))
+        })
+    });
+    group.bench_function("lac_overhead_characterization", |b| {
+        b.iter(|| black_box(lac_overhead::run(&p)))
+    });
+    group.finish();
+}
+
+fn ablation_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10).measurement_time(Duration::from_secs(15));
+    let p = quick();
+    group.bench_function("partition_variance_per_set", |b| {
+        b.iter(|| {
+            black_box(ablation::partition_variance(
+                &p,
+                cmpqos_cache::PartitionPolicy::PerSet,
+                2,
+            ))
+        })
+    });
+    group.bench_function("sampling_accuracy", |b| {
+        b.iter(|| black_box(ablation::sampling_accuracy(&p, &[8])))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, figure_benches, ablation_benches);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! The cache-line record shared by the L1 and L2 models.
+
+/// One cache line's bookkeeping state.
+///
+/// `owner` identifies the core whose partition the line is charged to (only
+/// meaningful in the shared L2); `last_used` is a monotonically increasing
+/// tick used for LRU ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLine {
+    /// Address tag (block address divided by the set count).
+    pub tag: u64,
+    /// Whether the line holds valid data.
+    pub valid: bool,
+    /// Whether the line has been written since fill (dirty lines cost a
+    /// write-back on eviction).
+    pub dirty: bool,
+    /// Index of the owning core (L2 partition accounting).
+    pub owner: u8,
+    /// LRU tick of the most recent touch.
+    pub last_used: u64,
+}
+
+impl CacheLine {
+    /// An invalid (empty) line.
+    pub const INVALID: CacheLine = CacheLine {
+        tag: 0,
+        valid: false,
+        dirty: false,
+        owner: 0,
+        last_used: 0,
+    };
+}
+
+impl Default for CacheLine {
+    fn default() -> Self {
+        Self::INVALID
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_invalid() {
+        let line = CacheLine::default();
+        assert!(!line.valid);
+        assert!(!line.dirty);
+    }
+}

@@ -1,0 +1,251 @@
+//! Sampled duplicate (shadow) tag arrays for resource stealing
+//! (Section 4.3 of the paper).
+//!
+//! While resource stealing shrinks an `Elastic(X)` job's partition, a
+//! duplicate tag array keeps tracking what the job's cache contents *would
+//! have been* at its original allocation. To bound hardware cost, only every
+//! `N`-th set carries duplicate tags (set sampling; the paper samples every
+//! 8th set, covering 1/8 of the sets). All of the job's L2 accesses are
+//! visible to both tag arrays, so only their miss counts differ; the
+//! stealing guard compares the two *cumulative* counts (they are
+//! deliberately never reset, so the total miss increase since stealing began
+//! stays below `X%`).
+
+use cmpqos_types::{Percent, Ways};
+
+/// A duplicate tag array for one monitored job, sampled every `N`-th set.
+///
+/// # Examples
+///
+/// ```
+/// use cmpqos_cache::DuplicateTagMonitor;
+/// use cmpqos_types::{Percent, Ways};
+///
+/// let mut mon = DuplicateTagMonitor::new(Ways::new(7), 2048, 8);
+/// // Feed it the job's L2 access stream: set index, block address, and
+/// // whether the *main* tags hit.
+/// mon.observe(0, 0x40, false);
+/// assert_eq!(mon.shadow_misses(), 1); // cold miss in the shadow too
+/// assert!(!mon.exceeded(Percent::new(5.0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DuplicateTagMonitor {
+    sample_every: u32,
+    ways: usize,
+    /// One shadow set per sampled set: block addresses in MRU-first order,
+    /// at most `ways` entries.
+    sets: Vec<Vec<u64>>,
+    shadow_accesses: u64,
+    shadow_misses: u64,
+    main_accesses: u64,
+    main_misses: u64,
+}
+
+impl DuplicateTagMonitor {
+    /// Creates a monitor modelling an original allocation of
+    /// `original_ways`, for a cache with `sets` sets, sampling every
+    /// `sample_every`-th set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original_ways` is zero, `sets` is zero, or `sample_every`
+    /// is zero.
+    #[must_use]
+    pub fn new(original_ways: Ways, sets: u32, sample_every: u32) -> Self {
+        assert!(!original_ways.is_zero(), "shadow needs at least one way");
+        assert!(sets > 0 && sample_every > 0, "invalid geometry");
+        let sampled = sets.div_ceil(sample_every) as usize;
+        Self {
+            sample_every,
+            ways: original_ways.as_usize(),
+            sets: vec![Vec::new(); sampled],
+            shadow_accesses: 0,
+            shadow_misses: 0,
+            main_accesses: 0,
+            main_misses: 0,
+        }
+    }
+
+    /// The original allocation being modelled.
+    #[must_use]
+    pub fn original_ways(&self) -> Ways {
+        Ways::new(self.ways as u16)
+    }
+
+    /// Sampling period (every `N`-th set carries duplicate tags).
+    #[must_use]
+    pub fn sample_every(&self) -> u32 {
+        self.sample_every
+    }
+
+    /// Feeds one of the monitored job's L2 accesses. Non-sampled sets are
+    /// ignored. `main_hit` is whether the main (stolen-configuration) tags
+    /// hit.
+    pub fn observe(&mut self, set: u32, block_addr: u64, main_hit: bool) {
+        if !set.is_multiple_of(self.sample_every) {
+            return;
+        }
+        self.main_accesses += 1;
+        if !main_hit {
+            self.main_misses += 1;
+        }
+
+        let shadow = &mut self.sets[(set / self.sample_every) as usize];
+        self.shadow_accesses += 1;
+        match shadow.iter().position(|&t| t == block_addr) {
+            Some(pos) => {
+                // Hit: move to MRU position.
+                let tag = shadow.remove(pos);
+                shadow.insert(0, tag);
+            }
+            None => {
+                self.shadow_misses += 1;
+                shadow.insert(0, block_addr);
+                shadow.truncate(self.ways);
+            }
+        }
+    }
+
+    /// Cumulative misses the job *would* have had at its original
+    /// allocation (sampled sets only).
+    #[must_use]
+    pub fn shadow_misses(&self) -> u64 {
+        self.shadow_misses
+    }
+
+    /// Cumulative misses the job actually had (sampled sets only).
+    #[must_use]
+    pub fn main_misses(&self) -> u64 {
+        self.main_misses
+    }
+
+    /// Sampled accesses observed.
+    #[must_use]
+    pub fn sampled_accesses(&self) -> u64 {
+        self.main_accesses
+    }
+
+    /// Relative increase of main misses over shadow misses
+    /// (`0.0` when the main tags are doing at least as well).
+    #[must_use]
+    pub fn miss_increase(&self) -> f64 {
+        if self.shadow_misses == 0 {
+            if self.main_misses == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.main_misses as f64 - self.shadow_misses as f64).max(0.0)
+                / self.shadow_misses as f64
+        }
+    }
+
+    /// Whether the cumulative miss increase has reached or exceeded
+    /// `slack` — the stealing cancellation condition of Section 4.3.
+    #[must_use]
+    pub fn exceeded(&self, slack: Percent) -> bool {
+        // "If the extra number of misses in the main tags reaches or exceeds
+        // X% compared to that in the duplicate tags ..."
+        self.main_misses as f64
+            >= self.shadow_misses as f64 * (1.0 + slack.fraction())
+            && self.main_misses > self.shadow_misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Block address mapping to `set` of 16 sets, block index `b`.
+    fn blk(set: u64, b: u64) -> u64 {
+        (b * 16 + set) * 64
+    }
+
+    #[test]
+    fn ignores_unsampled_sets() {
+        let mut m = DuplicateTagMonitor::new(Ways::new(2), 16, 8);
+        m.observe(1, blk(1, 0), false);
+        m.observe(7, blk(7, 0), false);
+        assert_eq!(m.sampled_accesses(), 0);
+        m.observe(0, blk(0, 0), false);
+        m.observe(8, blk(8, 0), false);
+        assert_eq!(m.sampled_accesses(), 2);
+    }
+
+    #[test]
+    fn shadow_models_original_allocation() {
+        // Original allocation: 2 ways. Access 2 blocks round-robin: after
+        // cold misses, everything hits in the shadow.
+        let mut m = DuplicateTagMonitor::new(Ways::new(2), 16, 8);
+        for round in 0..10 {
+            for b in 0..2 {
+                // Main tags (1 way after stealing) always miss here.
+                m.observe(0, blk(0, b), false);
+                let _ = round;
+            }
+        }
+        assert_eq!(m.shadow_misses(), 2); // cold only
+        assert_eq!(m.main_misses(), 20);
+    }
+
+    #[test]
+    fn shadow_lru_evicts_beyond_capacity() {
+        let mut m = DuplicateTagMonitor::new(Ways::new(2), 16, 8);
+        // 3 distinct blocks cycled through a 2-way shadow: always miss.
+        for round in 0..4 {
+            for b in 0..3 {
+                m.observe(0, blk(0, b), true);
+                let _ = round;
+            }
+        }
+        assert_eq!(m.shadow_misses(), 12);
+        assert_eq!(m.main_misses(), 0);
+        assert_eq!(m.miss_increase(), 0.0);
+    }
+
+    #[test]
+    fn miss_increase_ratio() {
+        let mut m = DuplicateTagMonitor::new(Ways::new(1), 16, 8);
+        // 10 shadow misses, 11 main misses -> 10% increase.
+        for i in 0..10 {
+            m.observe(0, blk(0, i), false);
+        }
+        // One extra main miss on a shadow hit.
+        m.observe(0, blk(0, 9), false);
+        assert_eq!(m.shadow_misses(), 10);
+        assert_eq!(m.main_misses(), 11);
+        assert!((m.miss_increase() - 0.1).abs() < 1e-12);
+        assert!(m.exceeded(Percent::new(5.0)));
+        assert!(m.exceeded(Percent::new(10.0))); // "reaches or exceeds"
+        assert!(!m.exceeded(Percent::new(20.0)));
+    }
+
+    #[test]
+    fn equal_misses_never_exceed() {
+        let mut m = DuplicateTagMonitor::new(Ways::new(1), 16, 8);
+        m.observe(0, blk(0, 0), false);
+        assert!(!m.exceeded(Percent::ZERO));
+        assert_eq!(m.miss_increase(), 0.0);
+    }
+
+    #[test]
+    fn zero_shadow_misses_with_main_misses_is_infinite_increase() {
+        let mut m = DuplicateTagMonitor::new(Ways::new(4), 16, 8);
+        m.observe(0, blk(0, 0), false);
+        m.observe(0, blk(0, 0), false); // shadow hit, main miss
+        assert_eq!(m.shadow_misses(), 1);
+        assert_eq!(m.main_misses(), 2);
+        assert!(m.miss_increase().is_finite());
+        let mut m2 = DuplicateTagMonitor::new(Ways::new(4), 16, 8);
+        m2.observe(0, blk(0, 1), true); // shadow cold miss, main hit
+        m2.observe(0, blk(0, 1), false); // shadow hit, main miss
+        assert_eq!(m2.miss_increase(), 0.0); // 1 vs 1
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_rejected() {
+        let _ = DuplicateTagMonitor::new(Ways::ZERO, 16, 8);
+    }
+}

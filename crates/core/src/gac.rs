@@ -1,0 +1,191 @@
+//! The Global Admission Controller (Section 3.1 of the paper).
+//!
+//! A server consists of many CMP nodes; the GAC receives user submissions
+//! and probes each node's Local Admission Controller for one that can
+//! satisfy the job's QoS target. When no node accepts, the job is rejected
+//! (in a full deployment the GAC would then renegotiate the target with the
+//! user — out of this paper's scope, as it is of ours).
+
+use crate::lac::{Decision, Lac};
+use crate::modes::ExecutionMode;
+use crate::target::ResourceRequest;
+use cmpqos_types::{Cycles, JobId, NodeId};
+
+/// Order in which nodes are probed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbePolicy {
+    /// Probe nodes in index order (first fit).
+    #[default]
+    FirstFit,
+    /// Probe the node with the fewest live reservations first (a simple
+    /// load-balancing heuristic).
+    LeastLoaded,
+}
+
+/// The server-level admission controller over a set of per-node LACs.
+///
+/// # Examples
+///
+/// ```
+/// use cmpqos_core::gac::{GlobalAdmissionController, ProbePolicy};
+/// use cmpqos_core::{ExecutionMode, LacConfig, ResourceRequest};
+/// use cmpqos_types::{Cycles, JobId};
+///
+/// let mut gac = GlobalAdmissionController::new(2, LacConfig::default(), ProbePolicy::FirstFit);
+/// let (node, decision) = gac.submit(
+///     JobId::new(0),
+///     ExecutionMode::Strict,
+///     ResourceRequest::paper_job(),
+///     Cycles::new(100),
+///     Some(Cycles::new(1_000)),
+/// );
+/// assert!(decision.is_accepted());
+/// assert_eq!(node, Some(cmpqos_types::NodeId::new(0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GlobalAdmissionController {
+    lacs: Vec<Lac>,
+    policy: ProbePolicy,
+    submissions: u64,
+    placements: Vec<(JobId, NodeId)>,
+}
+
+impl GlobalAdmissionController {
+    /// Creates a GAC over `nodes` identical CMP nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    #[must_use]
+    pub fn new(nodes: usize, config: crate::lac::LacConfig, policy: ProbePolicy) -> Self {
+        assert!(nodes > 0, "a server needs at least one node");
+        Self {
+            lacs: (0..nodes).map(|_| Lac::new(config)).collect(),
+            policy,
+            submissions: 0,
+            placements: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.lacs.len()
+    }
+
+    /// Access to one node's LAC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn lac(&self, node: NodeId) -> &Lac {
+        &self.lacs[node.as_usize()]
+    }
+
+    /// Advances every node's clock.
+    pub fn advance(&mut self, now: Cycles) {
+        for lac in &mut self.lacs {
+            lac.advance(now);
+        }
+    }
+
+    /// Submits a job: probes LACs per the policy and returns the accepting
+    /// node (if any) and the final decision (the last rejection when all
+    /// nodes reject).
+    pub fn submit(
+        &mut self,
+        id: JobId,
+        mode: ExecutionMode,
+        request: ResourceRequest,
+        tw: Cycles,
+        deadline: Option<Cycles>,
+    ) -> (Option<NodeId>, Decision) {
+        self.submissions += 1;
+        let mut order: Vec<usize> = (0..self.lacs.len()).collect();
+        if self.policy == ProbePolicy::LeastLoaded {
+            order.sort_by_key(|&i| self.lacs[i].reservations().len());
+        }
+        let mut last = Decision::Rejected(crate::lac::RejectReason::NoCapacityBeforeDeadline);
+        for i in order {
+            let d = self.lacs[i].admit(id, mode, request, tw, deadline);
+            if d.is_accepted() {
+                let node = NodeId::new(i as u32);
+                self.placements.push((id, node));
+                return (Some(node), d);
+            }
+            last = d;
+        }
+        (None, last)
+    }
+
+    /// Where each accepted job was placed.
+    #[must_use]
+    pub fn placements(&self) -> &[(JobId, NodeId)] {
+        &self.placements
+    }
+
+    /// Total submissions seen.
+    #[must_use]
+    pub fn submissions(&self) -> u64 {
+        self.submissions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lac::LacConfig;
+
+    fn submit_strict(gac: &mut GlobalAdmissionController, id: u32) -> (Option<NodeId>, Decision) {
+        gac.submit(
+            JobId::new(id),
+            ExecutionMode::Strict,
+            ResourceRequest::paper_job(),
+            Cycles::new(100),
+            Some(Cycles::new(105)),
+        )
+    }
+
+    #[test]
+    fn overflow_spills_to_next_node() {
+        let mut gac =
+            GlobalAdmissionController::new(2, LacConfig::default(), ProbePolicy::FirstFit);
+        // Two jobs fill node 0 (7+7 of 16 ways, tight deadlines), the third
+        // must go to node 1.
+        assert_eq!(submit_strict(&mut gac, 0).0, Some(NodeId::new(0)));
+        assert_eq!(submit_strict(&mut gac, 1).0, Some(NodeId::new(0)));
+        assert_eq!(submit_strict(&mut gac, 2).0, Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn rejects_when_all_nodes_full() {
+        let mut gac =
+            GlobalAdmissionController::new(1, LacConfig::default(), ProbePolicy::FirstFit);
+        submit_strict(&mut gac, 0);
+        submit_strict(&mut gac, 1);
+        let (node, d) = submit_strict(&mut gac, 2);
+        assert_eq!(node, None);
+        assert!(!d.is_accepted());
+    }
+
+    #[test]
+    fn least_loaded_spreads_jobs() {
+        let mut gac =
+            GlobalAdmissionController::new(2, LacConfig::default(), ProbePolicy::LeastLoaded);
+        assert_eq!(submit_strict(&mut gac, 0).0, Some(NodeId::new(0)));
+        assert_eq!(submit_strict(&mut gac, 1).0, Some(NodeId::new(1)));
+        assert_eq!(gac.placements().len(), 2);
+        assert_eq!(gac.submissions(), 2);
+    }
+
+    #[test]
+    fn advance_propagates_to_all_lacs() {
+        let mut gac =
+            GlobalAdmissionController::new(3, LacConfig::default(), ProbePolicy::FirstFit);
+        gac.advance(Cycles::new(42));
+        for i in 0..3 {
+            assert_eq!(gac.lac(NodeId::new(i)).now(), Cycles::new(42));
+        }
+    }
+}

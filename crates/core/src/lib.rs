@@ -1,0 +1,67 @@
+//! # The CMP QoS framework (the paper's contribution)
+//!
+//! Implements the complete framework of *"A Framework for Providing Quality
+//! of Service in Chip Multi-Processors"* (Guo, Solihin, Zhao, Iyer — MICRO
+//! 2007) on top of the `cmpqos-system` CMP simulator:
+//!
+//! * **QoS target specification** ([`target`]) — targets are *Resource Usage
+//!   Metrics* (cores + L2 ways + optional timeslot), which are *convertible*
+//!   into computation capacity (Definition 1) and therefore admission-
+//!   testable; IPC/miss-rate targets (OPM/RPM) are represented as
+//!   deliberately non-convertible types.
+//! * **Execution modes** ([`modes`]) — `Strict`, `Elastic(X)`,
+//!   `Opportunistic`, plus the manual and automatic mode-downgrade rules of
+//!   Sections 3.3–3.4.
+//! * **Admission control** ([`lac`], [`gac`]) — the per-node FCFS Local
+//!   Admission Controller with timeslot/resource reservation, and the
+//!   Global Admission Controller that probes nodes.
+//! * **Resource stealing** ([`stealing`]) — the duplicate-tag-guarded
+//!   controller that removes one way per interval from an `Elastic(X)` job
+//!   and donates it to Opportunistic jobs, cancelling when the cumulative
+//!   L2 miss increase reaches `X%` (Section 4).
+//! * **The orchestrator** ([`scheduler`]) — glues the above to a
+//!   [`cmpqos_system::CmpNode`]: spawns accepted jobs at their reserved
+//!   start times, maintains partition targets, drives stealing and
+//!   automatic downgrade switch-backs, and produces per-job QoS reports.
+//!
+//! # Quick start
+//!
+//! ```
+//! use cmpqos_core::{ExecutionMode, QosJob, QosScheduler, ResourceRequest, SchedulerConfig};
+//! use cmpqos_system::SystemConfig;
+//! use cmpqos_trace::spec;
+//! use cmpqos_types::{Cycles, Instructions, JobId, Ways};
+//!
+//! let mut sched = QosScheduler::new(SystemConfig::paper(), SchedulerConfig::default());
+//! let profile = spec::benchmark("gobmk").unwrap();
+//! let job = QosJob {
+//!     id: JobId::new(0),
+//!     mode: ExecutionMode::Strict,
+//!     request: ResourceRequest::new(1, Ways::new(7)),
+//!     work: Instructions::new(100_000),
+//!     max_wall_clock: Cycles::new(10_000_000),
+//!     deadline: Some(Cycles::new(20_000_000)),
+//! };
+//! let decision = sched.submit(job, Box::new(profile.instantiate(1, 0)));
+//! assert!(decision.is_accepted());
+//! sched.run_until(Cycles::new(20_000_000));
+//! let report = sched.report(JobId::new(0)).unwrap();
+//! assert!(report.met_deadline());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gac;
+pub mod lac;
+pub mod modes;
+pub mod scheduler;
+pub mod stealing;
+pub mod target;
+
+pub use gac::GlobalAdmissionController;
+pub use lac::{Decision, Lac, LacConfig, RejectReason};
+pub use modes::ExecutionMode;
+pub use scheduler::{JobEvent, JobReport, QosJob, QosScheduler, SchedulerConfig, StealReport};
+pub use stealing::{StealingAction, StealingConfig, StealingController};
+pub use target::{Convertible, QosTarget, ResourceRequest, Timeslot};

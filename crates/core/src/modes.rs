@@ -1,0 +1,194 @@
+//! QoS execution modes and mode-downgrade rules (Sections 3.3–3.4).
+
+use cmpqos_types::{Cycles, Percent};
+use std::fmt;
+
+/// How strictly a job's QoS target must be followed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ExecutionMode {
+    /// Rigid throughput and deadline: resources and timeslot are strictly
+    /// reserved.
+    Strict,
+    /// Rigid deadline, but tolerates up to `X` slowdown versus the Strict
+    /// reservation — enabling resource stealing. The reservation is
+    /// extended to `tw · (1 + X)`.
+    Elastic(Percent),
+    /// No rigid throughput or deadline: runs on spare resources only, with
+    /// no reservation.
+    Opportunistic,
+}
+
+impl ExecutionMode {
+    /// Whether this mode reserves resources (Strict and Elastic do).
+    #[must_use]
+    pub fn reserves_resources(&self) -> bool {
+        !matches!(self, ExecutionMode::Opportunistic)
+    }
+
+    /// The reservation duration for a job with maximum wall-clock `tw`:
+    /// `tw` for Strict, `tw · (1 + X)` for Elastic(X), none for
+    /// Opportunistic.
+    #[must_use]
+    pub fn reservation_duration(&self, tw: Cycles) -> Option<Cycles> {
+        match self {
+            ExecutionMode::Strict => Some(tw),
+            ExecutionMode::Elastic(x) => Some(tw.scale(1.0 + x.fraction())),
+            ExecutionMode::Opportunistic => None,
+        }
+    }
+
+    /// Whether this mode's jobs donate capacity to resource stealing.
+    #[must_use]
+    pub fn is_stealing_donor(&self) -> bool {
+        matches!(self, ExecutionMode::Elastic(_))
+    }
+}
+
+impl fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutionMode::Strict => f.write_str("Strict"),
+            ExecutionMode::Elastic(x) => write!(f, "Elastic({x})"),
+            ExecutionMode::Opportunistic => f.write_str("Opportunistic"),
+        }
+    }
+}
+
+/// The largest `X` such that downgrading a Strict job (arrival `ta`,
+/// wall-clock `tw`, deadline `td`) to `Elastic(X)` still guarantees its
+/// deadline: `X = ((td − ta) − tw) / tw` (Section 3.3). `None` when the
+/// job has no slack (or the deadline is infeasible).
+///
+/// # Examples
+///
+/// ```
+/// use cmpqos_core::modes::elastic_downgrade_slack;
+/// use cmpqos_types::Cycles;
+///
+/// // td - ta = 2 tw: the job tolerates a 100% slowdown.
+/// let x = elastic_downgrade_slack(Cycles::new(0), Cycles::new(200), Cycles::new(100));
+/// assert_eq!(x.unwrap().value(), 100.0);
+/// ```
+#[must_use]
+pub fn elastic_downgrade_slack(ta: Cycles, td: Cycles, tw: Cycles) -> Option<Percent> {
+    if tw == Cycles::ZERO {
+        return None;
+    }
+    let window = td.saturating_sub(ta);
+    if window <= tw {
+        return None;
+    }
+    let slack = (window - tw).as_f64() / tw.as_f64();
+    Some(Percent::from_fraction(slack))
+}
+
+/// Plan for automatically downgrading a Strict job to Opportunistic while
+/// still guaranteeing its deadline (Section 3.4): the job's resources stay
+/// reserved in the **latest** feasible timeslot `[td − tw, td]`; the job
+/// runs opportunistically before `switch_back_at = td − tw` and reverts to
+/// Strict there if it has not completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AutoDowngradePlan {
+    /// Start of the reserved (fallback) timeslot; the moment the job must
+    /// revert to Strict execution.
+    pub switch_back_at: Cycles,
+    /// End of the reserved timeslot (= the deadline).
+    pub reservation_end: Cycles,
+}
+
+/// Computes the automatic-downgrade plan, or `None` when the job has no
+/// slack (`td − ta ≤ tw` — it must start Strict immediately).
+///
+/// The reserved slot is placed as late as possible to maximize the chance
+/// the job completes opportunistically first and the reservation is
+/// reclaimed (Section 3.4).
+#[must_use]
+pub fn auto_downgrade_plan(ta: Cycles, td: Cycles, tw: Cycles) -> Option<AutoDowngradePlan> {
+    let window = td.saturating_sub(ta);
+    if window <= tw {
+        return None;
+    }
+    Some(AutoDowngradePlan {
+        switch_back_at: td - tw,
+        reservation_end: td,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservation_durations() {
+        let tw = Cycles::new(1000);
+        assert_eq!(
+            ExecutionMode::Strict.reservation_duration(tw),
+            Some(Cycles::new(1000))
+        );
+        assert_eq!(
+            ExecutionMode::Elastic(Percent::new(5.0)).reservation_duration(tw),
+            Some(Cycles::new(1050))
+        );
+        assert_eq!(ExecutionMode::Opportunistic.reservation_duration(tw), None);
+    }
+
+    #[test]
+    fn only_reserved_modes_reserve() {
+        assert!(ExecutionMode::Strict.reserves_resources());
+        assert!(ExecutionMode::Elastic(Percent::new(10.0)).reserves_resources());
+        assert!(!ExecutionMode::Opportunistic.reserves_resources());
+    }
+
+    #[test]
+    fn only_elastic_donates() {
+        assert!(!ExecutionMode::Strict.is_stealing_donor());
+        assert!(ExecutionMode::Elastic(Percent::new(5.0)).is_stealing_donor());
+        assert!(!ExecutionMode::Opportunistic.is_stealing_donor());
+    }
+
+    #[test]
+    fn elastic_slack_formula() {
+        // Tight deadline (1.05 tw): 5% slack.
+        let x = elastic_downgrade_slack(Cycles::new(0), Cycles::new(105), Cycles::new(100))
+            .unwrap();
+        assert!((x.value() - 5.0).abs() < 1e-9);
+        // No slack at all.
+        assert_eq!(
+            elastic_downgrade_slack(Cycles::new(0), Cycles::new(100), Cycles::new(100)),
+            None
+        );
+        // Infeasible deadline.
+        assert_eq!(
+            elastic_downgrade_slack(Cycles::new(50), Cycles::new(100), Cycles::new(100)),
+            None
+        );
+        // Zero wall-clock is degenerate.
+        assert_eq!(
+            elastic_downgrade_slack(Cycles::new(0), Cycles::new(100), Cycles::ZERO),
+            None
+        );
+    }
+
+    #[test]
+    fn auto_plan_reserves_latest_slot() {
+        let plan = auto_downgrade_plan(Cycles::new(0), Cycles::new(300), Cycles::new(100))
+            .unwrap();
+        assert_eq!(plan.switch_back_at, Cycles::new(200));
+        assert_eq!(plan.reservation_end, Cycles::new(300));
+        // Tight job: no plan.
+        assert_eq!(
+            auto_downgrade_plan(Cycles::new(250), Cycles::new(300), Cycles::new(100)),
+            None
+        );
+    }
+
+    #[test]
+    fn display_shows_slack() {
+        assert_eq!(
+            ExecutionMode::Elastic(Percent::new(5.0)).to_string(),
+            "Elastic(5.0%)"
+        );
+        assert_eq!(ExecutionMode::Strict.to_string(), "Strict");
+    }
+}

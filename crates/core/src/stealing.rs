@@ -1,0 +1,280 @@
+//! The resource-stealing controller (Section 4 of the paper).
+//!
+//! While an `Elastic(X)` job runs, the controller removes one L2 way per
+//! repartitioning interval (the paper uses 2M retired instructions of the
+//! Elastic job) and donates it to Opportunistic jobs. A sampled duplicate
+//! tag array ([`cmpqos_cache::DuplicateTagMonitor`]) tracks the misses the
+//! job *would* have had at its original allocation; if the cumulative main
+//! misses reach or exceed `X%` above that, stealing is **cancelled** and all
+//! stolen ways return to the job. Stealing also pauses while the memory bus
+//! is saturated (footnote 2: beyond saturation, queueing delay stops being
+//! roughly constant, so the miss-rate guard would no longer bound slowdown).
+
+use cmpqos_cache::DuplicateTagMonitor;
+use cmpqos_types::{Instructions, Percent, Ways};
+
+/// Stealing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StealingConfig {
+    /// Repartitioning interval, in retired instructions of the Elastic job
+    /// (paper: 2,000,000).
+    pub interval: Instructions,
+    /// Minimum allocation stealing may leave the job (at least one way).
+    pub min_ways: Ways,
+    /// Bus-utilization threshold above which stealing pauses.
+    pub bus_saturation_threshold: f64,
+}
+
+impl Default for StealingConfig {
+    fn default() -> Self {
+        Self {
+            interval: Instructions::new(2_000_000),
+            min_ways: Ways::new(1),
+            bus_saturation_threshold: 0.9,
+        }
+    }
+}
+
+/// What the controller wants done at an interval boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StealingAction {
+    /// Remove one more way from the Elastic job and donate it.
+    StealOne,
+    /// Guard tripped: return *all* stolen ways to the job and stop stealing
+    /// permanently (for this job).
+    Cancel {
+        /// Ways to give back.
+        returned: Ways,
+    },
+    /// Do nothing this interval (floor reached, bus saturated, or already
+    /// cancelled).
+    Hold,
+}
+
+/// Per-Elastic-job stealing state machine.
+///
+/// # Examples
+///
+/// ```
+/// use cmpqos_core::{StealingConfig, StealingController};
+/// use cmpqos_types::{Percent, Ways};
+///
+/// let ctl = StealingController::new(Percent::new(5.0), Ways::new(7), StealingConfig::default());
+/// assert_eq!(ctl.current_ways(), Ways::new(7));
+/// assert_eq!(ctl.stolen(), Ways::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StealingController {
+    config: StealingConfig,
+    slack: Percent,
+    original: Ways,
+    stolen: Ways,
+    max_stolen: Ways,
+    cancelled: bool,
+    intervals_seen: u64,
+    last_boundary: u64,
+}
+
+impl StealingController {
+    /// Creates a controller for a job with `slack` (the `X` of Elastic(X))
+    /// and an original allocation of `original` ways.
+    #[must_use]
+    pub fn new(slack: Percent, original: Ways, config: StealingConfig) -> Self {
+        Self {
+            config,
+            slack,
+            original,
+            stolen: Ways::ZERO,
+            max_stolen: Ways::ZERO,
+            cancelled: false,
+            intervals_seen: 0,
+            last_boundary: 0,
+        }
+    }
+
+    /// The job's slack.
+    #[must_use]
+    pub fn slack(&self) -> Percent {
+        self.slack
+    }
+
+    /// The original allocation.
+    #[must_use]
+    pub fn original_ways(&self) -> Ways {
+        self.original
+    }
+
+    /// Ways currently stolen from the job.
+    #[must_use]
+    pub fn stolen(&self) -> Ways {
+        self.stolen
+    }
+
+    /// The most ways that were ever stolen at once (stolen ways return on
+    /// cancellation, so this is the figure-of-merit for how much capacity
+    /// the job donated).
+    #[must_use]
+    pub fn max_stolen(&self) -> Ways {
+        self.max_stolen
+    }
+
+    /// The job's current allocation (`original − stolen`).
+    #[must_use]
+    pub fn current_ways(&self) -> Ways {
+        self.original - self.stolen
+    }
+
+    /// Whether the guard has permanently cancelled stealing.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled
+    }
+
+    /// Intervals processed so far.
+    #[must_use]
+    pub fn intervals_seen(&self) -> u64 {
+        self.intervals_seen
+    }
+
+    /// Returns `true` when `retired` (the job's cumulative retired
+    /// instructions) has crossed into a new repartitioning interval since
+    /// the last call that returned `true`.
+    pub fn interval_due(&mut self, retired: Instructions) -> bool {
+        let boundary = retired.get() / self.config.interval.get().max(1);
+        if boundary > self.last_boundary {
+            self.last_boundary = boundary;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Decides the action for one interval boundary given the duplicate-tag
+    /// monitor and the current bus utilization.
+    pub fn decide(
+        &mut self,
+        monitor: &DuplicateTagMonitor,
+        bus_utilization: f64,
+    ) -> StealingAction {
+        self.intervals_seen += 1;
+        if self.cancelled {
+            return StealingAction::Hold;
+        }
+        if monitor.exceeded(self.slack) {
+            self.cancelled = true;
+            let returned = self.stolen;
+            self.stolen = Ways::ZERO;
+            return StealingAction::Cancel { returned };
+        }
+        if bus_utilization >= self.config.bus_saturation_threshold {
+            return StealingAction::Hold;
+        }
+        if self.current_ways() > self.config.min_ways {
+            self.stolen += Ways::new(1);
+            self.max_stolen = self.max_stolen.max(self.stolen);
+            StealingAction::StealOne
+        } else {
+            StealingAction::Hold
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_monitor() -> DuplicateTagMonitor {
+        // No traffic: never exceeds.
+        DuplicateTagMonitor::new(Ways::new(7), 64, 8)
+    }
+
+    fn tripped_monitor(slack_needed: f64) -> DuplicateTagMonitor {
+        let mut m = DuplicateTagMonitor::new(Ways::new(1), 64, 8);
+        // Build shadow misses, then extra main misses on shadow hits.
+        for i in 0..100u64 {
+            m.observe(0, i, false);
+        }
+        let extra = (100.0 * slack_needed).ceil() as u64;
+        for _ in 0..extra {
+            m.observe(0, 99, false);
+        }
+        m
+    }
+
+    #[test]
+    fn steals_one_way_per_interval_down_to_floor() {
+        let mut ctl =
+            StealingController::new(Percent::new(5.0), Ways::new(3), StealingConfig::default());
+        let m = quiet_monitor();
+        assert_eq!(ctl.decide(&m, 0.0), StealingAction::StealOne);
+        assert_eq!(ctl.current_ways(), Ways::new(2));
+        assert_eq!(ctl.decide(&m, 0.0), StealingAction::StealOne);
+        assert_eq!(ctl.current_ways(), Ways::new(1));
+        // Floor reached.
+        assert_eq!(ctl.decide(&m, 0.0), StealingAction::Hold);
+        assert_eq!(ctl.current_ways(), Ways::new(1));
+    }
+
+    #[test]
+    fn guard_trip_returns_all_stolen_ways() {
+        let mut ctl =
+            StealingController::new(Percent::new(5.0), Ways::new(7), StealingConfig::default());
+        let quiet = quiet_monitor();
+        for _ in 0..3 {
+            ctl.decide(&quiet, 0.0);
+        }
+        assert_eq!(ctl.stolen(), Ways::new(3));
+        let tripped = tripped_monitor(0.10);
+        assert_eq!(
+            ctl.decide(&tripped, 0.0),
+            StealingAction::Cancel {
+                returned: Ways::new(3)
+            }
+        );
+        assert!(ctl.is_cancelled());
+        assert_eq!(ctl.current_ways(), Ways::new(7));
+        // Permanently off.
+        assert_eq!(ctl.decide(&quiet, 0.0), StealingAction::Hold);
+    }
+
+    #[test]
+    fn bus_saturation_pauses_stealing() {
+        let mut ctl =
+            StealingController::new(Percent::new(5.0), Ways::new(7), StealingConfig::default());
+        let m = quiet_monitor();
+        assert_eq!(ctl.decide(&m, 0.95), StealingAction::Hold);
+        assert_eq!(ctl.stolen(), Ways::ZERO);
+        // Bus cleared: stealing resumes.
+        assert_eq!(ctl.decide(&m, 0.2), StealingAction::StealOne);
+    }
+
+    #[test]
+    fn interval_detection() {
+        let mut ctl = StealingController::new(
+            Percent::new(5.0),
+            Ways::new(7),
+            StealingConfig {
+                interval: Instructions::new(1000),
+                ..StealingConfig::default()
+            },
+        );
+        assert!(!ctl.interval_due(Instructions::new(500)));
+        assert!(ctl.interval_due(Instructions::new(1000)));
+        assert!(!ctl.interval_due(Instructions::new(1500)));
+        assert!(ctl.interval_due(Instructions::new(2100)));
+        // Skipping multiple intervals still fires once.
+        assert!(ctl.interval_due(Instructions::new(9000)));
+        assert!(!ctl.interval_due(Instructions::new(9000)));
+    }
+
+    #[test]
+    fn larger_slack_tolerates_more_miss_increase() {
+        let mut tight =
+            StealingController::new(Percent::new(2.0), Ways::new(7), StealingConfig::default());
+        let mut loose =
+            StealingController::new(Percent::new(20.0), Ways::new(7), StealingConfig::default());
+        let m = tripped_monitor(0.10); // ~10% increase
+        assert!(matches!(tight.decide(&m, 0.0), StealingAction::Cancel { .. }));
+        assert_eq!(loose.decide(&m, 0.0), StealingAction::StealOne);
+    }
+}

@@ -1,0 +1,29 @@
+//! In-order core execution model and CPI accounting.
+//!
+//! The evaluated CMP uses simple in-order 2 GHz cores, so per-instruction
+//! timing decomposes additively, exactly as in Luo's model used by the paper
+//! (Section 4.2):
+//!
+//! ```text
+//! CPI = CPI_L1∞ + h2 · t2 + hm · tm
+//! ```
+//!
+//! * [`ExecutionContext`] — the per-*job* execution state: its trace source,
+//!   fractional base-CPI accumulator and performance counters. Jobs carry
+//!   their contexts across cores (Opportunistic jobs may migrate / be
+//!   timeshared), so the counters live here rather than on a core.
+//! * [`PerfCounters`] — retired instructions, cycles, per-level access/miss
+//!   counts and the additive stall breakdown.
+//! * [`CpiModel`] — the closed-form model itself, used by analysis code and
+//!   to validate the simulator's additivity.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod model;
+pub mod perf;
+
+pub use context::{ExecutionContext, MemOutcome};
+pub use model::CpiModel;
+pub use perf::PerfCounters;

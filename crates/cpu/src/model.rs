@@ -1,0 +1,123 @@
+//! Luo's additive CPI model (the analytical basis for resource stealing).
+
+use crate::perf::PerfCounters;
+use cmpqos_types::Cycles;
+
+/// The closed-form model `CPI = CPI_L1∞ + h2·t2 + hm·tm` (Section 4.2).
+///
+/// The paper's resource-stealing guard relies on this additivity: because
+/// `hm·tm` is only one non-negative component of CPI, an `X%` increase in
+/// `hm` (the L2 miss rate) produces *less than* an `X%` increase in CPI —
+/// so bounding the L2 miss increase with duplicate tags safely bounds the
+/// slowdown of an `Elastic(X)` job.
+///
+/// # Examples
+///
+/// ```
+/// use cmpqos_cpu::CpiModel;
+/// use cmpqos_types::Cycles;
+///
+/// let m = CpiModel::new(1.5, Cycles::new(10), Cycles::new(300));
+/// let cpi = m.cpi(0.03, 0.0055);
+/// assert!((cpi - (1.5 + 0.3 + 1.65)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpiModel {
+    base: f64,
+    t2: Cycles,
+    tm: Cycles,
+}
+
+impl CpiModel {
+    /// Creates a model with base CPI and the L2-hit / L2-miss penalties.
+    #[must_use]
+    pub fn new(base: f64, t2: Cycles, tm: Cycles) -> Self {
+        Self { base, t2, tm }
+    }
+
+    /// The paper's latencies: `t2 = 10`, `tm = 300` cycles.
+    #[must_use]
+    pub fn with_paper_latencies(base: f64) -> Self {
+        Self::new(base, Cycles::new(10), Cycles::new(300))
+    }
+
+    /// `CPI_L1∞`.
+    #[must_use]
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    /// Predicted CPI for `h2` L2 accesses/instruction and `hm` L2
+    /// misses/instruction.
+    #[must_use]
+    pub fn cpi(&self, h2: f64, hm: f64) -> f64 {
+        self.base + h2 * self.t2.as_f64() + hm * self.tm.as_f64()
+    }
+
+    /// Relative CPI increase when the L2 miss rate rises by
+    /// `miss_increase` (e.g. `0.05` for +5%) at operating point `(h2, hm)`.
+    ///
+    /// Always less than `miss_increase` itself when `base` or `h2·t2` are
+    /// positive — the inequality that justifies using the L2 miss rate as a
+    /// conservative stealing guard.
+    #[must_use]
+    pub fn cpi_increase_for_miss_increase(&self, h2: f64, hm: f64, miss_increase: f64) -> f64 {
+        let before = self.cpi(h2, hm);
+        let after = self.cpi(h2, hm * (1.0 + miss_increase));
+        (after - before) / before
+    }
+
+    /// Evaluates the model against measured counters, returning
+    /// `(predicted, measured)` CPIs. Used by validation tests: on an
+    /// uncontended system the two agree closely.
+    #[must_use]
+    pub fn validate(&self, perf: &PerfCounters) -> (f64, f64) {
+        (self.cpi(perf.h2(), perf.mpi()), perf.cpi())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_operating_point_bzip2() {
+        // Table 1: bzip2 at 7 ways: miss rate 20%, MPI 0.0055.
+        let m = CpiModel::with_paper_latencies(1.0);
+        let h2 = 0.0055 / 0.20;
+        let cpi = m.cpi(h2, 0.0055);
+        assert!(cpi > 2.5 && cpi < 3.5, "bzip2-like CPI {cpi}");
+    }
+
+    #[test]
+    fn miss_increase_bounds_cpi_increase() {
+        let m = CpiModel::with_paper_latencies(1.5);
+        // At bzip2's operating point, a 5% miss increase must give a CPI
+        // increase strictly below 5% (the stealing-guard inequality), and in
+        // the paper's observed range (roughly one-third to one-half).
+        let inc = m.cpi_increase_for_miss_increase(0.03, 0.0055, 0.05);
+        assert!(inc < 0.05);
+        assert!(inc > 0.01, "increase {inc}");
+    }
+
+    #[test]
+    fn zero_miss_increase_means_zero_cpi_increase() {
+        let m = CpiModel::with_paper_latencies(1.0);
+        assert_eq!(m.cpi_increase_for_miss_increase(0.1, 0.01, 0.0), 0.0);
+    }
+
+    #[test]
+    fn validate_compares_prediction_and_measurement() {
+        let m = CpiModel::with_paper_latencies(1.0);
+        let mut p = PerfCounters::default();
+        // One instruction: base 1 cycle + L2 miss of 300.
+        p.charge_base(Cycles::new(1));
+        p.record_l1_access();
+        p.record_l2_miss(Cycles::new(300));
+        p.retire(Cycles::new(301));
+        let (pred, meas) = m.validate(&p);
+        assert_eq!(meas, 301.0);
+        // Model: 1 + 1*10 + 1*300 = 311 (h2 includes the missing access).
+        assert_eq!(pred, 311.0);
+    }
+}

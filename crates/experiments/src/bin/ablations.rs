@@ -1,0 +1,8 @@
+//! Runs the design-choice ablations (partitioning policy, shadow sampling,
+//! steal interval).
+use cmpqos_experiments::{ablation, ExperimentParams};
+
+fn main() {
+    let params = ExperimentParams::from_env();
+    ablation::print(&params);
+}

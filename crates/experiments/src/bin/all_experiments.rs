@@ -1,0 +1,27 @@
+//! Runs every experiment in sequence (the full reproduction).
+use cmpqos_experiments::*;
+
+fn main() {
+    let params = ExperimentParams::from_env();
+    let r = fig1::run(&params);
+    fig1::print(&r, &params);
+    fig3::print(&fig3::run());
+    let pts = fig4::run(&params);
+    fig4::print(&pts, &params);
+    let rows = table1::run(&params);
+    table1::print(&rows, &params);
+    let rows = fig5::run(&params);
+    fig5::print(&rows, &params);
+    let r6 = fig6::run(&params);
+    fig6::print(&r6, &params);
+    let r7 = fig7::run(&params);
+    fig7::print(&r7, &params);
+    let r8 = fig8::run(&params);
+    fig8::print(&r8, &params);
+    let r9 = fig9::run(&params);
+    fig9::print(&r9, &params);
+    let rows = lac_overhead::run(&params);
+    lac_overhead::print(&rows, &params);
+    ablation::print(&params);
+    extensions::print(&params);
+}

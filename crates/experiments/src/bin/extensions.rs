@@ -1,0 +1,7 @@
+//! Runs the extension studies (UCP baseline, bandwidth reservation).
+use cmpqos_experiments::{extensions, ExperimentParams};
+
+fn main() {
+    let params = ExperimentParams::from_env();
+    extensions::print(&params);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 1.
+use cmpqos_experiments::{fig1, ExperimentParams};
+
+fn main() {
+    let params = ExperimentParams::from_env();
+    let result = fig1::run(&params);
+    fig1::print(&result, &params);
+}

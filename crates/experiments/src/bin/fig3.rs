@@ -1,0 +1,6 @@
+//! Regenerates Figure 3 (illustrative downgrade scenario).
+use cmpqos_experiments::fig3;
+
+fn main() {
+    fig3::print(&fig3::run());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 4 (benchmark sensitivity scatter).
+use cmpqos_experiments::{fig4, ExperimentParams};
+
+fn main() {
+    let params = ExperimentParams::from_env();
+    let points = fig4::run(&params);
+    fig4::print(&points, &params);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 6 (wall-clock per mode, bzip2 workload).
+use cmpqos_experiments::{fig6, ExperimentParams};
+
+fn main() {
+    let params = ExperimentParams::from_env();
+    let result = fig6::run(&params);
+    fig6::print(&result, &params);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 7 (execution traces, All-Strict vs AutoDown).
+use cmpqos_experiments::{fig7, ExperimentParams};
+
+fn main() {
+    let params = ExperimentParams::from_env();
+    let result = fig7::run(&params);
+    fig7::print(&result, &params);
+}

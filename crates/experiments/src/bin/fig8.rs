@@ -1,0 +1,8 @@
+//! Regenerates Figure 8 (resource stealing vs slack X).
+use cmpqos_experiments::{fig8, ExperimentParams};
+
+fn main() {
+    let params = ExperimentParams::from_env();
+    let result = fig8::run(&params);
+    fig8::print(&result, &params);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the Section 7.5 LAC characterization.
+use cmpqos_experiments::{lac_overhead, ExperimentParams};
+
+fn main() {
+    let params = ExperimentParams::from_env();
+    let rows = lac_overhead::run(&params);
+    lac_overhead::print(&rows, &params);
+}

@@ -1,0 +1,8 @@
+//! Runs the seed-stability study (Figure 5 cells across seeds).
+use cmpqos_experiments::{variance, ExperimentParams};
+
+fn main() {
+    let params = ExperimentParams::from_env();
+    let rows = variance::run(&params);
+    variance::print(&rows, &params);
+}

@@ -1,0 +1,237 @@
+//! Experiments for the framework's extensions beyond the paper's
+//! evaluation:
+//!
+//! * **UCP baseline** — utility-based cache partitioning (related work
+//!   [18]) as a throughput-optimizing, non-QoS comparison point against
+//!   `EqualPart`: UCP shifts ways toward cache-sensitive co-runners.
+//! * **Bandwidth QoS** — the future-work RUM dimension: reserving an
+//!   off-chip bandwidth share isolates a latency-sensitive job from a
+//!   streaming neighbour.
+
+use crate::output::{banner, Table};
+use crate::params::ExperimentParams;
+use cmpqos_cache::utility::{lookahead_partition, UtilityMonitor};
+use cmpqos_system::{CmpNode, Placement, SystemConfig, TaskSpec};
+use cmpqos_trace::{spec, TraceSource};
+use cmpqos_types::{CoreId, Cycles, JobId, Ways};
+
+/// Outcome of one two-job partitioning comparison.
+#[derive(Debug, Clone)]
+pub struct UcpComparison {
+    /// IPC of the cache-sensitive job (bzip2) under equal split / UCP.
+    pub sensitive_ipc: (f64, f64),
+    /// IPC of the insensitive job (gobmk) under equal split / UCP.
+    pub insensitive_ipc: (f64, f64),
+    /// The partition UCP chose.
+    pub ucp_partition: Vec<Ways>,
+    /// Weighted-IPC gain of UCP over the equal split.
+    pub throughput_gain: f64,
+}
+
+fn run_pair(params: &ExperimentParams, targets: &[Ways]) -> (f64, f64) {
+    let system = SystemConfig::paper_scaled(params.scale);
+    let mut node = CmpNode::new(system);
+    node.set_l2_targets(targets).expect("targets fit");
+    let sensitive = spec::scaled("bzip2", params.scale).expect("built-in");
+    let insensitive = spec::scaled("gobmk", params.scale).expect("built-in");
+    for (i, profile) in [sensitive, insensitive].iter().enumerate() {
+        node.spawn(TaskSpec {
+            id: JobId::new(i as u32),
+            source: Box::new(profile.instantiate(params.seed + i as u64, (i as u64 + 1) << 40)),
+            budget: params.work,
+            placement: Placement::Pinned(CoreId::new(i as u32)),
+            reserved: true,
+        })
+        .expect("spawn");
+    }
+    node.run_to_completion(Cycles::new(u64::MAX / 4));
+    (
+        node.perf(JobId::new(0)).expect("ran").ipc(),
+        node.perf(JobId::new(1)).expect("ran").ipc(),
+    )
+}
+
+/// Profiles both jobs with UMONs, computes the UCP partition, then compares
+/// equal split vs UCP.
+#[must_use]
+pub fn ucp_comparison(params: &ExperimentParams) -> UcpComparison {
+    let system = SystemConfig::paper_scaled(params.scale);
+    let sets = system.l2.geometry().sets();
+    let assoc = Ways::new(system.l2.associativity());
+    let geom = system.l2.geometry();
+
+    // Profile each benchmark's way utility by feeding its L2-bound stream
+    // (post-L1 misses are approximated by feeding all accesses; stack
+    // positions beyond the L1-resident blocks dominate the estimate).
+    let mut monitors: Vec<UtilityMonitor> = Vec::new();
+    for (i, bench) in ["bzip2", "gobmk"].iter().enumerate() {
+        let mut umon = UtilityMonitor::new(assoc, sets, 8);
+        let profile = spec::scaled(bench, params.scale).expect("built-in");
+        let mut trace = profile.instantiate(params.seed + i as u64, 0);
+        let mut fed = 0u64;
+        while fed < params.work.get() / 2 {
+            if let Some(access) = trace.next_instruction().access {
+                let (_, set) = geom.slice(access.addr());
+                umon.observe(set, access.addr() / 64);
+            }
+            fed += 1;
+        }
+        monitors.push(umon);
+    }
+    // Two active cores share the cache; idle cores get nothing.
+    let two_core = lookahead_partition(&monitors, assoc, Ways::new(1));
+    let mut ucp_targets = vec![Ways::ZERO; 4];
+    ucp_targets[0] = two_core[0];
+    ucp_targets[1] = two_core[1];
+
+    let equal = vec![
+        Ways::new(assoc.get() / 2),
+        Ways::new(assoc.get() / 2),
+        Ways::ZERO,
+        Ways::ZERO,
+    ];
+    let (eq_s, eq_i) = run_pair(params, &equal);
+    let (ucp_s, ucp_i) = run_pair(params, &ucp_targets);
+
+    UcpComparison {
+        sensitive_ipc: (eq_s, ucp_s),
+        insensitive_ipc: (eq_i, ucp_i),
+        ucp_partition: ucp_targets,
+        throughput_gain: (ucp_s + ucp_i) / (eq_s + eq_i) - 1.0,
+    }
+}
+
+/// Bandwidth-QoS demonstration. With blocking in-order cores a single job
+/// cannot use more than `transfer/(latency+transfer)` ~ 6% of the channel,
+/// so two-job *victim interference* is naturally tiny at the paper's
+/// parameters — what the mechanism must demonstrate is **enforcement**: a
+/// reserved bandwidth cap below a job's natural demand actually binds,
+/// while co-runners keep their performance. Returns
+/// `((hog IPC uncapped, hog IPC capped), (victim IPC uncapped, victim IPC
+/// capped))`.
+#[must_use]
+pub fn bandwidth_isolation(
+    params: &ExperimentParams,
+    hog_cap: u8,
+) -> ((f64, f64), (f64, f64)) {
+    let run = |cap: Option<u8>| {
+        let system = SystemConfig::paper_scaled(params.scale);
+        let mut node = CmpNode::new(system);
+        node.set_l2_targets(&[Ways::new(7), Ways::new(7), Ways::ZERO, Ways::ZERO])
+            .expect("targets fit");
+        if let Some(c) = cap {
+            node.set_bandwidth_share(CoreId::new(1), c);
+        }
+        let victim = spec::scaled("bzip2", params.scale).expect("built-in");
+        let hog = spec::scaled("milc", params.scale).expect("built-in");
+        node.spawn(TaskSpec {
+            id: JobId::new(0),
+            source: Box::new(victim.instantiate(params.seed, 1 << 40)),
+            budget: params.work,
+            placement: Placement::Pinned(CoreId::new(0)),
+            reserved: true,
+        })
+        .expect("spawn");
+        node.spawn(TaskSpec {
+            id: JobId::new(1),
+            source: Box::new(hog.instantiate(params.seed + 1, 2 << 40)),
+            budget: params.work * 4,
+            placement: Placement::Pinned(CoreId::new(1)),
+            reserved: true,
+        })
+        .expect("spawn");
+        while node.is_live(JobId::new(0)) || node.is_live(JobId::new(1)) {
+            let t = node.now() + Cycles::new(1_000_000);
+            node.run_until(t);
+        }
+        (
+            node.perf(JobId::new(1)).expect("hog ran").ipc(),
+            node.perf(JobId::new(0)).expect("victim ran").ipc(),
+        )
+    };
+    let (hog_free, victim_free) = run(None);
+    let (hog_capped, victim_capped) = run(Some(hog_cap));
+    ((hog_free, hog_capped), (victim_free, victim_capped))
+}
+
+/// Prints both extension studies.
+pub fn print(params: &ExperimentParams) {
+    banner("Extension: UCP (utility-based partitioning) vs equal split", params);
+    let u = ucp_comparison(params);
+    let mut t = Table::new(&["job", "equal-split IPC", "UCP IPC"]);
+    t.row_owned(vec![
+        "bzip2 (sensitive)".into(),
+        format!("{:.3}", u.sensitive_ipc.0),
+        format!("{:.3}", u.sensitive_ipc.1),
+    ]);
+    t.row_owned(vec![
+        "gobmk (insensitive)".into(),
+        format!("{:.3}", u.insensitive_ipc.0),
+        format!("{:.3}", u.insensitive_ipc.1),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "UCP partition: {:?}; aggregate IPC gain {:+.1}%\n",
+        u.ucp_partition,
+        u.throughput_gain * 100.0
+    );
+
+    banner("Extension: off-chip bandwidth reservation", params);
+    let ((hog_free, hog_capped), (victim_free, victim_capped)) =
+        bandwidth_isolation(params, 2);
+    let mut t = Table::new(&["scenario", "milc (hog) IPC", "bzip2 (victim) IPC"]);
+    t.row_owned(vec![
+        "hog uncapped".into(),
+        format!("{hog_free:.3}"),
+        format!("{victim_free:.3}"),
+    ]);
+    t.row_owned(vec![
+        "hog capped to 2% of peak".into(),
+        format!("{hog_capped:.3}"),
+        format!("{victim_capped:.3}"),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "the cap binds (hog throttled) while the victim's reserved performance\n\
+         is untouched — admission keeps total shares <= 100%, enforcement holds each."
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpqos_types::Instructions;
+
+    #[test]
+    fn ucp_shifts_ways_to_the_sensitive_job() {
+        let mut p = ExperimentParams::quick();
+        p.work = Instructions::new(300_000);
+        let u = ucp_comparison(&p);
+        assert!(
+            u.ucp_partition[0] > u.ucp_partition[1],
+            "bzip2 should receive more ways: {:?}",
+            u.ucp_partition
+        );
+        assert!(
+            u.sensitive_ipc.1 >= u.sensitive_ipc.0 * 0.98,
+            "bzip2 must not lose from UCP: {:?}",
+            u.sensitive_ipc
+        );
+    }
+
+    #[test]
+    fn bandwidth_cap_binds_the_hog_and_spares_the_victim() {
+        let mut p = ExperimentParams::quick();
+        p.work = Instructions::new(150_000);
+        let ((hog_free, hog_capped), (victim_free, victim_capped)) =
+            bandwidth_isolation(&p, 2);
+        assert!(
+            hog_capped < hog_free * 0.8,
+            "the 2% cap must throttle milc: {hog_capped} vs {hog_free}"
+        );
+        assert!(
+            victim_capped >= victim_free * 0.95,
+            "the victim keeps its performance: {victim_capped} vs {victim_free}"
+        );
+    }
+}

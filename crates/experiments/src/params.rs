@@ -1,0 +1,87 @@
+//! Shared experiment parameters.
+
+use cmpqos_types::Instructions;
+
+/// Global knobs for every experiment: the geometry scale factor, the
+/// per-job instruction budget and the master seed.
+///
+/// Defaults reproduce the paper's shapes in seconds per experiment; the
+/// environment variables `CMPQOS_SCALE`, `CMPQOS_WORK` and `CMPQOS_SEED`
+/// override them for higher-fidelity (slower) runs — `CMPQOS_SCALE=1
+/// CMPQOS_WORK=200000000` is the paper's literal setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentParams {
+    /// Geometry scale factor `k` (see
+    /// [`cmpqos_system::SystemConfig::paper_scaled`]).
+    pub scale: u64,
+    /// Instructions per job.
+    pub work: Instructions,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentParams {
+    /// Default experiment fidelity: scale 8, 800k instructions/job.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self {
+            scale: 8,
+            work: Instructions::new(800_000),
+            seed: 1,
+        }
+    }
+
+    /// Fast parameters for tests: scale 16, 80k instructions/job.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            scale: 16,
+            work: Instructions::new(80_000),
+            seed: 1,
+        }
+    }
+
+    /// [`ExperimentParams::standard`] with environment overrides applied.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut p = Self::standard();
+        if let Some(v) = read_env("CMPQOS_SCALE") {
+            p.scale = v.max(1);
+        }
+        if let Some(v) = read_env("CMPQOS_WORK") {
+            p.work = Instructions::new(v.max(1_000));
+        }
+        if let Some(v) = read_env("CMPQOS_SEED") {
+            p.seed = v;
+        }
+        p
+    }
+}
+
+impl Default for ExperimentParams {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+fn read_env(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let p = ExperimentParams::standard();
+        assert_eq!(p.scale, 8);
+        assert_eq!(ExperimentParams::default(), p);
+        assert!(ExperimentParams::quick().work < p.work);
+    }
+
+    #[test]
+    fn env_parsing_ignores_garbage() {
+        assert_eq!(read_env("CMPQOS_DOES_NOT_EXIST"), None);
+    }
+}

@@ -1,0 +1,25 @@
+//! Off-chip memory model for the `cmpqos` CMP simulator.
+//!
+//! Models the paper's evaluated memory system: 300-cycle access latency and
+//! a 6.4 GB/s peak-bandwidth channel shared by all cores (at 2 GHz that is
+//! 3.2 bytes per cycle, i.e. a 64-byte block occupies the channel for 20
+//! cycles).
+//!
+//! Two QoS-relevant behaviours are modelled per the paper's footnote 2:
+//!
+//! * memory requests from Strict/Elastic(X) jobs are **prioritized** over
+//!   those from Opportunistic jobs (so stealing does not inflate `t_m` for
+//!   reserved jobs), and
+//! * a **bus-utilization monitor** lets the stealing controller disable
+//!   stealing when the bus approaches saturation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod monitor;
+pub mod regulator;
+
+pub use channel::{MemoryChannel, MemoryConfig, Priority};
+pub use monitor::BusMonitor;
+pub use regulator::BandwidthRegulator;

@@ -1,0 +1,134 @@
+//! System-level configuration.
+
+use cmpqos_cache::{CacheConfig, PartitionPolicy};
+use cmpqos_mem::MemoryConfig;
+use cmpqos_types::Cycles;
+
+/// Static configuration of a CMP node.
+///
+/// Construct with [`SystemConfig::paper`] (the evaluated machine) and adjust
+/// fields as needed; all fields are public plain data.
+///
+/// # Examples
+///
+/// ```
+/// use cmpqos_system::SystemConfig;
+///
+/// let mut cfg = SystemConfig::paper();
+/// assert_eq!(cfg.num_cores, 4);
+/// cfg.timeslice = cmpqos_types::Cycles::new(500_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Number of cores (paper: 4).
+    pub num_cores: usize,
+    /// Clock frequency in GHz, used only for cycle/second conversions in
+    /// reports (paper: 2.0).
+    pub clock_ghz: f64,
+    /// Private L1 configuration.
+    pub l1: CacheConfig,
+    /// Shared L2 configuration.
+    pub l2: CacheConfig,
+    /// Memory-channel configuration.
+    pub memory: MemoryConfig,
+    /// L2 partitioning policy.
+    pub partition_policy: PartitionPolicy,
+    /// Round-robin timeslice for floating (timeshared) tasks.
+    /// The default models a 0.5 ms Linux-like quantum at 2 GHz.
+    pub timeslice: Cycles,
+    /// Direct cost of a context switch.
+    pub context_switch_cost: Cycles,
+    /// Whether a context switch flushes the L1 (cold-cache effect for the
+    /// incoming task).
+    pub flush_l1_on_switch: bool,
+    /// Duplicate-tag set-sampling period: every `N`-th set carries shadow
+    /// tags (paper: 8, i.e. 1/8 coverage).
+    pub shadow_sample_every: u32,
+}
+
+impl SystemConfig {
+    /// The paper's evaluated machine: 4 in-order 2 GHz cores, 32 KiB 4-way
+    /// L1s (2 cycles), shared 2 MiB 16-way L2 (10 cycles) with the QoS-aware
+    /// per-set partitioning, 300-cycle / 6.4 GB/s memory.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            num_cores: 4,
+            clock_ghz: 2.0,
+            l1: CacheConfig::paper_l1(),
+            l2: CacheConfig::paper_l2(),
+            memory: MemoryConfig::paper(),
+            partition_policy: PartitionPolicy::PerSet,
+            timeslice: Cycles::new(1_000_000),
+            context_switch_cost: Cycles::new(10_000),
+            flush_l1_on_switch: true,
+            shadow_sample_every: 8,
+        }
+    }
+
+    /// The paper's machine with both cache capacities divided by `k`
+    /// (associativities and block sizes unchanged, so set counts shrink).
+    ///
+    /// Pair with benchmark profiles scaled by the same `k`
+    /// ([`cmpqos_trace::spec::scaled`]): every way-granular behaviour
+    /// (partitioning, stealing, admission) is preserved while warm-up and
+    /// simulation cost drop by ~`k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` does not evenly divide the cache sizes down to at
+    /// least one set.
+    #[must_use]
+    pub fn paper_scaled(k: u64) -> Self {
+        use cmpqos_cache::CacheConfig;
+        use cmpqos_types::ByteSize;
+        let base = Self::paper();
+        let scale = |c: &CacheConfig| {
+            CacheConfig::new(
+                ByteSize::from_bytes(c.size().bytes() / k),
+                c.associativity(),
+                c.block_size(),
+                c.latency(),
+            )
+            .expect("scale factor must preserve a valid geometry")
+        };
+        Self {
+            l1: scale(&base.l1),
+            l2: scale(&base.l2),
+            ..base
+        }
+    }
+
+    /// Converts cycles to milliseconds at this node's clock.
+    #[must_use]
+    pub fn cycles_to_ms(&self, cycles: Cycles) -> f64 {
+        cycles.as_f64() / (self.clock_ghz * 1e6)
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_evaluation_setup() {
+        let c = SystemConfig::paper();
+        assert_eq!(c.num_cores, 4);
+        assert_eq!(c.l1.associativity(), 4);
+        assert_eq!(c.l2.associativity(), 16);
+        assert_eq!(c.memory.latency, Cycles::new(300));
+        assert_eq!(c.partition_policy, PartitionPolicy::PerSet);
+    }
+
+    #[test]
+    fn cycle_conversion() {
+        let c = SystemConfig::paper();
+        assert!((c.cycles_to_ms(Cycles::new(2_000_000)) - 1.0).abs() < 1e-12);
+    }
+}

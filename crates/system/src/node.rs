@@ -1,0 +1,787 @@
+//! The CMP node engine.
+
+use crate::config::SystemConfig;
+use crate::task::{Placement, SpawnError, Task, TaskCompletion, TaskSpec};
+use cmpqos_cache::{DuplicateTagMonitor, L1Cache, SharedL2, VictimClass};
+use cmpqos_cache::l2::PartitionError;
+use cmpqos_cpu::{MemOutcome, PerfCounters};
+use cmpqos_mem::{BandwidthRegulator, BusMonitor, MemoryChannel, Priority};
+use cmpqos_trace::Access;
+use cmpqos_types::{CoreId, Cycles, JobId, Ways};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Bus-utilization monitoring window.
+const BUS_WINDOW: Cycles = Cycles::new(100_000);
+
+#[derive(Debug)]
+struct CoreState {
+    pinned: Option<JobId>,
+    current: Option<JobId>,
+    last_task: Option<JobId>,
+    next_free: Cycles,
+    quantum_end: Cycles,
+}
+
+impl CoreState {
+    fn new() -> Self {
+        Self {
+            pinned: None,
+            current: None,
+            last_task: None,
+            next_free: Cycles::ZERO,
+            quantum_end: Cycles::ZERO,
+        }
+    }
+}
+
+/// An event-driven CMP node: `N` cores, private L1s, a shared partitioned
+/// L2 and a memory channel, plus pin/timeshare scheduling.
+///
+/// See the [crate docs](crate) for the role split between this mechanism
+/// layer and the QoS policy layer in `cmpqos-core`.
+#[derive(Debug)]
+pub struct CmpNode {
+    cfg: SystemConfig,
+    now: Cycles,
+    cores: Vec<CoreState>,
+    tasks: BTreeMap<JobId, Task>,
+    finished: BTreeMap<JobId, (PerfCounters, TaskCompletion)>,
+    /// Ready floating tasks not currently on a core, in round-robin order.
+    floating: VecDeque<JobId>,
+    l1s: Vec<L1Cache>,
+    l2: SharedL2,
+    mem: MemoryChannel,
+    bus: BusMonitor,
+    monitors: BTreeMap<JobId, DuplicateTagMonitor>,
+    regulator: BandwidthRegulator,
+    completions: Vec<TaskCompletion>,
+}
+
+impl CmpNode {
+    /// Creates an idle node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero cores.
+    #[must_use]
+    pub fn new(cfg: SystemConfig) -> Self {
+        assert!(cfg.num_cores > 0, "node needs at least one core");
+        let l1s = (0..cfg.num_cores).map(|_| L1Cache::new(cfg.l1)).collect();
+        let l2 = SharedL2::new(cfg.l2, cfg.num_cores, cfg.partition_policy);
+        let mem = MemoryChannel::new(cfg.memory);
+        Self {
+            cores: (0..cfg.num_cores).map(|_| CoreState::new()).collect(),
+            tasks: BTreeMap::new(),
+            finished: BTreeMap::new(),
+            floating: VecDeque::new(),
+            l1s,
+            l2,
+            mem,
+            bus: BusMonitor::new(BUS_WINDOW),
+            monitors: BTreeMap::new(),
+            regulator: BandwidthRegulator::new(
+                cfg.num_cores,
+                cfg.memory.transfer_cycles() * 10,
+            ),
+            completions: Vec::new(),
+            now: Cycles::ZERO,
+            cfg,
+        }
+    }
+
+    /// The node configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Current simulation time (everything before this instant has been
+    /// processed).
+    #[must_use]
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Spawns a task; it becomes ready at the current simulation time.
+    ///
+    /// Pinning a core that currently runs a floating task preempts the
+    /// floating task back into the shared pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpawnError`] for duplicate ids, bad pin targets or empty
+    /// budgets.
+    pub fn spawn(&mut self, spec: TaskSpec) -> Result<(), SpawnError> {
+        if self.tasks.contains_key(&spec.id) {
+            return Err(SpawnError::DuplicateId(spec.id));
+        }
+        if spec.budget.get() == 0 {
+            return Err(SpawnError::EmptyBudget);
+        }
+        if let Placement::Pinned(core) = spec.placement {
+            let Some(state) = self.cores.get(core.as_usize()) else {
+                return Err(SpawnError::NoSuchCore(core));
+            };
+            if state.pinned.is_some() {
+                return Err(SpawnError::CoreAlreadyPinned(core));
+            }
+        }
+        let id = spec.id;
+        let placement = spec.placement;
+        let task = Task::new(spec, self.now);
+        self.tasks.insert(id, task);
+        match placement {
+            Placement::Pinned(core) => {
+                self.cores[core.as_usize()].pinned = Some(id);
+                self.refresh_core_class(core.as_usize());
+            }
+            Placement::Floating => self.floating.push_back(id),
+        }
+        Ok(())
+    }
+
+    /// Re-pins a live floating task to `core` (the automatic-downgrade
+    /// switch-back path: an Opportunistic-running job reverting to Strict).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpawnError::NoSuchCore`] / [`SpawnError::CoreAlreadyPinned`]
+    /// for bad targets, or [`SpawnError::DuplicateId`] if the task is not
+    /// live (id reported back).
+    pub fn repin(&mut self, id: JobId, core: CoreId) -> Result<(), SpawnError> {
+        if !self.tasks.contains_key(&id) {
+            return Err(SpawnError::DuplicateId(id));
+        }
+        let Some(state) = self.cores.get(core.as_usize()) else {
+            return Err(SpawnError::NoSuchCore(core));
+        };
+        if state.pinned.is_some() && state.pinned != Some(id) {
+            return Err(SpawnError::CoreAlreadyPinned(core));
+        }
+        // Remove from the floating pool / its current core.
+        self.floating.retain(|&j| j != id);
+        for c in &mut self.cores {
+            if c.current == Some(id) {
+                c.current = None;
+            }
+        }
+        let task = self.tasks.get_mut(&id).expect("checked live above");
+        task.placement = Placement::Pinned(core);
+        task.ready_at = task.ready_at.max(self.now);
+        self.cores[core.as_usize()].pinned = Some(id);
+        self.refresh_core_class(core.as_usize());
+        Ok(())
+    }
+
+    /// Sets a live task's memory priority (Reserved vs Opportunistic).
+    /// Unknown ids are ignored.
+    pub fn set_reserved(&mut self, id: JobId, reserved: bool) {
+        if let Some(task) = self.tasks.get_mut(&id) {
+            task.priority = if reserved {
+                Priority::Reserved
+            } else {
+                Priority::Opportunistic
+            };
+        }
+        for i in 0..self.cores.len() {
+            self.refresh_core_class(i);
+        }
+    }
+
+    /// Applies a full set of L2 partition targets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PartitionError`] from the cache.
+    pub fn set_l2_targets(&mut self, targets: &[Ways]) -> Result<(), PartitionError> {
+        self.l2.set_targets(targets)
+    }
+
+    /// Current L2 partition targets.
+    #[must_use]
+    pub fn l2_targets(&self) -> &[Ways] {
+        self.l2.targets()
+    }
+
+    /// Read-only view of the shared L2 (stats, occupancy).
+    #[must_use]
+    pub fn l2(&self) -> &SharedL2 {
+        &self.l2
+    }
+
+    /// Attaches a duplicate-tag monitor to a live task, modelling
+    /// `original_ways` (its allocation before stealing).
+    pub fn attach_monitor(&mut self, id: JobId, original_ways: Ways) {
+        let sets = self.cfg.l2.geometry().sets();
+        self.monitors.insert(
+            id,
+            DuplicateTagMonitor::new(original_ways, sets, self.cfg.shadow_sample_every),
+        );
+    }
+
+    /// Detaches and returns a task's monitor.
+    pub fn detach_monitor(&mut self, id: JobId) -> Option<DuplicateTagMonitor> {
+        self.monitors.remove(&id)
+    }
+
+    /// The task's monitor, if attached.
+    #[must_use]
+    pub fn monitor(&self, id: JobId) -> Option<&DuplicateTagMonitor> {
+        self.monitors.get(&id)
+    }
+
+    /// Performance counters of a live or finished task.
+    #[must_use]
+    pub fn perf(&self, id: JobId) -> Option<&PerfCounters> {
+        self.tasks
+            .get(&id)
+            .map(|t| t.ctx.perf())
+            .or_else(|| self.finished.get(&id).map(|(p, _)| p))
+    }
+
+    /// Remaining instruction budget of a live task.
+    #[must_use]
+    pub fn remaining(&self, id: JobId) -> Option<u64> {
+        self.tasks.get(&id).map(|t| t.remaining)
+    }
+
+    /// Whether the task is still live (spawned and not completed).
+    #[must_use]
+    pub fn is_live(&self, id: JobId) -> bool {
+        self.tasks.contains_key(&id)
+    }
+
+    /// The task currently executing on `core`.
+    #[must_use]
+    pub fn running_on(&self, core: CoreId) -> Option<JobId> {
+        self.cores.get(core.as_usize()).and_then(|c| c.current)
+    }
+
+    /// The task pinned to `core`.
+    #[must_use]
+    pub fn pinned_on(&self, core: CoreId) -> Option<JobId> {
+        self.cores.get(core.as_usize()).and_then(|c| c.pinned)
+    }
+
+    /// Drains the completion records accumulated since the last call.
+    pub fn take_completions(&mut self) -> Vec<TaskCompletion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Completion record of a finished task.
+    #[must_use]
+    pub fn completion(&self, id: JobId) -> Option<TaskCompletion> {
+        self.finished.get(&id).map(|(_, c)| *c)
+    }
+
+    /// Caps `core`'s off-chip bandwidth to `percent` of peak (100 =
+    /// unregulated). Set from a job's reserved bandwidth share so that
+    /// admitted bandwidth vectors (`Σ ≤ 100%`) cannot be trampled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn set_bandwidth_share(&mut self, core: CoreId, percent: u8) {
+        self.regulator.set_share(core.as_usize(), percent);
+    }
+
+    /// The configured bandwidth share of `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn bandwidth_share(&self, core: CoreId) -> u8 {
+        self.regulator.share(core.as_usize())
+    }
+
+    /// Memory-bus utilization over the last completed window.
+    #[must_use]
+    pub fn bus_utilization(&mut self) -> f64 {
+        let now = self.now;
+        self.bus.utilization(now)
+    }
+
+    /// Runs the node until simulation time `deadline`: every instruction
+    /// *starting* before `deadline` is executed.
+    pub fn run_until(&mut self, deadline: Cycles) {
+        loop {
+            self.dispatch();
+            let Some(c) = self.pick_core(deadline) else {
+                break;
+            };
+            let limit = self.batch_limit(c, deadline);
+            self.run_core(c, limit, deadline);
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs until all live tasks complete or `hard_cap` is reached.
+    /// Returns the time the last task finished (or `hard_cap`).
+    pub fn run_to_completion(&mut self, hard_cap: Cycles) -> Cycles {
+        while !self.tasks.is_empty() && self.now < hard_cap {
+            let next = (self.now + Cycles::new(1_000_000)).min(hard_cap);
+            self.run_until(next);
+        }
+        self.finished
+            .values()
+            .map(|(_, c)| c.finished_at)
+            .max()
+            .unwrap_or(self.now)
+    }
+
+    // ----- scheduling ---------------------------------------------------
+
+    /// Victim class of a core: Reserved iff its pinned occupant holds
+    /// reserved resources.
+    fn refresh_core_class(&mut self, core: usize) {
+        let class = match self.cores[core].pinned {
+            Some(id)
+                if self
+                    .tasks
+                    .get(&id)
+                    .is_some_and(|t| t.priority == Priority::Reserved) =>
+            {
+                VictimClass::Reserved
+            }
+            _ => VictimClass::Opportunistic,
+        };
+        self.l2.set_class(CoreId::new(core as u32), class);
+    }
+
+    fn dispatch(&mut self) {
+        for i in 0..self.cores.len() {
+            // Lazy preemption: a floating task on a newly pinned core yields.
+            if let (Some(cur), Some(pin)) = (self.cores[i].current, self.cores[i].pinned) {
+                if cur != pin {
+                    self.preempt(i);
+                }
+            }
+            if self.cores[i].current.is_some() {
+                continue;
+            }
+            let candidate = match self.cores[i].pinned {
+                Some(p) if self.tasks.contains_key(&p) => Some(p),
+                Some(_) | None => {
+                    if self.cores[i].pinned.is_some() {
+                        None // pinned task not live yet/anymore
+                    } else {
+                        self.floating.pop_front()
+                    }
+                }
+            };
+            let Some(id) = candidate else { continue };
+            self.assign(i, id);
+        }
+    }
+
+    fn assign(&mut self, core: usize, id: JobId) {
+        let task = self.tasks.get_mut(&id).expect("assigning a live task");
+        let start = self.cores[core].next_free.max(task.ready_at);
+        task.started_at.get_or_insert(start);
+        let switching = self.cores[core].last_task != Some(id);
+        let mut begin = start;
+        if switching && self.cores[core].last_task.is_some() {
+            begin += self.cfg.context_switch_cost;
+            if self.cfg.flush_l1_on_switch {
+                let outgoing = self.cores[core].last_task;
+                self.flush_l1(core, outgoing, begin);
+            }
+        }
+        let quantum = self.cfg.timeslice.max(Cycles::new(1));
+        let c = &mut self.cores[core];
+        c.current = Some(id);
+        c.last_task = Some(id);
+        c.next_free = begin;
+        c.quantum_end = begin + quantum;
+    }
+
+    fn preempt(&mut self, core: usize) {
+        let Some(id) = self.cores[core].current.take() else {
+            return;
+        };
+        let when = self.cores[core].next_free;
+        if let Some(task) = self.tasks.get_mut(&id) {
+            task.ready_at = when;
+            if task.placement == Placement::Floating {
+                self.floating.push_back(id);
+            }
+        }
+    }
+
+    fn pick_core(&self, deadline: Cycles) -> Option<usize> {
+        self.cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.current.is_some() && c.next_free < deadline)
+            .min_by_key(|(_, c)| c.next_free)
+            .map(|(i, _)| i)
+    }
+
+    /// How far core `c` may run without other active cores falling behind.
+    fn batch_limit(&self, c: usize, deadline: Cycles) -> Cycles {
+        self.cores
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| *i != c && s.current.is_some())
+            .map(|(_, s)| s.next_free)
+            .min()
+            .unwrap_or(deadline)
+            .min(deadline)
+    }
+
+    fn run_core(&mut self, core: usize, limit: Cycles, deadline: Cycles) {
+        loop {
+            let Some(id) = self.cores[core].current else {
+                return;
+            };
+            let next_free = self.cores[core].next_free;
+            if next_free > limit || next_free >= deadline {
+                return;
+            }
+            // Quantum rotation for floating tasks.
+            if next_free >= self.cores[core].quantum_end {
+                if self.floating.is_empty() {
+                    self.cores[core].quantum_end =
+                        next_free + self.cfg.timeslice.max(Cycles::new(1));
+                } else {
+                    self.preempt(core);
+                    return;
+                }
+            }
+            self.execute_one(core, id);
+        }
+    }
+
+    fn execute_one(&mut self, core: usize, id: JobId) {
+        let when = self.cores[core].next_free;
+        let task = self.tasks.get_mut(&id).expect("current task is live");
+        let priority = task.priority;
+        let (base, access) = task.ctx.issue();
+        let cost = match access {
+            Some(acc) => {
+                let outcome = self.hierarchy_access(core, id, acc, when + base, priority);
+                let task = self.tasks.get_mut(&id).expect("still live");
+                task.ctx.complete(base, outcome);
+                base + outcome.stall()
+            }
+            None => {
+                task.ctx.complete_compute(base);
+                base
+            }
+        };
+        let task = self.tasks.get_mut(&id).expect("still live");
+        task.remaining -= 1;
+        let finish = when + cost;
+        self.cores[core].next_free = finish;
+        if task.remaining == 0 {
+            let started = task.started_at.unwrap_or(when);
+            let perf = *task.ctx.perf();
+            self.tasks.remove(&id);
+            let record = TaskCompletion {
+                id,
+                started_at: started,
+                finished_at: finish,
+            };
+            self.completions.push(record);
+            self.finished.insert(id, (perf, record));
+            let c = &mut self.cores[core];
+            c.current = None;
+            if c.pinned == Some(id) {
+                c.pinned = None;
+            }
+            self.refresh_core_class(core);
+        }
+    }
+
+    // ----- memory hierarchy ---------------------------------------------
+
+    fn hierarchy_access(
+        &mut self,
+        core: usize,
+        id: JobId,
+        access: Access,
+        when: Cycles,
+        priority: Priority,
+    ) -> MemOutcome {
+        let l1 = &mut self.l1s[core];
+        let out = l1.access(access.addr(), access.is_write());
+        if out.hit {
+            return MemOutcome::L1Hit;
+        }
+        let core_id = CoreId::new(core as u32);
+        // Dirty L1 victim written back into the L2.
+        if let Some(wb) = out.writeback {
+            self.l2_touch(core_id, Some(id), wb, true, when);
+        }
+        // Demand fill: a read from the L2's perspective (write-allocate; the
+        // dirty bit lives in the L1 until written back).
+        let t2 = self.cfg.l2.latency();
+        let l2_out = self.l2.access(core_id, access.addr(), false);
+        self.feed_monitor(id, l2_out.set, access.addr(), l2_out.hit);
+        if l2_out.hit {
+            return MemOutcome::L2Hit { stall: t2 };
+        }
+        if let Some(ev) = l2_out.eviction {
+            if ev.dirty {
+                self.mem_writeback(when);
+            }
+        }
+        // Bandwidth regulation throttles the *core* (its next request is
+        // delayed by the extended stall), keeping channel bookkeeping in
+        // global time order.
+        let transfer = self.cfg.memory.transfer_cycles();
+        let throttle = self.regulator.delay(core, when + t2, transfer);
+        let issue = when + t2;
+        let completion = self.mem.request(issue, priority);
+        self.bus.record_busy(when, transfer);
+        MemOutcome::L2Miss {
+            stall: completion - when + throttle,
+        }
+    }
+
+    /// A state-only L2 access (L1 write-backs, flush traffic): updates cache
+    /// contents, monitors and bandwidth, but nothing stalls on it.
+    fn l2_touch(
+        &mut self,
+        core_id: CoreId,
+        task: Option<JobId>,
+        addr: u64,
+        is_write: bool,
+        when: Cycles,
+    ) {
+        let out = self.l2.access(core_id, addr, is_write);
+        if let Some(id) = task {
+            self.feed_monitor(id, out.set, addr, out.hit);
+        }
+        if let Some(ev) = out.eviction {
+            if ev.dirty {
+                self.mem_writeback(when);
+            }
+        }
+    }
+
+    fn feed_monitor(&mut self, id: JobId, set: u32, addr: u64, main_hit: bool) {
+        if let Some(mon) = self.monitors.get_mut(&id) {
+            let block = addr / self.cfg.l2.block_size().bytes();
+            mon.observe(set, block, main_hit);
+        }
+    }
+
+    fn mem_writeback(&mut self, when: Cycles) {
+        self.mem.writeback(when);
+        self.bus
+            .record_busy(when, self.cfg.memory.transfer_cycles());
+    }
+
+    fn flush_l1(&mut self, core: usize, outgoing: Option<JobId>, when: Cycles) {
+        let dirty = self.l1s[core].flush();
+        let core_id = CoreId::new(core as u32);
+        for addr in dirty {
+            self.l2_touch(core_id, outgoing, addr, true, when);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpqos_trace::spec;
+    use cmpqos_types::Instructions;
+
+    fn spec_task(id: u32, bench: &str, budget: u64, placement: Placement) -> TaskSpec {
+        let profile = spec::benchmark(bench).expect("known benchmark");
+        TaskSpec {
+            id: JobId::new(id),
+            source: Box::new(profile.instantiate(100 + u64::from(id), u64::from(id) << 40)),
+            budget: Instructions::new(budget),
+            placement,
+            reserved: matches!(placement, Placement::Pinned(_)),
+        }
+    }
+
+    fn paper_node() -> CmpNode {
+        CmpNode::new(SystemConfig::paper())
+    }
+
+    #[test]
+    fn single_pinned_task_completes_with_sane_ipc() {
+        let mut node = paper_node();
+        node.set_l2_targets(&[Ways::new(7), Ways::ZERO, Ways::ZERO, Ways::ZERO])
+            .unwrap();
+        node.spawn(spec_task(0, "gobmk", 200_000, Placement::Pinned(CoreId::new(0))))
+            .unwrap();
+        let end = node.run_to_completion(Cycles::new(100_000_000));
+        assert!(end > Cycles::ZERO);
+        let done = node.take_completions();
+        assert_eq!(done.len(), 1);
+        let perf = node.perf(JobId::new(0)).unwrap();
+        assert_eq!(perf.instructions().get(), 200_000);
+        let ipc = perf.ipc();
+        assert!(ipc > 0.1 && ipc < 1.0, "gobmk IPC {ipc}");
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let mut node = paper_node();
+        node.spawn(spec_task(1, "gobmk", 10, Placement::Floating)).unwrap();
+        let err = node.spawn(spec_task(1, "gobmk", 10, Placement::Floating));
+        assert_eq!(err.unwrap_err(), SpawnError::DuplicateId(JobId::new(1)));
+    }
+
+    #[test]
+    fn pinning_an_occupied_core_rejected() {
+        let mut node = paper_node();
+        node.spawn(spec_task(0, "gobmk", 10, Placement::Pinned(CoreId::new(2))))
+            .unwrap();
+        let err = node.spawn(spec_task(1, "gobmk", 10, Placement::Pinned(CoreId::new(2))));
+        assert_eq!(
+            err.unwrap_err(),
+            SpawnError::CoreAlreadyPinned(CoreId::new(2))
+        );
+    }
+
+    #[test]
+    fn floating_tasks_timeshare_one_free_core() {
+        let mut node = paper_node();
+        // Pin cores 0..3, leaving core 3 free.
+        for i in 0..3u32 {
+            node.spawn(spec_task(i, "gobmk", 300_000, Placement::Pinned(CoreId::new(i))))
+                .unwrap();
+        }
+        node.spawn(spec_task(10, "gobmk", 50_000, Placement::Floating))
+            .unwrap();
+        node.spawn(spec_task(11, "gobmk", 50_000, Placement::Floating))
+            .unwrap();
+        node.run_until(Cycles::new(3_000_000));
+        // Both floating tasks must have made progress (round-robin), and
+        // only on core 3.
+        let p10 = node.perf(JobId::new(10)).unwrap().instructions().get();
+        let p11 = node.perf(JobId::new(11)).unwrap().instructions().get();
+        assert!(p10 > 0 && p11 > 0, "both made progress: {p10} {p11}");
+    }
+
+    #[test]
+    fn pinned_preempts_floating_on_its_core() {
+        let mut node = paper_node();
+        node.spawn(spec_task(5, "gobmk", 10_000_000, Placement::Floating))
+            .unwrap();
+        node.run_until(Cycles::new(100_000));
+        // The floating task is running somewhere (core 0, first free).
+        assert_eq!(node.running_on(CoreId::new(0)), Some(JobId::new(5)));
+        // Pin a reserved task everywhere.
+        for i in 0..4u32 {
+            node.spawn(spec_task(i, "gobmk", 100_000, Placement::Pinned(CoreId::new(i))))
+                .unwrap();
+        }
+        node.run_until(Cycles::new(200_000));
+        for i in 0..4u32 {
+            assert_eq!(node.running_on(CoreId::new(i)), Some(JobId::new(i)));
+        }
+        // The floating task waits (no eligible core), still live.
+        assert!(node.is_live(JobId::new(5)));
+    }
+
+    #[test]
+    fn completions_record_start_and_finish() {
+        let mut node = paper_node();
+        node.spawn(spec_task(0, "namd", 10_000, Placement::Pinned(CoreId::new(0))))
+            .unwrap();
+        node.run_to_completion(Cycles::new(10_000_000));
+        let c = node.completion(JobId::new(0)).unwrap();
+        assert_eq!(c.started_at, Cycles::ZERO);
+        assert!(c.finished_at > c.started_at);
+        assert!(!node.is_live(JobId::new(0)));
+        // The core's pin is released on completion.
+        assert_eq!(node.pinned_on(CoreId::new(0)), None);
+    }
+
+    #[test]
+    fn monitors_observe_the_tasks_accesses() {
+        let mut node = paper_node();
+        node.set_l2_targets(&[Ways::new(7), Ways::ZERO, Ways::ZERO, Ways::ZERO])
+            .unwrap();
+        node.spawn(spec_task(0, "bzip2", 100_000, Placement::Pinned(CoreId::new(0))))
+            .unwrap();
+        node.attach_monitor(JobId::new(0), Ways::new(7));
+        node.run_to_completion(Cycles::new(100_000_000));
+        let mon = node.monitor(JobId::new(0)).unwrap();
+        assert!(mon.sampled_accesses() > 0, "monitor saw traffic");
+        // At an unchanged allocation the main tags track the shadow tags.
+        assert!(!mon.exceeded(cmpqos_types::Percent::new(50.0)));
+    }
+
+    #[test]
+    fn later_spawn_starts_later() {
+        let mut node = paper_node();
+        node.run_until(Cycles::new(500_000));
+        node.spawn(spec_task(0, "namd", 1_000, Placement::Pinned(CoreId::new(1))))
+            .unwrap();
+        node.run_to_completion(Cycles::new(10_000_000));
+        let c = node.completion(JobId::new(0)).unwrap();
+        assert!(c.started_at >= Cycles::new(500_000));
+    }
+
+    #[test]
+    fn repin_moves_a_floating_task() {
+        let mut node = paper_node();
+        node.spawn(spec_task(0, "gobmk", 1_000_000, Placement::Floating))
+            .unwrap();
+        node.run_until(Cycles::new(10_000));
+        node.repin(JobId::new(0), CoreId::new(3)).unwrap();
+        node.run_until(Cycles::new(50_000));
+        assert_eq!(node.running_on(CoreId::new(3)), Some(JobId::new(0)));
+        assert_eq!(node.pinned_on(CoreId::new(3)), Some(JobId::new(0)));
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        let mut node = paper_node();
+        let err = node.spawn(spec_task(0, "gobmk", 0, Placement::Floating));
+        assert_eq!(err.unwrap_err(), SpawnError::EmptyBudget);
+    }
+
+    #[test]
+    fn parallel_pinned_tasks_progress_concurrently() {
+        let mut node = paper_node();
+        node.set_l2_targets(&[Ways::new(4); 4]).unwrap();
+        for i in 0..4u32 {
+            node.spawn(spec_task(i, "gobmk", 100_000, Placement::Pinned(CoreId::new(i))))
+                .unwrap();
+        }
+        node.run_until(Cycles::new(1_000_000));
+        for i in 0..4u32 {
+            let done = node.perf(JobId::new(i)).unwrap().instructions().get();
+            assert!(done > 10_000, "core {i} executed {done}");
+        }
+    }
+
+    /// Runs a scaled-down bzip2 alone with `ways` of L2 and returns its CPI.
+    fn scaled_bzip2_cpi(ways: u16, budget: u64) -> f64 {
+        const K: u64 = 16;
+        let mut node = CmpNode::new(SystemConfig::paper_scaled(K));
+        node.set_l2_targets(&[Ways::new(ways), Ways::ZERO, Ways::ZERO, Ways::ZERO])
+            .unwrap();
+        let profile = spec::scaled("bzip2", K).unwrap();
+        node.spawn(TaskSpec {
+            id: JobId::new(0),
+            source: Box::new(profile.instantiate(42, 0)),
+            budget: Instructions::new(budget),
+            placement: Placement::Pinned(CoreId::new(0)),
+            reserved: true,
+        })
+        .unwrap();
+        node.run_to_completion(Cycles::new(10_000_000_000));
+        node.perf(JobId::new(0)).unwrap().cpi()
+    }
+
+    #[test]
+    fn more_cache_means_faster_for_sensitive_benchmark() {
+        let slow_cpi = scaled_bzip2_cpi(2, 400_000);
+        let fast_cpi = scaled_bzip2_cpi(14, 400_000);
+        assert!(
+            slow_cpi > fast_cpi * 1.15,
+            "bzip2 CPI should react to capacity: {slow_cpi:.2} vs {fast_cpi:.2}"
+        );
+    }
+}

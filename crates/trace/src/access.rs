@@ -1,0 +1,107 @@
+//! Memory accesses as seen by the cache hierarchy.
+
+use std::fmt;
+
+/// Whether an access reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store (marks the cached block dirty; dirty evictions cost a
+    /// write-back transfer on the memory channel).
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("read"),
+            AccessKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// One memory access: a byte address plus read/write kind.
+///
+/// Addresses are virtual per job; the simulator keeps each job's address
+/// space disjoint (the paper likewise assumes contiguous physical memory per
+/// job, ignoring page-mapping effects).
+///
+/// # Examples
+///
+/// ```
+/// use cmpqos_trace::{Access, AccessKind};
+/// let a = Access::new(0x1000, AccessKind::Read);
+/// assert_eq!(a.block_addr(64), 0x1000 / 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access {
+    addr: u64,
+    kind: AccessKind,
+}
+
+impl Access {
+    /// Creates an access at byte address `addr`.
+    #[must_use]
+    pub const fn new(addr: u64, kind: AccessKind) -> Self {
+        Self { addr, kind }
+    }
+
+    /// The byte address.
+    #[must_use]
+    pub const fn addr(self) -> u64 {
+        self.addr
+    }
+
+    /// The access kind.
+    #[must_use]
+    pub const fn kind(self) -> AccessKind {
+        self.kind
+    }
+
+    /// Returns `true` for stores.
+    #[must_use]
+    pub const fn is_write(self) -> bool {
+        matches!(self.kind, AccessKind::Write)
+    }
+
+    /// The cache-block address (byte address divided by the block size).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `block_size` is not a power of two.
+    #[must_use]
+    pub fn block_addr(self, block_size: u64) -> u64 {
+        debug_assert!(block_size.is_power_of_two());
+        self.addr / block_size
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {:#x}", self.kind, self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_addr_strips_offset() {
+        let a = Access::new(0x1234, AccessKind::Write);
+        assert_eq!(a.block_addr(64), 0x1234 / 64);
+        assert!(a.is_write());
+    }
+
+    #[test]
+    fn reads_are_not_writes() {
+        assert!(!Access::new(0, AccessKind::Read).is_write());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let a = Access::new(0x40, AccessKind::Read);
+        assert_eq!(a.to_string(), "read @ 0x40");
+    }
+}

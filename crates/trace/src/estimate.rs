@@ -1,0 +1,200 @@
+//! Analytic miss-curve estimation for access mixtures.
+//!
+//! Gives a closed-form approximation of a mixture's hit behaviour under an
+//! LRU(-like) cache of a given capacity, used to sanity-check profile
+//! calibration against simulation and to document each built-in benchmark's
+//! expected sensitivity curve.
+//!
+//! Model: under LRU, blocks with higher per-block touch rates survive, so
+//! capacity is granted to components in descending order of
+//! `weight / footprint` ("priority fill"). A working set of `S` bytes granted
+//! `a ≤ S` bytes hits with probability `a / S`; a stream never hits.
+//! This ignores set-conflict effects and LRU's soft boundary, but is accurate
+//! to a few percent for the mixtures used here (see the calibration tests in
+//! `spec.rs`).
+
+use crate::mixture::Component;
+use cmpqos_types::ByteSize;
+
+/// Per-component outcome of a [`fill`] evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentFill {
+    /// Index into the original component slice.
+    pub index: usize,
+    /// Normalized access weight of this component.
+    pub weight: f64,
+    /// Estimated hit fraction of accesses to this component.
+    pub hit_fraction: f64,
+}
+
+/// Estimates per-component hit fractions for `components` under an LRU cache
+/// of `capacity`, by priority fill (hotter components first).
+///
+/// Weights are normalized internally. Streams receive no capacity.
+#[must_use]
+pub fn fill(components: &[Component], capacity: ByteSize) -> Vec<ComponentFill> {
+    let total_weight: f64 = components
+        .iter()
+        .map(|c| match c {
+            Component::WorkingSet { weight, .. } | Component::Stream { weight, .. } => *weight,
+        })
+        .sum();
+    if total_weight <= 0.0 {
+        return Vec::new();
+    }
+
+    // Sort working sets by per-byte touch rate, descending.
+    let mut order: Vec<usize> = (0..components.len()).collect();
+    let rate = |c: &Component| -> f64 {
+        match c {
+            Component::WorkingSet { size, weight, .. } => weight / size.bytes().max(1) as f64,
+            Component::Stream { .. } => 0.0,
+        }
+    };
+    order.sort_by(|&a, &b| {
+        rate(&components[b])
+            .partial_cmp(&rate(&components[a]))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut remaining = capacity.bytes();
+    let mut fills = vec![0u64; components.len()];
+    for &i in &order {
+        if let Component::WorkingSet { size, .. } = &components[i] {
+            let take = remaining.min(size.bytes());
+            fills[i] = take;
+            remaining -= take;
+        }
+    }
+
+    components
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let (weight, hit) = match c {
+                Component::WorkingSet { size, weight, .. } => {
+                    (*weight, fills[i] as f64 / size.bytes().max(1) as f64)
+                }
+                Component::Stream { weight, .. } => (*weight, 0.0),
+            };
+            ComponentFill {
+                index: i,
+                weight: weight / total_weight,
+                hit_fraction: hit,
+            }
+        })
+        .collect()
+}
+
+/// Summary of a two-level estimate for a mixture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchyEstimate {
+    /// Fraction of memory accesses that miss the L1 (reach the L2).
+    pub l1_miss_fraction: f64,
+    /// Fraction of *L2 accesses* that miss the L2 (the paper's "L2 miss
+    /// rate" metric in Table 1).
+    pub l2_miss_ratio: f64,
+}
+
+/// Estimates L1-filtered L2 behaviour: `l1` is the private L1 capacity and
+/// `l2_alloc` the job's allocated share of the shared L2.
+///
+/// L1 hits come from the hottest `l1` bytes (priority fill); accesses that
+/// miss L1 hit L2 if their block falls within the job's L2 allocation but
+/// outside the L1-resident share.
+#[must_use]
+pub fn hierarchy(components: &[Component], l1: ByteSize, l2_alloc: ByteSize) -> HierarchyEstimate {
+    let l1_fill = fill(components, l1);
+    let l2_fill = fill(components, l2_alloc);
+
+    let mut l1_miss = 0.0;
+    let mut l2_miss = 0.0;
+    for (f1, f2) in l1_fill.iter().zip(&l2_fill) {
+        let miss1 = f1.weight * (1.0 - f1.hit_fraction);
+        l1_miss += miss1;
+        // Of the accesses missing L1, those outside the L2 allocation miss.
+        let beyond_l2 = (1.0 - f2.hit_fraction).min(1.0 - f1.hit_fraction);
+        l2_miss += f1.weight * beyond_l2;
+    }
+    let l2_miss_ratio = if l1_miss > 0.0 { l2_miss / l1_miss } else { 0.0 };
+    HierarchyEstimate {
+        l1_miss_fraction: l1_miss,
+        l2_miss_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(kib: u64, weight: f64) -> Component {
+        Component::WorkingSet {
+            size: ByteSize::from_kib(kib),
+            weight,
+            write_fraction: 0.0,
+        }
+    }
+
+    fn stream(weight: f64) -> Component {
+        Component::Stream {
+            region: ByteSize::from_mib(64),
+            weight,
+            write_fraction: 0.0,
+        }
+    }
+
+    #[test]
+    fn hot_component_fills_first() {
+        let comps = [ws(16, 0.9), ws(1024, 0.1)];
+        let f = fill(&comps, ByteSize::from_kib(16));
+        assert_eq!(f[0].hit_fraction, 1.0);
+        assert_eq!(f[1].hit_fraction, 0.0);
+    }
+
+    #[test]
+    fn capacity_splits_across_components() {
+        let comps = [ws(16, 0.9), ws(1024, 0.1)];
+        let f = fill(&comps, ByteSize::from_kib(16 + 512));
+        assert_eq!(f[0].hit_fraction, 1.0);
+        assert!((f[1].hit_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streams_never_hit() {
+        let comps = [stream(1.0)];
+        let f = fill(&comps, ByteSize::from_mib(1));
+        assert_eq!(f[0].hit_fraction, 0.0);
+    }
+
+    #[test]
+    fn weights_are_normalized() {
+        let comps = [ws(16, 3.0), ws(16, 1.0)];
+        let f = fill(&comps, ByteSize::from_bytes(0));
+        let total: f64 = f.iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hierarchy_filters_hot_set_through_l1() {
+        // Hot 16 KiB absorbed by 32 KiB L1; 1 MiB set half-covered by 512 KiB
+        // of L2 allocation.
+        let comps = [ws(16, 0.9), ws(1024, 0.1)];
+        let e = hierarchy(
+            &comps,
+            ByteSize::from_kib(32),
+            ByteSize::from_kib(16 + 512),
+        );
+        // L1 misses: 16 KiB of the big set live in L1 too.
+        let expected_l1_miss = 0.1 * (1.0 - 16.0 / 1024.0);
+        assert!((e.l1_miss_fraction - expected_l1_miss).abs() < 1e-9);
+        // Of those misses, the share beyond the 512 KiB L2 slice misses L2.
+        assert!(e.l2_miss_ratio > 0.4 && e.l2_miss_ratio < 0.6);
+    }
+
+    #[test]
+    fn full_allocation_eliminates_capacity_misses() {
+        let comps = [ws(16, 0.5), ws(512, 0.5)];
+        let e = hierarchy(&comps, ByteSize::from_kib(32), ByteSize::from_mib(2));
+        assert!(e.l2_miss_ratio < 1e-9);
+    }
+}

@@ -1,0 +1,195 @@
+//! Phased traces: programs whose working sets change over time.
+//!
+//! SPEC-class programs are not stationary — the paper notes that server
+//! jobs have "dynamic and input-dependent behavior" (Section 3.2). A
+//! [`PhasedTrace`] cycles through a list of phases, each an independent
+//! trace source run for a fixed instruction budget. Phase changes are the
+//! realistic trigger for the resource-stealing *cancellation* path: a job
+//! that looked like an ideal donor grows a working set mid-run and the
+//! duplicate-tag guard must return its ways.
+
+use crate::source::{InstrEvent, TraceSource};
+
+/// One phase: a source plus how many instructions it lasts.
+pub struct Phase {
+    /// The phase's instruction stream.
+    pub source: Box<dyn TraceSource>,
+    /// Instructions before moving to the next phase.
+    pub length: u64,
+}
+
+impl std::fmt::Debug for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Phase")
+            .field("source", &self.source.name())
+            .field("length", &self.length)
+            .finish()
+    }
+}
+
+/// A trace source cycling through phases.
+///
+/// # Examples
+///
+/// ```
+/// use cmpqos_trace::phased::{Phase, PhasedTrace};
+/// use cmpqos_trace::{spec, TraceSource};
+///
+/// let quiet = spec::benchmark("namd").unwrap().instantiate(1, 0);
+/// let hungry = spec::benchmark("mcf").unwrap().instantiate(2, 1 << 40);
+/// let mut t = PhasedTrace::new(vec![
+///     Phase { source: Box::new(quiet), length: 1_000 },
+///     Phase { source: Box::new(hungry), length: 1_000 },
+/// ])
+/// .unwrap();
+/// assert_eq!(t.current_phase(), 0);
+/// for _ in 0..=1_000 {
+///     t.next_instruction();
+/// }
+/// // The phase switches lazily on the first instruction past the budget.
+/// assert_eq!(t.current_phase(), 1);
+/// ```
+#[derive(Debug)]
+pub struct PhasedTrace {
+    phases: Vec<Phase>,
+    current: usize,
+    in_phase: u64,
+    name: String,
+}
+
+/// Error building a [`PhasedTrace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhasedError {
+    /// At least one phase is required.
+    Empty,
+    /// Every phase needs a positive length.
+    ZeroLength(usize),
+}
+
+impl std::fmt::Display for PhasedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhasedError::Empty => f.write_str("phased trace needs at least one phase"),
+            PhasedError::ZeroLength(i) => write!(f, "phase {i} has zero length"),
+        }
+    }
+}
+
+impl std::error::Error for PhasedError {}
+
+impl PhasedTrace {
+    /// Builds a phased trace cycling through `phases` forever.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhasedError`] if `phases` is empty or a phase has zero
+    /// length.
+    pub fn new(phases: Vec<Phase>) -> Result<Self, PhasedError> {
+        if phases.is_empty() {
+            return Err(PhasedError::Empty);
+        }
+        if let Some(i) = phases.iter().position(|p| p.length == 0) {
+            return Err(PhasedError::ZeroLength(i));
+        }
+        let name = format!(
+            "phased[{}]",
+            phases
+                .iter()
+                .map(|p| p.source.name())
+                .collect::<Vec<_>>()
+                .join("->")
+        );
+        Ok(Self {
+            phases,
+            current: 0,
+            in_phase: 0,
+            name,
+        })
+    }
+
+    /// Index of the phase currently executing.
+    #[must_use]
+    pub fn current_phase(&self) -> usize {
+        self.current
+    }
+
+    /// Number of phases.
+    #[must_use]
+    pub fn phases(&self) -> usize {
+        self.phases.len()
+    }
+}
+
+impl TraceSource for PhasedTrace {
+    fn next_instruction(&mut self) -> InstrEvent {
+        if self.in_phase >= self.phases[self.current].length {
+            self.current = (self.current + 1) % self.phases.len();
+            self.in_phase = 0;
+        }
+        self.in_phase += 1;
+        self.phases[self.current].source.next_instruction()
+    }
+
+    fn base_cpi(&self) -> f64 {
+        self.phases[self.current].source.base_cpi()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+
+    fn phase(bench: &str, length: u64, seed: u64) -> Phase {
+        Phase {
+            source: Box::new(spec::benchmark(bench).unwrap().instantiate(seed, seed << 40)),
+            length,
+        }
+    }
+
+    #[test]
+    fn cycles_through_phases_and_wraps() {
+        let mut t = PhasedTrace::new(vec![phase("namd", 10, 1), phase("mcf", 5, 2)]).unwrap();
+        assert_eq!(t.phases(), 2);
+        for _ in 0..10 {
+            t.next_instruction();
+        }
+        assert_eq!(t.current_phase(), 0); // switch happens lazily
+        t.next_instruction();
+        assert_eq!(t.current_phase(), 1);
+        for _ in 0..5 {
+            t.next_instruction();
+        }
+        assert_eq!(t.current_phase(), 0); // wrapped
+    }
+
+    #[test]
+    fn base_cpi_follows_the_active_phase() {
+        let namd_cpi = spec::benchmark("namd").unwrap().base_cpi();
+        let mcf_cpi = spec::benchmark("mcf").unwrap().base_cpi();
+        let mut t = PhasedTrace::new(vec![phase("namd", 3, 1), phase("mcf", 3, 2)]).unwrap();
+        assert_eq!(t.base_cpi(), namd_cpi);
+        for _ in 0..4 {
+            t.next_instruction();
+        }
+        assert_eq!(t.base_cpi(), mcf_cpi);
+    }
+
+    #[test]
+    fn name_describes_the_cycle() {
+        let t = PhasedTrace::new(vec![phase("namd", 1, 1), phase("mcf", 1, 2)]).unwrap();
+        assert_eq!(t.name(), "phased[namd->mcf]");
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(PhasedTrace::new(vec![]).unwrap_err(), PhasedError::Empty);
+        let err = PhasedTrace::new(vec![phase("namd", 0, 1)]).unwrap_err();
+        assert_eq!(err, PhasedError::ZeroLength(0));
+        assert!(err.to_string().contains("phase 0"));
+    }
+}

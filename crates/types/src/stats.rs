@@ -1,0 +1,304 @@
+//! Small statistics helpers used by simulator components and experiment
+//! harnesses: running summary statistics and fixed-bucket histograms.
+
+use std::fmt;
+
+/// Online summary statistics (count, mean, min, max, variance) over a stream
+/// of `f64` observations, using Welford's algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use cmpqos_types::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.max(), Some(3.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of the observations; `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance; `0.0` with fewer than two observations.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation, if any.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest observation, if any.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+
+    /// Merges another accumulator into this one, as if all of its
+    /// observations had been recorded here.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+impl fmt::Display for RunningStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} min={:.3} max={:.3} sd={:.3}",
+            self.count,
+            self.mean,
+            self.min.unwrap_or(f64::NAN),
+            self.max.unwrap_or(f64::NAN),
+            self.std_dev()
+        )
+    }
+}
+
+/// A histogram with uniformly sized buckets over `[low, high)` plus
+/// underflow/overflow buckets.
+///
+/// # Examples
+///
+/// ```
+/// use cmpqos_types::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.record(0.5);
+/// h.record(3.0);
+/// h.record(100.0);
+/// assert_eq!(h.bucket_count(0), 1);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    low: f64,
+    high: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[low, high)` with `buckets` uniform buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `high <= low` or `buckets == 0`.
+    #[must_use]
+    pub fn new(low: f64, high: f64, buckets: usize) -> Self {
+        assert!(high > low, "histogram range must be non-empty");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Self {
+            low,
+            high,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        if value < self.low {
+            self.underflow += 1;
+        } else if value >= self.high {
+            self.overflow += 1;
+        } else {
+            let width = (self.high - self.low) / self.buckets.len() as f64;
+            let idx = ((value - self.low) / width) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Count in bucket `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.buckets[idx]
+    }
+
+    /// Number of buckets (excluding under/overflow).
+    #[must_use]
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Observations below the range.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of observations, including under/overflow.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_basics() {
+        let mut s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn running_stats_merge_matches_sequential() {
+        let xs = [1.0, 5.0, 2.5, -3.0, 8.0, 0.0];
+        let mut all = RunningStats::new();
+        for &x in &xs {
+            all.record(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..3] {
+            a.record(x);
+        }
+        for &x in &xs[3..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn running_stats_merge_with_empty() {
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.mean(), 3.0);
+        let empty = RunningStats::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_bounds() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(-0.1);
+        h.record(0.0);
+        h.record(9.999);
+        h.record(10.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(9), 1);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.buckets(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn histogram_rejects_empty_range() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+}

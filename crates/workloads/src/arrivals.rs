@@ -1,0 +1,114 @@
+//! Poisson job arrivals.
+//!
+//! The paper assumes a fully utilized 128-CMP server: "on a 4-core CMP, in
+//! one job's wall-clock time, there are on average 4 × 128 new jobs that
+//! arrive and probe the CMP's Local Admission Controller". We model that as
+//! a Poisson process whose mean inter-arrival time is `tw / (cores × 128)`.
+
+use cmpqos_types::Cycles;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's server size (number of CMP nodes feeding submissions).
+pub const SERVER_CMPS: u64 = 128;
+
+/// A deterministic Poisson arrival stream.
+///
+/// # Examples
+///
+/// ```
+/// use cmpqos_workloads::arrivals::ArrivalStream;
+/// use cmpqos_types::Cycles;
+///
+/// let mut arr = ArrivalStream::paper_rate(Cycles::new(1_000_000), 4, 7);
+/// let t0 = arr.next_arrival();
+/// let t1 = arr.next_arrival();
+/// assert!(t1 > t0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrivalStream {
+    mean_inter_arrival: f64,
+    now: f64,
+    rng: StdRng,
+}
+
+impl ArrivalStream {
+    /// Creates a stream with the given mean inter-arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is zero.
+    #[must_use]
+    pub fn new(mean: Cycles, seed: u64) -> Self {
+        assert!(mean > Cycles::ZERO, "mean inter-arrival must be positive");
+        Self {
+            mean_inter_arrival: mean.as_f64(),
+            now: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The paper's rate: `cores × 128` arrivals per `tw`.
+    #[must_use]
+    pub fn paper_rate(tw: Cycles, cores: u64, seed: u64) -> Self {
+        let mean = (tw.as_f64() / (cores * SERVER_CMPS) as f64).max(1.0);
+        Self::new(Cycles::new(mean.ceil() as u64), seed)
+    }
+
+    /// Absolute time of the next arrival (exponential increments).
+    pub fn next_arrival(&mut self) -> Cycles {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        self.now += -self.mean_inter_arrival * u.ln();
+        Cycles::new(self.now.ceil() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_monotonic() {
+        let mut s = ArrivalStream::new(Cycles::new(100), 7);
+        let mut last = Cycles::ZERO;
+        for _ in 0..100 {
+            let t = s.next_arrival();
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn mean_matches_configuration() {
+        let mut s = ArrivalStream::new(Cycles::new(1_000), 42);
+        let n = 20_000;
+        let mut last = Cycles::ZERO;
+        for _ in 0..n {
+            last = s.next_arrival();
+        }
+        let mean = last.as_f64() / f64::from(n);
+        assert!((mean - 1000.0).abs() < 50.0, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn paper_rate_is_dense() {
+        let tw = Cycles::new(512_000);
+        let mut s = ArrivalStream::paper_rate(tw, 4, 1);
+        // 512 arrivals expected per tw: the hundredth arrival lands well
+        // within the first tw.
+        let mut t = Cycles::ZERO;
+        for _ in 0..100 {
+            t = s.next_arrival();
+        }
+        assert!(t < tw, "arrival 100 at {t}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = ArrivalStream::new(Cycles::new(100), 5);
+        let mut b = ArrivalStream::new(Cycles::new(100), 5);
+        for _ in 0..50 {
+            assert_eq!(a.next_arrival(), b.next_arrival());
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Workload composition: single-benchmark 10-job workloads and the Table 3
+//! mixed-benchmark workloads.
+
+use cmpqos_core::ExecutionMode;
+use cmpqos_types::Percent;
+use std::fmt;
+
+/// One job slot in a workload: a benchmark plus its *role* (the execution
+/// mode the mix assigns it; configurations may flatten it, see
+/// [`crate::Configuration::apply_to_role`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobTemplate {
+    /// Benchmark name (must exist in [`cmpqos_trace::spec`]).
+    pub bench: String,
+    /// The slot's preferred mode (Table 3 role); `None` means the mode is
+    /// decided purely by the configuration's slot pattern.
+    pub role: Option<ExecutionMode>,
+}
+
+/// A 10-job workload specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    name: String,
+    slots: Vec<JobTemplate>,
+}
+
+impl WorkloadSpec {
+    /// A single-benchmark workload: `n` instances of `bench`, modes decided
+    /// by the configuration's slot pattern.
+    #[must_use]
+    pub fn single(bench: &str, n: usize) -> Self {
+        Self {
+            name: format!("{bench} x{n}"),
+            slots: (0..n)
+                .map(|_| JobTemplate {
+                    bench: bench.to_string(),
+                    role: None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Table 3's Mix-1 — favorable to resource stealing: `hmmer` (Strict),
+    /// `gobmk` (Elastic(5%), the cache-insensitive donor) and `bzip2`
+    /// (Opportunistic, the cache-sensitive recipient). Ten jobs cycling
+    /// through the three roles (4 hmmer / 3 gobmk / 3 bzip2).
+    #[must_use]
+    pub fn mix1() -> Self {
+        Self::mix("Mix-1", "hmmer", "gobmk", "bzip2")
+    }
+
+    /// Table 3's Mix-2 — unfavorable: swaps the roles of `bzip2` (now the
+    /// Elastic donor, though cache-sensitive) and `gobmk` (Opportunistic).
+    #[must_use]
+    pub fn mix2() -> Self {
+        Self::mix("Mix-2", "hmmer", "bzip2", "gobmk")
+    }
+
+    fn mix(name: &str, strict: &str, elastic: &str, opportunistic: &str) -> Self {
+        let roles = [
+            (strict, ExecutionMode::Strict),
+            (elastic, ExecutionMode::Elastic(Percent::new(5.0))),
+            (opportunistic, ExecutionMode::Opportunistic),
+        ];
+        let mut slots = Vec::with_capacity(10);
+        for i in 0..10 {
+            let (bench, role) = &roles[i % 3];
+            slots.push(JobTemplate {
+                bench: (*bench).to_string(),
+                role: Some(*role),
+            });
+        }
+        Self {
+            name: name.to_string(),
+            slots,
+        }
+    }
+
+    /// The workload name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The job slots, in acceptance order.
+    #[must_use]
+    pub fn slots(&self) -> &[JobTemplate] {
+        &self.slots
+    }
+
+    /// Number of jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the workload is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Distinct benchmark names used.
+    #[must_use]
+    pub fn benchmarks(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.slots.iter().map(|s| s.bench.as_str()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} jobs)", self.name, self.slots.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_workload_repeats_bench() {
+        let w = WorkloadSpec::single("bzip2", 10);
+        assert_eq!(w.len(), 10);
+        assert!(w.slots().iter().all(|s| s.bench == "bzip2" && s.role.is_none()));
+        assert_eq!(w.benchmarks(), vec!["bzip2"]);
+    }
+
+    #[test]
+    fn mix1_roles_match_table3() {
+        let w = WorkloadSpec::mix1();
+        assert_eq!(w.len(), 10);
+        let strict = w
+            .slots()
+            .iter()
+            .filter(|s| s.role == Some(ExecutionMode::Strict))
+            .count();
+        let elastic = w
+            .slots()
+            .iter()
+            .filter(|s| matches!(s.role, Some(ExecutionMode::Elastic(_))))
+            .count();
+        let opp = w
+            .slots()
+            .iter()
+            .filter(|s| s.role == Some(ExecutionMode::Opportunistic))
+            .count();
+        assert_eq!((strict, elastic, opp), (4, 3, 3));
+        // Strict role is hmmer; elastic gobmk; opportunistic bzip2.
+        for s in w.slots() {
+            match s.role.unwrap() {
+                ExecutionMode::Strict => assert_eq!(s.bench, "hmmer"),
+                ExecutionMode::Elastic(_) => assert_eq!(s.bench, "gobmk"),
+                ExecutionMode::Opportunistic => assert_eq!(s.bench, "bzip2"),
+            }
+        }
+    }
+
+    #[test]
+    fn mix2_swaps_donor_and_recipient() {
+        let w = WorkloadSpec::mix2();
+        for s in w.slots() {
+            match s.role.unwrap() {
+                ExecutionMode::Strict => assert_eq!(s.bench, "hmmer"),
+                ExecutionMode::Elastic(_) => assert_eq!(s.bench, "bzip2"),
+                ExecutionMode::Opportunistic => assert_eq!(s.bench, "gobmk"),
+            }
+        }
+        assert_eq!(w.benchmarks(), vec!["bzip2", "gobmk", "hmmer"]);
+    }
+
+    #[test]
+    fn display_mentions_name_and_size() {
+        assert_eq!(WorkloadSpec::mix1().to_string(), "Mix-1 (10 jobs)");
+    }
+}

@@ -1,0 +1,206 @@
+//! The five execution-mode configurations of Table 2.
+
+use cmpqos_core::ExecutionMode;
+use cmpqos_types::Percent;
+use std::fmt;
+
+/// The Elastic slack used by `Hybrid-2` in the paper.
+pub const HYBRID2_SLACK: f64 = 5.0;
+
+/// A Table 2 configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Configuration {
+    /// 100% Strict.
+    AllStrict,
+    /// 70% Strict + 30% Opportunistic.
+    Hybrid1,
+    /// 40% Strict + 30% Elastic(X) + 30% Opportunistic. The paper uses
+    /// X = 5%; Figure 8 sweeps it.
+    Hybrid2 {
+        /// The Elastic jobs' slack.
+        slack: Percent,
+    },
+    /// 100% Strict with automatic mode downgrade for jobs with moderate or
+    /// relaxed deadlines.
+    AllStrictAutoDown,
+    /// No admission control, default OS scheduling, equally partitioned L2
+    /// (mimics Virtual Private Caches without admission control).
+    EqualPart,
+}
+
+impl Configuration {
+    /// The paper's five configurations with default parameters.
+    #[must_use]
+    pub fn all() -> Vec<Configuration> {
+        vec![
+            Configuration::AllStrict,
+            Configuration::Hybrid1,
+            Configuration::Hybrid2 {
+                slack: Percent::new(HYBRID2_SLACK),
+            },
+            Configuration::AllStrictAutoDown,
+            Configuration::EqualPart,
+        ]
+    }
+
+    /// Whether this configuration uses the QoS framework (admission
+    /// control + partitioning by request); `EqualPart` does not.
+    #[must_use]
+    pub fn uses_admission_control(&self) -> bool {
+        !matches!(self, Configuration::EqualPart)
+    }
+
+    /// Whether automatic mode downgrade is enabled.
+    #[must_use]
+    pub fn auto_downgrade(&self) -> bool {
+        matches!(self, Configuration::AllStrictAutoDown)
+    }
+
+    /// The execution mode of accepted-job slot `index` (0-based) under this
+    /// configuration, for single-benchmark workloads.
+    ///
+    /// The 10-job split uses fixed interleaved patterns so results are
+    /// deterministic: `Hybrid-1` makes slots {2, 5, 8} Opportunistic (30%);
+    /// `Hybrid-2` additionally makes slots {1, 4, 7} Elastic (30%).
+    #[must_use]
+    pub fn mode_for_slot(&self, index: usize) -> ExecutionMode {
+        match self {
+            Configuration::AllStrict | Configuration::AllStrictAutoDown => ExecutionMode::Strict,
+            Configuration::EqualPart => ExecutionMode::Strict, // unused: no admission
+            Configuration::Hybrid1 => {
+                if index % 10 % 3 == 2 && index % 10 < 9 {
+                    ExecutionMode::Opportunistic
+                } else {
+                    ExecutionMode::Strict
+                }
+            }
+            Configuration::Hybrid2 { slack } => match index % 10 {
+                2 | 5 | 8 => ExecutionMode::Opportunistic,
+                1 | 4 | 7 => ExecutionMode::Elastic(*slack),
+                _ => ExecutionMode::Strict,
+            },
+        }
+    }
+
+    /// Applies the configuration to a mix job's *preferred* mode (its
+    /// Table 3 role): `All-Strict`/`AutoDown` force Strict; `Hybrid-1`
+    /// keeps Opportunistic roles but flattens Elastic to Strict;
+    /// `Hybrid-2` keeps all roles (with its own slack).
+    #[must_use]
+    pub fn apply_to_role(&self, role: ExecutionMode) -> ExecutionMode {
+        match self {
+            Configuration::AllStrict
+            | Configuration::AllStrictAutoDown
+            | Configuration::EqualPart => ExecutionMode::Strict,
+            Configuration::Hybrid1 => match role {
+                ExecutionMode::Opportunistic => ExecutionMode::Opportunistic,
+                _ => ExecutionMode::Strict,
+            },
+            Configuration::Hybrid2 { slack } => match role {
+                ExecutionMode::Opportunistic => ExecutionMode::Opportunistic,
+                ExecutionMode::Elastic(_) => ExecutionMode::Elastic(*slack),
+                ExecutionMode::Strict => ExecutionMode::Strict,
+            },
+        }
+    }
+
+    /// Short label used in experiment output.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Configuration::AllStrict => "All-Strict",
+            Configuration::Hybrid1 => "Hybrid-1",
+            Configuration::Hybrid2 { .. } => "Hybrid-2",
+            Configuration::AllStrictAutoDown => "All-Strict+AutoDown",
+            Configuration::EqualPart => "EqualPart",
+        }
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Configuration::Hybrid2 { slack } => write!(f, "Hybrid-2 (Elastic({slack}))"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_modes(c: Configuration) -> (usize, usize, usize) {
+        let mut strict = 0;
+        let mut elastic = 0;
+        let mut opp = 0;
+        for i in 0..10 {
+            match c.mode_for_slot(i) {
+                ExecutionMode::Strict => strict += 1,
+                ExecutionMode::Elastic(_) => elastic += 1,
+                ExecutionMode::Opportunistic => opp += 1,
+            }
+        }
+        (strict, elastic, opp)
+    }
+
+    #[test]
+    fn table2_percentages() {
+        assert_eq!(count_modes(Configuration::AllStrict), (10, 0, 0));
+        assert_eq!(count_modes(Configuration::Hybrid1), (7, 0, 3));
+        assert_eq!(
+            count_modes(Configuration::Hybrid2 {
+                slack: Percent::new(5.0)
+            }),
+            (4, 3, 3)
+        );
+        assert_eq!(count_modes(Configuration::AllStrictAutoDown), (10, 0, 0));
+    }
+
+    #[test]
+    fn auto_downgrade_flag() {
+        assert!(Configuration::AllStrictAutoDown.auto_downgrade());
+        assert!(!Configuration::AllStrict.auto_downgrade());
+    }
+
+    #[test]
+    fn equal_part_bypasses_admission() {
+        assert!(!Configuration::EqualPart.uses_admission_control());
+        assert!(Configuration::Hybrid1.uses_admission_control());
+    }
+
+    #[test]
+    fn roles_flatten_per_configuration() {
+        let elastic_role = ExecutionMode::Elastic(Percent::new(5.0));
+        assert_eq!(
+            Configuration::AllStrict.apply_to_role(elastic_role),
+            ExecutionMode::Strict
+        );
+        assert_eq!(
+            Configuration::Hybrid1.apply_to_role(elastic_role),
+            ExecutionMode::Strict
+        );
+        assert_eq!(
+            Configuration::Hybrid1.apply_to_role(ExecutionMode::Opportunistic),
+            ExecutionMode::Opportunistic
+        );
+        let h2 = Configuration::Hybrid2 {
+            slack: Percent::new(10.0),
+        };
+        assert_eq!(
+            h2.apply_to_role(elastic_role),
+            ExecutionMode::Elastic(Percent::new(10.0))
+        );
+    }
+
+    #[test]
+    fn labels_are_paper_names() {
+        assert_eq!(Configuration::AllStrict.label(), "All-Strict");
+        assert_eq!(
+            Configuration::all().len(),
+            5,
+            "Table 2 has five configurations"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Deadline assignment (Section 6 of the paper).
+//!
+//! Deadlines are pseudo-randomly assigned per accepted job slot: 50% tight
+//! (`td − ta = 1.05·tw`), 30% moderate (`2·tw`), 20% relaxed (`3·tw`).
+
+use cmpqos_types::Cycles;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A deadline tightness class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DeadlineClass {
+    /// `td − ta = 1.05 · tw`.
+    Tight,
+    /// `td − ta = 2 · tw`.
+    Moderate,
+    /// `td − ta = 3 · tw`.
+    Relaxed,
+}
+
+impl DeadlineClass {
+    /// The multiplier on `tw`.
+    #[must_use]
+    pub fn factor(self) -> f64 {
+        match self {
+            DeadlineClass::Tight => 1.05,
+            DeadlineClass::Moderate => 2.0,
+            DeadlineClass::Relaxed => 3.0,
+        }
+    }
+
+    /// The absolute deadline for a job arriving at `ta` with wall-clock
+    /// need `tw`.
+    #[must_use]
+    pub fn deadline(self, ta: Cycles, tw: Cycles) -> Cycles {
+        ta + tw.scale(self.factor())
+    }
+}
+
+/// Assigns deadline classes to `n` job slots with the paper's 50/30/20
+/// split (rounded), shuffled deterministically by `seed`.
+///
+/// # Examples
+///
+/// ```
+/// use cmpqos_workloads::deadlines::{assign_classes, DeadlineClass};
+///
+/// let classes = assign_classes(10, 1);
+/// let tight = classes.iter().filter(|c| **c == DeadlineClass::Tight).count();
+/// assert_eq!(tight, 5);
+/// ```
+#[must_use]
+pub fn assign_classes(n: usize, seed: u64) -> Vec<DeadlineClass> {
+    let tight = n / 2;
+    let moderate = (n * 3) / 10;
+    let relaxed = n - tight - moderate;
+    let mut classes = Vec::with_capacity(n);
+    classes.extend(std::iter::repeat_n(DeadlineClass::Tight, tight));
+    classes.extend(std::iter::repeat_n(DeadlineClass::Moderate, moderate));
+    classes.extend(std::iter::repeat_n(DeadlineClass::Relaxed, relaxed));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00DE_AD11);
+    classes.shuffle(&mut rng);
+    classes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_matches_paper_for_ten_jobs() {
+        let c = assign_classes(10, 3);
+        let count = |k: DeadlineClass| c.iter().filter(|&&x| x == k).count();
+        assert_eq!(count(DeadlineClass::Tight), 5);
+        assert_eq!(count(DeadlineClass::Moderate), 3);
+        assert_eq!(count(DeadlineClass::Relaxed), 2);
+    }
+
+    #[test]
+    fn deadline_math() {
+        let tw = Cycles::new(1000);
+        let ta = Cycles::new(500);
+        assert_eq!(
+            DeadlineClass::Tight.deadline(ta, tw),
+            Cycles::new(500 + 1050)
+        );
+        assert_eq!(
+            DeadlineClass::Moderate.deadline(ta, tw),
+            Cycles::new(500 + 2000)
+        );
+        assert_eq!(
+            DeadlineClass::Relaxed.deadline(ta, tw),
+            Cycles::new(500 + 3000)
+        );
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_per_seed() {
+        assert_eq!(assign_classes(10, 9), assign_classes(10, 9));
+        // Different seeds usually differ (10!/(5!3!2!) orderings).
+        assert_ne!(assign_classes(10, 9), assign_classes(10, 10));
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        assert!(assign_classes(0, 1).is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! Workload construction and experiment drivers (Section 6 of the paper).
+//!
+//! This crate builds the paper's evaluation workloads and runs them:
+//!
+//! * [`calibrate`] — solo-run calibration: per-benchmark wall-clock time at
+//!   the requested 7-way allocation (the source of each job's
+//!   `max_wall_clock`), plus the solo sweeps behind Figure 1, Figure 4 and
+//!   Table 1.
+//! * [`arrivals`] — Poisson job arrivals at the paper's rate (a 128-CMP
+//!   server's worth of submissions probing this node's LAC).
+//! * [`deadlines`] — the 50% tight (`1.05·tw`) / 30% moderate (`2·tw`) /
+//!   20% relaxed (`3·tw`) deadline assignment.
+//! * [`configs`] — the five Table 2 configurations (`All-Strict`,
+//!   `Hybrid-1`, `Hybrid-2`, `All-Strict+AutoDown`, `EqualPart`).
+//! * [`composition`] — 10-job workloads: single-benchmark and the Table 3
+//!   mixes (`Mix-1`, `Mix-2`).
+//! * [`runner`] — end-to-end drivers producing [`runner::RunOutcome`]s:
+//!   `run_qos` (admission-controlled configurations on a [`QosScheduler`])
+//!   and `run_equal_part` (the non-QoS baseline: no admission control,
+//!   Linux-style timesharing, equally partitioned L2).
+//! * [`metrics`] — deadline hit rates, normalized throughput and per-mode
+//!   wall-clock statistics (Figures 5, 6, 8 and 9).
+//!
+//! [`QosScheduler`]: cmpqos_core::QosScheduler
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod calibrate;
+pub mod composition;
+pub mod configs;
+pub mod deadlines;
+pub mod metrics;
+pub mod runner;
+
+pub use composition::{JobTemplate, WorkloadSpec};
+pub use configs::Configuration;
+pub use deadlines::DeadlineClass;
+pub use runner::{RunConfig, RunOutcome};

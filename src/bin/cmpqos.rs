@@ -1,0 +1,184 @@
+//! `cmpqos` — the command-line front end to the framework.
+//!
+//! ```text
+//! cmpqos list
+//! cmpqos solo --bench bzip2 --ways 7 [--scale 8] [--work 800000]
+//! cmpqos run --workload gobmk|mix1|mix2 --config all-strict|hybrid1|hybrid2|autodown|equalpart
+//!            [--scale 8] [--work 800000] [--seed 1] [--json out.json]
+//! ```
+//!
+//! A thin, dependency-free argument parser over the library API — also the
+//! fifth example application of the public interface.
+
+use cmpqos::experiments::json::write_json;
+use cmpqos::trace::spec;
+use cmpqos::types::{Instructions, Percent, Ways};
+use cmpqos::workloads::metrics::{
+    lac_occupancy, normalized_throughput, paper_hit_rate, wall_clock_by_mode,
+};
+use cmpqos::workloads::runner::{run, RunConfig};
+use cmpqos::workloads::{Configuration, WorkloadSpec};
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "list" => cmd_list(),
+        "solo" => cmd_solo(&flags),
+        "run" => cmd_run(&flags),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  cmpqos list
+  cmpqos solo --bench <name> [--ways N] [--scale N] [--work N] [--seed N]
+  cmpqos run  --workload <bench|mix1|mix2> --config <all-strict|hybrid1|hybrid2|autodown|equalpart>
+              [--scale N] [--work N] [--seed N] [--json <path>]";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got `{key}`"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get_num(flags: &HashMap<String, String>, name: &str, default: u64) -> Result<u64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} expects a number, got `{v}`")),
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<12} {:<28} base CPI  mem/instr", "benchmark", "sensitivity");
+    for b in spec::all() {
+        println!(
+            "{:<12} {:<28} {:<8.2} {:.2}",
+            b.name(),
+            b.class().to_string(),
+            b.profile().base_cpi(),
+            b.profile().mem_ratio()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_solo(flags: &HashMap<String, String>) -> Result<(), String> {
+    let bench = flags.get("bench").ok_or("--bench is required")?;
+    if spec::benchmark(bench).is_none() {
+        return Err(format!("unknown benchmark `{bench}` (try `cmpqos list`)"));
+    }
+    let ways = get_num(flags, "ways", 7)? as u16;
+    let scale = get_num(flags, "scale", 8)?.max(1);
+    let work = get_num(flags, "work", 800_000)?.max(1_000);
+    let seed = get_num(flags, "seed", 1)?;
+    let s = cmpqos::workloads::calibrate::solo_run(
+        bench,
+        Ways::new(ways),
+        Instructions::new(work),
+        scale,
+        seed,
+    );
+    println!(
+        "{bench} @ {ways} ways (scale 1/{scale}, {work} instr): \
+         IPC {:.3}, CPI {:.3}, L2 miss rate {:.1}%, MPI {:.4}, {} cycles",
+        s.ipc(),
+        s.cpi(),
+        s.perf.l2_miss_ratio() * 100.0,
+        s.perf.mpi(),
+        s.cycles.get()
+    );
+    Ok(())
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    let workload = match flags.get("workload").map(String::as_str) {
+        Some("mix1") => WorkloadSpec::mix1(),
+        Some("mix2") => WorkloadSpec::mix2(),
+        Some(bench) if spec::benchmark(bench).is_some() => WorkloadSpec::single(bench, 10),
+        Some(other) => return Err(format!("unknown workload `{other}`")),
+        None => return Err("--workload is required".into()),
+    };
+    let configuration = match flags.get("config").map(String::as_str) {
+        Some("all-strict") => Configuration::AllStrict,
+        Some("hybrid1") => Configuration::Hybrid1,
+        Some("hybrid2") => Configuration::Hybrid2 {
+            slack: Percent::new(5.0),
+        },
+        Some("autodown") => Configuration::AllStrictAutoDown,
+        Some("equalpart") => Configuration::EqualPart,
+        Some(other) => return Err(format!("unknown config `{other}`")),
+        None => return Err("--config is required".into()),
+    };
+    let cfg = RunConfig {
+        workload,
+        configuration,
+        scale: get_num(flags, "scale", 8)?.max(1),
+        work: Instructions::new(get_num(flags, "work", 800_000)?.max(1_000)),
+        seed: get_num(flags, "seed", 1)?,
+        stealing_enabled: true,
+        steal_interval: None,
+    };
+    let outcome = run(&cfg);
+    println!("{}", outcome.label);
+    println!(
+        "  accepted {} of {} submissions; makespan {:.2} Mcycles",
+        outcome.accepted.len(),
+        outcome.submissions,
+        outcome.makespan.as_f64() / 1e6
+    );
+    println!(
+        "  deadline hit rate {:.0}%  (self-normalized throughput {:.2})",
+        paper_hit_rate(&outcome) * 100.0,
+        normalized_throughput(&outcome, &outcome)
+    );
+    if configuration.uses_admission_control() {
+        println!("  LAC occupancy {:.4}%", lac_occupancy(&outcome) * 100.0);
+    }
+    for (mode, stats) in wall_clock_by_mode(&outcome) {
+        println!(
+            "  {mode:<14} {} job(s), wall-clock avg {:.2} Mcyc (min {:.2}, max {:.2})",
+            stats.count(),
+            stats.mean() / 1e6,
+            stats.min().unwrap_or(0.0) / 1e6,
+            stats.max().unwrap_or(0.0) / 1e6
+        );
+    }
+    if let Some(path) = flags.get("json") {
+        write_json(Path::new(path), &outcome).map_err(|e| e.to_string())?;
+        println!("  raw results written to {path}");
+    }
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! # cmpqos — QoS for chip multi-processors
+//!
+//! Facade crate re-exporting the full `cmpqos` workspace: a reproduction of
+//! *"A Framework for Providing Quality of Service in Chip Multi-Processors"*
+//! (Guo, Solihin, Zhao, Iyer — MICRO 2007).
+//!
+//! See the workspace `README.md` for an architecture overview and
+//! `DESIGN.md` for the system inventory and experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use cmpqos_cache as cache;
+pub use cmpqos_core as qos;
+pub use cmpqos_cpu as cpu;
+pub use cmpqos_experiments as experiments;
+pub use cmpqos_mem as mem;
+pub use cmpqos_system as system;
+pub use cmpqos_trace as trace;
+pub use cmpqos_types as types;
+pub use cmpqos_workloads as workloads;

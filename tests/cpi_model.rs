@@ -1,0 +1,62 @@
+//! Validates that the simulator's measured CPI obeys Luo's additive model
+//! (`CPI = CPI_L1∞ + h2·t2 + hm·tm`) — the analytical foundation of the
+//! resource-stealing guard (Section 4.2 of the paper).
+
+use cmpqos::cpu::CpiModel;
+use cmpqos::types::{Instructions, Ways};
+use cmpqos::workloads::calibrate::solo_run;
+
+const K: u64 = 16;
+
+#[test]
+fn measured_cpi_matches_the_additive_model_uncontended() {
+    // Solo runs have no bandwidth contention, so measured CPI should match
+    // the closed-form prediction from the measured h2/hm to within a few
+    // percent (queueing-free t_m = 300 + transfer slack).
+    for bench in ["gobmk", "hmmer", "bzip2", "namd", "libquantum"] {
+        let s = solo_run(bench, Ways::new(7), Instructions::new(300_000), K, 9);
+        let profile = cmpqos::trace::spec::benchmark(bench).unwrap();
+        let model = CpiModel::with_paper_latencies(profile.base_cpi());
+        let (predicted, measured) = model.validate(&s.perf);
+        let err = (predicted - measured).abs() / measured;
+        assert!(
+            err < 0.05,
+            "{bench}: predicted {predicted:.3} vs measured {measured:.3} (err {err:.3})"
+        );
+    }
+}
+
+#[test]
+fn miss_increase_implies_smaller_cpi_increase() {
+    // The inequality justifying the stealing guard: shrinking bzip2's
+    // allocation raises its miss rate by some fraction; its CPI must rise
+    // by a *smaller* fraction.
+    let full = solo_run("bzip2", Ways::new(7), Instructions::new(300_000), K, 9);
+    let small = solo_run("bzip2", Ways::new(5), Instructions::new(300_000), K, 9);
+    let miss_increase = small.perf.mpi() / full.perf.mpi() - 1.0;
+    let cpi_increase = small.cpi() / full.cpi() - 1.0;
+    assert!(miss_increase > 0.0, "5 ways must miss more than 7");
+    assert!(
+        cpi_increase < miss_increase,
+        "CPI increase {cpi_increase:.3} must stay below miss increase {miss_increase:.3}"
+    );
+    // And in the paper's observed band: roughly one-third to one-half.
+    let ratio = cpi_increase / miss_increase;
+    assert!(
+        ratio > 0.15 && ratio < 0.9,
+        "CPI/miss increase ratio {ratio:.2}"
+    );
+}
+
+#[test]
+fn stall_cycle_breakdown_is_additive() {
+    let s = solo_run("mcf", Ways::new(7), Instructions::new(100_000), K, 2);
+    let p = s.perf;
+    assert_eq!(
+        p.base_cycles() + p.l2_stall_cycles() + p.mem_stall_cycles(),
+        p.cycles(),
+        "cycle components must sum exactly"
+    );
+    assert!(p.l2_accesses() >= p.l2_misses());
+    assert!(p.l1_accesses() >= p.l2_accesses());
+}

@@ -1,0 +1,245 @@
+//! End-to-end integration tests spanning the whole stack: trace generation
+//! → caches → node → QoS framework → workload runner.
+
+use cmpqos::qos::{ExecutionMode, QosJob, QosScheduler, ResourceRequest, SchedulerConfig};
+use cmpqos::system::SystemConfig;
+use cmpqos::trace::spec;
+use cmpqos::types::{Cycles, Instructions, JobId, Percent};
+use cmpqos::workloads::metrics::{normalized_throughput, paper_hit_rate};
+use cmpqos::workloads::runner::{run, RunConfig};
+use cmpqos::workloads::{Configuration, WorkloadSpec};
+
+const K: u64 = 16;
+
+fn quick(workload: WorkloadSpec, configuration: Configuration) -> RunConfig {
+    RunConfig {
+        workload,
+        configuration,
+        scale: K,
+        work: Instructions::new(80_000),
+        seed: 3,
+        stealing_enabled: true,
+        steal_interval: None,
+    }
+}
+
+#[test]
+fn qos_framework_guarantees_deadlines_where_equal_partitioning_fails() {
+    // The paper's core claim (Figure 5a): with admission control and RUM
+    // targets, every accepted reserved job meets its deadline; without
+    // them (EqualPart), jobs miss deadlines.
+    let qos = run(&quick(WorkloadSpec::single("bzip2", 10), Configuration::AllStrict));
+    assert_eq!(paper_hit_rate(&qos), 1.0, "QoS hit rate");
+
+    let equal = run(&quick(WorkloadSpec::single("bzip2", 10), Configuration::EqualPart));
+    assert!(
+        paper_hit_rate(&equal) < 1.0,
+        "EqualPart must miss deadlines, got {}",
+        paper_hit_rate(&equal)
+    );
+}
+
+#[test]
+fn strict_qos_costs_throughput_and_modes_recover_it() {
+    // Figure 5b's shape for one workload.
+    let strict = run(&quick(WorkloadSpec::single("gobmk", 8), Configuration::AllStrict));
+    let hybrid1 = run(&quick(WorkloadSpec::single("gobmk", 8), Configuration::Hybrid1));
+    let equal = run(&quick(WorkloadSpec::single("gobmk", 8), Configuration::EqualPart));
+
+    let h1_gain = normalized_throughput(&strict, &hybrid1);
+    let eq_gain = normalized_throughput(&strict, &equal);
+    assert!(eq_gain > 1.0, "EqualPart beats All-Strict: {eq_gain}");
+    assert!(h1_gain > 1.0, "Hybrid-1 beats All-Strict: {h1_gain}");
+}
+
+#[test]
+fn stealing_never_violates_the_elastic_bound_end_to_end() {
+    // An Elastic(X) donor must end with a cumulative miss increase that
+    // respects X (modulo one interval of slop before cancellation).
+    for (bench, slack) in [("gobmk", 5.0), ("bzip2", 5.0), ("hmmer", 10.0)] {
+        let mut cfg = SchedulerConfig::default();
+        cfg.stealing.interval = Instructions::new(4_000);
+        let mut sched = QosScheduler::new(SystemConfig::paper_scaled(K), cfg);
+        let work = Instructions::new(150_000);
+        let tw = Cycles::new(work.get() * 30);
+        sched.submit(
+            QosJob {
+                id: JobId::new(0),
+                mode: ExecutionMode::Elastic(Percent::new(slack)),
+                request: ResourceRequest::paper_job(),
+                work,
+                max_wall_clock: tw,
+                deadline: Some(tw * 2),
+            },
+            Box::new(spec::scaled(bench, K).unwrap().instantiate(5, 1 << 40)),
+        );
+        sched.submit(
+            QosJob {
+                id: JobId::new(1),
+                mode: ExecutionMode::Opportunistic,
+                request: ResourceRequest::paper_job(),
+                work,
+                max_wall_clock: tw,
+                deadline: None,
+            },
+            Box::new(spec::scaled("mcf", K).unwrap().instantiate(6, 2 << 40)),
+        );
+        sched.run_to_idle(tw * 20);
+        let r = sched.report(JobId::new(0)).unwrap();
+        assert!(r.met_deadline(), "{bench}: deadline");
+        let steal = r.steal.expect("elastic donor has a report");
+        assert!(
+            steal.miss_increase <= slack / 100.0 + 0.06,
+            "{bench}: miss increase {} exceeds X={slack}%",
+            steal.miss_increase
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic_per_seed() {
+    let a = run(&quick(WorkloadSpec::mix1(), Configuration::Hybrid1));
+    let b = run(&quick(WorkloadSpec::mix1(), Configuration::Hybrid1));
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.submissions, b.submissions);
+    for (x, y) in a.accepted.iter().zip(&b.accepted) {
+        assert_eq!(x.report.finished, y.report.finished);
+        assert_eq!(x.report.perf.instructions(), y.report.perf.instructions());
+    }
+}
+
+#[test]
+fn partition_targets_never_exceed_associativity_during_a_busy_run() {
+    // Drive a chaotic mixed run and check the node's target vector at many
+    // points in time.
+    let mut sched = QosScheduler::new(SystemConfig::paper_scaled(K), SchedulerConfig::default());
+    let work = Instructions::new(60_000);
+    let tw = Cycles::new(work.get() * 30);
+    let benches = ["gobmk", "bzip2", "hmmer", "mcf", "namd", "milc"];
+    for (i, bench) in benches.iter().enumerate() {
+        let mode = match i % 3 {
+            0 => ExecutionMode::Strict,
+            1 => ExecutionMode::Elastic(Percent::new(5.0)),
+            _ => ExecutionMode::Opportunistic,
+        };
+        sched.submit(
+            QosJob {
+                id: JobId::new(i as u32),
+                mode,
+                request: ResourceRequest::paper_job(),
+                work,
+                max_wall_clock: tw,
+                deadline: match mode {
+                    ExecutionMode::Opportunistic => None,
+                    _ => Some(tw * 4),
+                },
+            },
+            Box::new(
+                spec::scaled(bench, K)
+                    .unwrap()
+                    .instantiate(i as u64, (i as u64 + 1) << 40),
+            ),
+        );
+    }
+    let assoc = 16u16;
+    let mut t = Cycles::ZERO;
+    while !sched.is_idle() && t < tw * 40 {
+        t += Cycles::new(100_000);
+        sched.run_until(t);
+        let total: u16 = sched.node().l2_targets().iter().map(|w| w.get()).sum();
+        assert!(total <= assoc, "targets sum {total} at {t}");
+    }
+    assert!(sched.is_idle(), "all jobs completed");
+}
+
+#[test]
+fn opportunistic_jobs_benefit_from_elastic_donors() {
+    // Mix-1 logic at micro scale: bzip2 (opportunistic) should finish
+    // faster when gobmk donors are Elastic rather than Strict.
+    let run_pair = |donor_mode: ExecutionMode| {
+        let mut cfg = SchedulerConfig::default();
+        cfg.stealing.interval = Instructions::new(4_000);
+        let mut sched = QosScheduler::new(SystemConfig::paper_scaled(K), cfg);
+        let work = Instructions::new(200_000);
+        let tw = Cycles::new(work.get() * 30);
+        for i in 0..2u32 {
+            sched.submit(
+                QosJob {
+                    id: JobId::new(i),
+                    mode: donor_mode,
+                    request: ResourceRequest::paper_job(),
+                    work,
+                    max_wall_clock: tw,
+                    deadline: Some(tw * 3),
+                },
+                Box::new(
+                    spec::scaled("gobmk", K)
+                        .unwrap()
+                        .instantiate(u64::from(i), (u64::from(i) + 1) << 40),
+                ),
+            );
+        }
+        sched.submit(
+            QosJob {
+                id: JobId::new(9),
+                mode: ExecutionMode::Opportunistic,
+                request: ResourceRequest::paper_job(),
+                work,
+                max_wall_clock: tw,
+                deadline: None,
+            },
+            Box::new(spec::scaled("bzip2", K).unwrap().instantiate(9, 10 << 40)),
+        );
+        sched.run_to_idle(tw * 20);
+        sched
+            .report(JobId::new(9))
+            .unwrap()
+            .wall_clock()
+            .expect("recipient finished")
+    };
+    let with_strict_donors = run_pair(ExecutionMode::Strict);
+    let with_elastic_donors = run_pair(ExecutionMode::Elastic(Percent::new(20.0)));
+    assert!(
+        with_elastic_donors <= with_strict_donors,
+        "elastic donors speed up the recipient: {with_elastic_donors} vs {with_strict_donors}"
+    );
+}
+
+#[test]
+fn rejected_jobs_leave_no_trace_in_the_node() {
+    let mut sched = QosScheduler::new(SystemConfig::paper_scaled(K), SchedulerConfig::default());
+    let work = Instructions::new(50_000);
+    let tw = Cycles::new(work.get() * 30);
+    // Fill both 7-way slots.
+    for i in 0..2u32 {
+        let d = sched.submit(
+            QosJob {
+                id: JobId::new(i),
+                mode: ExecutionMode::Strict,
+                request: ResourceRequest::paper_job(),
+                work,
+                max_wall_clock: tw,
+                deadline: Some(tw * 10),
+            },
+            Box::new(spec::scaled("namd", K).unwrap().instantiate(u64::from(i), 1 << 40)),
+        );
+        assert!(d.is_accepted());
+    }
+    // Impossible deadline: rejected.
+    let d = sched.submit(
+        QosJob {
+            id: JobId::new(7),
+            mode: ExecutionMode::Strict,
+            request: ResourceRequest::paper_job(),
+            work,
+            max_wall_clock: tw,
+            deadline: Some(tw),
+        },
+        Box::new(spec::scaled("namd", K).unwrap().instantiate(7, 8 << 40)),
+    );
+    assert!(!d.is_accepted());
+    sched.run_to_idle(tw * 20);
+    let r = sched.report(JobId::new(7)).unwrap();
+    assert!(r.started.is_none(), "rejected job never ran");
+    assert_eq!(r.perf.instructions().get(), 0);
+}
