@@ -67,10 +67,14 @@ fn bench_trace(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace");
     group.throughput(Throughput::Elements(1));
     for bench in ["bzip2", "gobmk", "libquantum"] {
-        group.bench_with_input(BenchmarkId::new("next_instruction", bench), &bench, |b, n| {
-            let mut t = spec::benchmark(n).unwrap().instantiate(1, 0);
-            b.iter(|| black_box(t.next_instruction()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("next_instruction", bench),
+            &bench,
+            |b, n| {
+                let mut t = spec::benchmark(n).unwrap().instantiate(1, 0);
+                b.iter(|| black_box(t.next_instruction()));
+            },
+        );
     }
     group.finish();
 }
@@ -139,5 +143,12 @@ fn bench_node(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_l1, bench_l2, bench_trace, bench_lac, bench_node);
+criterion_group!(
+    benches,
+    bench_l1,
+    bench_l2,
+    bench_trace,
+    bench_lac,
+    bench_node
+);
 criterion_main!(benches);

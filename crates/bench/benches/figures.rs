@@ -8,8 +8,7 @@ use std::hint::black_box;
 use std::time::Duration;
 
 use cmpqos_experiments::{
-    ablation, fig1, fig3, fig5, fig6, fig7, fig8, fig9, lac_overhead, table1,
-    ExperimentParams,
+    ablation, fig1, fig3, fig5, fig6, fig7, fig8, fig9, lac_overhead, table1, ExperimentParams,
 };
 use cmpqos_types::Instructions;
 
@@ -18,12 +17,15 @@ fn quick() -> ExperimentParams {
         scale: 16,
         work: Instructions::new(60_000),
         seed: 1,
+        events: None,
     }
 }
 
 fn figure_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures");
-    group.sample_size(10).measurement_time(Duration::from_secs(20));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20));
     let p = quick();
 
     group.bench_function("fig1_motivation", |b| b.iter(|| black_box(fig1::run(&p))));
@@ -63,12 +65,7 @@ fn figure_benches(c: &mut Criterion) {
         b.iter(|| black_box(fig8::run_bench(&p, "bzip2", &[5.0, 20.0])))
     });
     group.bench_function("fig9_mix1", |b| {
-        b.iter(|| {
-            black_box(fig9::run_mix(
-                &p,
-                cmpqos_workloads::WorkloadSpec::mix1(),
-            ))
-        })
+        b.iter(|| black_box(fig9::run_mix(&p, cmpqos_workloads::WorkloadSpec::mix1())))
     });
     group.bench_function("lac_overhead_characterization", |b| {
         b.iter(|| black_box(lac_overhead::run(&p)))
@@ -78,7 +75,9 @@ fn figure_benches(c: &mut Criterion) {
 
 fn ablation_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations");
-    group.sample_size(10).measurement_time(Duration::from_secs(15));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(15));
     let p = quick();
     group.bench_function("partition_variance_per_set", |b| {
         b.iter(|| {

@@ -38,8 +38,9 @@ pub struct CacheGeometry {
     block_shift: u32,
 }
 
-/// Error constructing a [`CacheConfig`].
+/// Error constructing a [`CacheConfig`] or a structure derived from one.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CacheConfigError {
     /// Block size must be a power of two of at least 8 bytes.
     BadBlockSize,
@@ -48,6 +49,10 @@ pub enum CacheConfigError {
     /// Size must be a positive multiple of `associativity * block_size`,
     /// with a power-of-two set count.
     BadSize,
+    /// A shared cache needs 1..=255 cores.
+    BadCoreCount,
+    /// A shadow monitor needs a non-zero allocation and geometry.
+    BadMonitorGeometry,
 }
 
 impl fmt::Display for CacheConfigError {
@@ -59,6 +64,12 @@ impl fmt::Display for CacheConfigError {
             CacheConfigError::BadAssociativity => f.write_str("associativity must be at least 1"),
             CacheConfigError::BadSize => f.write_str(
                 "cache size must be associativity * block_size * sets with power-of-two sets",
+            ),
+            CacheConfigError::BadCoreCount => {
+                f.write_str("shared-cache core count must be within 1..=255")
+            }
+            CacheConfigError::BadMonitorGeometry => f.write_str(
+                "shadow monitor needs at least one way, one set, and a non-zero sampling period",
             ),
         }
     }
@@ -274,6 +285,8 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(CacheConfigError::BadSize.to_string().contains("power-of-two"));
+        assert!(CacheConfigError::BadSize
+            .to_string()
+            .contains("power-of-two"));
     }
 }

@@ -16,10 +16,10 @@
 //!   allocations drift run to run (kept for the ablation experiment).
 //! * [`PartitionPolicy::Unpartitioned`] — plain LRU (no QoS).
 
-use crate::config::CacheConfig;
+use crate::config::{CacheConfig, CacheConfigError};
 use crate::line::CacheLine;
 use crate::stats::CoreCacheStats;
-use cmpqos_types::{CoreId, Ways};
+use cmpqos_types::{CoreId, Cycles, Ways};
 use std::fmt;
 
 /// How the L2 selects victims.
@@ -151,15 +151,32 @@ impl SharedL2 {
     ///
     /// # Panics
     ///
-    /// Panics if `num_cores` is zero or exceeds 255.
+    /// Panics if `num_cores` is zero or exceeds 255. Prefer
+    /// [`SharedL2::try_new`] outside test code.
     #[must_use]
     pub fn new(config: CacheConfig, num_cores: usize, policy: PartitionPolicy) -> Self {
-        assert!(
-            (1..=255).contains(&num_cores),
-            "core count must be within 1..=255"
-        );
+        match Self::try_new(config, num_cores, policy) {
+            Ok(l2) => l2,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`SharedL2::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheConfigError::BadCoreCount`] when `num_cores` is zero
+    /// or exceeds 255.
+    pub fn try_new(
+        config: CacheConfig,
+        num_cores: usize,
+        policy: PartitionPolicy,
+    ) -> Result<Self, CacheConfigError> {
+        if !(1..=255).contains(&num_cores) {
+            return Err(CacheConfigError::BadCoreCount);
+        }
         let sets = config.geometry().sets() as usize;
-        Self {
+        Ok(Self {
             config,
             num_cores,
             policy,
@@ -170,7 +187,7 @@ impl SharedL2 {
             classes: vec![VictimClass::Opportunistic; num_cores],
             tick: 0,
             stats: vec![CoreCacheStats::default(); num_cores],
-        }
+        })
     }
 
     /// The cache configuration.
@@ -228,6 +245,31 @@ impl SharedL2 {
             });
         }
         self.targets.copy_from_slice(targets);
+        Ok(())
+    }
+
+    /// [`SharedL2::set_targets`], additionally emitting
+    /// `PartitionChanged` to `recorder` with timestamp `at` on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError`] exactly as [`SharedL2::set_targets`]
+    /// (nothing is recorded on error).
+    pub fn set_targets_recorded(
+        &mut self,
+        targets: &[Ways],
+        at: Cycles,
+        recorder: &mut dyn cmpqos_obs::Recorder,
+    ) -> Result<(), PartitionError> {
+        self.set_targets(targets)?;
+        if recorder.enabled() {
+            recorder.record(
+                at,
+                cmpqos_obs::Event::PartitionChanged {
+                    targets: targets.to_vec(),
+                },
+            );
+        }
         Ok(())
     }
 
@@ -414,9 +456,9 @@ impl SharedL2 {
                     if let Some(idx) = reserved_over {
                         return idx;
                     }
-                    if let Some(idx) = lru_among(&|l| {
-                        self.classes[l.owner as usize] == VictimClass::Opportunistic
-                    }) {
+                    if let Some(idx) =
+                        lru_among(&|l| self.classes[l.owner as usize] == VictimClass::Opportunistic)
+                    {
                         return idx;
                     }
                     if let Some(idx) = lru_among(&|l| over(l.owner as usize)) {
@@ -615,7 +657,10 @@ mod tests {
         let mut l2 = tiny(PartitionPolicy::PerSet);
         assert!(matches!(
             l2.set_targets(&[Ways::new(3)]),
-            Err(PartitionError::WrongLength { expected: 2, got: 1 })
+            Err(PartitionError::WrongLength {
+                expected: 2,
+                got: 1
+            })
         ));
         assert!(matches!(
             l2.set_targets(&[Ways::new(3), Ways::new(3)]),

@@ -49,13 +49,31 @@ impl DuplicateTagMonitor {
     /// # Panics
     ///
     /// Panics if `original_ways` is zero, `sets` is zero, or `sample_every`
-    /// is zero.
+    /// is zero. Prefer [`DuplicateTagMonitor::try_new`] outside test code.
     #[must_use]
     pub fn new(original_ways: Ways, sets: u32, sample_every: u32) -> Self {
-        assert!(!original_ways.is_zero(), "shadow needs at least one way");
-        assert!(sets > 0 && sample_every > 0, "invalid geometry");
+        match Self::try_new(original_ways, sets, sample_every) {
+            Ok(monitor) => monitor,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`DuplicateTagMonitor::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CacheConfigError::BadMonitorGeometry`] when
+    /// `original_ways`, `sets`, or `sample_every` is zero.
+    pub fn try_new(
+        original_ways: Ways,
+        sets: u32,
+        sample_every: u32,
+    ) -> Result<Self, crate::CacheConfigError> {
+        if original_ways.is_zero() || sets == 0 || sample_every == 0 {
+            return Err(crate::CacheConfigError::BadMonitorGeometry);
+        }
         let sampled = sets.div_ceil(sample_every) as usize;
-        Self {
+        Ok(Self {
             sample_every,
             ways: original_ways.as_usize(),
             sets: vec![Vec::new(); sampled],
@@ -63,7 +81,7 @@ impl DuplicateTagMonitor {
             shadow_misses: 0,
             main_accesses: 0,
             main_misses: 0,
-        }
+        })
     }
 
     /// The original allocation being modelled.
@@ -147,8 +165,7 @@ impl DuplicateTagMonitor {
     pub fn exceeded(&self, slack: Percent) -> bool {
         // "If the extra number of misses in the main tags reaches or exceeds
         // X% compared to that in the duplicate tags ..."
-        self.main_misses as f64
-            >= self.shadow_misses as f64 * (1.0 + slack.fraction())
+        self.main_misses as f64 >= self.shadow_misses as f64 * (1.0 + slack.fraction())
             && self.main_misses > self.shadow_misses
     }
 }

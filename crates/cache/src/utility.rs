@@ -86,10 +86,7 @@ impl UtilityMonitor {
     /// (sampled sets only; scale-invariant for partitioning decisions).
     #[must_use]
     pub fn hits_with(&self, ways: Ways) -> u64 {
-        self.hits
-            .iter()
-            .take(ways.as_usize())
-            .sum()
+        self.hits.iter().take(ways.as_usize()).sum()
     }
 
     /// Marginal utility of growing from `from` to `to` ways.
@@ -171,7 +168,12 @@ pub fn lookahead_partition(
 /// Convenience: builds UMONs alongside a [`DuplicateTagMonitor`]-style
 /// sampling configuration for all cores of a cache.
 #[must_use]
-pub fn monitors_for(cores: usize, max_ways: Ways, sets: u32, sample_every: u32) -> Vec<UtilityMonitor> {
+pub fn monitors_for(
+    cores: usize,
+    max_ways: Ways,
+    sets: u32,
+    sample_every: u32,
+) -> Vec<UtilityMonitor> {
     (0..cores)
         .map(|_| UtilityMonitor::new(max_ways, sets, sample_every))
         .collect()

@@ -27,6 +27,18 @@ pub enum RejectReason {
     ExceedsNodeCapacity,
 }
 
+impl From<RejectReason> for cmpqos_obs::RejectCause {
+    fn from(reason: RejectReason) -> Self {
+        match reason {
+            RejectReason::NoCapacityBeforeDeadline => {
+                cmpqos_obs::RejectCause::NoCapacityBeforeDeadline
+            }
+            RejectReason::NoSpareResources => cmpqos_obs::RejectCause::NoSpareResources,
+            RejectReason::ExceedsNodeCapacity => cmpqos_obs::RejectCause::ExceedsNodeCapacity,
+        }
+    }
+}
+
 impl fmt::Display for RejectReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -36,9 +48,7 @@ impl fmt::Display for RejectReason {
             RejectReason::NoSpareResources => {
                 f.write_str("no spare resources for an opportunistic job")
             }
-            RejectReason::ExceedsNodeCapacity => {
-                f.write_str("request exceeds total node capacity")
-            }
+            RejectReason::ExceedsNodeCapacity => f.write_str("request exceeds total node capacity"),
         }
     }
 }
@@ -88,7 +98,12 @@ pub struct Reservation {
 }
 
 /// LAC configuration.
+///
+/// Construct with [`LacConfig::default`] or the [`LacConfig::builder`];
+/// the struct is `#[non_exhaustive]`, so fields may be added without
+/// breaking downstream crates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct LacConfig {
     /// Total node capacity (paper: 4 cores + 16 L2 ways).
     pub capacity: ResourceRequest,
@@ -99,6 +114,37 @@ impl Default for LacConfig {
         Self {
             capacity: ResourceRequest::new(4, cmpqos_types::Ways::new(16)).with_bandwidth(100),
         }
+    }
+}
+
+impl LacConfig {
+    /// A fluent builder starting from the paper defaults.
+    #[must_use]
+    pub fn builder() -> LacConfigBuilder {
+        LacConfigBuilder {
+            config: LacConfig::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`LacConfig`].
+#[derive(Debug, Clone)]
+pub struct LacConfigBuilder {
+    config: LacConfig,
+}
+
+impl LacConfigBuilder {
+    /// Sets the total node capacity.
+    #[must_use]
+    pub fn capacity(mut self, capacity: ResourceRequest) -> Self {
+        self.config.capacity = capacity;
+        self
+    }
+
+    /// Finishes the configuration.
+    #[must_use]
+    pub fn build(self) -> LacConfig {
+        self.config
     }
 }
 
@@ -184,9 +230,10 @@ impl Lac {
         self.reservations
             .iter()
             .filter(|r| r.start <= t && t < r.end)
-            .fold(ResourceRequest::new(0, cmpqos_types::Ways::ZERO), |acc, r| {
-                acc.plus(&r.request)
-            })
+            .fold(
+                ResourceRequest::new(0, cmpqos_types::Ways::ZERO),
+                |acc, r| acc.plus(&r.request),
+            )
     }
 
     /// FCFS admission test (Section 5).
@@ -226,9 +273,7 @@ impl Lac {
                     Some(td) => {
                         let Some(ls) = td.get().checked_sub(duration.get()) else {
                             self.rejected += 1;
-                            return Decision::Rejected(
-                                RejectReason::NoCapacityBeforeDeadline,
-                            );
+                            return Decision::Rejected(RejectReason::NoCapacityBeforeDeadline);
                         };
                         Cycles::new(ls)
                     }
@@ -296,6 +341,56 @@ impl Lac {
                 Decision::Rejected(RejectReason::NoCapacityBeforeDeadline)
             }
         }
+    }
+
+    /// [`Lac::admit`], additionally emitting `Admitted`/`Rejected` to
+    /// `recorder` with the controller's current cycle.
+    pub fn admit_recorded(
+        &mut self,
+        id: JobId,
+        mode: ExecutionMode,
+        request: ResourceRequest,
+        tw: Cycles,
+        deadline: Option<Cycles>,
+        recorder: &mut dyn cmpqos_obs::Recorder,
+    ) -> Decision {
+        let decision = self.admit(id, mode, request, tw, deadline);
+        self.emit_decision(id, decision, recorder);
+        decision
+    }
+
+    /// [`Lac::admit_latest`], additionally emitting `Admitted`/`Rejected`
+    /// to `recorder` with the controller's current cycle.
+    pub fn admit_latest_recorded(
+        &mut self,
+        id: JobId,
+        request: ResourceRequest,
+        tw: Cycles,
+        deadline: Cycles,
+        recorder: &mut dyn cmpqos_obs::Recorder,
+    ) -> Decision {
+        let decision = self.admit_latest(id, request, tw, deadline);
+        self.emit_decision(id, decision, recorder);
+        decision
+    }
+
+    fn emit_decision(
+        &self,
+        id: JobId,
+        decision: Decision,
+        recorder: &mut dyn cmpqos_obs::Recorder,
+    ) {
+        if !recorder.enabled() {
+            return;
+        }
+        let event = match decision {
+            Decision::Accepted { start } => cmpqos_obs::Event::Admitted { job: id, start },
+            Decision::Rejected(reason) => cmpqos_obs::Event::Rejected {
+                job: id,
+                cause: reason.into(),
+            },
+        };
+        recorder.record(self.now, event);
     }
 
     /// Releases a job's reservation from `at` onward (early completion:
@@ -413,12 +508,24 @@ mod tests {
     #[test]
     fn two_paper_jobs_run_concurrently_third_queues() {
         let mut l = lac();
-        assert_eq!(strict(&mut l, 0, 100, 1000), Decision::Accepted { start: Cycles::new(0) });
-        assert_eq!(strict(&mut l, 1, 100, 1000), Decision::Accepted { start: Cycles::new(0) });
+        assert_eq!(
+            strict(&mut l, 0, 100, 1000),
+            Decision::Accepted {
+                start: Cycles::new(0)
+            }
+        );
+        assert_eq!(
+            strict(&mut l, 1, 100, 1000),
+            Decision::Accepted {
+                start: Cycles::new(0)
+            }
+        );
         // 3 x 7 = 21 ways > 16: the third job waits for a reservation to end.
         assert_eq!(
             strict(&mut l, 2, 100, 1000),
-            Decision::Accepted { start: Cycles::new(100) }
+            Decision::Accepted {
+                start: Cycles::new(100)
+            }
         );
     }
 
@@ -459,7 +566,10 @@ mod tests {
             Cycles::new(1000),
             Some(Cycles::new(1040)),
         );
-        assert_eq!(d, Decision::Rejected(RejectReason::NoCapacityBeforeDeadline));
+        assert_eq!(
+            d,
+            Decision::Rejected(RejectReason::NoCapacityBeforeDeadline)
+        );
     }
 
     #[test]
@@ -474,7 +584,12 @@ mod tests {
             Cycles::new(100),
             None,
         );
-        assert_eq!(d, Decision::Accepted { start: Cycles::ZERO });
+        assert_eq!(
+            d,
+            Decision::Accepted {
+                start: Cycles::ZERO
+            }
+        );
         // No reservation was added for it.
         assert_eq!(l.reservations().len(), 2);
     }
@@ -518,7 +633,12 @@ mod tests {
             Cycles::new(100),
             Cycles::new(500),
         );
-        assert_eq!(d, Decision::Accepted { start: Cycles::new(400) });
+        assert_eq!(
+            d,
+            Decision::Accepted {
+                start: Cycles::new(400)
+            }
+        );
         let r = l.reservations()[0];
         assert_eq!((r.start, r.end), (Cycles::new(400), Cycles::new(500)));
     }
@@ -550,7 +670,12 @@ mod tests {
             Cycles::new(500),
         );
         // Latest slot [400,500) conflicts; earliest feasible is [0,100).
-        assert_eq!(d, Decision::Accepted { start: Cycles::ZERO });
+        assert_eq!(
+            d,
+            Decision::Accepted {
+                start: Cycles::ZERO
+            }
+        );
     }
 
     #[test]
@@ -562,7 +687,9 @@ mod tests {
         l.release(JobId::new(0), Cycles::new(40));
         assert_eq!(
             strict(&mut l, 2, 100, 1000),
-            Decision::Accepted { start: Cycles::new(40) }
+            Decision::Accepted {
+                start: Cycles::new(40)
+            }
         );
     }
 
@@ -593,10 +720,7 @@ mod tests {
         points.sort_unstable();
         for p in points {
             let u = l.usage_at(p);
-            assert!(
-                u.fits_within(&l.capacity()),
-                "overbooked at {p}: {u}"
-            );
+            assert!(u.fits_within(&l.capacity()), "overbooked at {p}: {u}");
         }
     }
 
@@ -613,6 +737,198 @@ mod tests {
     }
 
     #[test]
+    fn builder_overrides_capacity() {
+        let cfg = LacConfig::builder()
+            .capacity(ResourceRequest::new(2, Ways::new(8)))
+            .build();
+        assert_eq!(cfg.capacity, ResourceRequest::new(2, Ways::new(8)));
+        assert_eq!(LacConfig::builder().build(), LacConfig::default());
+    }
+
+    // --- every RejectReason path, with the recorded variants ------------
+
+    fn last_cause(rec: &cmpqos_obs::RingBufferRecorder) -> Option<cmpqos_obs::RejectCause> {
+        match rec.to_vec().last().map(|r| r.event.clone()) {
+            Some(cmpqos_obs::Event::Rejected { cause, .. }) => Some(cause),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn admit_rejects_oversized_request_and_records_it() {
+        let mut l = lac();
+        let mut rec = cmpqos_obs::RingBufferRecorder::new(8);
+        let d = l.admit_recorded(
+            JobId::new(0),
+            ExecutionMode::Strict,
+            ResourceRequest::new(5, Ways::new(4)),
+            Cycles::new(10),
+            None,
+            &mut rec,
+        );
+        assert_eq!(d, Decision::Rejected(RejectReason::ExceedsNodeCapacity));
+        assert_eq!(
+            last_cause(&rec),
+            Some(cmpqos_obs::RejectCause::ExceedsNodeCapacity)
+        );
+    }
+
+    #[test]
+    fn admit_rejects_opportunistic_without_spare_cores_and_records_it() {
+        let mut l = Lac::new(
+            LacConfig::builder()
+                .capacity(ResourceRequest::new(1, Ways::new(16)))
+                .build(),
+        );
+        strict(&mut l, 0, 100, 1000);
+        let mut rec = cmpqos_obs::RingBufferRecorder::new(8);
+        let d = l.admit_recorded(
+            JobId::new(1),
+            ExecutionMode::Opportunistic,
+            ResourceRequest::new(1, Ways::ZERO),
+            Cycles::new(10),
+            None,
+            &mut rec,
+        );
+        assert_eq!(d, Decision::Rejected(RejectReason::NoSpareResources));
+        assert_eq!(
+            last_cause(&rec),
+            Some(cmpqos_obs::RejectCause::NoSpareResources)
+        );
+    }
+
+    #[test]
+    fn admit_rejects_deadline_shorter_than_reservation() {
+        // duration > deadline: the latest-start subtraction underflows.
+        let mut l = lac();
+        let mut rec = cmpqos_obs::RingBufferRecorder::new(8);
+        let d = l.admit_recorded(
+            JobId::new(0),
+            ExecutionMode::Strict,
+            ResourceRequest::paper_job(),
+            Cycles::new(200),
+            Some(Cycles::new(100)),
+            &mut rec,
+        );
+        assert_eq!(
+            d,
+            Decision::Rejected(RejectReason::NoCapacityBeforeDeadline)
+        );
+        assert_eq!(
+            last_cause(&rec),
+            Some(cmpqos_obs::RejectCause::NoCapacityBeforeDeadline)
+        );
+    }
+
+    #[test]
+    fn admit_rejects_when_no_slot_frees_before_deadline() {
+        let mut l = lac();
+        strict(&mut l, 0, 100, 1000);
+        strict(&mut l, 1, 100, 1000);
+        let mut rec = cmpqos_obs::RingBufferRecorder::new(8);
+        let d = l.admit_recorded(
+            JobId::new(2),
+            ExecutionMode::Strict,
+            ResourceRequest::paper_job(),
+            Cycles::new(100),
+            Some(Cycles::new(105)),
+            &mut rec,
+        );
+        assert_eq!(
+            d,
+            Decision::Rejected(RejectReason::NoCapacityBeforeDeadline)
+        );
+        assert_eq!(
+            last_cause(&rec),
+            Some(cmpqos_obs::RejectCause::NoCapacityBeforeDeadline)
+        );
+    }
+
+    #[test]
+    fn admit_latest_rejects_oversized_request() {
+        let mut l = lac();
+        let mut rec = cmpqos_obs::RingBufferRecorder::new(8);
+        let d = l.admit_latest_recorded(
+            JobId::new(0),
+            ResourceRequest::new(5, Ways::new(4)),
+            Cycles::new(10),
+            Cycles::new(100),
+            &mut rec,
+        );
+        assert_eq!(d, Decision::Rejected(RejectReason::ExceedsNodeCapacity));
+        assert_eq!(
+            last_cause(&rec),
+            Some(cmpqos_obs::RejectCause::ExceedsNodeCapacity)
+        );
+    }
+
+    #[test]
+    fn admit_latest_rejects_infeasible_deadline() {
+        let mut l = lac();
+        l.advance(Cycles::new(500));
+        // Latest slot starts in the past and the earliest finish misses td.
+        let d = l.admit_latest(
+            JobId::new(0),
+            ResourceRequest::paper_job(),
+            Cycles::new(100),
+            Cycles::new(550),
+        );
+        assert_eq!(
+            d,
+            Decision::Rejected(RejectReason::NoCapacityBeforeDeadline)
+        );
+    }
+
+    #[test]
+    fn admit_latest_rejects_when_every_slot_is_taken() {
+        let mut l = Lac::new(
+            LacConfig::builder()
+                .capacity(ResourceRequest::new(1, Ways::new(16)))
+                .build(),
+        );
+        // One job owns the whole window [0, 500).
+        l.admit(
+            JobId::new(0),
+            ExecutionMode::Strict,
+            ResourceRequest::new(1, Ways::new(7)),
+            Cycles::new(500),
+            Some(Cycles::new(500)),
+        );
+        let d = l.admit_latest(
+            JobId::new(1),
+            ResourceRequest::new(1, Ways::new(7)),
+            Cycles::new(100),
+            Cycles::new(500),
+        );
+        assert_eq!(
+            d,
+            Decision::Rejected(RejectReason::NoCapacityBeforeDeadline)
+        );
+    }
+
+    #[test]
+    fn accepted_decision_is_recorded_as_admitted() {
+        let mut l = lac();
+        let mut rec = cmpqos_obs::RingBufferRecorder::new(8);
+        let d = l.admit_recorded(
+            JobId::new(0),
+            ExecutionMode::Strict,
+            ResourceRequest::paper_job(),
+            Cycles::new(100),
+            Some(Cycles::new(1000)),
+            &mut rec,
+        );
+        assert!(d.is_accepted());
+        assert_eq!(
+            rec.to_vec().last().map(|r| r.event.clone()),
+            Some(cmpqos_obs::Event::Admitted {
+                job: JobId::new(0),
+                start: Cycles::ZERO,
+            })
+        );
+    }
+
+    #[test]
     fn fcfs_no_deadline_job_queues_indefinitely() {
         let mut l = lac();
         strict(&mut l, 0, 100, 1000);
@@ -624,6 +940,11 @@ mod tests {
             Cycles::new(100),
             None,
         );
-        assert_eq!(d, Decision::Accepted { start: Cycles::new(100) });
+        assert_eq!(
+            d,
+            Decision::Accepted {
+                start: Cycles::new(100)
+            }
+        );
     }
 }

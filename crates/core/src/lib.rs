@@ -27,21 +27,18 @@
 //! # Quick start
 //!
 //! ```
-//! use cmpqos_core::{ExecutionMode, QosJob, QosScheduler, ResourceRequest, SchedulerConfig};
+//! use cmpqos_core::{QosJob, QosScheduler, ResourceRequest, SchedulerConfig};
 //! use cmpqos_system::SystemConfig;
 //! use cmpqos_trace::spec;
 //! use cmpqos_types::{Cycles, Instructions, JobId, Ways};
 //!
 //! let mut sched = QosScheduler::new(SystemConfig::paper(), SchedulerConfig::default());
 //! let profile = spec::benchmark("gobmk").unwrap();
-//! let job = QosJob {
-//!     id: JobId::new(0),
-//!     mode: ExecutionMode::Strict,
-//!     request: ResourceRequest::new(1, Ways::new(7)),
-//!     work: Instructions::new(100_000),
-//!     max_wall_clock: Cycles::new(10_000_000),
-//!     deadline: Some(Cycles::new(20_000_000)),
-//! };
+//! let job = QosJob::strict(JobId::new(0), ResourceRequest::new(1, Ways::new(7)))
+//!     .work(Instructions::new(100_000))
+//!     .max_wall_clock(Cycles::new(10_000_000))
+//!     .deadline(Cycles::new(20_000_000))
+//!     .build();
 //! let decision = sched.submit(job, Box::new(profile.instantiate(1, 0)));
 //! assert!(decision.is_accepted());
 //! sched.run_until(Cycles::new(20_000_000));
@@ -60,8 +57,11 @@ pub mod stealing;
 pub mod target;
 
 pub use gac::GlobalAdmissionController;
-pub use lac::{Decision, Lac, LacConfig, RejectReason};
+pub use lac::{Decision, Lac, LacConfig, LacConfigBuilder, RejectReason};
 pub use modes::ExecutionMode;
-pub use scheduler::{JobEvent, JobReport, QosJob, QosScheduler, SchedulerConfig, StealReport};
-pub use stealing::{StealingAction, StealingConfig, StealingController};
+pub use scheduler::{
+    JobEvent, JobReport, QosJob, QosJobBuilder, QosScheduler, SchedulerConfig,
+    SchedulerConfigBuilder, StealReport,
+};
+pub use stealing::{StealingAction, StealingConfig, StealingConfigBuilder, StealingController};
 pub use target::{Convertible, QosTarget, ResourceRequest, Timeslot};

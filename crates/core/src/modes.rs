@@ -45,6 +45,16 @@ impl ExecutionMode {
     }
 }
 
+impl From<ExecutionMode> for cmpqos_obs::Mode {
+    fn from(mode: ExecutionMode) -> Self {
+        match mode {
+            ExecutionMode::Strict => cmpqos_obs::Mode::Strict,
+            ExecutionMode::Elastic(x) => cmpqos_obs::Mode::Elastic(x),
+            ExecutionMode::Opportunistic => cmpqos_obs::Mode::Opportunistic,
+        }
+    }
+}
+
 impl fmt::Display for ExecutionMode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -150,8 +160,8 @@ mod tests {
     #[test]
     fn elastic_slack_formula() {
         // Tight deadline (1.05 tw): 5% slack.
-        let x = elastic_downgrade_slack(Cycles::new(0), Cycles::new(105), Cycles::new(100))
-            .unwrap();
+        let x =
+            elastic_downgrade_slack(Cycles::new(0), Cycles::new(105), Cycles::new(100)).unwrap();
         assert!((x.value() - 5.0).abs() < 1e-9);
         // No slack at all.
         assert_eq!(
@@ -172,8 +182,7 @@ mod tests {
 
     #[test]
     fn auto_plan_reserves_latest_slot() {
-        let plan = auto_downgrade_plan(Cycles::new(0), Cycles::new(300), Cycles::new(100))
-            .unwrap();
+        let plan = auto_downgrade_plan(Cycles::new(0), Cycles::new(300), Cycles::new(100)).unwrap();
         assert_eq!(plan.switch_back_at, Cycles::new(200));
         assert_eq!(plan.reservation_end, Cycles::new(300));
         // Tight job: no plan.

@@ -15,15 +15,23 @@ use crate::modes::{auto_downgrade_plan, ExecutionMode};
 use crate::stealing::{StealingAction, StealingConfig, StealingController};
 use crate::target::ResourceRequest;
 use cmpqos_cpu::PerfCounters;
+use cmpqos_obs::{Event, NullRecorder, Recorder};
 use cmpqos_system::{CmpNode, Placement, SystemConfig, TaskSpec};
 use cmpqos_trace::TraceSource;
-use cmpqos_types::{CoreId, Cycles, Instructions, JobId, Ways};
+use cmpqos_types::{CoreId, Cycles, Instructions, JobId, Percent, Ways};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A job submission: QoS target plus workload size.
+///
+/// Construct with the mode builders — [`QosJob::strict`],
+/// [`QosJob::elastic`], [`QosJob::opportunistic`] — e.g.
+/// `QosJob::strict(id, request).work(n).deadline(td).build()`. The struct
+/// is `#[non_exhaustive]`, so fields may be added without breaking
+/// downstream crates; all fields stay public for reading.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[non_exhaustive]
 pub struct QosJob {
     /// Unique job id.
     pub id: JobId,
@@ -39,8 +47,96 @@ pub struct QosJob {
     pub deadline: Option<Cycles>,
 }
 
+impl QosJob {
+    /// A builder for a Strict job.
+    #[must_use]
+    pub fn strict(id: JobId, request: ResourceRequest) -> QosJobBuilder {
+        Self::with_mode(id, ExecutionMode::Strict, request)
+    }
+
+    /// A builder for an Elastic(`slack`) job.
+    #[must_use]
+    pub fn elastic(id: JobId, request: ResourceRequest, slack: Percent) -> QosJobBuilder {
+        Self::with_mode(id, ExecutionMode::Elastic(slack), request)
+    }
+
+    /// A builder for an Opportunistic job.
+    #[must_use]
+    pub fn opportunistic(id: JobId, request: ResourceRequest) -> QosJobBuilder {
+        Self::with_mode(id, ExecutionMode::Opportunistic, request)
+    }
+
+    /// A builder for an arbitrary mode (useful when the mode is data).
+    #[must_use]
+    pub fn with_mode(id: JobId, mode: ExecutionMode, request: ResourceRequest) -> QosJobBuilder {
+        QosJobBuilder {
+            job: QosJob {
+                id,
+                mode,
+                request,
+                work: Instructions::new(0),
+                max_wall_clock: Cycles::ZERO,
+                deadline: None,
+            },
+        }
+    }
+}
+
+/// Fluent builder for [`QosJob`]; see the mode constructors on `QosJob`.
+#[derive(Debug, Clone, Copy)]
+pub struct QosJobBuilder {
+    job: QosJob,
+}
+
+impl QosJobBuilder {
+    /// Sets the instructions the job must retire.
+    #[must_use]
+    pub fn work(mut self, work: Instructions) -> Self {
+        self.job.work = work;
+        self
+    }
+
+    /// Sets the maximum wall-clock time `tw` with the full request.
+    #[must_use]
+    pub fn max_wall_clock(mut self, tw: Cycles) -> Self {
+        self.job.max_wall_clock = tw;
+        self
+    }
+
+    /// Sets the absolute deadline `td`.
+    #[must_use]
+    pub fn deadline(mut self, td: Cycles) -> Self {
+        self.job.deadline = Some(td);
+        self
+    }
+
+    /// Clears the deadline (the default).
+    #[must_use]
+    pub fn no_deadline(mut self) -> Self {
+        self.job.deadline = None;
+        self
+    }
+
+    /// Replaces the resource request.
+    #[must_use]
+    pub fn request(mut self, request: ResourceRequest) -> Self {
+        self.job.request = request;
+        self
+    }
+
+    /// Finishes the job description.
+    #[must_use]
+    pub fn build(self) -> QosJob {
+        self.job
+    }
+}
+
 /// Orchestrator configuration.
+///
+/// Construct with [`SchedulerConfig::default`] or the
+/// [`SchedulerConfig::builder`]; the struct is `#[non_exhaustive]`.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SchedulerConfig {
     /// LAC capacity configuration.
     pub lac: LacConfig,
@@ -71,6 +167,72 @@ impl Default for SchedulerConfig {
             stealing_enabled: true,
             auto_downgrade_min_slack: 0.5,
         }
+    }
+}
+
+impl SchedulerConfig {
+    /// A fluent builder starting from the defaults.
+    #[must_use]
+    pub fn builder() -> SchedulerConfigBuilder {
+        SchedulerConfigBuilder {
+            config: SchedulerConfig::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`SchedulerConfig`].
+#[derive(Debug, Clone)]
+pub struct SchedulerConfigBuilder {
+    config: SchedulerConfig,
+}
+
+impl SchedulerConfigBuilder {
+    /// Sets the LAC capacity configuration.
+    #[must_use]
+    pub fn lac(mut self, lac: LacConfig) -> Self {
+        self.config.lac = lac;
+        self
+    }
+
+    /// Sets the resource-stealing parameters.
+    #[must_use]
+    pub fn stealing(mut self, stealing: StealingConfig) -> Self {
+        self.config.stealing = stealing;
+        self
+    }
+
+    /// Sets the event-polling granularity.
+    #[must_use]
+    pub fn slice(mut self, slice: Cycles) -> Self {
+        self.config.slice = slice;
+        self
+    }
+
+    /// Enables/disables automatic mode downgrade.
+    #[must_use]
+    pub fn auto_downgrade(mut self, enabled: bool) -> Self {
+        self.config.auto_downgrade = enabled;
+        self
+    }
+
+    /// Enables/disables resource stealing.
+    #[must_use]
+    pub fn stealing_enabled(mut self, enabled: bool) -> Self {
+        self.config.stealing_enabled = enabled;
+        self
+    }
+
+    /// Sets the minimum slack fraction for automatic downgrade.
+    #[must_use]
+    pub fn auto_downgrade_min_slack(mut self, fraction: f64) -> Self {
+        self.config.auto_downgrade_min_slack = fraction;
+        self
+    }
+
+    /// Finishes the configuration.
+    #[must_use]
+    pub fn build(self) -> SchedulerConfig {
+        self.config
     }
 }
 
@@ -197,21 +359,49 @@ impl fmt::Debug for Managed {
 
 /// The framework orchestrator. See the [crate docs](crate) for a quick
 /// start.
-#[derive(Debug)]
+///
+/// Every observable moment — admission decisions, starts, downgrades,
+/// stealing intervals, guard trips, partition retargets, completions — is
+/// emitted to the attached [`Recorder`] ([`NullRecorder`] by default,
+/// which costs nothing on the hot path).
 pub struct QosScheduler {
     node: CmpNode,
     lac: Lac,
     config: SchedulerConfig,
     jobs: BTreeMap<JobId, Managed>,
+    recorder: Box<dyn Recorder>,
+}
+
+impl fmt::Debug for QosScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QosScheduler")
+            .field("node", &self.node)
+            .field("lac", &self.lac)
+            .field("config", &self.config)
+            .field("jobs", &self.jobs)
+            .field("recording", &self.recorder.enabled())
+            .finish()
+    }
 }
 
 impl QosScheduler {
-    /// Creates a scheduler over a fresh node.
+    /// Creates a scheduler over a fresh node, with events discarded
+    /// (a [`NullRecorder`]).
     ///
     /// The LAC capacity is aligned to the node: its core count and L2
     /// associativity override whatever `config.lac` said.
     #[must_use]
-    pub fn new(system: SystemConfig, mut config: SchedulerConfig) -> Self {
+    pub fn new(system: SystemConfig, config: SchedulerConfig) -> Self {
+        Self::with_recorder(system, config, Box::new(NullRecorder))
+    }
+
+    /// [`QosScheduler::new`] with an event sink attached.
+    #[must_use]
+    pub fn with_recorder(
+        system: SystemConfig,
+        mut config: SchedulerConfig,
+        recorder: Box<dyn Recorder>,
+    ) -> Self {
         config.lac.capacity = ResourceRequest::new(
             system.num_cores as u32,
             Ways::new(system.l2.associativity()),
@@ -222,7 +412,24 @@ impl QosScheduler {
             lac: Lac::new(config.lac),
             config,
             jobs: BTreeMap::new(),
+            recorder,
         }
+    }
+
+    /// Replaces the event sink, returning the previous one.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) -> Box<dyn Recorder> {
+        std::mem::replace(&mut self.recorder, recorder)
+    }
+
+    /// Detaches the event sink (a [`NullRecorder`] takes its place), e.g.
+    /// to inspect a `RingBufferRecorder`'s contents after a run.
+    pub fn take_recorder(&mut self) -> Box<dyn Recorder> {
+        self.set_recorder(Box::new(NullRecorder))
+    }
+
+    /// Mutable access to the attached sink (e.g. to flush it).
+    pub fn recorder_mut(&mut self) -> &mut dyn Recorder {
+        self.recorder.as_mut()
     }
 
     /// The underlying node (read access for stats and introspection).
@@ -246,9 +453,9 @@ impl QosScheduler {
     /// Whether any job is still waiting or running.
     #[must_use]
     pub fn is_idle(&self) -> bool {
-        self.jobs.values().all(|m| {
-            matches!(m.state, JobState::Completed(_) | JobState::Rejected)
-        })
+        self.jobs
+            .values()
+            .all(|m| matches!(m.state, JobState::Completed(_) | JobState::Rejected))
     }
 
     /// Submits a job at the current simulation time with its workload
@@ -257,11 +464,19 @@ impl QosScheduler {
         let now = self.node.now();
         self.lac.advance(now);
         let id = job.id;
+        self.recorder.record(
+            now,
+            Event::Submitted {
+                job: id,
+                mode: job.mode.into(),
+            },
+        );
 
         // Automatic mode downgrade (Section 3.4): a Strict job with slack
         // reserves the *latest* slot and runs opportunistically until then.
-        let min_slack =
-            job.max_wall_clock.scale(self.config.auto_downgrade_min_slack);
+        let min_slack = job
+            .max_wall_clock
+            .scale(self.config.auto_downgrade_min_slack);
         let auto = self.config.auto_downgrade
             && job.mode == ExecutionMode::Strict
             && job.deadline.is_some_and(|td| {
@@ -271,10 +486,22 @@ impl QosScheduler {
 
         let decision = if auto {
             let td = job.deadline.expect("auto requires a deadline");
-            self.lac.admit_latest(id, job.request, job.max_wall_clock, td)
+            self.lac.admit_latest_recorded(
+                id,
+                job.request,
+                job.max_wall_clock,
+                td,
+                self.recorder.as_mut(),
+            )
         } else {
-            self.lac
-                .admit(id, job.mode, job.request, job.max_wall_clock, job.deadline)
+            self.lac.admit_recorded(
+                id,
+                job.mode,
+                job.request,
+                job.max_wall_clock,
+                job.deadline,
+                self.recorder.as_mut(),
+            )
         };
 
         let mut managed = Managed {
@@ -302,6 +529,14 @@ impl QosScheduler {
                     managed.state = JobState::RunningOpportunistic;
                     managed.switch_back_at = Some(start);
                     managed.events.push((now, JobEvent::AutoDowngraded));
+                    self.recorder.record(
+                        now,
+                        Event::Downgraded {
+                            job: id,
+                            from: job.mode.into(),
+                            to: cmpqos_obs::Mode::Opportunistic,
+                        },
+                    );
                 }
                 _ => {
                     managed.state = JobState::WaitingStart(start);
@@ -365,10 +600,7 @@ impl QosScheduler {
     /// Reports for every submitted job, in id order.
     #[must_use]
     pub fn reports(&self) -> Vec<JobReport> {
-        self.jobs
-            .keys()
-            .filter_map(|&id| self.report(id))
-            .collect()
+        self.jobs.keys().filter_map(|&id| self.report(id)).collect()
     }
 
     /// The stealing controller state for an Elastic job, if it has one.
@@ -417,6 +649,26 @@ impl QosScheduler {
                 m.started = Some(c.started_at);
                 m.finished = Some(c.finished_at);
                 m.events.push((c.finished_at, JobEvent::Completed));
+                let met_deadline = m.job.deadline.is_none_or(|td| c.finished_at <= td);
+                self.recorder.record(
+                    c.finished_at,
+                    Event::Completed {
+                        job: c.id,
+                        met_deadline,
+                    },
+                );
+                if let Some(td) = m.job.deadline {
+                    if c.finished_at > td {
+                        self.recorder.record(
+                            c.finished_at,
+                            Event::DeadlineMissed {
+                                job: c.id,
+                                deadline: td,
+                                finished: c.finished_at,
+                            },
+                        );
+                    }
+                }
                 // Reclaim any remaining reservation (early completion).
                 self.lac.release(c.id, c.finished_at);
                 let monitor = self.node.detach_monitor(c.id);
@@ -458,6 +710,9 @@ impl QosScheduler {
                 m.switch_back_at = None;
                 m.state = JobState::RunningReserved;
                 m.events.push((now, JobEvent::SwitchedBack));
+                let to = m.job.mode.into();
+                self.recorder
+                    .record(now, Event::SwitchedBack { job: id, to });
                 self.recompute_partition();
             } else if let Some(m) = self.jobs.get_mut(&id) {
                 // Completed in the same slice; nothing to revert.
@@ -512,6 +767,14 @@ impl QosScheduler {
             };
             m.state = JobState::RunningReserved;
             m.events.push((now, JobEvent::Started));
+            self.recorder.record(
+                now,
+                Event::Started {
+                    job: id,
+                    core: Some(core),
+                    mode: m.job.mode.into(),
+                },
+            );
             if let ExecutionMode::Elastic(x) = m.job.mode {
                 if self.config.stealing_enabled {
                     m.stealing = Some(StealingController::new(
@@ -521,8 +784,8 @@ impl QosScheduler {
                     ));
                 }
             }
-            let is_elastic = matches!(m.job.mode, ExecutionMode::Elastic(_))
-                && self.config.stealing_enabled;
+            let is_elastic =
+                matches!(m.job.mode, ExecutionMode::Elastic(_)) && self.config.stealing_enabled;
             let ways = m.job.request.cache_ways();
             self.node.spawn(spec).expect("validated spawn");
             if is_elastic {
@@ -542,7 +805,16 @@ impl QosScheduler {
             placement: Placement::Floating,
             reserved: false,
         };
-        m.events.push((self.node.now(), JobEvent::Started));
+        let now = self.node.now();
+        m.events.push((now, JobEvent::Started));
+        self.recorder.record(
+            now,
+            Event::Started {
+                job: id,
+                core: None,
+                mode: cmpqos_obs::Mode::Opportunistic,
+            },
+        );
         self.node.spawn(spec).expect("validated spawn");
         self.recompute_partition();
     }
@@ -574,8 +846,8 @@ impl QosScheduler {
             let Some(monitor) = self.node.monitor(id) else {
                 continue;
             };
-            let action = ctl.decide(monitor, bus);
             let now = self.node.now();
+            let action = ctl.decide_recorded(monitor, bus, id, now, self.recorder.as_mut());
             match action {
                 StealingAction::StealOne => {
                     m.events.push((now, JobEvent::WayStolen));
@@ -649,7 +921,7 @@ impl QosScheduler {
             }
         }
         self.node
-            .set_l2_targets(&targets)
+            .set_l2_targets_recorded(&targets, self.recorder.as_mut())
             .expect("targets never exceed associativity");
         // Program bandwidth caps: reserved jobs with an explicit bandwidth
         // share are held to it; everything else is best-effort (uncapped,
@@ -807,7 +1079,9 @@ mod tests {
             source(1, "bzip2"),
         );
         s.run_until(Cycles::new(600_000));
-        let ctl = s.stealing_state(JobId::new(0)).expect("controller attached");
+        let ctl = s
+            .stealing_state(JobId::new(0))
+            .expect("controller attached");
         assert!(
             ctl.stolen() > Ways::ZERO || ctl.is_cancelled(),
             "stealing engaged: {ctl:?}"
@@ -829,10 +1103,7 @@ mod tests {
         // Reservation sits at td - tw = 2*TW, not at 0.
         assert_eq!(d.start(), Some(Cycles::new(2 * TW)));
         let r = s.report(JobId::new(0)).unwrap();
-        assert!(r
-            .events
-            .iter()
-            .any(|(_, e)| *e == JobEvent::AutoDowngraded));
+        assert!(r.events.iter().any(|(_, e)| *e == JobEvent::AutoDowngraded));
         s.run_to_idle(Cycles::new(1_000_000_000));
         let r = s.report(JobId::new(0)).unwrap();
         assert!(r.met_deadline());
@@ -937,9 +1208,6 @@ mod tests {
         // Core 0 reserved 7 ways; 9 spare ways split 3/3/3 across the rest.
         let targets = s.node().l2_targets().to_vec();
         assert_eq!(targets[0], Ways::new(7));
-        assert_eq!(
-            targets[1..].iter().map(|w| w.get()).sum::<u16>(),
-            9
-        );
+        assert_eq!(targets[1..].iter().map(|w| w.get()).sum::<u16>(), 9);
     }
 }

@@ -11,10 +11,14 @@
 //! roughly constant, so the miss-rate guard would no longer bound slowdown).
 
 use cmpqos_cache::DuplicateTagMonitor;
-use cmpqos_types::{Instructions, Percent, Ways};
+use cmpqos_types::{Cycles, Instructions, JobId, Percent, Ways};
 
 /// Stealing parameters.
+///
+/// Construct with [`StealingConfig::default`] or the
+/// [`StealingConfig::builder`]; the struct is `#[non_exhaustive]`.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct StealingConfig {
     /// Repartitioning interval, in retired instructions of the Elastic job
     /// (paper: 2,000,000).
@@ -32,6 +36,51 @@ impl Default for StealingConfig {
             min_ways: Ways::new(1),
             bus_saturation_threshold: 0.9,
         }
+    }
+}
+
+impl StealingConfig {
+    /// A fluent builder starting from the paper defaults.
+    #[must_use]
+    pub fn builder() -> StealingConfigBuilder {
+        StealingConfigBuilder {
+            config: StealingConfig::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`StealingConfig`].
+#[derive(Debug, Clone)]
+pub struct StealingConfigBuilder {
+    config: StealingConfig,
+}
+
+impl StealingConfigBuilder {
+    /// Sets the repartitioning interval (retired instructions).
+    #[must_use]
+    pub fn interval(mut self, interval: Instructions) -> Self {
+        self.config.interval = interval;
+        self
+    }
+
+    /// Sets the minimum allocation stealing may leave the job.
+    #[must_use]
+    pub fn min_ways(mut self, min_ways: Ways) -> Self {
+        self.config.min_ways = min_ways;
+        self
+    }
+
+    /// Sets the bus-utilization threshold above which stealing pauses.
+    #[must_use]
+    pub fn bus_saturation_threshold(mut self, threshold: f64) -> Self {
+        self.config.bus_saturation_threshold = threshold;
+        self
+    }
+
+    /// Finishes the configuration.
+    #[must_use]
+    pub fn build(self) -> StealingConfig {
+        self.config
     }
 }
 
@@ -177,6 +226,48 @@ impl StealingController {
             StealingAction::Hold
         }
     }
+
+    /// [`StealingController::decide`], additionally emitting
+    /// `StealTaken`/`GuardTripped`/`StealReturned` for `job` to `recorder`
+    /// at cycle `now`.
+    pub fn decide_recorded(
+        &mut self,
+        monitor: &DuplicateTagMonitor,
+        bus_utilization: f64,
+        job: JobId,
+        now: Cycles,
+        recorder: &mut dyn cmpqos_obs::Recorder,
+    ) -> StealingAction {
+        // A Cancel can only come from the guard, but capture the condition
+        // before `decide` mutates state so the attribution stays honest.
+        let guard_trips = !self.cancelled && monitor.exceeded(self.slack);
+        let action = self.decide(monitor, bus_utilization);
+        if recorder.enabled() {
+            match action {
+                StealingAction::StealOne => recorder.record(
+                    now,
+                    cmpqos_obs::Event::StealTaken {
+                        job,
+                        stolen_total: self.stolen,
+                    },
+                ),
+                StealingAction::Cancel { returned } => {
+                    if guard_trips {
+                        recorder.record(
+                            now,
+                            cmpqos_obs::Event::GuardTripped {
+                                job,
+                                miss_increase: monitor.miss_increase(),
+                            },
+                        );
+                    }
+                    recorder.record(now, cmpqos_obs::Event::StealReturned { job, returned });
+                }
+                StealingAction::Hold => {}
+            }
+        }
+        action
+    }
 }
 
 #[cfg(test)]
@@ -268,13 +359,73 @@ mod tests {
     }
 
     #[test]
+    fn builder_overrides_fields() {
+        let cfg = StealingConfig::builder()
+            .interval(Instructions::new(1000))
+            .min_ways(Ways::new(2))
+            .bus_saturation_threshold(0.5)
+            .build();
+        assert_eq!(cfg.interval, Instructions::new(1000));
+        assert_eq!(cfg.min_ways, Ways::new(2));
+        assert_eq!(cfg.bus_saturation_threshold, 0.5);
+        assert_eq!(StealingConfig::builder().build(), StealingConfig::default());
+    }
+
+    #[test]
+    fn recorded_decisions_emit_steal_and_guard_events() {
+        use cmpqos_obs::{Event, RingBufferRecorder};
+        use cmpqos_types::{Cycles, JobId};
+
+        let mut ctl =
+            StealingController::new(Percent::new(5.0), Ways::new(7), StealingConfig::default());
+        let mut rec = RingBufferRecorder::new(16);
+        let job = JobId::new(3);
+        let quiet = quiet_monitor();
+        assert_eq!(
+            ctl.decide_recorded(&quiet, 0.0, job, Cycles::new(10), &mut rec),
+            StealingAction::StealOne
+        );
+        // Bus saturation holds silently.
+        assert_eq!(
+            ctl.decide_recorded(&quiet, 0.95, job, Cycles::new(20), &mut rec),
+            StealingAction::Hold
+        );
+        let tripped = tripped_monitor(0.10);
+        assert!(matches!(
+            ctl.decide_recorded(&tripped, 0.0, job, Cycles::new(30), &mut rec),
+            StealingAction::Cancel { .. }
+        ));
+        let events: Vec<Event> = rec.to_vec().into_iter().map(|r| r.event).collect();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events[0],
+            Event::StealTaken {
+                job,
+                stolen_total: Ways::new(1),
+            }
+        );
+        assert!(matches!(events[1], Event::GuardTripped { .. }));
+        assert_eq!(
+            events[2],
+            Event::StealReturned {
+                job,
+                returned: Ways::new(1),
+            }
+        );
+        assert_eq!(rec.counters().guard_trips, 1);
+    }
+
+    #[test]
     fn larger_slack_tolerates_more_miss_increase() {
         let mut tight =
             StealingController::new(Percent::new(2.0), Ways::new(7), StealingConfig::default());
         let mut loose =
             StealingController::new(Percent::new(20.0), Ways::new(7), StealingConfig::default());
         let m = tripped_monitor(0.10); // ~10% increase
-        assert!(matches!(tight.decide(&m, 0.0), StealingAction::Cancel { .. }));
+        assert!(matches!(
+            tight.decide(&m, 0.0),
+            StealingAction::Cancel { .. }
+        ));
         assert_eq!(loose.decide(&m, 0.0), StealingAction::StealOne);
     }
 }

@@ -294,10 +294,7 @@ mod tests {
             timeslot: None,
         };
         assert_eq!(t.demanded_capacity(), ResourceRequest::paper_job());
-        assert_eq!(
-            Preset::Large.request().demanded_capacity().cores(),
-            2
-        );
+        assert_eq!(Preset::Large.request().demanded_capacity().cores(), 2);
     }
 
     #[test]

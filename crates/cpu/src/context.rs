@@ -168,13 +168,19 @@ mod tests {
     fn memory_outcomes_accumulate_in_perf() {
         let mut ctx = ExecutionContext::new(Box::new(Compute));
         let (base, _) = ctx.issue();
-        ctx.complete(base, MemOutcome::L2Miss {
-            stall: Cycles::new(300),
-        });
+        ctx.complete(
+            base,
+            MemOutcome::L2Miss {
+                stall: Cycles::new(300),
+            },
+        );
         let (base, _) = ctx.issue();
-        ctx.complete(base, MemOutcome::L2Hit {
-            stall: Cycles::new(10),
-        });
+        ctx.complete(
+            base,
+            MemOutcome::L2Hit {
+                stall: Cycles::new(10),
+            },
+        );
         let (base, _) = ctx.issue();
         ctx.complete(base, MemOutcome::L1Hit);
         let p = ctx.perf();

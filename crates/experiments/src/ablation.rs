@@ -126,7 +126,7 @@ fn stealing_run(
     sample_every: u32,
     interval: Option<Instructions>,
 ) -> (f64, u16) {
-    use cmpqos_core::{ExecutionMode, QosJob, QosScheduler, ResourceRequest, SchedulerConfig};
+    use cmpqos_core::{QosJob, QosScheduler, ResourceRequest, SchedulerConfig};
     let mut system = SystemConfig::paper_scaled(params.scale);
     system.shadow_sample_every = sample_every;
     let mut cfg = SchedulerConfig::default();
@@ -137,25 +137,22 @@ fn stealing_run(
     let work = params.work;
     let tw = Cycles::new(work.get() * 40);
     sched.submit(
-        QosJob {
-            id: JobId::new(0),
-            mode: ExecutionMode::Elastic(Percent::new(5.0)),
-            request: ResourceRequest::paper_job(),
-            work,
-            max_wall_clock: tw,
-            deadline: Some(tw * 3),
-        },
+        QosJob::elastic(
+            JobId::new(0),
+            ResourceRequest::paper_job(),
+            Percent::new(5.0),
+        )
+        .work(work)
+        .max_wall_clock(tw)
+        .deadline(tw * 3)
+        .build(),
         Box::new(gobmk.instantiate(params.seed, 1 << 36)),
     );
     sched.submit(
-        QosJob {
-            id: JobId::new(1),
-            mode: ExecutionMode::Opportunistic,
-            request: ResourceRequest::paper_job(),
-            work,
-            max_wall_clock: tw,
-            deadline: None,
-        },
+        QosJob::opportunistic(JobId::new(1), ResourceRequest::paper_job())
+            .work(work)
+            .max_wall_clock(tw)
+            .build(),
         Box::new(bzip2.instantiate(params.seed + 1, 2 << 36)),
     );
     sched.run_to_idle(tw * 40);
@@ -166,7 +163,10 @@ fn stealing_run(
 
 /// Prints all three ablations.
 pub fn print(params: &ExperimentParams) {
-    banner("Ablation 1: per-set vs global partitioning variance", params);
+    banner(
+        "Ablation 1: per-set vs global partitioning variance",
+        params,
+    );
     let mut t = Table::new(&["policy", "runs", "mean CPI", "min", "max", "stddev"]);
     for policy in [PartitionPolicy::PerSet, PartitionPolicy::Global] {
         let v = partition_variance(params, policy, 5);
@@ -196,7 +196,11 @@ pub fn print(params: &ExperimentParams) {
     let mut t = Table::new(&["interval (instr)", "ways stolen"]);
     for p in interval_sweep(
         params,
-        &[params.work.get() / 100, params.work.get() / 20, params.work.get() / 5],
+        &[
+            params.work.get() / 100,
+            params.work.get() / 20,
+            params.work.get() / 5,
+        ],
     ) {
         t.row_owned(vec![p.interval.to_string(), p.stolen.to_string()]);
     }
@@ -241,7 +245,11 @@ mod tests {
         // gobmk donates freely: both estimates stay small and stealing
         // engages at both periods.
         for pt in &pts {
-            assert!(pt.stolen > 0, "sample_every={} stole nothing", pt.sample_every);
+            assert!(
+                pt.stolen > 0,
+                "sample_every={} stole nothing",
+                pt.sample_every
+            );
             assert!(pt.miss_increase < 0.2, "estimate {}", pt.miss_increase);
         }
     }

@@ -2,7 +2,7 @@
 use cmpqos_experiments::*;
 
 fn main() {
-    let params = ExperimentParams::from_env();
+    let params = ExperimentParams::from_env_and_args();
     let r = fig1::run(&params);
     fig1::print(&r, &params);
     fig3::print(&fig3::run());

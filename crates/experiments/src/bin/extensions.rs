@@ -2,6 +2,6 @@
 use cmpqos_experiments::{extensions, ExperimentParams};
 
 fn main() {
-    let params = ExperimentParams::from_env();
+    let params = ExperimentParams::from_env_and_args();
     extensions::print(&params);
 }

@@ -2,7 +2,7 @@
 use cmpqos_experiments::{fig4, ExperimentParams};
 
 fn main() {
-    let params = ExperimentParams::from_env();
+    let params = ExperimentParams::from_env_and_args();
     let points = fig4::run(&params);
     fig4::print(&points, &params);
 }

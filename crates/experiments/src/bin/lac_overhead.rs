@@ -2,7 +2,7 @@
 use cmpqos_experiments::{lac_overhead, ExperimentParams};
 
 fn main() {
-    let params = ExperimentParams::from_env();
+    let params = ExperimentParams::from_env_and_args();
     let rows = lac_overhead::run(&params);
     lac_overhead::print(&rows, &params);
 }

@@ -2,7 +2,7 @@
 use cmpqos_experiments::{table1, ExperimentParams};
 
 fn main() {
-    let params = ExperimentParams::from_env();
+    let params = ExperimentParams::from_env_and_args();
     let rows = table1::run(&params);
     table1::print(&rows, &params);
 }

@@ -2,7 +2,7 @@
 use cmpqos_experiments::{variance, ExperimentParams};
 
 fn main() {
-    let params = ExperimentParams::from_env();
+    let params = ExperimentParams::from_env_and_args();
     let rows = variance::run(&params);
     variance::print(&rows, &params);
 }

@@ -110,10 +110,7 @@ pub fn ucp_comparison(params: &ExperimentParams) -> UcpComparison {
 /// `((hog IPC uncapped, hog IPC capped), (victim IPC uncapped, victim IPC
 /// capped))`.
 #[must_use]
-pub fn bandwidth_isolation(
-    params: &ExperimentParams,
-    hog_cap: u8,
-) -> ((f64, f64), (f64, f64)) {
+pub fn bandwidth_isolation(params: &ExperimentParams, hog_cap: u8) -> ((f64, f64), (f64, f64)) {
     let run = |cap: Option<u8>| {
         let system = SystemConfig::paper_scaled(params.scale);
         let mut node = CmpNode::new(system);
@@ -156,7 +153,10 @@ pub fn bandwidth_isolation(
 
 /// Prints both extension studies.
 pub fn print(params: &ExperimentParams) {
-    banner("Extension: UCP (utility-based partitioning) vs equal split", params);
+    banner(
+        "Extension: UCP (utility-based partitioning) vs equal split",
+        params,
+    );
     let u = ucp_comparison(params);
     let mut t = Table::new(&["job", "equal-split IPC", "UCP IPC"]);
     t.row_owned(vec![
@@ -177,8 +177,7 @@ pub fn print(params: &ExperimentParams) {
     );
 
     banner("Extension: off-chip bandwidth reservation", params);
-    let ((hog_free, hog_capped), (victim_free, victim_capped)) =
-        bandwidth_isolation(params, 2);
+    let ((hog_free, hog_capped), (victim_free, victim_capped)) = bandwidth_isolation(params, 2);
     let mut t = Table::new(&["scenario", "milc (hog) IPC", "bzip2 (victim) IPC"]);
     t.row_owned(vec![
         "hog uncapped".into(),
@@ -223,8 +222,7 @@ mod tests {
     fn bandwidth_cap_binds_the_hog_and_spares_the_victim() {
         let mut p = ExperimentParams::quick();
         p.work = Instructions::new(150_000);
-        let ((hog_free, hog_capped), (victim_free, victim_capped)) =
-            bandwidth_isolation(&p, 2);
+        let ((hog_free, hog_capped), (victim_free, victim_capped)) = bandwidth_isolation(&p, 2);
         assert!(
             hog_capped < hog_free * 0.8,
             "the 2% cap must throttle milc: {hog_capped} vs {hog_free}"

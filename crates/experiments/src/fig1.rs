@@ -64,9 +64,7 @@ pub fn run(params: &ExperimentParams) -> Fig1Result {
         for i in 0..k {
             node.spawn(TaskSpec {
                 id: JobId::new(i as u32),
-                source: Box::new(
-                    profile.instantiate(params.seed + i as u64, (i as u64 + 1) << 36),
-                ),
+                source: Box::new(profile.instantiate(params.seed + i as u64, (i as u64 + 1) << 36)),
                 budget: params.work,
                 placement: Placement::Pinned(CoreId::new(i as u32)),
                 reserved: true,
@@ -101,7 +99,13 @@ pub fn print(result: &Fig1Result, params: &ExperimentParams) {
         "solo IPC = {:.3}; QoS target (2/3 solo) = {:.3}\n",
         result.solo_ipc, result.target
     );
-    let mut t = Table::new(&["instances", "ways each", "min IPC", "per-instance IPCs", "meets target?"]);
+    let mut t = Table::new(&[
+        "instances",
+        "ways each",
+        "min IPC",
+        "per-instance IPCs",
+        "meets target?",
+    ]);
     for r in &result.rows {
         let min = r.ipcs.iter().cloned().fold(f64::INFINITY, f64::min);
         let ipcs = r

@@ -91,8 +91,7 @@ fn simulate(label: &'static str, modes: &[ExecutionMode; 6], stealing: bool) -> 
             Decision::Accepted { start } => start,
             Decision::Rejected(_) => Cycles::ZERO, // opportunistic always fits here
         };
-        let deadline =
-            start + Cycles::new((deadline_slack * STEPS_PER_T as f64) as u64);
+        let deadline = start + Cycles::new((deadline_slack * STEPS_PER_T as f64) as u64);
         jobs.push(Sim {
             number: i + 1,
             mode,
@@ -223,7 +222,11 @@ mod tests {
         let s = run();
         assert_eq!(s.len(), 3);
         // (a) all Strict: exactly 3T (three sequential pairs).
-        assert!((s[0].total_in_t - 3.0).abs() < 0.05, "(a) {}", s[0].total_in_t);
+        assert!(
+            (s[0].total_in_t - 3.0).abs() < 0.05,
+            "(a) {}",
+            s[0].total_in_t
+        );
         // (b) improves on (a).
         assert!(s[1].total_in_t < s[0].total_in_t, "(b) {}", s[1].total_in_t);
         // (c) opportunistic jobs finish no later than in (b).

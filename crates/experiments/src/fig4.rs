@@ -54,8 +54,17 @@ pub fn run(params: &ExperimentParams) -> Vec<Fig4Point> {
 
 /// Prints the scatter as a table, grouped by class.
 pub fn print(points: &[Fig4Point], params: &ExperimentParams) {
-    banner("Figure 4: cache-capacity sensitivity of each benchmark", params);
-    let mut t = Table::new(&["benchmark", "group", "CPI@7w", "CPI incr 7->4", "CPI incr 7->1"]);
+    banner(
+        "Figure 4: cache-capacity sensitivity of each benchmark",
+        params,
+    );
+    let mut t = Table::new(&[
+        "benchmark",
+        "group",
+        "CPI@7w",
+        "CPI incr 7->4",
+        "CPI incr 7->1",
+    ]);
     for p in points {
         t.row_owned(vec![
             p.bench.clone(),
@@ -95,9 +104,6 @@ mod tests {
         // partition), well below the Group 2 benchmarks'.
         assert!(inc("gobmk", 4) < 0.05, "gobmk 7->4: {}", inc("gobmk", 4));
         assert!(inc("gobmk", 1) < 0.25, "gobmk 7->1: {}", inc("gobmk", 1));
-        assert!(
-            inc("gobmk", 1) < inc("hmmer", 1),
-            "group ordering at 1 way"
-        );
+        assert!(inc("gobmk", 1) < inc("hmmer", 1), "group ordering at 1 way");
     }
 }

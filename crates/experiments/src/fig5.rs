@@ -60,6 +60,7 @@ pub fn run_for(params: &ExperimentParams, benches: &[&str]) -> Vec<Fig5Workload>
                         seed: params.seed,
                         stealing_enabled: true,
                         steal_interval: None,
+                        events: params.events.clone(),
                     })
                 })
                 .collect();

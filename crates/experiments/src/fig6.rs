@@ -41,6 +41,7 @@ pub fn run_bench(params: &ExperimentParams, bench: &str) -> Fig6Result {
                 seed: params.seed,
                 stealing_enabled: true,
                 steal_interval: None,
+                events: params.events.clone(),
             })
         })
         .collect();

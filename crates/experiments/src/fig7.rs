@@ -55,6 +55,7 @@ pub fn run_bench(params: &ExperimentParams, bench: &str, n: usize) -> Fig7Result
             seed: params.seed,
             stealing_enabled: true,
             steal_interval: None,
+            events: params.events.clone(),
         })
     };
     Fig7Result {
@@ -182,5 +183,48 @@ mod tests {
         }
         let art = render(&r.strict, 60);
         assert!(art.contains('#'));
+    }
+
+    #[test]
+    fn events_file_reconstructs_the_figure7_timeline() {
+        // The acceptance path of the observability layer: run both cells
+        // with an event log, then rebuild the per-run timelines from the
+        // JSONL alone and cross-check them against the reports.
+        let path =
+            std::env::temp_dir().join(format!("cmpqos-fig7-events-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut p = ExperimentParams::quick();
+        p.events = Some(path.clone());
+        let r = run_bench(&p, "gobmk", 6);
+
+        let text = std::fs::read_to_string(&path).expect("event log written");
+        let runs = cmpqos_obs::Timeline::per_run(&text).expect("parseable JSONL");
+        assert_eq!(runs.len(), 2, "one timeline per cell");
+        assert_eq!(runs[0].label(), Some("gobmk x6 / All-Strict"));
+        assert_eq!(runs[1].label(), Some("gobmk x6 / All-Strict+AutoDown"));
+
+        for (outcome, timeline) in [(&r.strict, &runs[0]), (&r.autodown, &runs[1])] {
+            for j in &outcome.accepted {
+                let id = j.report.job.id;
+                let jt = timeline.job(id).expect("accepted job in the timeline");
+                // Started is recorded at dispatch; the engine's started_at
+                // additionally includes context-switch latency.
+                let dispatched = jt.started.expect("job started");
+                assert!(
+                    dispatched <= j.report.started.expect("job ran"),
+                    "job {id} dispatch precedes execution"
+                );
+                assert_eq!(
+                    jt.completed.map(|(t, _)| t),
+                    j.report.finished,
+                    "job {id} finish"
+                );
+            }
+            assert!(!timeline.partition_changes().is_empty());
+        }
+        // The AutoDown cell downgrades at least one job, and the timeline
+        // sees the same switch-backs the reports recorded.
+        assert!(runs[1].jobs().any(|(_, jt)| jt.downgraded.is_some()));
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -75,6 +75,7 @@ pub fn run_bench(params: &ExperimentParams, bench: &str, slacks: &[f64]) -> Fig8
             seed: params.seed,
             stealing_enabled: stealing,
             steal_interval: None,
+            events: params.events.clone(),
         })
     };
     let baseline = cell(5.0, false);
@@ -88,8 +89,9 @@ pub fn run_bench(params: &ExperimentParams, bench: &str, slacks: &[f64]) -> Fig8
             let miss_increase = elastic_mean(&o, |j| j.report.steal.map(|s| s.miss_increase));
             let cpi = elastic_mean(&o, |j| Some(j.report.perf.cpi()));
             let opp = mean_wall_clock(&o, "Opportunistic").unwrap_or(base_opp);
-            let ways =
-                elastic_mean(&o, |j| j.report.steal.map(|s| f64::from(s.max_stolen.get())));
+            let ways = elastic_mean(&o, |j| {
+                j.report.steal.map(|s| f64::from(s.max_stolen.get()))
+            });
             Fig8Point {
                 slack,
                 miss_increase,

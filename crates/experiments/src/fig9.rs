@@ -45,6 +45,7 @@ pub fn run_mix(params: &ExperimentParams, workload: WorkloadSpec) -> Fig9Mix {
                 seed: params.seed,
                 stealing_enabled: true,
                 steal_interval: None,
+                events: params.events.clone(),
             })
         })
         .collect();

@@ -39,9 +39,9 @@ pub fn maybe_dump<T: Serialize>(value: &T) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cmpqos_types::Instructions;
     use cmpqos_workloads::runner::{run, RunConfig};
     use cmpqos_workloads::{Configuration, WorkloadSpec};
-    use cmpqos_types::Instructions;
 
     #[test]
     fn run_outcome_round_trips_through_json() {
@@ -53,6 +53,7 @@ mod tests {
             seed: 1,
             stealing_enabled: true,
             steal_interval: None,
+            events: None,
         });
         let json = serde_json::to_string(&outcome).expect("serializes");
         assert!(json.contains("makespan"));

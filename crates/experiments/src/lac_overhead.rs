@@ -38,6 +38,7 @@ pub fn run(params: &ExperimentParams) -> Vec<LacRow> {
                 seed: params.seed,
                 stealing_enabled: true,
                 steal_interval: None,
+                events: params.events.clone(),
             });
             LacRow {
                 workload: format!("{bench} x10"),
@@ -53,7 +54,13 @@ pub fn run(params: &ExperimentParams) -> Vec<LacRow> {
 /// Prints the characterization.
 pub fn print(rows: &[LacRow], params: &ExperimentParams) {
     banner("Section 7.5: LAC occupancy characterization", params);
-    let mut t = Table::new(&["workload", "submissions", "admission tests", "cost (cycles)", "occupancy"]);
+    let mut t = Table::new(&[
+        "workload",
+        "submissions",
+        "admission tests",
+        "cost (cycles)",
+        "occupancy",
+    ]);
     for r in rows {
         t.row_owned(vec![
             r.workload.clone(),

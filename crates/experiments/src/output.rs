@@ -38,7 +38,8 @@ impl Table {
     /// Panics if the row length differs from the header length.
     pub fn row(&mut self, cells: &[&str]) {
         assert_eq!(cells.len(), self.header.len(), "row/header mismatch");
-        self.rows.push(cells.iter().map(|s| (*s).to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| (*s).to_string()).collect());
     }
 
     /// Appends a row of owned strings.
@@ -172,10 +173,7 @@ mod tests {
         t.row(&["plain", "1"]);
         t.row(&["com,ma", "qu\"ote"]);
         let csv = t.to_csv();
-        assert_eq!(
-            csv,
-            "name,value\nplain,1\n\"com,ma\",\"qu\"\"ote\"\n"
-        );
+        assert_eq!(csv, "name,value\nplain,1\n\"com,ma\",\"qu\"\"ote\"\n");
     }
 
     #[test]

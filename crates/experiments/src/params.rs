@@ -1,15 +1,18 @@
 //! Shared experiment parameters.
 
 use cmpqos_types::Instructions;
+use std::path::PathBuf;
 
 /// Global knobs for every experiment: the geometry scale factor, the
-/// per-job instruction budget and the master seed.
+/// per-job instruction budget, the master seed and an optional event log.
 ///
 /// Defaults reproduce the paper's shapes in seconds per experiment; the
 /// environment variables `CMPQOS_SCALE`, `CMPQOS_WORK` and `CMPQOS_SEED`
 /// override them for higher-fidelity (slower) runs — `CMPQOS_SCALE=1
-/// CMPQOS_WORK=200000000` is the paper's literal setup.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// CMPQOS_WORK=200000000` is the paper's literal setup. `CMPQOS_EVENTS`
+/// (or the figure binaries' `--events <path>` flag) names a JSONL file
+/// that receives every QoS event of every run (see `cmpqos-obs`).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExperimentParams {
     /// Geometry scale factor `k` (see
     /// [`cmpqos_system::SystemConfig::paper_scaled`]).
@@ -18,6 +21,8 @@ pub struct ExperimentParams {
     pub work: Instructions,
     /// Master seed.
     pub seed: u64,
+    /// When set, every run appends its event stream to this JSONL file.
+    pub events: Option<PathBuf>,
 }
 
 impl ExperimentParams {
@@ -28,6 +33,7 @@ impl ExperimentParams {
             scale: 8,
             work: Instructions::new(800_000),
             seed: 1,
+            events: None,
         }
     }
 
@@ -38,6 +44,7 @@ impl ExperimentParams {
             scale: 16,
             work: Instructions::new(80_000),
             seed: 1,
+            events: None,
         }
     }
 
@@ -53,6 +60,32 @@ impl ExperimentParams {
         }
         if let Some(v) = read_env("CMPQOS_SEED") {
             p.seed = v;
+        }
+        if let Ok(path) = std::env::var("CMPQOS_EVENTS") {
+            let path = path.trim();
+            if !path.is_empty() {
+                p.events = Some(PathBuf::from(path));
+            }
+        }
+        p
+    }
+
+    /// [`ExperimentParams::from_env`] plus command-line overrides: every
+    /// figure binary accepts `--events <path>` (which wins over
+    /// `CMPQOS_EVENTS`). Unknown arguments are ignored so existing
+    /// invocations keep working.
+    #[must_use]
+    pub fn from_env_and_args() -> Self {
+        let mut p = Self::from_env();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--events" {
+                if let Some(path) = args.next() {
+                    p.events = Some(PathBuf::from(path));
+                }
+            } else if let Some(path) = arg.strip_prefix("--events=") {
+                p.events = Some(PathBuf::from(path));
+            }
         }
         p
     }
@@ -78,6 +111,7 @@ mod tests {
         assert_eq!(p.scale, 8);
         assert_eq!(ExperimentParams::default(), p);
         assert!(ExperimentParams::quick().work < p.work);
+        assert_eq!(p.events, None);
     }
 
     #[test]

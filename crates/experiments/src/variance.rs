@@ -49,6 +49,7 @@ pub fn run_workload(
                 seed,
                 stealing_enabled: true,
                 steal_interval: None,
+                events: params.events.clone(),
             })
         };
         let base = cell(Configuration::AllStrict);
@@ -68,16 +69,15 @@ pub fn run_workload(
 /// Runs the default stability study: the gobmk workload across 5 seeds.
 #[must_use]
 pub fn run(params: &ExperimentParams) -> Vec<VarianceRow> {
-    run_workload(
-        params,
-        &WorkloadSpec::single("gobmk", 10),
-        &[1, 2, 3, 4, 5],
-    )
+    run_workload(params, &WorkloadSpec::single("gobmk", 10), &[1, 2, 3, 4, 5])
 }
 
 /// Prints the study.
 pub fn print(rows: &[VarianceRow], params: &ExperimentParams) {
-    banner("Seed stability: Figure 5 cells across 5 seeds (gobmk x10)", params);
+    banner(
+        "Seed stability: Figure 5 cells across 5 seeds (gobmk x10)",
+        params,
+    );
     let mut t = Table::new(&[
         "configuration",
         "hit rate mean",

@@ -201,7 +201,10 @@ mod tests {
     #[test]
     fn idle_channel_has_pure_latency() {
         let mut c = ch();
-        assert_eq!(c.request(Cycles::new(100), Priority::Reserved), Cycles::new(400));
+        assert_eq!(
+            c.request(Cycles::new(100), Priority::Reserved),
+            Cycles::new(400)
+        );
     }
 
     #[test]
@@ -260,7 +263,7 @@ mod tests {
         let mut c = ch();
         c.request(Cycles::new(0), Priority::Reserved); // 20 cycles reserved
         c.request(Cycles::new(0), Priority::Opportunistic); // 20 cycles opp
-        // After 30 cycles: reserved fully drained, 10 cycles of opp left.
+                                                            // After 30 cycles: reserved fully drained, 10 cycles of opp left.
         let t = c.request(Cycles::new(30), Priority::Opportunistic);
         assert_eq!(t, Cycles::new(30 + 10 + 300));
     }

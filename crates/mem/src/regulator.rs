@@ -149,8 +149,14 @@ mod tests {
         reg.set_share(0, 50);
         // Long idle: balance caps at the 40-cycle burst, so only two
         // 20-cycle transfers go through before throttling.
-        assert_eq!(reg.delay(0, Cycles::new(1_000_000), Cycles::new(20)), Cycles::ZERO);
-        assert_eq!(reg.delay(0, Cycles::new(1_000_000), Cycles::new(20)), Cycles::ZERO);
+        assert_eq!(
+            reg.delay(0, Cycles::new(1_000_000), Cycles::new(20)),
+            Cycles::ZERO
+        );
+        assert_eq!(
+            reg.delay(0, Cycles::new(1_000_000), Cycles::new(20)),
+            Cycles::ZERO
+        );
         let d = reg.delay(0, Cycles::new(1_000_000), Cycles::new(20));
         assert!(d > Cycles::ZERO, "third back-to-back transfer throttles");
     }

@@ -1,0 +1,308 @@
+//! The typed event model: everything the QoS stack can tell an observer.
+
+use cmpqos_types::{CoreId, Cycles, JobId, Percent, Ways};
+
+/// Execution mode as seen by the observability layer.
+///
+/// Mirrors the scheduler's `ExecutionMode` (the conversion lives in
+/// `cmpqos-core`, which depends on this crate — not the other way around,
+/// so lower layers like the cache can also emit events).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Mode {
+    /// Hard QoS: reserved resources, guaranteed deadline.
+    Strict,
+    /// Bounded degradation: may donate resources within the slack.
+    Elastic(Percent),
+    /// Best effort: runs on whatever is left over.
+    Opportunistic,
+}
+
+/// Why admission control turned a job away.
+///
+/// Mirrors the LAC's `RejectReason` one-to-one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum RejectCause {
+    /// No reservation window fits before the job's deadline.
+    NoCapacityBeforeDeadline,
+    /// No spare resources right now (opportunistic admission).
+    NoSpareResources,
+    /// The request can never fit this node, regardless of schedule.
+    ExceedsNodeCapacity,
+}
+
+/// One observable moment in the life of the QoS framework.
+///
+/// Serialized (externally tagged) this is the JSONL schema the experiment
+/// binaries emit; see `docs/observability.md`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[non_exhaustive]
+pub enum Event {
+    /// Marks the start of an experiment cell, so one JSONL file can hold
+    /// several runs (job ids restart per run).
+    RunStarted {
+        /// Human-readable cell label, e.g. `"fig7/hybrid2"`.
+        label: String,
+    },
+    /// A job arrived at the scheduler.
+    Submitted {
+        /// The job.
+        job: JobId,
+        /// The mode it asked for.
+        mode: Mode,
+    },
+    /// The LAC accepted the job.
+    Admitted {
+        /// The job.
+        job: JobId,
+        /// Reserved start cycle (equals the admission cycle for
+        /// opportunistic jobs).
+        start: Cycles,
+    },
+    /// The LAC turned the job away.
+    Rejected {
+        /// The job.
+        job: JobId,
+        /// Why.
+        cause: RejectCause,
+    },
+    /// The job began executing on a core.
+    Started {
+        /// The job.
+        job: JobId,
+        /// The core it was pinned to; `None` for floating (opportunistic)
+        /// placement, where the engine picks any idle core each slice.
+        core: Option<CoreId>,
+        /// The mode it is actually running in (may differ from the
+        /// submitted mode after an auto-downgrade).
+        mode: Mode,
+    },
+    /// The scheduler downgraded the job's mode (e.g. Strict →
+    /// Opportunistic when the reserved start would miss the deadline).
+    Downgraded {
+        /// The job.
+        job: JobId,
+        /// Mode it asked for.
+        from: Mode,
+        /// Mode it will run in.
+        to: Mode,
+    },
+    /// A downgraded job was promoted back to its original mode.
+    SwitchedBack {
+        /// The job.
+        job: JobId,
+        /// The mode it returned to.
+        to: Mode,
+    },
+    /// The stealing controller took one way from the job's allocation.
+    StealTaken {
+        /// The donor job.
+        job: JobId,
+        /// Total ways stolen from it so far.
+        stolen_total: Ways,
+    },
+    /// Stealing was cancelled and the stolen ways handed back.
+    StealReturned {
+        /// The donor job.
+        job: JobId,
+        /// Ways returned.
+        returned: Ways,
+    },
+    /// The shadow-tag guard found the degradation bound exceeded.
+    GuardTripped {
+        /// The protected job.
+        job: JobId,
+        /// Observed miss increase at the time of the trip, as a fraction
+        /// of the shadow (original-allocation) misses.
+        miss_increase: f64,
+    },
+    /// The shared L2 was repartitioned.
+    PartitionChanged {
+        /// New per-core way targets, indexed by core.
+        targets: Vec<Ways>,
+    },
+    /// The job finished.
+    Completed {
+        /// The job.
+        job: JobId,
+        /// Whether it finished by its deadline (true when it had none).
+        met_deadline: bool,
+    },
+    /// The job finished after its deadline.
+    DeadlineMissed {
+        /// The job.
+        job: JobId,
+        /// The deadline it had.
+        deadline: Cycles,
+        /// When it actually finished.
+        finished: Cycles,
+    },
+}
+
+impl Event {
+    /// The job this event concerns, when it concerns exactly one.
+    #[must_use]
+    pub fn job(&self) -> Option<JobId> {
+        match *self {
+            Event::Submitted { job, .. }
+            | Event::Admitted { job, .. }
+            | Event::Rejected { job, .. }
+            | Event::Started { job, .. }
+            | Event::Downgraded { job, .. }
+            | Event::SwitchedBack { job, .. }
+            | Event::StealTaken { job, .. }
+            | Event::StealReturned { job, .. }
+            | Event::GuardTripped { job, .. }
+            | Event::Completed { job, .. }
+            | Event::DeadlineMissed { job, .. } => Some(job),
+            Event::RunStarted { .. } | Event::PartitionChanged { .. } => None,
+        }
+    }
+
+    /// The event's kind, for counting.
+    #[must_use]
+    pub fn kind(&self) -> EventKind {
+        match self {
+            Event::RunStarted { .. } => EventKind::RunStarted,
+            Event::Submitted { .. } => EventKind::Submitted,
+            Event::Admitted { .. } => EventKind::Admitted,
+            Event::Rejected { .. } => EventKind::Rejected,
+            Event::Started { .. } => EventKind::Started,
+            Event::Downgraded { .. } => EventKind::Downgraded,
+            Event::SwitchedBack { .. } => EventKind::SwitchedBack,
+            Event::StealTaken { .. } => EventKind::StealTaken,
+            Event::StealReturned { .. } => EventKind::StealReturned,
+            Event::GuardTripped { .. } => EventKind::GuardTripped,
+            Event::PartitionChanged { .. } => EventKind::PartitionChanged,
+            Event::Completed { .. } => EventKind::Completed,
+            Event::DeadlineMissed { .. } => EventKind::DeadlineMissed,
+        }
+    }
+}
+
+/// Discriminant-only view of [`Event`], the key of [`crate::Counters`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum EventKind {
+    /// See [`Event::RunStarted`].
+    RunStarted,
+    /// See [`Event::Submitted`].
+    Submitted,
+    /// See [`Event::Admitted`].
+    Admitted,
+    /// See [`Event::Rejected`].
+    Rejected,
+    /// See [`Event::Started`].
+    Started,
+    /// See [`Event::Downgraded`].
+    Downgraded,
+    /// See [`Event::SwitchedBack`].
+    SwitchedBack,
+    /// See [`Event::StealTaken`].
+    StealTaken,
+    /// See [`Event::StealReturned`].
+    StealReturned,
+    /// See [`Event::GuardTripped`].
+    GuardTripped,
+    /// See [`Event::PartitionChanged`].
+    PartitionChanged,
+    /// See [`Event::Completed`].
+    Completed,
+    /// See [`Event::DeadlineMissed`].
+    DeadlineMissed,
+}
+
+impl EventKind {
+    /// Every kind, in declaration order.
+    pub const ALL: [EventKind; 13] = [
+        EventKind::RunStarted,
+        EventKind::Submitted,
+        EventKind::Admitted,
+        EventKind::Rejected,
+        EventKind::Started,
+        EventKind::Downgraded,
+        EventKind::SwitchedBack,
+        EventKind::StealTaken,
+        EventKind::StealReturned,
+        EventKind::GuardTripped,
+        EventKind::PartitionChanged,
+        EventKind::Completed,
+        EventKind::DeadlineMissed,
+    ];
+}
+
+/// An [`Event`] stamped with the cycle it happened at.
+///
+/// One JSONL line is one serialized `Record`:
+/// `{"at": 1234, "event": {"Started": {...}}}`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Record {
+    /// Simulated cycle timestamp.
+    pub at: Cycles,
+    /// What happened.
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let records = vec![
+            Record {
+                at: Cycles::new(0),
+                event: Event::RunStarted {
+                    label: "fig7/hybrid2".into(),
+                },
+            },
+            Record {
+                at: Cycles::new(10),
+                event: Event::Submitted {
+                    job: JobId::new(1),
+                    mode: Mode::Elastic(Percent::new(10.0)),
+                },
+            },
+            Record {
+                at: Cycles::new(11),
+                event: Event::Rejected {
+                    job: JobId::new(2),
+                    cause: RejectCause::ExceedsNodeCapacity,
+                },
+            },
+            Record {
+                at: Cycles::new(90),
+                event: Event::PartitionChanged {
+                    targets: vec![Ways::new(4), Ways::new(12)],
+                },
+            },
+            Record {
+                at: Cycles::new(99),
+                event: Event::DeadlineMissed {
+                    job: JobId::new(1),
+                    deadline: Cycles::new(50),
+                    finished: Cycles::new(99),
+                },
+            },
+        ];
+        for r in records {
+            let line = serde_json::to_string(&r).unwrap();
+            let back: Record = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn job_extraction_and_kinds() {
+        let e = Event::Started {
+            job: JobId::new(7),
+            core: Some(CoreId::new(1)),
+            mode: Mode::Strict,
+        };
+        assert_eq!(e.job(), Some(JobId::new(7)));
+        assert_eq!(e.kind(), EventKind::Started);
+        let p = Event::PartitionChanged { targets: vec![] };
+        assert_eq!(p.job(), None);
+        assert_eq!(EventKind::ALL.len(), 13);
+    }
+}

@@ -1,0 +1,356 @@
+//! Timeline reconstruction: Figure-7-style job-lifetime bands out of a
+//! recorded event stream.
+
+use std::collections::BTreeMap;
+
+use cmpqos_types::{Cycles, JobId, Ways};
+
+use crate::event::{Event, Mode, Record, RejectCause};
+
+/// A span of a job's lifetime spent in one execution mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Band {
+    /// The mode during this span.
+    pub mode: Mode,
+    /// Span start (cycle the job started or switched into this mode).
+    pub from: Cycles,
+    /// Span end; `None` while the job is still running at end of stream.
+    pub to: Option<Cycles>,
+}
+
+/// Everything the event stream says about one job.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobTimeline {
+    /// When the job was submitted, and the mode it asked for.
+    pub submitted: Option<(Cycles, Mode)>,
+    /// When the LAC admitted it, and the reserved start cycle.
+    pub admitted: Option<(Cycles, Cycles)>,
+    /// When and why the LAC rejected it.
+    pub rejected: Option<(Cycles, RejectCause)>,
+    /// When it was auto-downgraded, and from/to which modes.
+    pub downgraded: Option<(Cycles, Mode, Mode)>,
+    /// When it began executing.
+    pub started: Option<Cycles>,
+    /// When it finished, and whether the deadline was met.
+    pub completed: Option<(Cycles, bool)>,
+    /// `(deadline, finished)` when the deadline was missed.
+    pub deadline_missed: Option<(Cycles, Cycles)>,
+    /// Mode bands from start to completion — the Figure-7 view.
+    pub bands: Vec<Band>,
+    /// Ways stolen from this job over its lifetime (events, one way each).
+    pub steals_taken: u64,
+    /// Ways handed back on steal cancellation.
+    pub ways_returned: u64,
+    /// Shadow-tag guard trips attributed to this job.
+    pub guard_trips: u64,
+}
+
+impl JobTimeline {
+    /// The mode the job was running in at cycle `at`, if any.
+    #[must_use]
+    pub fn mode_at(&self, at: Cycles) -> Option<Mode> {
+        self.bands
+            .iter()
+            .find(|b| b.from <= at && b.to.is_none_or(|end| at < end))
+            .map(|b| b.mode)
+    }
+
+    /// Wall-clock from start to completion, when both happened.
+    #[must_use]
+    pub fn wall_clock(&self) -> Option<Cycles> {
+        let (done, _) = self.completed?;
+        Some(done.saturating_sub(self.started?))
+    }
+
+    fn close_band(&mut self, at: Cycles) {
+        if let Some(open) = self.bands.iter_mut().rev().find(|b| b.to.is_none()) {
+            open.to = Some(at);
+        }
+    }
+}
+
+/// A reconstructed view over one recorded run: per-job lifetimes plus the
+/// partition-retarget history.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    label: Option<String>,
+    jobs: BTreeMap<JobId, JobTimeline>,
+    partition_changes: Vec<(Cycles, Vec<Ways>)>,
+}
+
+impl Timeline {
+    /// Builds a timeline from records (single run; a second
+    /// `Event::RunStarted` resets nothing — use [`Timeline::per_run`] for
+    /// multi-run streams).
+    pub fn from_records<'a>(records: impl IntoIterator<Item = &'a Record>) -> Self {
+        let mut t = Timeline::default();
+        for r in records {
+            t.apply(r);
+        }
+        t
+    }
+
+    /// Parses a JSONL event stream (as written by
+    /// [`crate::JsonlRecorder`]) into one timeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error of the first malformed line.
+    pub fn from_jsonl(text: &str) -> Result<Self, serde_json::Error> {
+        Ok(Self::from_records(&Self::parse_jsonl(text)?))
+    }
+
+    /// Parses a JSONL stream and splits it into one timeline per
+    /// `Event::RunStarted` marker (records before the first marker form an
+    /// unlabeled leading timeline).
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error of the first malformed line.
+    pub fn per_run(text: &str) -> Result<Vec<Timeline>, serde_json::Error> {
+        let records = Self::parse_jsonl(text)?;
+        let mut runs: Vec<Timeline> = Vec::new();
+        for r in &records {
+            let starts_run = matches!(r.event, Event::RunStarted { .. });
+            if starts_run || runs.is_empty() {
+                runs.push(Timeline::default());
+            }
+            runs.last_mut().expect("just pushed").apply(r);
+        }
+        Ok(runs)
+    }
+
+    fn parse_jsonl(text: &str) -> Result<Vec<Record>, serde_json::Error> {
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .map(serde_json::from_str)
+            .collect()
+    }
+
+    /// The `RunStarted` label, when the stream carried one.
+    #[must_use]
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
+    /// The timeline of one job.
+    #[must_use]
+    pub fn job(&self, id: JobId) -> Option<&JobTimeline> {
+        self.jobs.get(&id)
+    }
+
+    /// All jobs seen, in id order.
+    pub fn jobs(&self) -> impl Iterator<Item = (JobId, &JobTimeline)> {
+        self.jobs.iter().map(|(&id, t)| (id, t))
+    }
+
+    /// Number of jobs seen.
+    #[must_use]
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Partition retargets, in stream order.
+    #[must_use]
+    pub fn partition_changes(&self) -> &[(Cycles, Vec<Ways>)] {
+        &self.partition_changes
+    }
+
+    fn apply(&mut self, r: &Record) {
+        let at = r.at;
+        match &r.event {
+            Event::RunStarted { label } => {
+                if self.label.is_none() {
+                    self.label = Some(label.clone());
+                }
+            }
+            Event::PartitionChanged { targets } => {
+                self.partition_changes.push((at, targets.clone()));
+            }
+            event => {
+                let Some(id) = event.job() else { return };
+                let job = self.jobs.entry(id).or_default();
+                match event {
+                    Event::Submitted { mode, .. } => job.submitted = Some((at, *mode)),
+                    Event::Admitted { start, .. } => job.admitted = Some((at, *start)),
+                    Event::Rejected { cause, .. } => job.rejected = Some((at, *cause)),
+                    Event::Downgraded { from, to, .. } => {
+                        job.downgraded = Some((at, *from, *to));
+                    }
+                    Event::Started { mode, .. } => {
+                        job.started = Some(at);
+                        job.bands.push(Band {
+                            mode: *mode,
+                            from: at,
+                            to: None,
+                        });
+                    }
+                    Event::SwitchedBack { to, .. } => {
+                        job.close_band(at);
+                        job.bands.push(Band {
+                            mode: *to,
+                            from: at,
+                            to: None,
+                        });
+                    }
+                    Event::StealTaken { .. } => job.steals_taken += 1,
+                    Event::StealReturned { returned, .. } => {
+                        job.ways_returned += u64::from(returned.get());
+                    }
+                    Event::GuardTripped { .. } => job.guard_trips += 1,
+                    Event::Completed { met_deadline, .. } => {
+                        job.close_band(at);
+                        job.completed = Some((at, *met_deadline));
+                    }
+                    Event::DeadlineMissed {
+                        deadline, finished, ..
+                    } => job.deadline_missed = Some((*deadline, *finished)),
+                    Event::RunStarted { .. } | Event::PartitionChanged { .. } => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpqos_types::CoreId;
+
+    fn rec(at: u64, event: Event) -> Record {
+        Record {
+            at: Cycles::new(at),
+            event,
+        }
+    }
+
+    fn downgraded_job_stream() -> Vec<Record> {
+        let j = JobId::new(1);
+        vec![
+            rec(
+                0,
+                Event::RunStarted {
+                    label: "test/cell".into(),
+                },
+            ),
+            rec(
+                5,
+                Event::Submitted {
+                    job: j,
+                    mode: Mode::Strict,
+                },
+            ),
+            rec(
+                5,
+                Event::Admitted {
+                    job: j,
+                    start: Cycles::new(5),
+                },
+            ),
+            rec(
+                5,
+                Event::Downgraded {
+                    job: j,
+                    from: Mode::Strict,
+                    to: Mode::Opportunistic,
+                },
+            ),
+            rec(
+                6,
+                Event::Started {
+                    job: j,
+                    core: Some(CoreId::new(0)),
+                    mode: Mode::Opportunistic,
+                },
+            ),
+            rec(
+                100,
+                Event::SwitchedBack {
+                    job: j,
+                    to: Mode::Strict,
+                },
+            ),
+            rec(
+                250,
+                Event::Completed {
+                    job: j,
+                    met_deadline: true,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn reconstructs_figure7_bands() {
+        let records = downgraded_job_stream();
+        let t = Timeline::from_records(&records);
+        assert_eq!(t.label(), Some("test/cell"));
+        assert_eq!(t.job_count(), 1);
+        let job = t.job(JobId::new(1)).unwrap();
+        assert_eq!(job.submitted, Some((Cycles::new(5), Mode::Strict)));
+        assert_eq!(
+            job.bands,
+            vec![
+                Band {
+                    mode: Mode::Opportunistic,
+                    from: Cycles::new(6),
+                    to: Some(Cycles::new(100)),
+                },
+                Band {
+                    mode: Mode::Strict,
+                    from: Cycles::new(100),
+                    to: Some(Cycles::new(250)),
+                },
+            ]
+        );
+        assert_eq!(job.mode_at(Cycles::new(50)), Some(Mode::Opportunistic));
+        assert_eq!(job.mode_at(Cycles::new(100)), Some(Mode::Strict));
+        assert_eq!(job.mode_at(Cycles::new(300)), None);
+        assert_eq!(job.wall_clock(), Some(Cycles::new(244)));
+    }
+
+    #[test]
+    fn jsonl_round_trip_and_run_segmentation() {
+        let mut text = String::new();
+        for run in ["a", "b"] {
+            for r in {
+                let mut v = downgraded_job_stream();
+                v[0] = rec(0, Event::RunStarted { label: run.into() });
+                v
+            } {
+                text.push_str(&serde_json::to_string(&r).unwrap());
+                text.push('\n');
+            }
+        }
+        let single = Timeline::from_jsonl(&text).unwrap();
+        assert_eq!(single.label(), Some("a"));
+        let runs = Timeline::per_run(&text).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[1].label(), Some("b"));
+        assert_eq!(runs[1].job_count(), 1);
+        assert!(runs[1].job(JobId::new(1)).unwrap().completed.is_some());
+    }
+
+    #[test]
+    fn partition_changes_are_ordered() {
+        let records = vec![
+            rec(
+                10,
+                Event::PartitionChanged {
+                    targets: vec![Ways::new(8), Ways::new(8)],
+                },
+            ),
+            rec(
+                20,
+                Event::PartitionChanged {
+                    targets: vec![Ways::new(12), Ways::new(4)],
+                },
+            ),
+        ];
+        let t = Timeline::from_records(&records);
+        assert_eq!(t.partition_changes().len(), 2);
+        assert_eq!(t.partition_changes()[1].0, Cycles::new(20));
+        assert_eq!(t.partition_changes()[1].1[0], Ways::new(12));
+    }
+}

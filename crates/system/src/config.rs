@@ -1,8 +1,55 @@
 //! System-level configuration.
 
-use cmpqos_cache::{CacheConfig, PartitionPolicy};
+use cmpqos_cache::{CacheConfig, CacheConfigError, PartitionPolicy};
 use cmpqos_mem::MemoryConfig;
 use cmpqos_types::Cycles;
+use std::fmt;
+
+/// Error validating a [`SystemConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SystemConfigError {
+    /// The core count must be within 1..=255 (the shared L2 tracks owners
+    /// in a byte).
+    BadCoreCount,
+    /// The clock frequency must be positive and finite.
+    BadClock,
+    /// The duplicate-tag sampling period must be non-zero.
+    BadShadowSampling,
+    /// A cache geometry is invalid (e.g. a scale factor that does not
+    /// preserve a power-of-two set count).
+    BadCache(CacheConfigError),
+}
+
+impl fmt::Display for SystemConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemConfigError::BadCoreCount => f.write_str("core count must be within 1..=255"),
+            SystemConfigError::BadClock => {
+                f.write_str("clock frequency must be positive and finite")
+            }
+            SystemConfigError::BadShadowSampling => {
+                f.write_str("shadow sampling period must be non-zero")
+            }
+            SystemConfigError::BadCache(e) => write!(f, "invalid cache geometry: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SystemConfigError::BadCache(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CacheConfigError> for SystemConfigError {
+    fn from(e: CacheConfigError) -> Self {
+        SystemConfigError::BadCache(e)
+    }
+}
 
 /// Static configuration of a CMP node.
 ///
@@ -77,26 +124,58 @@ impl SystemConfig {
     /// # Panics
     ///
     /// Panics if `k` does not evenly divide the cache sizes down to at
-    /// least one set.
+    /// least one set. Prefer [`SystemConfig::try_paper_scaled`] outside
+    /// test code.
     #[must_use]
     pub fn paper_scaled(k: u64) -> Self {
-        use cmpqos_cache::CacheConfig;
+        match Self::try_paper_scaled(k) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`SystemConfig::paper_scaled`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemConfigError::BadCache`] when `k` does not preserve
+    /// a valid cache geometry.
+    pub fn try_paper_scaled(k: u64) -> Result<Self, SystemConfigError> {
         use cmpqos_types::ByteSize;
         let base = Self::paper();
         let scale = |c: &CacheConfig| {
             CacheConfig::new(
-                ByteSize::from_bytes(c.size().bytes() / k),
+                ByteSize::from_bytes(c.size().bytes() / k.max(1)),
                 c.associativity(),
                 c.block_size(),
                 c.latency(),
             )
-            .expect("scale factor must preserve a valid geometry")
         };
-        Self {
-            l1: scale(&base.l1),
-            l2: scale(&base.l2),
+        Ok(Self {
+            l1: scale(&base.l1)?,
+            l2: scale(&base.l2)?,
             ..base
+        })
+    }
+
+    /// Checks the cross-field invariants the engine relies on. All fields
+    /// are public plain data, so call this after hand-building or mutating
+    /// a configuration; `CmpNode::try_new` calls it for you.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`SystemConfigError`].
+    pub fn validate(&self) -> Result<(), SystemConfigError> {
+        if !(1..=255).contains(&self.num_cores) {
+            return Err(SystemConfigError::BadCoreCount);
         }
+        if !(self.clock_ghz.is_finite() && self.clock_ghz > 0.0) {
+            return Err(SystemConfigError::BadClock);
+        }
+        if self.shadow_sample_every == 0 {
+            return Err(SystemConfigError::BadShadowSampling);
+        }
+        Ok(())
     }
 
     /// Converts cycles to milliseconds at this node's clock.
@@ -130,5 +209,32 @@ mod tests {
     fn cycle_conversion() {
         let c = SystemConfig::paper();
         assert!((c.cycles_to_ms(Cycles::new(2_000_000)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_catches_bad_fields() {
+        assert_eq!(SystemConfig::paper().validate(), Ok(()));
+
+        let mut c = SystemConfig::paper();
+        c.num_cores = 0;
+        assert_eq!(c.validate(), Err(SystemConfigError::BadCoreCount));
+
+        let mut c = SystemConfig::paper();
+        c.clock_ghz = f64::NAN;
+        assert_eq!(c.validate(), Err(SystemConfigError::BadClock));
+
+        let mut c = SystemConfig::paper();
+        c.shadow_sample_every = 0;
+        assert_eq!(c.validate(), Err(SystemConfigError::BadShadowSampling));
+    }
+
+    #[test]
+    fn try_paper_scaled_rejects_degenerate_factor() {
+        // Scaling 2 MiB down by 2^30 leaves less than one set per way.
+        let err = SystemConfig::try_paper_scaled(1 << 30).unwrap_err();
+        assert!(matches!(err, SystemConfigError::BadCache(_)));
+        assert!(err.to_string().contains("cache"));
+        // A sane factor round-trips through the panicking wrapper.
+        assert_eq!(SystemConfig::paper_scaled(16).num_cores, 4);
     }
 }

@@ -46,6 +46,6 @@ pub mod config;
 pub mod node;
 pub mod task;
 
-pub use config::SystemConfig;
+pub use config::{SystemConfig, SystemConfigError};
 pub use node::CmpNode;
 pub use task::{Placement, SpawnError, TaskCompletion, TaskSpec};

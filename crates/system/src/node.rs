@@ -1,9 +1,9 @@
 //! The CMP node engine.
 
-use crate::config::SystemConfig;
+use crate::config::{SystemConfig, SystemConfigError};
 use crate::task::{Placement, SpawnError, Task, TaskCompletion, TaskSpec};
-use cmpqos_cache::{DuplicateTagMonitor, L1Cache, SharedL2, VictimClass};
 use cmpqos_cache::l2::PartitionError;
+use cmpqos_cache::{DuplicateTagMonitor, L1Cache, SharedL2, VictimClass};
 use cmpqos_cpu::{MemOutcome, PerfCounters};
 use cmpqos_mem::{BandwidthRegulator, BusMonitor, MemoryChannel, Priority};
 use cmpqos_trace::Access;
@@ -62,14 +62,28 @@ impl CmpNode {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration has zero cores.
+    /// Panics if the configuration is invalid (see
+    /// [`SystemConfig::validate`]). Prefer [`CmpNode::try_new`] outside
+    /// test code.
     #[must_use]
     pub fn new(cfg: SystemConfig) -> Self {
-        assert!(cfg.num_cores > 0, "node needs at least one core");
+        match Self::try_new(cfg) {
+            Ok(node) => node,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`CmpNode::new`]: validates the configuration first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`SystemConfigError`].
+    pub fn try_new(cfg: SystemConfig) -> Result<Self, SystemConfigError> {
+        cfg.validate()?;
         let l1s = (0..cfg.num_cores).map(|_| L1Cache::new(cfg.l1)).collect();
-        let l2 = SharedL2::new(cfg.l2, cfg.num_cores, cfg.partition_policy);
+        let l2 = SharedL2::try_new(cfg.l2, cfg.num_cores, cfg.partition_policy)?;
         let mem = MemoryChannel::new(cfg.memory);
-        Self {
+        Ok(Self {
             cores: (0..cfg.num_cores).map(|_| CoreState::new()).collect(),
             tasks: BTreeMap::new(),
             finished: BTreeMap::new(),
@@ -79,14 +93,11 @@ impl CmpNode {
             mem,
             bus: BusMonitor::new(BUS_WINDOW),
             monitors: BTreeMap::new(),
-            regulator: BandwidthRegulator::new(
-                cfg.num_cores,
-                cfg.memory.transfer_cycles() * 10,
-            ),
+            regulator: BandwidthRegulator::new(cfg.num_cores, cfg.memory.transfer_cycles() * 10),
             completions: Vec::new(),
             now: Cycles::ZERO,
             cfg,
-        }
+        })
     }
 
     /// The node configuration.
@@ -195,6 +206,22 @@ impl CmpNode {
     /// Propagates [`PartitionError`] from the cache.
     pub fn set_l2_targets(&mut self, targets: &[Ways]) -> Result<(), PartitionError> {
         self.l2.set_targets(targets)
+    }
+
+    /// [`CmpNode::set_l2_targets`], additionally emitting
+    /// `PartitionChanged` to `recorder` at the node's current time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PartitionError`] from the cache (nothing is recorded on
+    /// error).
+    pub fn set_l2_targets_recorded(
+        &mut self,
+        targets: &[Ways],
+        recorder: &mut dyn cmpqos_obs::Recorder,
+    ) -> Result<(), PartitionError> {
+        let now = self.now;
+        self.l2.set_targets_recorded(targets, now, recorder)
     }
 
     /// Current L2 partition targets.
@@ -609,8 +636,13 @@ mod tests {
         let mut node = paper_node();
         node.set_l2_targets(&[Ways::new(7), Ways::ZERO, Ways::ZERO, Ways::ZERO])
             .unwrap();
-        node.spawn(spec_task(0, "gobmk", 200_000, Placement::Pinned(CoreId::new(0))))
-            .unwrap();
+        node.spawn(spec_task(
+            0,
+            "gobmk",
+            200_000,
+            Placement::Pinned(CoreId::new(0)),
+        ))
+        .unwrap();
         let end = node.run_to_completion(Cycles::new(100_000_000));
         assert!(end > Cycles::ZERO);
         let done = node.take_completions();
@@ -622,9 +654,21 @@ mod tests {
     }
 
     #[test]
+    fn try_new_rejects_invalid_config() {
+        let mut cfg = SystemConfig::paper();
+        cfg.num_cores = 0;
+        assert_eq!(
+            CmpNode::try_new(cfg).err(),
+            Some(SystemConfigError::BadCoreCount)
+        );
+        assert!(CmpNode::try_new(SystemConfig::paper()).is_ok());
+    }
+
+    #[test]
     fn duplicate_ids_rejected() {
         let mut node = paper_node();
-        node.spawn(spec_task(1, "gobmk", 10, Placement::Floating)).unwrap();
+        node.spawn(spec_task(1, "gobmk", 10, Placement::Floating))
+            .unwrap();
         let err = node.spawn(spec_task(1, "gobmk", 10, Placement::Floating));
         assert_eq!(err.unwrap_err(), SpawnError::DuplicateId(JobId::new(1)));
     }
@@ -646,8 +690,13 @@ mod tests {
         let mut node = paper_node();
         // Pin cores 0..3, leaving core 3 free.
         for i in 0..3u32 {
-            node.spawn(spec_task(i, "gobmk", 300_000, Placement::Pinned(CoreId::new(i))))
-                .unwrap();
+            node.spawn(spec_task(
+                i,
+                "gobmk",
+                300_000,
+                Placement::Pinned(CoreId::new(i)),
+            ))
+            .unwrap();
         }
         node.spawn(spec_task(10, "gobmk", 50_000, Placement::Floating))
             .unwrap();
@@ -671,8 +720,13 @@ mod tests {
         assert_eq!(node.running_on(CoreId::new(0)), Some(JobId::new(5)));
         // Pin a reserved task everywhere.
         for i in 0..4u32 {
-            node.spawn(spec_task(i, "gobmk", 100_000, Placement::Pinned(CoreId::new(i))))
-                .unwrap();
+            node.spawn(spec_task(
+                i,
+                "gobmk",
+                100_000,
+                Placement::Pinned(CoreId::new(i)),
+            ))
+            .unwrap();
         }
         node.run_until(Cycles::new(200_000));
         for i in 0..4u32 {
@@ -685,8 +739,13 @@ mod tests {
     #[test]
     fn completions_record_start_and_finish() {
         let mut node = paper_node();
-        node.spawn(spec_task(0, "namd", 10_000, Placement::Pinned(CoreId::new(0))))
-            .unwrap();
+        node.spawn(spec_task(
+            0,
+            "namd",
+            10_000,
+            Placement::Pinned(CoreId::new(0)),
+        ))
+        .unwrap();
         node.run_to_completion(Cycles::new(10_000_000));
         let c = node.completion(JobId::new(0)).unwrap();
         assert_eq!(c.started_at, Cycles::ZERO);
@@ -701,8 +760,13 @@ mod tests {
         let mut node = paper_node();
         node.set_l2_targets(&[Ways::new(7), Ways::ZERO, Ways::ZERO, Ways::ZERO])
             .unwrap();
-        node.spawn(spec_task(0, "bzip2", 100_000, Placement::Pinned(CoreId::new(0))))
-            .unwrap();
+        node.spawn(spec_task(
+            0,
+            "bzip2",
+            100_000,
+            Placement::Pinned(CoreId::new(0)),
+        ))
+        .unwrap();
         node.attach_monitor(JobId::new(0), Ways::new(7));
         node.run_to_completion(Cycles::new(100_000_000));
         let mon = node.monitor(JobId::new(0)).unwrap();
@@ -715,8 +779,13 @@ mod tests {
     fn later_spawn_starts_later() {
         let mut node = paper_node();
         node.run_until(Cycles::new(500_000));
-        node.spawn(spec_task(0, "namd", 1_000, Placement::Pinned(CoreId::new(1))))
-            .unwrap();
+        node.spawn(spec_task(
+            0,
+            "namd",
+            1_000,
+            Placement::Pinned(CoreId::new(1)),
+        ))
+        .unwrap();
         node.run_to_completion(Cycles::new(10_000_000));
         let c = node.completion(JobId::new(0)).unwrap();
         assert!(c.started_at >= Cycles::new(500_000));
@@ -746,8 +815,13 @@ mod tests {
         let mut node = paper_node();
         node.set_l2_targets(&[Ways::new(4); 4]).unwrap();
         for i in 0..4u32 {
-            node.spawn(spec_task(i, "gobmk", 100_000, Placement::Pinned(CoreId::new(i))))
-                .unwrap();
+            node.spawn(spec_task(
+                i,
+                "gobmk",
+                100_000,
+                Placement::Pinned(CoreId::new(i)),
+            ))
+            .unwrap();
         }
         node.run_until(Cycles::new(1_000_000));
         for i in 0..4u32 {

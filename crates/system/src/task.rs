@@ -126,7 +126,10 @@ mod tests {
 
     #[test]
     fn placement_equality() {
-        assert_eq!(Placement::Pinned(CoreId::new(0)), Placement::Pinned(CoreId::new(0)));
+        assert_eq!(
+            Placement::Pinned(CoreId::new(0)),
+            Placement::Pinned(CoreId::new(0))
+        );
         assert_ne!(Placement::Pinned(CoreId::new(0)), Placement::Floating);
     }
 }

@@ -116,7 +116,11 @@ pub fn hierarchy(components: &[Component], l1: ByteSize, l2_alloc: ByteSize) -> 
         let beyond_l2 = (1.0 - f2.hit_fraction).min(1.0 - f1.hit_fraction);
         l2_miss += f1.weight * beyond_l2;
     }
-    let l2_miss_ratio = if l1_miss > 0.0 { l2_miss / l1_miss } else { 0.0 };
+    let l2_miss_ratio = if l1_miss > 0.0 {
+        l2_miss / l1_miss
+    } else {
+        0.0
+    };
     HierarchyEstimate {
         l1_miss_fraction: l1_miss,
         l2_miss_ratio,
@@ -179,11 +183,7 @@ mod tests {
         // Hot 16 KiB absorbed by 32 KiB L1; 1 MiB set half-covered by 512 KiB
         // of L2 allocation.
         let comps = [ws(16, 0.9), ws(1024, 0.1)];
-        let e = hierarchy(
-            &comps,
-            ByteSize::from_kib(32),
-            ByteSize::from_kib(16 + 512),
-        );
+        let e = hierarchy(&comps, ByteSize::from_kib(32), ByteSize::from_kib(16 + 512));
         // L1 misses: 16 KiB of the big set live in L1 too.
         let expected_l1_miss = 0.1 * (1.0 - 16.0 / 1024.0);
         assert!((e.l1_miss_fraction - expected_l1_miss).abs() < 1e-9);

@@ -212,11 +212,7 @@ impl AccessMixture {
     /// the mixture-relative address so concurrently running jobs never alias.
     pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R, base: u64) -> Access {
         let u: f64 = rng.gen();
-        let idx = match self
-            .cumulative
-            .iter()
-            .position(|&c| u <= c)
-        {
+        let idx = match self.cumulative.iter().position(|&c| u <= c) {
             Some(i) => i,
             None => self.components.len() - 1,
         };

@@ -146,7 +146,11 @@ mod tests {
 
     fn phase(bench: &str, length: u64, seed: u64) -> Phase {
         Phase {
-            source: Box::new(spec::benchmark(bench).unwrap().instantiate(seed, seed << 40)),
+            source: Box::new(
+                spec::benchmark(bench)
+                    .unwrap()
+                    .instantiate(seed, seed << 40),
+            ),
             length,
         }
     }

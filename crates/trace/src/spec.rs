@@ -38,9 +38,7 @@ impl fmt::Display for SensitivityClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SensitivityClass::HighlySensitive => f.write_str("highly sensitive (Group 1)"),
-            SensitivityClass::ModeratelySensitive => {
-                f.write_str("moderately sensitive (Group 2)")
-            }
+            SensitivityClass::ModeratelySensitive => f.write_str("moderately sensitive (Group 2)"),
             SensitivityClass::Insensitive => f.write_str("insensitive (Group 3)"),
         }
     }
@@ -129,7 +127,12 @@ fn table() -> &'static Vec<SpecBenchmark> {
                 "bzip2",
                 0.30,
                 1.5,
-                vec![hot(20, 0.895), ws(300, 0.030), ws(900, 0.028), stream(0.008)],
+                vec![
+                    hot(20, 0.895),
+                    ws(300, 0.030),
+                    ws(900, 0.028),
+                    stream(0.008),
+                ],
                 HighlySensitive,
             ),
             make(

@@ -124,7 +124,10 @@ mod tests {
     fn single_workload_repeats_bench() {
         let w = WorkloadSpec::single("bzip2", 10);
         assert_eq!(w.len(), 10);
-        assert!(w.slots().iter().all(|s| s.bench == "bzip2" && s.role.is_none()));
+        assert!(w
+            .slots()
+            .iter()
+            .all(|s| s.bench == "bzip2" && s.role.is_none()));
         assert_eq!(w.benchmarks(), vec!["bzip2"]);
     }
 

@@ -120,6 +120,7 @@ mod tests {
             seed: 11,
             stealing_enabled: true,
             steal_interval: None,
+            events: None,
         })
     }
 

@@ -12,10 +12,13 @@ use crate::configs::Configuration;
 use crate::deadlines::{assign_classes, DeadlineClass};
 use cmpqos_core::{
     Decision, ExecutionMode, JobReport, QosJob, QosScheduler, ResourceRequest, SchedulerConfig,
+    StealingConfig,
 };
+use cmpqos_obs::{Event, JsonlRecorder, NullRecorder, Recorder};
 use cmpqos_system::{CmpNode, Placement, SystemConfig, TaskSpec};
 use cmpqos_trace::spec;
 use cmpqos_types::{Cycles, Instructions, JobId, Ways};
+use std::path::PathBuf;
 
 /// Parameters of one experiment run.
 #[derive(Debug, Clone)]
@@ -38,6 +41,10 @@ pub struct RunConfig {
     /// paper's 2M instructions correspond to 1% of a 200M-instruction job;
     /// the default keeps that proportion (`work / 100`).
     pub steal_interval: Option<Instructions>,
+    /// When set, every QoS event of the run is appended to this JSONL
+    /// file (one [`cmpqos_obs::Record`] per line), starting with an
+    /// [`Event::RunStarted`] marker carrying the cell label.
+    pub events: Option<PathBuf>,
 }
 
 impl RunConfig {
@@ -52,6 +59,7 @@ impl RunConfig {
             seed: 1,
             stealing_enabled: true,
             steal_interval: None,
+            events: None,
         }
     }
 
@@ -124,9 +132,34 @@ fn scale_timeslice(system: &mut SystemConfig, work: Instructions) {
     system.context_switch_cost = Cycles::new((quantum / 100).max(100));
 }
 
+/// The event sink for one cell: a JSONL appender opened on
+/// `cfg.events` (prefixed with a `RunStarted` marker) or the free
+/// [`NullRecorder`]. An unopenable path degrades to no recording rather
+/// than failing the run.
+fn open_recorder(cfg: &RunConfig, label: &str) -> Box<dyn Recorder> {
+    let Some(path) = &cfg.events else {
+        return Box::new(NullRecorder);
+    };
+    match JsonlRecorder::append(path) {
+        Ok(mut r) => {
+            r.record(
+                Cycles::ZERO,
+                Event::RunStarted {
+                    label: label.to_string(),
+                },
+            );
+            Box::new(r)
+        }
+        Err(e) => {
+            eprintln!("cmpqos: cannot open event log {}: {e}", path.display());
+            Box::new(NullRecorder)
+        }
+    }
+}
+
 fn trace_for(cfg: &RunConfig, bench: &str, submission: u32) -> Box<dyn cmpqos_trace::TraceSource> {
-    let profile = spec::scaled(bench, cfg.scale)
-        .unwrap_or_else(|| panic!("unknown benchmark {bench}"));
+    let profile =
+        spec::scaled(bench, cfg.scale).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
     let seed = cfg
         .seed
         .wrapping_mul(0x9E37_79B9)
@@ -142,13 +175,18 @@ fn run_qos(cfg: &RunConfig) -> RunOutcome {
     scale_timeslice(&mut system, cfg.work);
     let cores = system.num_cores as u64;
 
-    let mut sched_cfg = SchedulerConfig {
-        auto_downgrade: cfg.configuration.auto_downgrade(),
-        stealing_enabled: cfg.stealing_enabled,
-        ..SchedulerConfig::default()
-    };
-    sched_cfg.stealing.interval = cfg.effective_steal_interval();
-    let mut sched = QosScheduler::new(system, sched_cfg);
+    let sched_cfg = SchedulerConfig::builder()
+        .auto_downgrade(cfg.configuration.auto_downgrade())
+        .stealing_enabled(cfg.stealing_enabled)
+        .stealing(
+            StealingConfig::builder()
+                .interval(cfg.effective_steal_interval())
+                .build(),
+        )
+        .build();
+    let label = format!("{} / {}", cfg.workload.name(), cfg.configuration);
+    let recorder = open_recorder(cfg, &label);
+    let mut sched = QosScheduler::with_recorder(system, sched_cfg, recorder);
 
     // Arrival rate keyed to the first benchmark's wall-clock need.
     let tw0 = cal.tw(&cfg.workload.slots()[0].bench);
@@ -192,15 +230,13 @@ fn run_qos(cfg: &RunConfig) -> RunOutcome {
             }
         };
         let id = JobId::new(submission);
-        let job = QosJob {
-            id,
-            mode,
-            request: ResourceRequest::paper_job(),
-            work: cfg.work,
-            max_wall_clock: tw,
-            deadline,
-        };
-        let d = sched.submit(job, trace_for(cfg, &template.bench, submission));
+        let mut builder = QosJob::with_mode(id, mode, ResourceRequest::paper_job())
+            .work(cfg.work)
+            .max_wall_clock(tw);
+        if let Some(td) = deadline {
+            builder = builder.deadline(td);
+        }
+        let d = sched.submit(builder.build(), trace_for(cfg, &template.bench, submission));
         if d.is_accepted() {
             accepted.push((slot, id, template.bench.clone(), class));
             rejections_for_slot = 0;
@@ -212,6 +248,7 @@ fn run_qos(cfg: &RunConfig) -> RunOutcome {
 
     let hard_cap = sched.now() + tw0 * 200;
     sched.run_to_idle(hard_cap);
+    sched.recorder_mut().flush();
 
     let mut jobs = Vec::with_capacity(n);
     let mut makespan = Cycles::ZERO;
@@ -231,7 +268,7 @@ fn run_qos(cfg: &RunConfig) -> RunOutcome {
     }
 
     RunOutcome {
-        label: format!("{} / {}", cfg.workload.name(), cfg.configuration),
+        label,
         configuration: cfg.configuration,
         accepted: jobs,
         makespan,
@@ -309,6 +346,8 @@ fn run_equal_part(cfg: &RunConfig) -> RunOutcome {
     let hard_cap = node.now() + tw0 * 400;
     node.run_to_completion(hard_cap);
 
+    let label = format!("{} / EqualPart", cfg.workload.name());
+    let mut recorder = open_recorder(cfg, &label);
     let mut jobs = Vec::with_capacity(n);
     let mut makespan = Cycles::ZERO;
     for p in pending {
@@ -316,15 +355,50 @@ fn run_equal_part(cfg: &RunConfig) -> RunOutcome {
             .completion(p.id)
             .expect("EqualPart job finished under the hard cap");
         makespan = makespan.max(completion.finished_at);
+        // EqualPart has no admission or mode machinery; reconstruct the
+        // minimal submit/start/complete lifecycle per job so event files
+        // stay comparable across configurations.
+        if recorder.enabled() {
+            recorder.record(
+                p.arrival,
+                Event::Submitted {
+                    job: p.id,
+                    mode: p.mode.into(),
+                },
+            );
+            recorder.record(
+                completion.started_at,
+                Event::Started {
+                    job: p.id,
+                    core: None,
+                    mode: p.mode.into(),
+                },
+            );
+            let met = completion.finished_at <= p.deadline;
+            recorder.record(
+                completion.finished_at,
+                Event::Completed {
+                    job: p.id,
+                    met_deadline: met,
+                },
+            );
+            if !met {
+                recorder.record(
+                    completion.finished_at,
+                    Event::DeadlineMissed {
+                        job: p.id,
+                        deadline: p.deadline,
+                        finished: completion.finished_at,
+                    },
+                );
+            }
+        }
         let report = JobReport {
-            job: QosJob {
-                id: p.id,
-                mode: p.mode,
-                request: ResourceRequest::paper_job(),
-                work: p.work,
-                max_wall_clock: p.tw,
-                deadline: Some(p.deadline),
-            },
+            job: QosJob::with_mode(p.id, p.mode, ResourceRequest::paper_job())
+                .work(p.work)
+                .max_wall_clock(p.tw)
+                .deadline(p.deadline)
+                .build(),
             arrival: p.arrival,
             decision: Decision::Accepted { start: p.arrival },
             started: Some(completion.started_at),
@@ -341,8 +415,9 @@ fn run_equal_part(cfg: &RunConfig) -> RunOutcome {
         });
     }
 
+    recorder.flush();
     RunOutcome {
-        label: format!("{} / EqualPart", cfg.workload.name()),
+        label,
         configuration: cfg.configuration,
         accepted: jobs,
         makespan,
@@ -367,6 +442,7 @@ mod tests {
             seed: 7,
             stealing_enabled: true,
             steal_interval: None,
+            events: None,
         }
     }
 

@@ -64,13 +64,7 @@ fn main() {
             ExecutionMode::Opportunistic => None,
             _ => Some(Cycles::new(5_000_000)),
         };
-        let (node, decision) = gac.submit(
-            JobId::new(i as u32),
-            sla.mode(),
-            request,
-            tw,
-            deadline,
-        );
+        let (node, decision) = gac.submit(JobId::new(i as u32), sla.mode(), request, tw, deadline);
         let placement = match (node, decision.is_accepted()) {
             (Some(n), true) => format!("{n} @ start {:?}", decision.start().map(|c| c.get())),
             _ => format!("REJECTED ({decision:?})"),

@@ -7,7 +7,7 @@
 //! cargo run --release --example multi_node
 //! ```
 
-use cmpqos::qos::{ExecutionMode, QosJob, QosScheduler, ResourceRequest, SchedulerConfig};
+use cmpqos::qos::{QosJob, QosScheduler, ResourceRequest, SchedulerConfig};
 use cmpqos::system::SystemConfig;
 use cmpqos::trace::spec;
 use cmpqos::types::{Cycles, Instructions, JobId};
@@ -25,15 +25,12 @@ fn main() {
     println!("{:<6} {:<8} {:<22} placement", "job", "bench", "deadline");
     println!("{}", "-".repeat(56));
     for (i, bench) in benches.iter().enumerate() {
-        let job = QosJob {
-            id: JobId::new(i as u32),
-            mode: ExecutionMode::Strict,
-            request: ResourceRequest::paper_job(),
-            work,
-            max_wall_clock: tw,
-            // Tight deadlines force spill: each node fits two jobs at once.
-            deadline: Some(Cycles::new(tw.get() * 3 / 2)),
-        };
+        // Tight deadlines force spill: each node fits two jobs at once.
+        let job = QosJob::strict(JobId::new(i as u32), ResourceRequest::paper_job())
+            .work(work)
+            .max_wall_clock(tw)
+            .deadline(Cycles::new(tw.get() * 3 / 2))
+            .build();
         let profile = spec::scaled(bench, K).expect("built-in");
         let mut placed = None;
         for (n, node) in nodes.iter_mut().enumerate() {

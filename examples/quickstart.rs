@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use cmpqos::qos::{ExecutionMode, QosJob, QosScheduler, ResourceRequest, SchedulerConfig};
+use cmpqos::qos::{QosJob, QosScheduler, ResourceRequest, SchedulerConfig};
 use cmpqos::system::SystemConfig;
 use cmpqos::trace::spec;
 use cmpqos::types::{Cycles, Instructions, JobId, Percent};
@@ -19,41 +19,46 @@ fn main() {
     let tw = Cycles::new(3_000_000); // generous wall-clock request
 
     // A Strict job: resources and timeslot reserved, deadline guaranteed.
-    let strict = QosJob {
-        id: JobId::new(0),
-        mode: ExecutionMode::Strict,
-        request: ResourceRequest::paper_job(), // 1 core + 7 of 16 L2 ways
-        work,
-        max_wall_clock: tw,
-        deadline: Some(Cycles::new(6_000_000)),
-    };
+    // The request is 1 core + 7 of 16 L2 ways.
+    let strict = QosJob::strict(JobId::new(0), ResourceRequest::paper_job())
+        .work(work)
+        .max_wall_clock(tw)
+        .deadline(Cycles::new(6_000_000))
+        .build();
 
     // An Elastic(5%) job: same guarantee, but tolerates a 5% slowdown so
     // the framework may steal its excess cache for others.
-    let elastic = QosJob {
-        id: JobId::new(1),
-        mode: ExecutionMode::Elastic(Percent::new(5.0)),
-        request: ResourceRequest::paper_job(),
-        work,
-        max_wall_clock: tw,
-        deadline: Some(Cycles::new(8_000_000)),
-    };
+    let elastic = QosJob::elastic(
+        JobId::new(1),
+        ResourceRequest::paper_job(),
+        Percent::new(5.0),
+    )
+    .work(work)
+    .max_wall_clock(tw)
+    .deadline(Cycles::new(8_000_000))
+    .build();
 
     // An Opportunistic job: no reservation; runs on spare capacity.
-    let opportunistic = QosJob {
-        id: JobId::new(2),
-        mode: ExecutionMode::Opportunistic,
-        request: ResourceRequest::paper_job(),
-        work,
-        max_wall_clock: tw,
-        deadline: None,
-    };
+    let opportunistic = QosJob::opportunistic(JobId::new(2), ResourceRequest::paper_job())
+        .work(work)
+        .max_wall_clock(tw)
+        .build();
 
-    for (job, bench) in [(strict, "hmmer"), (elastic, "gobmk"), (opportunistic, "bzip2")] {
+    for (job, bench) in [
+        (strict, "hmmer"),
+        (elastic, "gobmk"),
+        (opportunistic, "bzip2"),
+    ] {
         let profile = spec::benchmark(bench).expect("built-in benchmark");
-        let source = Box::new(profile.instantiate(42 + job.id.index() as u64, u64::from(job.id.index() + 1) << 40));
+        let source = Box::new(profile.instantiate(
+            42 + job.id.index() as u64,
+            u64::from(job.id.index() + 1) << 40,
+        ));
         let decision = sched.submit(job, source);
-        println!("submit {bench:>6} as {:<14} -> {decision:?}", job.mode.to_string());
+        println!(
+            "submit {bench:>6} as {:<14} -> {decision:?}",
+            job.mode.to_string()
+        );
     }
 
     sched.run_to_idle(Cycles::new(1_000_000_000));

@@ -8,7 +8,7 @@
 //! cargo run --release --example resource_stealing
 //! ```
 
-use cmpqos::qos::{ExecutionMode, QosJob, QosScheduler, ResourceRequest, SchedulerConfig};
+use cmpqos::qos::{QosJob, QosScheduler, ResourceRequest, SchedulerConfig};
 use cmpqos::system::SystemConfig;
 use cmpqos::trace::spec;
 use cmpqos::types::{Cycles, Instructions, JobId, Percent};
@@ -20,22 +20,19 @@ fn main() {
     cfg.stealing.interval = Instructions::new(work.get() / 50);
     let mut sched = QosScheduler::new(SystemConfig::paper_scaled(K), cfg);
 
-    let donor = QosJob {
-        id: JobId::new(0),
-        mode: ExecutionMode::Elastic(Percent::new(5.0)),
-        request: ResourceRequest::paper_job(),
-        work,
-        max_wall_clock: Cycles::new(80_000_000),
-        deadline: Some(Cycles::new(240_000_000)),
-    };
-    let recipient = QosJob {
-        id: JobId::new(1),
-        mode: ExecutionMode::Opportunistic,
-        request: ResourceRequest::paper_job(),
-        work,
-        max_wall_clock: Cycles::new(80_000_000),
-        deadline: None,
-    };
+    let donor = QosJob::elastic(
+        JobId::new(0),
+        ResourceRequest::paper_job(),
+        Percent::new(5.0),
+    )
+    .work(work)
+    .max_wall_clock(Cycles::new(80_000_000))
+    .deadline(Cycles::new(240_000_000))
+    .build();
+    let recipient = QosJob::opportunistic(JobId::new(1), ResourceRequest::paper_job())
+        .work(work)
+        .max_wall_clock(Cycles::new(80_000_000))
+        .build();
 
     let gobmk = spec::scaled("gobmk", K).expect("built-in");
     let bzip2 = spec::scaled("bzip2", K).expect("built-in");
@@ -70,7 +67,11 @@ fn main() {
         let r = sched.report(JobId::new(id)).expect("submitted");
         println!(
             "job{id} ({}): finished at {:?}, IPC {:.3}, deadline met: {}",
-            if id == 0 { "donor gobmk" } else { "recipient bzip2" },
+            if id == 0 {
+                "donor gobmk"
+            } else {
+                "recipient bzip2"
+            },
             r.finished.map(|c| c.get()),
             r.perf.ipc(),
             r.met_deadline()

@@ -55,7 +55,7 @@ usage:
   cmpqos list
   cmpqos solo --bench <name> [--ways N] [--scale N] [--work N] [--seed N]
   cmpqos run  --workload <bench|mix1|mix2> --config <all-strict|hybrid1|hybrid2|autodown|equalpart>
-              [--scale N] [--work N] [--seed N] [--json <path>]";
+              [--scale N] [--work N] [--seed N] [--json <path>] [--events <path>]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -64,9 +64,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected a --flag, got `{key}`"));
         };
-        let value = it
-            .next()
-            .ok_or_else(|| format!("--{name} needs a value"))?;
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         flags.insert(name.to_string(), value.clone());
     }
     Ok(flags)
@@ -82,7 +80,10 @@ fn get_num(flags: &HashMap<String, String>, name: &str, default: u64) -> Result<
 }
 
 fn cmd_list() -> Result<(), String> {
-    println!("{:<12} {:<28} base CPI  mem/instr", "benchmark", "sensitivity");
+    println!(
+        "{:<12} {:<28} base CPI  mem/instr",
+        "benchmark", "sensitivity"
+    );
     for b in spec::all() {
         println!(
             "{:<12} {:<28} {:<8.2} {:.2}",
@@ -150,6 +151,7 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         seed: get_num(flags, "seed", 1)?,
         stealing_enabled: true,
         steal_interval: None,
+        events: flags.get("events").map(std::path::PathBuf::from),
     };
     let outcome = run(&cfg);
     println!("{}", outcome.label);

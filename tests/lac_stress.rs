@@ -91,7 +91,11 @@ fn elastic_and_strict_compete_fairly_for_capacity() {
         Cycles::new(100),
         None,
     );
-    assert_eq!(d3.start(), Some(Cycles::new(100)), "waits for the strict job");
+    assert_eq!(
+        d3.start(),
+        Some(Cycles::new(100)),
+        "waits for the strict job"
+    );
 }
 
 #[test]

@@ -32,7 +32,8 @@ fn round_robin_timesharing_is_roughly_fair() {
     // Four floating gobmk tasks on four cores: each should get its own
     // core (work conserving), so progress is near-identical.
     for i in 0..4 {
-        n.spawn(task(i, "gobmk", 10_000_000, Placement::Floating)).unwrap();
+        n.spawn(task(i, "gobmk", 10_000_000, Placement::Floating))
+            .unwrap();
     }
     n.run_until(Cycles::new(2_000_000));
     let progress: Vec<u64> = (0..4)
@@ -49,7 +50,8 @@ fn eight_floating_tasks_share_four_cores() {
     let mut n = node();
     n.set_l2_targets(&[Ways::new(4); 4]).unwrap();
     for i in 0..8 {
-        n.spawn(task(i, "gobmk", 10_000_000, Placement::Floating)).unwrap();
+        n.spawn(task(i, "gobmk", 10_000_000, Placement::Floating))
+            .unwrap();
     }
     n.run_until(Cycles::new(4_000_000));
     let progress: Vec<u64> = (0..8)
@@ -73,7 +75,8 @@ fn context_switches_cost_time() {
         ..SystemConfig::paper_scaled(K)
     });
     solo.set_l2_targets(&[Ways::new(16)]).unwrap();
-    solo.spawn(task(0, "gobmk", 400_000, Placement::Floating)).unwrap();
+    solo.spawn(task(0, "gobmk", 400_000, Placement::Floating))
+        .unwrap();
     let solo_end = solo.run_to_completion(Cycles::new(u64::MAX / 4));
 
     let mut shared = CmpNode::new(SystemConfig {
@@ -82,8 +85,12 @@ fn context_switches_cost_time() {
         ..SystemConfig::paper_scaled(K)
     });
     shared.set_l2_targets(&[Ways::new(16)]).unwrap();
-    shared.spawn(task(0, "gobmk", 200_000, Placement::Floating)).unwrap();
-    shared.spawn(task(1, "gobmk", 200_000, Placement::Floating)).unwrap();
+    shared
+        .spawn(task(0, "gobmk", 200_000, Placement::Floating))
+        .unwrap();
+    shared
+        .spawn(task(1, "gobmk", 200_000, Placement::Floating))
+        .unwrap();
     let shared_end = shared.run_to_completion(Cycles::new(u64::MAX / 4));
 
     assert!(
@@ -99,8 +106,13 @@ fn repartitioning_mid_run_changes_performance() {
     let mut n = node();
     n.set_l2_targets(&[Ways::new(2), Ways::ZERO, Ways::ZERO, Ways::ZERO])
         .unwrap();
-    n.spawn(task(0, "bzip2", 2_000_000, Placement::Pinned(CoreId::new(0))))
-        .unwrap();
+    n.spawn(task(
+        0,
+        "bzip2",
+        2_000_000,
+        Placement::Pinned(CoreId::new(0)),
+    ))
+    .unwrap();
     n.run_until(Cycles::new(1_500_000));
     let before = *n.perf(JobId::new(0)).unwrap();
     n.set_l2_targets(&[Ways::new(14), Ways::ZERO, Ways::ZERO, Ways::ZERO])
@@ -127,8 +139,13 @@ fn bus_utilization_rises_with_streaming_load() {
     let mut busy = node();
     busy.set_l2_targets(&[Ways::new(4); 4]).unwrap();
     for i in 0..4 {
-        busy.spawn(task(i, "milc", 1_000_000, Placement::Pinned(CoreId::new(i))))
-            .unwrap();
+        busy.spawn(task(
+            i,
+            "milc",
+            1_000_000,
+            Placement::Pinned(CoreId::new(i)),
+        ))
+        .unwrap();
     }
     busy.run_until(Cycles::new(400_000));
     let high = busy.bus_utilization();
@@ -151,7 +168,8 @@ fn equal_part_style_timesharing_misses_more_than_dedicated() {
     });
     over.set_l2_targets(&[Ways::new(4); 4]).unwrap();
     for i in 0..10 {
-        over.spawn(task(i, "gobmk", 100_000, Placement::Floating)).unwrap();
+        over.spawn(task(i, "gobmk", 100_000, Placement::Floating))
+            .unwrap();
     }
     over.run_to_completion(Cycles::new(u64::MAX / 4));
     let over_wall: Vec<u64> = (0..10)
@@ -162,7 +180,9 @@ fn equal_part_style_timesharing_misses_more_than_dedicated() {
         .collect();
 
     let mut dedicated = node();
-    dedicated.set_l2_targets(&[Ways::new(7), Ways::new(7), Ways::ZERO, Ways::ZERO]).unwrap();
+    dedicated
+        .set_l2_targets(&[Ways::new(7), Ways::new(7), Ways::ZERO, Ways::ZERO])
+        .unwrap();
     dedicated
         .spawn(task(0, "gobmk", 100_000, Placement::Pinned(CoreId::new(0))))
         .unwrap();

@@ -1,0 +1,270 @@
+//! Vendored, dependency-free stand-in for `criterion` (offline build).
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`/`bench_with_input`, `Throughput`,
+//! `BenchmarkId`, the `criterion_group!`/`criterion_main!` macros — backed
+//! by a simple warmup-then-measure timer that prints mean ns/iteration
+//! (and derived element throughput) per benchmark. No statistics engine,
+//! HTML reports, or baseline comparison; numbers are for coarse regression
+//! eyeballing, not publication.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Declared per-iteration work, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            full: format!("{}/{parameter}", function.into()),
+        }
+    }
+}
+
+/// Top-level harness handle passed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            throughput: None,
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+/// A group of benchmarks sharing throughput/measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API parity; this harness sizes runs by time alone.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        // Cap: the real criterion amortizes long windows across samples;
+        // here one window is one run, so keep `cargo bench` snappy.
+        self.measurement_time = time.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Runs `f` as a benchmark named `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().0;
+        let mut b = Bencher {
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut b);
+        self.report(&id, b.result);
+        self
+    }
+
+    /// Runs `f` with `input` as a benchmark named `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into().0;
+        let mut b = Bencher {
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut b, input);
+        self.report(&id, b.result);
+        self
+    }
+
+    /// Ends the group (no-op; for API parity).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, result: Option<Sample>) {
+        let Some(sample) = result else {
+            println!("{}/{id}: no measurement (iter was never called)", self.name);
+            return;
+        };
+        let ns_per_iter = sample.total.as_nanos() as f64 / sample.iters as f64;
+        let mut line = format!(
+            "{}/{id}: {} ({} iters)",
+            self.name,
+            format_ns(ns_per_iter),
+            sample.iters
+        );
+        if let Some(tp) = self.throughput {
+            let (amount, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let per_sec = amount as f64 * 1e9 / ns_per_iter;
+            line.push_str(&format!("  [{per_sec:.3e} {unit}/s]"));
+        }
+        println!("{line}");
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms/iter", ns / 1_000_000.0)
+    }
+}
+
+/// Either a plain `&str` name or a [`BenchmarkId`].
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> Self {
+        Self(s.to_owned())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> Self {
+        Self(id.full)
+    }
+}
+
+struct Sample {
+    iters: u64,
+    total: Duration,
+}
+
+/// Timer handle: call [`Bencher::iter`] with the code under test.
+pub struct Bencher {
+    measurement_time: Duration,
+    result: Option<Sample>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`: brief warmup, then as many
+    /// iterations as fit the group's measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + calibration: estimate per-iteration cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(20) {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let target = (self.measurement_time.as_secs_f64() / per_iter).clamp(1.0, 1e9) as u64;
+
+        let start = Instant::now();
+        for _ in 0..target {
+            std::hint::black_box(routine());
+        }
+        self.result = Some(Sample {
+            iters: target,
+            total: start.elapsed(),
+        });
+    }
+}
+
+/// `black_box` re-export for code importing it from criterion.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point: runs each group unless `--test` was passed (cargo's
+/// `bench = false` test pass-through).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; skip timing.
+            if ::std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .throughput(Throughput::Elements(1))
+            .measurement_time(Duration::from_millis(30));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,417 @@
+//! Vendored, dependency-free `#[derive(Serialize, Deserialize)]` for the
+//! vendored serde stand-in.
+//!
+//! No `syn`/`quote`: the item is parsed directly from the `proc_macro`
+//! token stream (enough of Rust's grammar for the plain structs and enums
+//! this workspace derives on — no generics, no `#[serde(...)]` attributes),
+//! and impls are generated as strings. JSON-shape conventions follow
+//! upstream serde: newtype structs are transparent, unit variants become
+//! `"Name"`, data-carrying variants `{"Name": ...}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (conversion into the `Value` data model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (conversion out of the `Value` data model).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ----- item model ---------------------------------------------------------
+
+enum Fields {
+    Unit,
+    /// Tuple fields; only the count matters.
+    Tuple(usize),
+    /// Named field identifiers in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ----- parsing ------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body for `{name}`, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past `#[...]` attributes and a `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Splits `stream` on top-level commas, treating `<`/`>` as nesting (commas
+/// inside generic arguments like `BTreeMap<K, V>` do not split).
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut pieces = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    pieces.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pieces.last_mut().expect("non-empty pieces").push(tok);
+    }
+    if pieces.last().is_some_and(Vec::is_empty) {
+        pieces.pop(); // trailing comma
+    }
+    pieces
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|piece| {
+            let mut i = 0;
+            skip_attrs_and_vis(&piece, &mut i);
+            match &piece[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive: expected field name, found {other}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|piece| {
+            let mut i = 0;
+            skip_attrs_and_vis(&piece, &mut i);
+            let name = match &piece[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, found {other}"),
+            };
+            i += 1;
+            let fields = match piece.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+// ----- codegen ------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_owned(),
+                // One-field tuple structs are transparent newtypes, like serde.
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => object_expr(names.iter().map(|f| {
+                    (
+                        f.clone(),
+                        format!("::serde::Serialize::to_value(&self.{f})"),
+                    )
+                })),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::String(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => {},",
+                            tagged(vn, "::serde::Serialize::to_value(f0)")
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => {},",
+                                binds.join(", "),
+                                tagged(
+                                    vn,
+                                    &format!(
+                                        "::serde::Value::Array(::std::vec![{}])",
+                                        items.join(", ")
+                                    )
+                                )
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let inner = object_expr(fields.iter().map(|f| {
+                                (f.clone(), format!("::serde::Serialize::to_value({f})"))
+                            }));
+                            format!(
+                                "{name}::{vn} {{ {} }} => {},",
+                                fields.join(", "),
+                                tagged(vn, &inner)
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+/// `Value::Object(vec![(String::from(k), expr), ...])`.
+fn object_expr(entries: impl Iterator<Item = (String, String)>) -> String {
+    let parts: Vec<String> = entries
+        .map(|(k, e)| format!("(::std::string::String::from(\"{k}\"), {e})"))
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", parts.join(", "))
+}
+
+/// `{"tag": inner}` — serde's externally-tagged variant encoding.
+fn tagged(tag: &str, inner: &str) -> String {
+    format!(
+        "::serde::Value::Object(::std::vec![(::std::string::String::from(\"{tag}\"), {inner})])"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("{{ let _ = v; ::std::result::Result::Ok({name}) }}"),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "{{\n\
+                           let items = v.as_array().ok_or_else(|| ::serde::Error::msg(\"expected array for {name}\"))?;\n\
+                           if items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::msg(\"wrong arity for {name}\")); }}\n\
+                           ::std::result::Result::Ok({name}({}))\n\
+                         }}",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| format!("{f}: {},", field_from(name, f, "v")))
+                        .collect();
+                    format!(
+                        "::std::result::Result::Ok({name} {{ {} }})",
+                        inits.join(" ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    let build = match &v.fields {
+                        Fields::Unit => return None,
+                        Fields::Tuple(1) => format!(
+                            "::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?))"
+                        ),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            format!(
+                                "{{\n\
+                                   let items = inner.as_array().ok_or_else(|| ::serde::Error::msg(\"expected array for {name}::{vn}\"))?;\n\
+                                   if items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::msg(\"wrong arity for {name}::{vn}\")); }}\n\
+                                   ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: {},", field_from(&format!("{name}::{vn}"), f, "inner")))
+                                .collect();
+                            format!(
+                                "::std::result::Result::Ok({name}::{vn} {{ {} }})",
+                                inits.join(" ")
+                            )
+                        }
+                    };
+                    Some(format!("\"{vn}\" => {build},"))
+                })
+                .collect();
+
+            let mut arms = String::new();
+            if !unit_arms.is_empty() {
+                arms.push_str(&format!(
+                    "::serde::Value::String(s) => match s.as_str() {{\n{}\n\
+                       _ => ::std::result::Result::Err(::serde::Error::msg(\"unknown {name} variant\")),\n\
+                     }},\n",
+                    unit_arms.join("\n")
+                ));
+            }
+            if !data_arms.is_empty() {
+                arms.push_str(&format!(
+                    "::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                       let (tag, inner) = &fields[0];\n\
+                       match tag.as_str() {{\n{}\n\
+                         _ => ::std::result::Result::Err(::serde::Error::msg(\"unknown {name} variant\")),\n\
+                       }}\n\
+                     }},\n",
+                    data_arms.join("\n")
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n{arms}\
+                             _ => ::std::result::Result::Err(::serde::Error::msg(\"bad shape for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Reads field `f` out of object `src`; absent fields read as `Null` so
+/// `Option` fields default to `None` and required fields report an error.
+fn field_from(ctx: &str, f: &str, src: &str) -> String {
+    format!(
+        "::serde::Deserialize::from_value({src}.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+             .map_err(|e| ::serde::Error::msg(::std::format!(\"{ctx}.{f}: {{e}}\")))?"
+    )
+}
