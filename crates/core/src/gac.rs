@@ -1,15 +1,30 @@
-//! The Global Admission Controller (Section 3.1 of the paper).
+//! The Global Admission Controller (Section 3.1 of the paper), hardened
+//! against partial failure.
 //!
 //! A server consists of many CMP nodes; the GAC receives user submissions
 //! and probes each node's Local Admission Controller for one that can
 //! satisfy the job's QoS target. When no node accepts, the job is rejected
 //! (in a full deployment the GAC would then renegotiate the target with the
 //! user — out of this paper's scope, as it is of ours).
+//!
+//! Beyond the paper's fault-free model, this GAC treats probes as
+//! *fallible*: a probe can be lost in transit ([`ProbeOutcome::Lost`]), in
+//! which case it is retried with deterministic exponential backoff
+//! ([`GacConfig::backoff_delay`]). Consecutive losses drive a node through
+//! the health state machine Healthy → Suspect → Dead ([`NodeHealth`]);
+//! dead nodes are excluded from probing and their reservations are
+//! evacuated to survivors ([`GlobalAdmissionController::inject`]). Every
+//! loss, retry, health transition, migration, and revocation is emitted as
+//! a typed [`cmpqos_obs::Event`], so a recorded run fully reconstructs the
+//! chaos.
 
-use crate::lac::{Decision, Lac};
+use crate::lac::{Decision, Lac, LacConfig, RejectReason, Reservation, RevocationAction};
 use crate::modes::ExecutionMode;
 use crate::target::ResourceRequest;
-use cmpqos_types::{Cycles, JobId, NodeId};
+use cmpqos_faults::{Fault, Injection};
+use cmpqos_obs::{Event, NullRecorder, Recorder};
+use cmpqos_types::{Cycles, JobId, NodeId, Ways};
+use std::fmt;
 
 /// Order in which nodes are probed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -20,6 +35,205 @@ pub enum ProbePolicy {
     /// Probe the node with the fewest live reservations first (a simple
     /// load-balancing heuristic).
     LeastLoaded,
+}
+
+/// Why a [`GlobalAdmissionController`] could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GacError {
+    /// A server needs at least one node.
+    NoNodes,
+}
+
+impl fmt::Display for GacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GacError::NoNodes => f.write_str("a server needs at least one node"),
+        }
+    }
+}
+
+impl std::error::Error for GacError {}
+
+/// A node's health as tracked by the GAC's probe loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeHealth {
+    /// Probes are answered; the node is probed first.
+    Healthy,
+    /// Probes were lost recently ([`GacConfig::suspect_after`] consecutive
+    /// losses); the node is probed after all healthy nodes.
+    Suspect,
+    /// The node failed ([`GacConfig::dead_after`] consecutive losses, or an
+    /// explicit node fault); it is never probed and its reservations were
+    /// evacuated.
+    Dead,
+}
+
+impl From<NodeHealth> for cmpqos_obs::Health {
+    fn from(h: NodeHealth) -> Self {
+        match h {
+            NodeHealth::Healthy => cmpqos_obs::Health::Healthy,
+            NodeHealth::Suspect => cmpqos_obs::Health::Suspect,
+            NodeHealth::Dead => cmpqos_obs::Health::Dead,
+        }
+    }
+}
+
+/// One probe's outcome, as seen by the GAC's retry loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbeOutcome {
+    /// The LAC accepted; resources are reserved from `start`.
+    Accepted {
+        /// Reserved start cycle.
+        start: Cycles,
+    },
+    /// The probe was delivered but the LAC rejected the job.
+    Rejected(RejectReason),
+    /// Every retry was lost in transit; the node gave no answer.
+    Lost,
+    /// The node is (or became) dead; it cannot be probed.
+    NodeDead,
+}
+
+/// Retry, backoff, and health-tracking parameters.
+///
+/// Construct with [`GacConfig::default`] or [`GacConfig::builder`]; the
+/// struct is `#[non_exhaustive]`, so fields may be added without breaking
+/// downstream crates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct GacConfig {
+    /// Retries after a lost probe, per node per submission.
+    pub max_retries: u32,
+    /// Delay before the first retry; subsequent retries multiply it by
+    /// [`GacConfig::backoff_factor`].
+    pub backoff_base: Cycles,
+    /// Exponential backoff multiplier.
+    pub backoff_factor: u32,
+    /// Consecutive losses that demote a node to [`NodeHealth::Suspect`].
+    pub suspect_after: u32,
+    /// Consecutive losses that demote a node to [`NodeHealth::Dead`].
+    pub dead_after: u32,
+}
+
+impl Default for GacConfig {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff_base: Cycles::new(1_000),
+            backoff_factor: 2,
+            suspect_after: 2,
+            dead_after: 4,
+        }
+    }
+}
+
+impl GacConfig {
+    /// A fluent builder starting from the defaults.
+    #[must_use]
+    pub fn builder() -> GacConfigBuilder {
+        GacConfigBuilder {
+            config: GacConfig::default(),
+        }
+    }
+
+    /// The deterministic backoff delay before retry number `attempt`
+    /// (0-based): `backoff_base · backoff_factor^attempt`, saturating.
+    #[must_use]
+    pub fn backoff_delay(&self, attempt: u32) -> Cycles {
+        let mut delay = self.backoff_base.get();
+        for _ in 0..attempt {
+            delay = delay.saturating_mul(u64::from(self.backoff_factor));
+        }
+        Cycles::new(delay)
+    }
+}
+
+/// Fluent builder for [`GacConfig`].
+#[derive(Debug, Clone)]
+pub struct GacConfigBuilder {
+    config: GacConfig,
+}
+
+impl GacConfigBuilder {
+    /// Sets the per-node retry budget.
+    #[must_use]
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.config.max_retries = retries;
+        self
+    }
+
+    /// Sets the first retry delay.
+    #[must_use]
+    pub fn backoff_base(mut self, base: Cycles) -> Self {
+        self.config.backoff_base = base;
+        self
+    }
+
+    /// Sets the exponential backoff multiplier.
+    #[must_use]
+    pub fn backoff_factor(mut self, factor: u32) -> Self {
+        self.config.backoff_factor = factor;
+        self
+    }
+
+    /// Sets the Suspect demotion threshold.
+    #[must_use]
+    pub fn suspect_after(mut self, losses: u32) -> Self {
+        self.config.suspect_after = losses;
+        self
+    }
+
+    /// Sets the Dead demotion threshold.
+    #[must_use]
+    pub fn dead_after(mut self, losses: u32) -> Self {
+        self.config.dead_after = losses;
+        self
+    }
+
+    /// Finishes the configuration.
+    #[must_use]
+    pub fn build(self) -> GacConfig {
+        self.config
+    }
+}
+
+/// What one fault injection did to the admitted-job population.
+///
+/// Returned by [`GlobalAdmissionController::inject`] so callers can
+/// account for every affected reservation without parsing the event
+/// stream: an admitted job only ever completes, migrates, downgrades, or
+/// is revoked **with a reason** — never silently lost.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultReport {
+    /// Elastic jobs that absorbed the loss by giving up ways.
+    pub downgraded: Vec<(JobId, Ways)>,
+    /// Jobs re-placed on a surviving node: `(job, from, to)`.
+    pub migrated: Vec<(JobId, NodeId, NodeId)>,
+    /// Jobs whose reservation was revoked (no survivor could take them).
+    pub revoked: Vec<JobId>,
+}
+
+impl FaultReport {
+    /// Whether the fault affected no reservation at all.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.downgraded.is_empty() && self.migrated.is_empty() && self.revoked.is_empty()
+    }
+
+    /// Folds another report into this one.
+    pub fn merge(&mut self, other: FaultReport) {
+        self.downgraded.extend(other.downgraded);
+        self.migrated.extend(other.migrated);
+        self.revoked.extend(other.revoked);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeState {
+    lac: Lac,
+    health: NodeHealth,
+    consecutive_losses: u32,
+    pending_losses: u32,
 }
 
 /// The server-level admission controller over a set of per-node LACs.
@@ -44,33 +258,81 @@ pub enum ProbePolicy {
 /// ```
 #[derive(Debug, Clone)]
 pub struct GlobalAdmissionController {
-    lacs: Vec<Lac>,
+    nodes: Vec<NodeState>,
     policy: ProbePolicy,
+    config: GacConfig,
     submissions: u64,
     placements: Vec<(JobId, NodeId)>,
+    now: Cycles,
 }
 
 impl GlobalAdmissionController {
     /// Creates a GAC over `nodes` identical CMP nodes.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `nodes` is zero.
-    #[must_use]
-    pub fn new(nodes: usize, config: crate::lac::LacConfig, policy: ProbePolicy) -> Self {
-        assert!(nodes > 0, "a server needs at least one node");
-        Self {
-            lacs: (0..nodes).map(|_| Lac::new(config)).collect(),
+    /// Returns [`GacError::NoNodes`] when `nodes` is zero.
+    pub fn try_new(nodes: usize, config: LacConfig, policy: ProbePolicy) -> Result<Self, GacError> {
+        if nodes == 0 {
+            return Err(GacError::NoNodes);
+        }
+        Ok(Self {
+            nodes: (0..nodes)
+                .map(|_| NodeState {
+                    lac: Lac::new(config),
+                    health: NodeHealth::Healthy,
+                    consecutive_losses: 0,
+                    pending_losses: 0,
+                })
+                .collect(),
             policy,
+            config: GacConfig::default(),
             submissions: 0,
             placements: Vec::new(),
+            now: Cycles::ZERO,
+        })
+    }
+
+    /// Creates a GAC over `nodes` identical CMP nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero; use [`GlobalAdmissionController::try_new`]
+    /// to handle that case.
+    #[must_use]
+    pub fn new(nodes: usize, config: LacConfig, policy: ProbePolicy) -> Self {
+        match Self::try_new(nodes, config, policy) {
+            Ok(gac) => gac,
+            Err(e) => panic!("{e}"),
         }
     }
 
-    /// Number of nodes.
+    /// Replaces the retry/backoff/health configuration.
+    #[must_use]
+    pub fn with_gac_config(mut self, config: GacConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The retry/backoff/health configuration.
+    #[must_use]
+    pub fn gac_config(&self) -> GacConfig {
+        self.config
+    }
+
+    /// Number of nodes (of any health).
     #[must_use]
     pub fn nodes(&self) -> usize {
-        self.lacs.len()
+        self.nodes.len()
+    }
+
+    /// Number of nodes still probed (not dead).
+    #[must_use]
+    pub fn live_nodes(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.health != NodeHealth::Dead)
+            .count()
     }
 
     /// Access to one node's LAC.
@@ -80,19 +342,69 @@ impl GlobalAdmissionController {
     /// Panics if `node` is out of range.
     #[must_use]
     pub fn lac(&self, node: NodeId) -> &Lac {
-        &self.lacs[node.as_usize()]
+        &self.nodes[node.as_usize()].lac
     }
 
-    /// Advances every node's clock.
-    pub fn advance(&mut self, now: Cycles) {
-        for lac in &mut self.lacs {
-            lac.advance(now);
+    /// One node's health.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn node_health(&self, node: NodeId) -> NodeHealth {
+        self.nodes[node.as_usize()].health
+    }
+
+    /// Advances every node's clock, purging expired reservations. Jobs
+    /// whose reservation window ended by `now` are treated as completed:
+    /// they are removed from [`GlobalAdmissionController::placements`] and
+    /// returned, so the placement table cannot grow without bound.
+    pub fn advance(&mut self, now: Cycles) -> Vec<(JobId, NodeId)> {
+        self.now = self.now.max(now);
+        let mut completed = Vec::new();
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let id = NodeId::new(i as u32);
+            for r in node.lac.reservations() {
+                if r.end <= now {
+                    completed.push((r.id, id));
+                }
+            }
+            node.lac.advance(now);
+        }
+        // A probe backoff may have advanced a node's clock past `now`,
+        // letting its LAC purge a reservation before the sweep above saw
+        // it end. A placed job whose node no longer holds its reservation
+        // has therefore completed; without this sweep it would be
+        // stranded in the placement table forever.
+        for &(job, node) in &self.placements {
+            let held = self.nodes[node.as_usize()]
+                .lac
+                .reservations()
+                .iter()
+                .any(|r| r.id == job);
+            if !held && !completed.iter().any(|&(done, _)| done == job) {
+                completed.push((job, node));
+            }
+        }
+        self.placements
+            .retain(|(job, _)| !completed.iter().any(|(done, _)| done == job));
+        completed
+    }
+
+    /// Releases job `id`'s reservation (early completion) and drops its
+    /// placement entry.
+    pub fn complete(&mut self, id: JobId, at: Cycles) {
+        if let Some(pos) = self.placements.iter().position(|(job, _)| *job == id) {
+            let (_, node) = self.placements.remove(pos);
+            self.nodes[node.as_usize()].lac.release(id, at);
         }
     }
 
-    /// Submits a job: probes LACs per the policy and returns the accepting
-    /// node (if any) and the final decision (the last rejection when all
-    /// nodes reject).
+    /// Submits a job: probes LACs per the policy (healthy nodes first,
+    /// then suspect; dead nodes never) and returns the accepting node (if
+    /// any) and the final decision — the genuine last rejection when every
+    /// probed LAC rejected, or [`RejectReason::NoHealthyNodes`] when no LAC
+    /// answered at all.
     pub fn submit(
         &mut self,
         id: JobId,
@@ -101,28 +413,146 @@ impl GlobalAdmissionController {
         tw: Cycles,
         deadline: Option<Cycles>,
     ) -> (Option<NodeId>, Decision) {
-        self.submissions += 1;
-        let mut order: Vec<usize> = (0..self.lacs.len()).collect();
-        if self.policy == ProbePolicy::LeastLoaded {
-            order.sort_by_key(|&i| self.lacs[i].reservations().len());
-        }
-        let mut last = Decision::Rejected(crate::lac::RejectReason::NoCapacityBeforeDeadline);
-        for i in order {
-            let d = self.lacs[i].admit(id, mode, request, tw, deadline);
-            if d.is_accepted() {
-                let node = NodeId::new(i as u32);
-                self.placements.push((id, node));
-                return (Some(node), d);
-            }
-            last = d;
-        }
-        (None, last)
+        self.submit_recorded(id, mode, request, tw, deadline, &mut NullRecorder)
     }
 
-    /// Where each accepted job was placed.
+    /// [`GlobalAdmissionController::submit`], additionally emitting the
+    /// full probe history — `Submitted`, per-probe `Admitted`/`Rejected`,
+    /// `ProbeLost`/`ProbeBackoff`, health transitions, and the final
+    /// `Placed` — to `recorder`.
+    pub fn submit_recorded(
+        &mut self,
+        id: JobId,
+        mode: ExecutionMode,
+        request: ResourceRequest,
+        tw: Cycles,
+        deadline: Option<Cycles>,
+        recorder: &mut dyn Recorder,
+    ) -> (Option<NodeId>, Decision) {
+        self.submissions += 1;
+        if recorder.enabled() {
+            recorder.record(
+                self.now,
+                Event::Submitted {
+                    job: id,
+                    mode: mode.into(),
+                },
+            );
+        }
+        let mut last: Option<Decision> = None;
+        for i in self.probe_order() {
+            match self.probe(i, id, mode, request, tw, deadline, recorder) {
+                ProbeOutcome::Accepted { start } => {
+                    let node = NodeId::new(i as u32);
+                    self.placements.push((id, node));
+                    if recorder.enabled() {
+                        recorder.record(self.stamp(i), Event::Placed { job: id, node });
+                    }
+                    return (Some(node), Decision::Accepted { start });
+                }
+                ProbeOutcome::Rejected(reason) => last = Some(Decision::Rejected(reason)),
+                ProbeOutcome::Lost | ProbeOutcome::NodeDead => {}
+            }
+        }
+        match last {
+            Some(decision) => (None, decision),
+            None => {
+                if recorder.enabled() {
+                    recorder.record(
+                        self.now,
+                        Event::Rejected {
+                            job: id,
+                            cause: RejectReason::NoHealthyNodes.into(),
+                        },
+                    );
+                }
+                (None, Decision::Rejected(RejectReason::NoHealthyNodes))
+            }
+        }
+    }
+
+    /// Applies one fault injection, emitting every consequence to
+    /// `recorder` and returning the [`FaultReport`] of affected jobs.
+    ///
+    /// * Way/core faults shrink the node's capacity and re-validate its
+    ///   reservations ([`Lac::revoke_capacity`]); evicted jobs are
+    ///   re-placed on surviving nodes when possible.
+    /// * Node faults mark the node [`NodeHealth::Dead`] and evacuate every
+    ///   reservation the same way.
+    /// * Probe losses queue up and consume future probes to that node.
+    ///
+    /// Injections naming a node outside the server are ignored.
+    pub fn inject(&mut self, injection: Injection, recorder: &mut dyn Recorder) -> FaultReport {
+        let mut report = FaultReport::default();
+        let at = injection.at;
+        self.now = self.now.max(at);
+        let i = injection.fault.node().as_usize();
+        if i >= self.nodes.len() {
+            return report;
+        }
+        if recorder.enabled() {
+            recorder.record(
+                at,
+                Event::FaultInjected {
+                    node: injection.fault.node(),
+                    fault: injection.fault.obs_kind(),
+                },
+            );
+        }
+        match injection.fault {
+            Fault::WayFault { .. } => {
+                let shrunk = self.nodes[i]
+                    .lac
+                    .capacity()
+                    .minus(&ResourceRequest::new(0, Ways::new(1)));
+                self.shrink(i, shrunk, at, recorder, &mut report);
+            }
+            Fault::CoreFault { .. } => {
+                let shrunk = self.nodes[i]
+                    .lac
+                    .capacity()
+                    .minus(&ResourceRequest::new(1, Ways::ZERO));
+                self.shrink(i, shrunk, at, recorder, &mut report);
+            }
+            Fault::NodeFault { .. } => {
+                self.set_health(i, NodeHealth::Dead, recorder);
+                self.evacuate(i, recorder, &mut report);
+            }
+            Fault::ProbeLoss { count, .. } => {
+                self.nodes[i].pending_losses += count;
+            }
+        }
+        report
+    }
+
+    /// Applies every injection due by `now` from `schedule` (in cycle
+    /// order), merging the reports.
+    pub fn inject_due(
+        &mut self,
+        schedule: &mut cmpqos_faults::FaultSchedule,
+        now: Cycles,
+        recorder: &mut dyn Recorder,
+    ) -> FaultReport {
+        let mut report = FaultReport::default();
+        for injection in schedule.due(now) {
+            report.merge(self.inject(injection, recorder));
+        }
+        report
+    }
+
+    /// Where each admitted-and-not-yet-completed job is placed.
     #[must_use]
     pub fn placements(&self) -> &[(JobId, NodeId)] {
         &self.placements
+    }
+
+    /// The node job `id` is currently placed on, if any.
+    #[must_use]
+    pub fn placement(&self, id: JobId) -> Option<NodeId> {
+        self.placements
+            .iter()
+            .find(|(job, _)| *job == id)
+            .map(|&(_, node)| node)
     }
 
     /// Total submissions seen.
@@ -130,12 +560,235 @@ impl GlobalAdmissionController {
     pub fn submissions(&self) -> u64 {
         self.submissions
     }
+
+    /// Probe order: live nodes only, healthy before suspect, the policy's
+    /// order within each health class.
+    fn probe_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].health != NodeHealth::Dead)
+            .collect();
+        if self.policy == ProbePolicy::LeastLoaded {
+            order.sort_by_key(|&i| self.nodes[i].lac.reservations().len());
+        }
+        order.sort_by_key(|&i| match self.nodes[i].health {
+            NodeHealth::Healthy => 0u8,
+            NodeHealth::Suspect => 1,
+            NodeHealth::Dead => 2,
+        });
+        order
+    }
+
+    /// Event timestamp for node `i`: its LAC clock (which backoff may have
+    /// advanced past the GAC's).
+    fn stamp(&self, i: usize) -> Cycles {
+        self.nodes[i].lac.now().max(self.now)
+    }
+
+    /// One node's probe with bounded retry. Lost probes consume queued
+    /// losses, count toward the health state machine, and back off
+    /// deterministically (the delay advances only this node's LAC clock).
+    #[allow(clippy::too_many_arguments)]
+    fn probe(
+        &mut self,
+        i: usize,
+        id: JobId,
+        mode: ExecutionMode,
+        request: ResourceRequest,
+        tw: Cycles,
+        deadline: Option<Cycles>,
+        recorder: &mut dyn Recorder,
+    ) -> ProbeOutcome {
+        let node = NodeId::new(i as u32);
+        for attempt in 0..=self.config.max_retries {
+            if self.nodes[i].health == NodeHealth::Dead {
+                return ProbeOutcome::NodeDead;
+            }
+            if self.nodes[i].pending_losses > 0 {
+                self.nodes[i].pending_losses -= 1;
+                self.nodes[i].consecutive_losses += 1;
+                if recorder.enabled() {
+                    recorder.record(self.stamp(i), Event::ProbeLost { job: id, node });
+                }
+                self.update_health(i, recorder);
+                if self.nodes[i].health == NodeHealth::Dead {
+                    let mut report = FaultReport::default();
+                    self.evacuate(i, recorder, &mut report);
+                    return ProbeOutcome::NodeDead;
+                }
+                if attempt < self.config.max_retries {
+                    let delay = self.config.backoff_delay(attempt);
+                    let fire_at = self.stamp(i) + delay;
+                    self.nodes[i].lac.advance(fire_at);
+                    if recorder.enabled() {
+                        recorder.record(
+                            fire_at,
+                            Event::ProbeBackoff {
+                                job: id,
+                                node,
+                                delay,
+                            },
+                        );
+                    }
+                }
+                continue;
+            }
+            // Probe delivered: the node answered, so it is not losing
+            // messages anymore.
+            self.nodes[i].consecutive_losses = 0;
+            if self.nodes[i].health == NodeHealth::Suspect {
+                self.set_health(i, NodeHealth::Healthy, recorder);
+            }
+            let decision = self.nodes[i]
+                .lac
+                .admit_recorded(id, mode, request, tw, deadline, recorder);
+            return match decision {
+                Decision::Accepted { start } => ProbeOutcome::Accepted { start },
+                Decision::Rejected(reason) => ProbeOutcome::Rejected(reason),
+            };
+        }
+        ProbeOutcome::Lost
+    }
+
+    /// Demotes node `i` per its consecutive-loss count (health only ever
+    /// worsens here; recovery happens when a probe is answered).
+    fn update_health(&mut self, i: usize, recorder: &mut dyn Recorder) {
+        let losses = self.nodes[i].consecutive_losses;
+        let target = if losses >= self.config.dead_after {
+            NodeHealth::Dead
+        } else if losses >= self.config.suspect_after {
+            NodeHealth::Suspect
+        } else {
+            return;
+        };
+        if self.nodes[i].health != NodeHealth::Dead {
+            self.set_health(i, target, recorder);
+        }
+    }
+
+    fn set_health(&mut self, i: usize, to: NodeHealth, recorder: &mut dyn Recorder) {
+        let from = self.nodes[i].health;
+        if from == to {
+            return;
+        }
+        self.nodes[i].health = to;
+        if recorder.enabled() {
+            recorder.record(
+                self.stamp(i),
+                Event::NodeHealthChanged {
+                    node: NodeId::new(i as u32),
+                    from: from.into(),
+                    to: to.into(),
+                },
+            );
+        }
+    }
+
+    /// Shrinks node `i`'s capacity and handles every revocation: keeps are
+    /// silent, downgrades are reported, evictions are re-placed elsewhere
+    /// (or revoked with a reason when no survivor fits them).
+    fn shrink(
+        &mut self,
+        i: usize,
+        new_capacity: ResourceRequest,
+        at: Cycles,
+        recorder: &mut dyn Recorder,
+        report: &mut FaultReport,
+    ) {
+        let node = NodeId::new(i as u32);
+        let revocations = self.nodes[i].lac.revoke_capacity(new_capacity, at);
+        for rev in revocations {
+            match rev.action {
+                RevocationAction::Kept => {}
+                RevocationAction::Downgraded { ways_cut } => {
+                    report.downgraded.push((rev.id, ways_cut));
+                    if recorder.enabled() {
+                        recorder.record(
+                            self.stamp(i),
+                            Event::DowngradedUnderFault {
+                                job: rev.id,
+                                node,
+                                ways_cut,
+                            },
+                        );
+                    }
+                }
+                RevocationAction::Evicted { reservation, .. } => {
+                    self.relocate(reservation, node, recorder, report);
+                }
+            }
+        }
+    }
+
+    /// Moves every reservation off (dead) node `i`.
+    fn evacuate(&mut self, i: usize, recorder: &mut dyn Recorder, report: &mut FaultReport) {
+        let from = NodeId::new(i as u32);
+        let stranded = self.nodes[i].lac.reservations().to_vec();
+        for r in &stranded {
+            self.nodes[i].lac.cancel(r.id);
+        }
+        for r in stranded {
+            self.relocate(r, from, recorder, report);
+        }
+    }
+
+    /// Re-places one stranded reservation on a surviving node, preserving
+    /// its duration, mode, and original deadline. Migration readmits are an
+    /// internal control-plane path: they bypass queued probe losses. When
+    /// no survivor fits, the reservation is revoked **with a reason** — it
+    /// is never silently lost.
+    fn relocate(
+        &mut self,
+        r: Reservation,
+        from: NodeId,
+        recorder: &mut dyn Recorder,
+        report: &mut FaultReport,
+    ) {
+        for i in self.probe_order() {
+            if i == from.as_usize() {
+                continue;
+            }
+            if let Decision::Accepted { .. } = self.nodes[i].lac.readmit(&r) {
+                let to = NodeId::new(i as u32);
+                for p in &mut self.placements {
+                    if p.0 == r.id {
+                        p.1 = to;
+                    }
+                }
+                report.migrated.push((r.id, from, to));
+                if recorder.enabled() {
+                    recorder.record(
+                        self.stamp(i),
+                        Event::Migrated {
+                            job: r.id,
+                            from,
+                            to,
+                        },
+                    );
+                }
+                return;
+            }
+        }
+        report.revoked.push(r.id);
+        self.placements.retain(|(id, _)| *id != r.id);
+        if recorder.enabled() {
+            recorder.record(
+                self.now,
+                Event::ReservationRevoked {
+                    job: r.id,
+                    node: from,
+                    cause: RejectReason::CapacityRevoked.into(),
+                },
+            );
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lac::LacConfig;
+    use cmpqos_faults::FaultPlan;
+    use cmpqos_obs::RingBufferRecorder;
+    use cmpqos_types::Percent;
 
     fn submit_strict(gac: &mut GlobalAdmissionController, id: u32) -> (Option<NodeId>, Decision) {
         gac.submit(
@@ -166,7 +819,11 @@ mod tests {
         submit_strict(&mut gac, 1);
         let (node, d) = submit_strict(&mut gac, 2);
         assert_eq!(node, None);
-        assert!(!d.is_accepted());
+        // The genuine LAC rejection, not a fabricated default.
+        assert_eq!(
+            d,
+            Decision::Rejected(RejectReason::NoCapacityBeforeDeadline)
+        );
     }
 
     #[test]
@@ -187,5 +844,264 @@ mod tests {
         for i in 0..3 {
             assert_eq!(gac.lac(NodeId::new(i)).now(), Cycles::new(42));
         }
+    }
+
+    #[test]
+    fn try_new_rejects_an_empty_server() {
+        assert_eq!(
+            GlobalAdmissionController::try_new(0, LacConfig::default(), ProbePolicy::FirstFit)
+                .err(),
+            Some(GacError::NoNodes)
+        );
+        assert_eq!(
+            GacError::NoNodes.to_string(),
+            "a server needs at least one node"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn new_panics_on_an_empty_server() {
+        let _ = GlobalAdmissionController::new(0, LacConfig::default(), ProbePolicy::FirstFit);
+    }
+
+    #[test]
+    fn backoff_sequence_is_deterministic() {
+        let cfg = GacConfig::builder()
+            .backoff_base(Cycles::new(100))
+            .backoff_factor(2)
+            .build();
+        let delays: Vec<u64> = (0..4).map(|a| cfg.backoff_delay(a).get()).collect();
+        assert_eq!(delays, vec![100, 200, 400, 800]);
+        // Saturates instead of overflowing.
+        assert_eq!(cfg.backoff_delay(u32::MAX).get(), u64::MAX);
+    }
+
+    #[test]
+    fn completed_jobs_leave_the_placement_table() {
+        let mut gac =
+            GlobalAdmissionController::new(1, LacConfig::default(), ProbePolicy::FirstFit);
+        submit_strict(&mut gac, 0);
+        assert_eq!(gac.placements().len(), 1);
+        let done = gac.advance(Cycles::new(200));
+        assert_eq!(done, vec![(JobId::new(0), NodeId::new(0))]);
+        assert!(gac.placements().is_empty());
+    }
+
+    #[test]
+    fn lost_probes_retry_with_backoff_then_place() {
+        let mut gac =
+            GlobalAdmissionController::new(1, LacConfig::default(), ProbePolicy::FirstFit)
+                .with_gac_config(
+                    GacConfig::builder()
+                        .max_retries(3)
+                        .backoff_base(Cycles::new(100))
+                        .suspect_after(10)
+                        .dead_after(20)
+                        .build(),
+                );
+        let mut rec = RingBufferRecorder::new(64);
+        // Two probes vanish; the third is answered.
+        gac.inject(
+            FaultPlan::new()
+                .probe_loss(Cycles::ZERO, NodeId::new(0), 2)
+                .build()
+                .injections()[0],
+            &mut rec,
+        );
+        let (node, d) = gac.submit_recorded(
+            JobId::new(0),
+            ExecutionMode::Strict,
+            ResourceRequest::paper_job(),
+            Cycles::new(100),
+            None,
+            &mut rec,
+        );
+        assert!(d.is_accepted());
+        assert_eq!(node, Some(NodeId::new(0)));
+        let c = rec.counters();
+        assert_eq!(c.probes_lost, 2);
+        assert_eq!(c.probe_backoffs, 2);
+        assert_eq!(c.placed, 1);
+        // Backoff advanced the node's clock: 100 then 200.
+        assert_eq!(gac.lac(NodeId::new(0)).now(), Cycles::new(300));
+    }
+
+    #[test]
+    fn reservation_purged_by_a_backoff_clock_still_completes() {
+        // A backoff stamp advances the probed node's LAC clock, which may
+        // purge an already-finished reservation before the GAC's own
+        // advance() sweep sees its end. The job must still be reported
+        // completed (and leave the placement table), never stranded.
+        let mut gac =
+            GlobalAdmissionController::new(1, LacConfig::default(), ProbePolicy::FirstFit);
+        let mut rec = RingBufferRecorder::new(64);
+        let (node, d) = gac.submit_recorded(
+            JobId::new(0),
+            ExecutionMode::Strict,
+            ResourceRequest::paper_job(),
+            Cycles::new(100),
+            None,
+            &mut rec,
+        );
+        assert!(d.is_accepted());
+        assert_eq!(node, Some(NodeId::new(0)));
+        // Two lost probes: the retry backoffs (default base 1000) advance
+        // node 0's clock far past job 0's end at cycle 100.
+        gac.inject(
+            FaultPlan::new()
+                .probe_loss(Cycles::ZERO, NodeId::new(0), 2)
+                .build()
+                .injections()[0],
+            &mut rec,
+        );
+        let (_, d) = gac.submit_recorded(
+            JobId::new(1),
+            ExecutionMode::Strict,
+            ResourceRequest::paper_job(),
+            Cycles::new(100),
+            None,
+            &mut rec,
+        );
+        assert!(d.is_accepted());
+        assert!(gac.lac(NodeId::new(0)).now() > Cycles::new(100));
+        let done = gac.advance(Cycles::new(50));
+        assert!(
+            done.contains(&(JobId::new(0), NodeId::new(0))),
+            "purged job 0 reported completed: {done:?}"
+        );
+        assert!(gac.placement(JobId::new(0)).is_none());
+        assert!(gac.placement(JobId::new(1)).is_some());
+    }
+
+    #[test]
+    fn sustained_losses_demote_to_suspect_then_dead() {
+        let mut gac =
+            GlobalAdmissionController::new(2, LacConfig::default(), ProbePolicy::FirstFit);
+        let mut rec = RingBufferRecorder::new(64);
+        gac.inject(
+            FaultPlan::new()
+                .probe_loss(Cycles::ZERO, NodeId::new(0), 10)
+                .build()
+                .injections()[0],
+            &mut rec,
+        );
+        // Default config: suspect after 2 losses, dead after 4 (within the
+        // 1 + 3-retry budget of a single submission).
+        let (node, d) = gac.submit_recorded(
+            JobId::new(0),
+            ExecutionMode::Strict,
+            ResourceRequest::paper_job(),
+            Cycles::new(100),
+            None,
+            &mut rec,
+        );
+        assert!(d.is_accepted(), "spills to the healthy node");
+        assert_eq!(node, Some(NodeId::new(1)));
+        assert_eq!(gac.node_health(NodeId::new(0)), NodeHealth::Dead);
+        assert_eq!(gac.live_nodes(), 1);
+        assert_eq!(rec.counters().node_health_changes, 2);
+    }
+
+    #[test]
+    fn all_nodes_dead_rejects_with_no_healthy_nodes() {
+        let mut gac =
+            GlobalAdmissionController::new(1, LacConfig::default(), ProbePolicy::FirstFit);
+        let mut rec = RingBufferRecorder::new(16);
+        gac.inject(
+            FaultPlan::new()
+                .node_fault(Cycles::ZERO, NodeId::new(0))
+                .build()
+                .injections()[0],
+            &mut rec,
+        );
+        let (node, d) = submit_strict(&mut gac, 0);
+        assert_eq!(node, None);
+        assert_eq!(d, Decision::Rejected(RejectReason::NoHealthyNodes));
+    }
+
+    #[test]
+    fn node_fault_migrates_reservations_to_survivors() {
+        let mut gac =
+            GlobalAdmissionController::new(2, LacConfig::default(), ProbePolicy::FirstFit);
+        let mut rec = RingBufferRecorder::new(64);
+        let (node, _) = submit_strict(&mut gac, 0);
+        assert_eq!(node, Some(NodeId::new(0)));
+        let report = gac.inject(
+            FaultPlan::new()
+                .node_fault(Cycles::ZERO, NodeId::new(0))
+                .build()
+                .injections()[0],
+            &mut rec,
+        );
+        assert_eq!(
+            report.migrated,
+            vec![(JobId::new(0), NodeId::new(0), NodeId::new(1))]
+        );
+        assert!(report.revoked.is_empty());
+        assert_eq!(gac.placement(JobId::new(0)), Some(NodeId::new(1)));
+        assert!(gac.lac(NodeId::new(0)).reservations().is_empty());
+        assert_eq!(gac.lac(NodeId::new(1)).reservations().len(), 1);
+        // Migration honors the original deadline.
+        assert_eq!(
+            gac.lac(NodeId::new(1)).reservations()[0].deadline,
+            Some(Cycles::new(105))
+        );
+    }
+
+    #[test]
+    fn way_fault_downgrades_elastic_and_evicts_what_cannot_fit() {
+        let mut gac =
+            GlobalAdmissionController::new(1, LacConfig::default(), ProbePolicy::FirstFit);
+        let mut rec = RingBufferRecorder::new(64);
+        // Two Elastic(50%) jobs of 8 ways each fill all 16 ways.
+        for i in 0..2u32 {
+            let (_, d) = gac.submit(
+                JobId::new(i),
+                ExecutionMode::Elastic(Percent::new(50.0)),
+                ResourceRequest::new(1, Ways::new(8)),
+                Cycles::new(100),
+                None,
+            );
+            assert!(d.is_accepted());
+        }
+        let report = gac.inject(
+            FaultPlan::new()
+                .way_fault(Cycles::ZERO, NodeId::new(0), 3)
+                .build()
+                .injections()[0],
+            &mut rec,
+        );
+        // FCFS: job 0 keeps its 8 ways; job 1 absorbs the loss by giving
+        // up one way (within its floor(8 · 0.5) = 4-way slack).
+        assert_eq!(report.downgraded, vec![(JobId::new(1), Ways::new(1))]);
+        assert!(report.revoked.is_empty());
+        assert_eq!(rec.counters().downgraded_under_fault, 1);
+        let total: u16 = gac
+            .lac(NodeId::new(0))
+            .reservations()
+            .iter()
+            .map(|r| r.request.cache_ways().get())
+            .sum();
+        assert_eq!(total, 15, "8 kept + 7 downgraded fits 15 ways");
+    }
+
+    #[test]
+    fn stranded_strict_job_with_no_survivor_is_revoked_with_reason() {
+        // One-node server: a node fault leaves nowhere to migrate.
+        let mut gac =
+            GlobalAdmissionController::new(1, LacConfig::default(), ProbePolicy::FirstFit);
+        let mut rec = RingBufferRecorder::new(32);
+        submit_strict(&mut gac, 0);
+        let report = gac.inject(
+            FaultPlan::new()
+                .node_fault(Cycles::ZERO, NodeId::new(0))
+                .build()
+                .injections()[0],
+            &mut rec,
+        );
+        assert_eq!(report.revoked, vec![JobId::new(0)]);
+        assert!(gac.placements().is_empty(), "no stranded placement entry");
+        assert_eq!(rec.counters().reservations_revoked, 1);
     }
 }

@@ -12,7 +12,7 @@
 
 use crate::modes::ExecutionMode;
 use crate::target::ResourceRequest;
-use cmpqos_types::{Cycles, JobId};
+use cmpqos_types::{Cycles, JobId, Ways};
 use std::fmt;
 
 /// Why a job was rejected.
@@ -25,6 +25,11 @@ pub enum RejectReason {
     NoSpareResources,
     /// The request exceeds the node's total capacity outright.
     ExceedsNodeCapacity,
+    /// The reservation was revoked because the node lost capacity (a faulty
+    /// way or core) and the shrunken supply no longer covers it.
+    CapacityRevoked,
+    /// Every node is dead: the global controller had no one left to probe.
+    NoHealthyNodes,
 }
 
 impl From<RejectReason> for cmpqos_obs::RejectCause {
@@ -35,6 +40,8 @@ impl From<RejectReason> for cmpqos_obs::RejectCause {
             }
             RejectReason::NoSpareResources => cmpqos_obs::RejectCause::NoSpareResources,
             RejectReason::ExceedsNodeCapacity => cmpqos_obs::RejectCause::ExceedsNodeCapacity,
+            RejectReason::CapacityRevoked => cmpqos_obs::RejectCause::CapacityRevoked,
+            RejectReason::NoHealthyNodes => cmpqos_obs::RejectCause::NoHealthyNodes,
         }
     }
 }
@@ -49,6 +56,10 @@ impl fmt::Display for RejectReason {
                 f.write_str("no spare resources for an opportunistic job")
             }
             RejectReason::ExceedsNodeCapacity => f.write_str("request exceeds total node capacity"),
+            RejectReason::CapacityRevoked => {
+                f.write_str("reservation revoked after the node lost capacity")
+            }
+            RejectReason::NoHealthyNodes => f.write_str("no healthy node left to probe"),
         }
     }
 }
@@ -85,7 +96,7 @@ impl Decision {
 }
 
 /// One reservation in the LAC's timeline (active over `[start, end)`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Reservation {
     /// The holding job.
     pub id: JobId,
@@ -95,6 +106,44 @@ pub struct Reservation {
     pub end: Cycles,
     /// Reserved resources.
     pub request: ResourceRequest,
+    /// The mode the job was admitted under. Carried so capacity revocation
+    /// knows how much slack an Elastic(X) job can absorb, and so a migrated
+    /// reservation keeps its semantics on the new node.
+    pub mode: ExecutionMode,
+    /// The admission deadline, when one was given. Migrations re-admit
+    /// against this original deadline, never a relaxed one.
+    pub deadline: Option<Cycles>,
+}
+
+/// What [`Lac::revoke_capacity`] did to one reservation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RevocationAction {
+    /// The reservation still fits the shrunken capacity, unchanged.
+    Kept,
+    /// An Elastic job gave up `ways_cut` ways; its slack absorbs the
+    /// slowdown, so the (already extended) reservation window still holds.
+    Downgraded {
+        /// Ways removed from the reservation.
+        ways_cut: Ways,
+    },
+    /// The reservation no longer fits and was evicted. The full reservation
+    /// is carried so the caller (the GAC) can re-place it on another node —
+    /// an evicted reservation is never silently lost.
+    Evicted {
+        /// The evicted reservation, as it was before the fault.
+        reservation: Reservation,
+        /// Why it was evicted (always [`RejectReason::CapacityRevoked`]).
+        reason: RejectReason,
+    },
+}
+
+/// The fate of one reservation after a capacity revocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Revocation {
+    /// The affected job.
+    pub id: JobId,
+    /// What happened to its reservation.
+    pub action: RevocationAction,
 }
 
 /// LAC configuration.
@@ -286,6 +335,8 @@ impl Lac {
                             start,
                             end: start + duration,
                             request,
+                            mode,
+                            deadline,
                         });
                         self.accepted += 1;
                         Decision::Accepted { start }
@@ -332,6 +383,8 @@ impl Lac {
                     start,
                     end: start + tw,
                     request,
+                    mode: ExecutionMode::Strict,
+                    deadline: Some(deadline),
                 });
                 self.accepted += 1;
                 Decision::Accepted { start }
@@ -408,6 +461,114 @@ impl Lac {
     /// Cancels a job's reservation entirely.
     pub fn cancel(&mut self, id: JobId) {
         self.reservations.retain(|r| r.id != id);
+    }
+
+    /// Shrinks the node's capacity to `new_capacity` (a way or core died)
+    /// and re-validates every live reservation against the reduced supply.
+    ///
+    /// Reservations are re-examined in FCFS (admission) order:
+    ///
+    /// 1. **Keep** — the reservation still fits over its remaining window.
+    /// 2. **Downgrade** — an Elastic(X) reservation that no longer fits
+    ///    gives up ways, at most `floor(ways · X)` (its slack absorbs the
+    ///    proportional slowdown, per the Section 3.3 linear model), smallest
+    ///    cut first.
+    /// 3. **Evict** — everything else is dropped with
+    ///    [`RejectReason::CapacityRevoked`].
+    ///
+    /// Returns one [`Revocation`] per live reservation, in FCFS order, so
+    /// callers can emit events and re-place evicted jobs: no reservation is
+    /// ever silently lost.
+    pub fn revoke_capacity(
+        &mut self,
+        new_capacity: ResourceRequest,
+        now: Cycles,
+    ) -> Vec<Revocation> {
+        self.advance(now);
+        self.config.capacity = new_capacity;
+        let old = std::mem::take(&mut self.reservations);
+        let mut outcome = Vec::with_capacity(old.len());
+        for mut r in old {
+            let original = r;
+            let window_start = r.start.max(self.now);
+            let fits_unchanged = r.request.fits_within(&new_capacity)
+                && self.fits_during(&r.request, window_start, r.end);
+            let action = if fits_unchanged {
+                RevocationAction::Kept
+            } else {
+                self.try_fault_downgrade(&mut r, window_start).map_or(
+                    RevocationAction::Evicted {
+                        reservation: original,
+                        reason: RejectReason::CapacityRevoked,
+                    },
+                    |cut| RevocationAction::Downgraded { ways_cut: cut },
+                )
+            };
+            if !matches!(action, RevocationAction::Evicted { .. }) {
+                self.reservations.push(r);
+            }
+            outcome.push(Revocation { id: r.id, action });
+        }
+        outcome
+    }
+
+    /// Smallest way cut (≥ 1, bounded by the mode's absorbable slack) that
+    /// makes `r` fit over `[window_start, r.end)`. Applies the cut to `r`
+    /// and returns it, or `None` when no allowed cut fits.
+    fn try_fault_downgrade(&self, r: &mut Reservation, window_start: Cycles) -> Option<Ways> {
+        let absorbable = r.mode.fault_absorbable_ways(r.request.cache_ways());
+        for cut in 1..=absorbable.get() {
+            let ways_cut = Ways::new(cut);
+            let reduced = r.request.minus(&ResourceRequest::new(0, ways_cut));
+            if reduced.fits_within(&self.config.capacity)
+                && self.fits_during(&reduced, window_start, r.end)
+            {
+                r.request = reduced;
+                return Some(ways_cut);
+            }
+        }
+        None
+    }
+
+    /// Re-admits a reservation migrated off a failed node, preserving its
+    /// duration, mode, and **original** deadline. The start is re-derived
+    /// on this node's timeline (FCFS, like [`Lac::admit`]); the request is
+    /// never silently shrunk.
+    pub fn readmit(&mut self, r: &Reservation) -> Decision {
+        self.charge_test();
+        if !r.request.fits_within(&self.config.capacity) {
+            self.rejected += 1;
+            return Decision::Rejected(RejectReason::ExceedsNodeCapacity);
+        }
+        let duration = r.end.saturating_sub(r.start);
+        let latest_start = match r.deadline {
+            Some(td) => {
+                let Some(ls) = td.get().checked_sub(duration.get()) else {
+                    self.rejected += 1;
+                    return Decision::Rejected(RejectReason::NoCapacityBeforeDeadline);
+                };
+                Cycles::new(ls)
+            }
+            None => Cycles::new(u64::MAX / 2),
+        };
+        match self.earliest_start(&r.request, duration, self.now, latest_start) {
+            Some(start) => {
+                self.reservations.push(Reservation {
+                    id: r.id,
+                    start,
+                    end: start + duration,
+                    request: r.request,
+                    mode: r.mode,
+                    deadline: r.deadline,
+                });
+                self.accepted += 1;
+                Decision::Accepted { start }
+            }
+            None => {
+                self.rejected += 1;
+                Decision::Rejected(RejectReason::NoCapacityBeforeDeadline)
+            }
+        }
     }
 
     /// Number of admission tests performed.
@@ -662,6 +823,8 @@ mod tests {
             start: Cycles::new(400),
             end: Cycles::new(500),
             request: ResourceRequest::new(1, Ways::new(7)),
+            mode: ExecutionMode::Strict,
+            deadline: Some(Cycles::new(500)),
         });
         let d = l.admit_latest(
             JobId::new(1),
@@ -925,6 +1088,126 @@ mod tests {
                 job: JobId::new(0),
                 start: Cycles::ZERO,
             })
+        );
+    }
+
+    #[test]
+    fn revoke_capacity_keeps_downgrades_and_evicts_in_fcfs_order() {
+        let mut l = lac();
+        // Job 0: Strict, 8 ways. Job 1: Elastic(50%), 8 ways. Job 2:
+        // Strict, 7 ways, queued behind them.
+        l.admit(
+            JobId::new(0),
+            ExecutionMode::Strict,
+            ResourceRequest::new(1, Ways::new(8)),
+            Cycles::new(100),
+            None,
+        );
+        l.admit(
+            JobId::new(1),
+            ExecutionMode::Elastic(cmpqos_types::Percent::new(50.0)),
+            ResourceRequest::new(1, Ways::new(8)),
+            Cycles::new(100),
+            None,
+        );
+        // Lose 8 ways: capacity 16 -> 8.
+        let revs = l.revoke_capacity(
+            ResourceRequest::new(4, Ways::new(8)).with_bandwidth(100),
+            Cycles::ZERO,
+        );
+        assert_eq!(revs.len(), 2);
+        // FCFS: job 0 (Strict, 8 ways) still fits exactly and is kept.
+        assert_eq!(revs[0].id, JobId::new(0));
+        assert_eq!(revs[0].action, RevocationAction::Kept);
+        // Job 1 can absorb at most floor(8 * 0.5) = 4 ways, but it would
+        // need to drop to 0 concurrent ways: evicted with a reason.
+        assert_eq!(revs[1].id, JobId::new(1));
+        assert!(matches!(
+            revs[1].action,
+            RevocationAction::Evicted {
+                reason: RejectReason::CapacityRevoked,
+                ..
+            }
+        ));
+        assert_eq!(l.reservations().len(), 1);
+    }
+
+    #[test]
+    fn revoke_capacity_downgrades_elastic_within_slack() {
+        let mut l = lac();
+        l.admit(
+            JobId::new(0),
+            ExecutionMode::Strict,
+            ResourceRequest::new(1, Ways::new(8)),
+            Cycles::new(100),
+            None,
+        );
+        l.admit(
+            JobId::new(1),
+            ExecutionMode::Elastic(cmpqos_types::Percent::new(50.0)),
+            ResourceRequest::new(1, Ways::new(8)),
+            Cycles::new(100),
+            None,
+        );
+        // Lose 2 ways: the Elastic job gives up exactly 2 (within its
+        // 4-way slack), the Strict job is untouched.
+        let revs = l.revoke_capacity(
+            ResourceRequest::new(4, Ways::new(14)).with_bandwidth(100),
+            Cycles::ZERO,
+        );
+        assert_eq!(revs[0].action, RevocationAction::Kept);
+        assert_eq!(
+            revs[1].action,
+            RevocationAction::Downgraded {
+                ways_cut: Ways::new(2)
+            }
+        );
+        assert_eq!(l.reservations()[1].request.cache_ways(), Ways::new(6));
+    }
+
+    #[test]
+    fn readmit_preserves_duration_mode_and_deadline() {
+        let mut src = lac();
+        src.admit(
+            JobId::new(0),
+            ExecutionMode::Strict,
+            ResourceRequest::paper_job(),
+            Cycles::new(100),
+            Some(Cycles::new(1_000)),
+        );
+        let r = src.reservations()[0];
+        let mut dst = lac();
+        dst.advance(Cycles::new(50));
+        let d = dst.readmit(&r);
+        assert_eq!(
+            d,
+            Decision::Accepted {
+                start: Cycles::new(50)
+            }
+        );
+        let moved = dst.reservations()[0];
+        assert_eq!(moved.end - moved.start, Cycles::new(100));
+        assert_eq!(moved.deadline, Some(Cycles::new(1_000)));
+        assert_eq!(moved.mode, ExecutionMode::Strict);
+    }
+
+    #[test]
+    fn readmit_rejects_when_the_original_deadline_cannot_be_met() {
+        let mut src = lac();
+        src.admit(
+            JobId::new(0),
+            ExecutionMode::Strict,
+            ResourceRequest::paper_job(),
+            Cycles::new(100),
+            Some(Cycles::new(150)),
+        );
+        let r = src.reservations()[0];
+        let mut dst = lac();
+        // The destination node's clock is already past the latest start.
+        dst.advance(Cycles::new(100));
+        assert_eq!(
+            dst.readmit(&r),
+            Decision::Rejected(RejectReason::NoCapacityBeforeDeadline)
         );
     }
 

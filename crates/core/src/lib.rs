@@ -56,12 +56,18 @@ pub mod scheduler;
 pub mod stealing;
 pub mod target;
 
-pub use gac::GlobalAdmissionController;
-pub use lac::{Decision, Lac, LacConfig, LacConfigBuilder, RejectReason};
+pub use gac::{
+    FaultReport, GacConfig, GacConfigBuilder, GacError, GlobalAdmissionController, NodeHealth,
+    ProbeOutcome, ProbePolicy,
+};
+pub use lac::{
+    Decision, Lac, LacConfig, LacConfigBuilder, RejectReason, Reservation, Revocation,
+    RevocationAction,
+};
 pub use modes::ExecutionMode;
 pub use scheduler::{
     JobEvent, JobReport, QosJob, QosJobBuilder, QosScheduler, SchedulerConfig,
-    SchedulerConfigBuilder, StealReport,
+    SchedulerConfigBuilder, StealReport, WayFaultOutcome,
 };
 pub use stealing::{StealingAction, StealingConfig, StealingConfigBuilder, StealingController};
 pub use target::{Convertible, QosTarget, ResourceRequest, Timeslot};

@@ -1,6 +1,6 @@
 //! QoS execution modes and mode-downgrade rules (Sections 3.3–3.4).
 
-use cmpqos_types::{Cycles, Percent};
+use cmpqos_types::{Cycles, Percent, Ways};
 use std::fmt;
 
 /// How strictly a job's QoS target must be followed.
@@ -42,6 +42,21 @@ impl ExecutionMode {
     #[must_use]
     pub fn is_stealing_donor(&self) -> bool {
         matches!(self, ExecutionMode::Elastic(_))
+    }
+
+    /// How many of a reservation's `ways` this mode can give up under a
+    /// capacity fault without violating its guarantee: `floor(ways · X)`
+    /// for Elastic(X), whose `tw · (1 + X)` reservation already absorbs a
+    /// proportional slowdown (Section 3.3 linear model); zero for Strict
+    /// (rigid throughput) and Opportunistic (nothing reserved).
+    #[must_use]
+    pub fn fault_absorbable_ways(&self, ways: Ways) -> Ways {
+        match self {
+            ExecutionMode::Elastic(x) => {
+                Ways::new((f64::from(ways.get()) * x.fraction()).floor() as u16)
+            }
+            ExecutionMode::Strict | ExecutionMode::Opportunistic => Ways::ZERO,
+        }
     }
 }
 

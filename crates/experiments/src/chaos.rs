@@ -1,0 +1,472 @@
+//! **Chaos** — graceful degradation of the admission layer under injected
+//! faults: a Figure-7-style job stream placed by the Global Admission
+//! Controller on a small server while a seeded [`FaultSchedule`] kills L2
+//! ways, cores, probes and (mid-run) a whole node.
+//!
+//! The experiment answers the robustness question the paper leaves open:
+//! when hardware degrades after admission, which QoS promises survive?
+//! Every consequence — revalidation, downgrade-within-slack, migration,
+//! revocation, probe retry/backoff, health transitions — streams through
+//! `cmpqos-obs`, so the run is fully reconstructible from its event log.
+//!
+//! The harness simulates at the reservation level (the GAC's own model of
+//! time), not cycle-accurately: job durations are taken at face value and
+//! a job completes when its reservation window closes. That keeps chaos
+//! runs fast enough to sweep seeds while exercising the exact admission,
+//! revocation and failover code the schedulers run in production.
+
+use cmpqos_core::gac::FaultReport;
+use cmpqos_core::{
+    ExecutionMode, GlobalAdmissionController, LacConfig, ProbePolicy, ResourceRequest,
+};
+use cmpqos_faults::{FaultPlan, FaultSchedule};
+use cmpqos_obs::{Event, Record, Recorder, RingBufferRecorder, Timeline};
+use cmpqos_types::{Cycles, JobId, NodeId, Percent};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Knobs for one chaos run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ChaosParams {
+    /// Server size (LACs probed by the GAC).
+    pub nodes: usize,
+    /// Jobs in the arrival stream.
+    pub jobs: u32,
+    /// Nominal run length; arrivals stop well before it and faults land in
+    /// its middle half.
+    pub horizon: Cycles,
+    /// Seed for the generated fault schedule.
+    pub seed: u64,
+    /// Injections in the generated schedule.
+    pub faults: usize,
+    /// When set, the run's event stream is appended to this JSONL file.
+    pub events: Option<PathBuf>,
+}
+
+impl ChaosParams {
+    /// Default fidelity: 3 nodes, 12 jobs, 6 faults.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self {
+            nodes: 3,
+            jobs: 12,
+            horizon: Cycles::new(600_000),
+            seed: 1,
+            faults: 6,
+            events: None,
+        }
+    }
+
+    /// [`ChaosParams::standard`] with `CMPQOS_SEED`/`CMPQOS_EVENTS` env
+    /// overrides and `--events <path>`/`--seed <n>` flag overrides
+    /// applied (flags win). Unknown arguments are ignored.
+    #[must_use]
+    pub fn from_env_and_args() -> Self {
+        let mut p = Self::standard();
+        if let Ok(v) = std::env::var("CMPQOS_SEED") {
+            if let Ok(v) = v.trim().parse() {
+                p.seed = v;
+            }
+        }
+        if let Ok(path) = std::env::var("CMPQOS_EVENTS") {
+            let path = path.trim();
+            if !path.is_empty() {
+                p.events = Some(PathBuf::from(path));
+            }
+        }
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--events" {
+                if let Some(path) = args.next() {
+                    p.events = Some(PathBuf::from(path));
+                }
+            } else if let Some(path) = arg.strip_prefix("--events=") {
+                p.events = Some(PathBuf::from(path));
+            } else if arg == "--seed" {
+                if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                    p.seed = v;
+                }
+            } else if let Some(v) = arg.strip_prefix("--seed=").and_then(|v| v.parse().ok()) {
+                p.seed = v;
+            }
+        }
+        p
+    }
+
+    /// The schedule the binary runs by default: a seeded random plan
+    /// *plus* a guaranteed whole-node death halfway through (the paper's
+    /// server always has survivors: node 0 is never killed).
+    #[must_use]
+    pub fn schedule(&self) -> FaultSchedule {
+        let mut plan = FaultPlan::seeded(self.seed, self.nodes as u32, self.horizon, self.faults);
+        if self.nodes > 1 {
+            plan = plan.node_fault(
+                Cycles::new(self.horizon.get() / 2),
+                NodeId::new(self.nodes as u32 - 1),
+            );
+        }
+        plan.build()
+    }
+}
+
+impl Default for ChaosParams {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// How one submitted job ended up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobFate {
+    /// The job.
+    pub id: JobId,
+    /// Its requested mode.
+    pub mode: ExecutionMode,
+    /// Its absolute deadline.
+    pub deadline: Cycles,
+    /// Where the GAC first placed it (`None` = rejected at admission).
+    pub admitted: Option<NodeId>,
+    /// Times its reservation moved to a surviving node.
+    pub migrations: u32,
+    /// Whether a fault revoked its reservation with no survivor to take
+    /// it.
+    pub revoked: bool,
+    /// When its (possibly migrated) reservation completed.
+    pub completed: Option<Cycles>,
+}
+
+impl JobFate {
+    /// Whether the job completed by its deadline.
+    #[must_use]
+    pub fn met_deadline(&self) -> bool {
+        self.completed.is_some_and(|t| t <= self.deadline)
+    }
+
+    /// An admitted job must end in exactly one terminal state: completed
+    /// (possibly after migrating) or revoked-with-reason. `true` here
+    /// means this job is unaccounted for — the bug class the chaos
+    /// harness exists to catch.
+    #[must_use]
+    pub fn is_stranded(&self) -> bool {
+        self.admitted.is_some() && !self.revoked && self.completed.is_none()
+    }
+}
+
+/// Everything one chaos run produced.
+#[derive(Debug)]
+#[non_exhaustive]
+pub struct ChaosOutcome {
+    /// Per-job dispositions, in submission order.
+    pub fates: Vec<JobFate>,
+    /// The merged fault consequences (downgrades, migrations,
+    /// revocations).
+    pub faults: FaultReport,
+    /// The full event stream, in emission order.
+    pub records: Vec<Record>,
+    /// Nodes still alive at the end.
+    pub live_nodes: usize,
+}
+
+impl ChaosOutcome {
+    /// Jobs that were admitted but neither completed nor revoked — must
+    /// always be empty.
+    #[must_use]
+    pub fn stranded(&self) -> Vec<JobId> {
+        self.fates
+            .iter()
+            .filter(|f| f.is_stranded())
+            .map(|f| f.id)
+            .collect()
+    }
+
+    /// The [`Timeline`] reconstructed from the emitted records.
+    #[must_use]
+    pub fn timeline(&self) -> Timeline {
+        Timeline::from_records(self.records.iter())
+    }
+}
+
+/// The Fig. 7-flavoured arrival stream: `jobs` single-core 7-way requests
+/// arriving every `horizon/(2*jobs)` cycles, alternating Strict and
+/// Elastic(50%), each lasting `horizon/6` with three durations of
+/// deadline slack.
+fn arrivals(params: &ChaosParams) -> Vec<(Cycles, JobId, ExecutionMode, Cycles, Cycles)> {
+    let tw = Cycles::new((params.horizon.get() / 6).max(1));
+    let stagger = (params.horizon.get() / (2 * u64::from(params.jobs).max(1))).max(1);
+    (0..params.jobs)
+        .map(|i| {
+            let at = Cycles::new(u64::from(i) * stagger);
+            let mode = if i % 2 == 0 {
+                ExecutionMode::Strict
+            } else {
+                ExecutionMode::Elastic(Percent::new(50.0))
+            };
+            let deadline = at + tw + tw + tw;
+            (at, JobId::new(i), mode, tw, deadline)
+        })
+        .collect()
+}
+
+/// Runs the chaos cell: submits the arrival stream while draining
+/// `schedule` into the GAC, then lets surviving reservations finish.
+#[must_use]
+pub fn run(params: &ChaosParams, mut schedule: FaultSchedule) -> ChaosOutcome {
+    let mut rec = RingBufferRecorder::new(16_384);
+    rec.record(
+        Cycles::ZERO,
+        Event::RunStarted {
+            label: format!(
+                "chaos/{}n x{} seed{}",
+                params.nodes, params.jobs, params.seed
+            ),
+        },
+    );
+    // LeastLoaded spreads the stream across every node, so a mid-run node
+    // death actually has victims to fail over (FirstFit would pack node 0
+    // and leave the doomed node idle).
+    let mut gac = GlobalAdmissionController::new(
+        params.nodes,
+        LacConfig::default(),
+        ProbePolicy::LeastLoaded,
+    );
+    let mut faults = FaultReport::default();
+    let mut pending = arrivals(params);
+    pending.reverse(); // pop() yields earliest-first
+    let mut fates: BTreeMap<JobId, JobFate> = BTreeMap::new();
+    let mut ends: BTreeMap<JobId, Cycles> = BTreeMap::new();
+
+    let step = Cycles::new((params.horizon.get() / 512).max(1));
+    let drain_until = Cycles::new(params.horizon.get().saturating_mul(4));
+    let mut t = Cycles::ZERO;
+    loop {
+        faults.merge(gac.inject_due(&mut schedule, t, &mut rec));
+        // Snapshot reservation ends *before* completions are purged so a
+        // finished job's completion instant (and deadline verdict) is its
+        // final reservation's own end, not the polling step.
+        for &(id, node) in gac.placements() {
+            if let Some(r) = gac.lac(node).reservations().iter().find(|r| r.id == id) {
+                ends.insert(id, r.end);
+            }
+        }
+        for (id, _) in gac.advance(t) {
+            let at = ends.get(&id).copied().unwrap_or(t);
+            if let Some(f) = fates.get_mut(&id) {
+                f.completed = Some(at);
+                let met_deadline = at <= f.deadline;
+                rec.record(
+                    at,
+                    Event::Completed {
+                        job: id,
+                        met_deadline,
+                    },
+                );
+            }
+        }
+        while pending.last().is_some_and(|&(at, ..)| at <= t) {
+            let (_, id, mode, tw, deadline) = pending.pop().expect("checked non-empty");
+            let request = ResourceRequest::paper_job();
+            let (node, _) = gac.submit_recorded(id, mode, request, tw, Some(deadline), &mut rec);
+            fates.insert(
+                id,
+                JobFate {
+                    id,
+                    mode,
+                    deadline,
+                    admitted: node,
+                    migrations: 0,
+                    revoked: false,
+                    completed: None,
+                },
+            );
+        }
+        if pending.is_empty() && schedule.is_exhausted() && gac.placements().is_empty() {
+            break;
+        }
+        if t >= drain_until {
+            break; // safety valve; stranded jobs will show in the fates
+        }
+        t += step;
+    }
+
+    // Fold migrations/revocations back into the per-job fates.
+    for r in rec.records() {
+        match r.event {
+            Event::Migrated { job, .. } => {
+                if let Some(f) = fates.get_mut(&job) {
+                    f.migrations += 1;
+                }
+            }
+            Event::ReservationRevoked { job, .. } => {
+                if let Some(f) = fates.get_mut(&job) {
+                    f.revoked = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let outcome = ChaosOutcome {
+        fates: fates.into_values().collect(),
+        faults,
+        records: rec.to_vec(),
+        live_nodes: gac.live_nodes(),
+    };
+    if let Some(path) = &params.events {
+        append_events(path, &outcome.records);
+    }
+    outcome
+}
+
+fn append_events(path: &std::path::Path, records: &[Record]) {
+    match cmpqos_obs::JsonlRecorder::append(path) {
+        Ok(mut sink) => {
+            for r in records {
+                sink.record(r.at, r.event.clone());
+            }
+            sink.flush();
+        }
+        Err(e) => eprintln!("warning: cannot write events to {}: {e}", path.display()),
+    }
+}
+
+/// Prints the survival table and the fault ledger.
+pub fn print(outcome: &ChaosOutcome, params: &ChaosParams) {
+    use crate::output::Table;
+    println!(
+        "== Chaos: {} jobs on {} nodes, seed {} ==",
+        params.jobs, params.nodes, params.seed
+    );
+    let mut t = Table::new(&["job", "mode", "fate", "migrations", "deadline"]);
+    for f in &outcome.fates {
+        let fate = if f.admitted.is_none() {
+            "rejected".to_string()
+        } else if f.revoked {
+            "revoked".to_string()
+        } else if let Some(at) = f.completed {
+            format!("completed@{at}")
+        } else {
+            "STRANDED".to_string()
+        };
+        let deadline = if f.admitted.is_none() {
+            "-".to_string()
+        } else if f.revoked {
+            "revoked".to_string()
+        } else if f.met_deadline() {
+            "met".to_string()
+        } else {
+            "missed".to_string()
+        };
+        t.row_owned(vec![
+            f.id.to_string(),
+            format!("{}", f.mode),
+            fate,
+            f.migrations.to_string(),
+            deadline,
+        ]);
+    }
+    println!("{}", t.render());
+    let admitted = outcome
+        .fates
+        .iter()
+        .filter(|f| f.admitted.is_some())
+        .count();
+    let met = outcome.fates.iter().filter(|f| f.met_deadline()).count();
+    println!(
+        "admitted {admitted}/{} | deadlines met {met}/{admitted} | migrated {} | \
+         downgraded {} | revoked {} | surviving nodes {}/{}",
+        outcome.fates.len(),
+        outcome.faults.migrated.len(),
+        outcome.faults.downgraded.len(),
+        outcome.faults.revoked.len(),
+        outcome.live_nodes,
+        params.nodes,
+    );
+    assert!(
+        outcome.stranded().is_empty(),
+        "stranded reservations: {:?}",
+        outcome.stranded()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ChaosParams {
+        let mut p = ChaosParams::standard();
+        p.horizon = Cycles::new(60_000);
+        p.seed = 7;
+        p
+    }
+
+    #[test]
+    fn killing_a_node_mid_workload_strands_nothing() {
+        let p = quick();
+        let plan = FaultPlan::new()
+            .node_fault(Cycles::new(p.horizon.get() / 2), NodeId::new(2))
+            .build();
+        let o = run(&p, plan);
+        assert_eq!(o.live_nodes, 2, "one node died");
+        assert!(o.stranded().is_empty(), "stranded: {:?}", o.stranded());
+        // Every admitted job is exactly one of completed / revoked.
+        for f in &o.fates {
+            if f.admitted.is_some() {
+                assert!(
+                    f.completed.is_some() ^ f.revoked,
+                    "job {} has an ambiguous fate: {f:?}",
+                    f.id
+                );
+            }
+        }
+        // Migrations that happened are all in the event stream.
+        let migrated_jobs: Vec<_> = o
+            .records
+            .iter()
+            .filter_map(|r| match r.event {
+                Event::Migrated { job, .. } => Some(job),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(migrated_jobs.len(), o.faults.migrated.len());
+        // Jobs that never touched the dead node and completed met their
+        // (generous) deadlines.
+        for f in &o.fates {
+            if f.admitted.is_some_and(|n| n != NodeId::new(2)) && f.migrations == 0 {
+                assert!(f.met_deadline(), "undisturbed job missed: {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_yields_an_identical_event_stream() {
+        let p = quick();
+        let a = run(&p, p.schedule());
+        let b = run(&p, p.schedule());
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.fates, b.fates);
+        let mut p2 = p.clone();
+        p2.seed = 8;
+        let c = run(&p2, p2.schedule());
+        assert_ne!(a.records, c.records, "a new seed must change the run");
+    }
+
+    #[test]
+    fn the_event_log_reconstructs_the_run() {
+        let p = quick();
+        let o = run(&p, p.schedule());
+        let tl = o.timeline();
+        assert!(!tl.faults().is_empty(), "injections appear in the timeline");
+        for f in &o.fates {
+            let Some(jt) = tl.job(f.id) else { continue };
+            assert_eq!(
+                jt.completed.map(|(t, _)| t),
+                f.completed,
+                "job {} completion round-trips",
+                f.id
+            );
+            assert_eq!(jt.migrations.len() as u32, f.migrations);
+            assert_eq!(jt.revoked.is_some(), f.revoked);
+        }
+    }
+}

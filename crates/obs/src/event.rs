@@ -1,6 +1,6 @@
 //! The typed event model: everything the QoS stack can tell an observer.
 
-use cmpqos_types::{CoreId, Cycles, JobId, Percent, Ways};
+use cmpqos_types::{CoreId, Cycles, JobId, NodeId, Percent, Ways};
 
 /// Execution mode as seen by the observability layer.
 ///
@@ -28,6 +28,47 @@ pub enum RejectCause {
     NoSpareResources,
     /// The request can never fit this node, regardless of schedule.
     ExceedsNodeCapacity,
+    /// A fault shrank the supply out from under an already-admitted job,
+    /// and no surviving capacity could absorb it.
+    CapacityRevoked,
+    /// Every node is dead (or unreachable): no LAC could even be probed.
+    NoHealthyNodes,
+}
+
+/// The kind of an injected fault, as seen by the observability layer.
+///
+/// Mirrors `cmpqos-faults`' `Fault` (the node is carried by the
+/// [`Event::FaultInjected`] event itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FaultKind {
+    /// One L2 way died.
+    WayFault {
+        /// The dead way index.
+        way: u16,
+    },
+    /// One core died.
+    CoreFault {
+        /// The dead core.
+        core: CoreId,
+    },
+    /// The whole node died.
+    NodeFault,
+    /// Admission probes go unanswered.
+    ProbeLoss {
+        /// How many consecutive probes are lost.
+        count: u32,
+    },
+}
+
+/// A node's health as tracked by the global admission controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Health {
+    /// Probes are being answered.
+    Healthy,
+    /// Recent probes were lost; the node is probed after healthy ones.
+    Suspect,
+    /// Declared dead: no longer probed, its jobs migrated away.
+    Dead,
 }
 
 /// One observable moment in the life of the QoS framework.
@@ -136,6 +177,76 @@ pub enum Event {
         /// When it actually finished.
         finished: Cycles,
     },
+    /// A fault from the injection schedule struck a node.
+    FaultInjected {
+        /// The struck node.
+        node: NodeId,
+        /// What failed.
+        fault: FaultKind,
+    },
+    /// An admission probe to a node went unanswered.
+    ProbeLost {
+        /// The job whose probe was lost.
+        job: JobId,
+        /// The unresponsive node.
+        node: NodeId,
+    },
+    /// The GAC backed off before retrying a lost probe. Stamped at the
+    /// cycle the retry fires.
+    ProbeBackoff {
+        /// The job being retried.
+        job: JobId,
+        /// The node being re-probed.
+        node: NodeId,
+        /// The backoff delay that was waited.
+        delay: Cycles,
+    },
+    /// The GAC's health tracking moved a node between states.
+    NodeHealthChanged {
+        /// The node.
+        node: NodeId,
+        /// Previous health.
+        from: Health,
+        /// New health.
+        to: Health,
+    },
+    /// The GAC placed an accepted job on a node.
+    Placed {
+        /// The job.
+        job: JobId,
+        /// The accepting node.
+        node: NodeId,
+    },
+    /// A job's reservation moved from a failed (or shrunken) node to a
+    /// survivor.
+    Migrated {
+        /// The job.
+        job: JobId,
+        /// The node it was stranded on.
+        from: NodeId,
+        /// The node that re-admitted it.
+        to: NodeId,
+    },
+    /// A fault shrank supply and the job's reservation could not be kept,
+    /// downgraded, or migrated: the admission guarantee is withdrawn.
+    ReservationRevoked {
+        /// The job.
+        job: JobId,
+        /// The node that held its reservation.
+        node: NodeId,
+        /// Why (always a revocation cause).
+        cause: RejectCause,
+    },
+    /// An Elastic(X) job's reservation was shrunk in place: its slack
+    /// absorbed part of a capacity loss.
+    DowngradedUnderFault {
+        /// The job.
+        job: JobId,
+        /// The node holding its (now smaller) reservation.
+        node: NodeId,
+        /// Ways removed from its reservation.
+        ways_cut: Ways,
+    },
 }
 
 impl Event {
@@ -153,8 +264,17 @@ impl Event {
             | Event::StealReturned { job, .. }
             | Event::GuardTripped { job, .. }
             | Event::Completed { job, .. }
-            | Event::DeadlineMissed { job, .. } => Some(job),
-            Event::RunStarted { .. } | Event::PartitionChanged { .. } => None,
+            | Event::DeadlineMissed { job, .. }
+            | Event::ProbeLost { job, .. }
+            | Event::ProbeBackoff { job, .. }
+            | Event::Placed { job, .. }
+            | Event::Migrated { job, .. }
+            | Event::ReservationRevoked { job, .. }
+            | Event::DowngradedUnderFault { job, .. } => Some(job),
+            Event::RunStarted { .. }
+            | Event::PartitionChanged { .. }
+            | Event::FaultInjected { .. }
+            | Event::NodeHealthChanged { .. } => None,
         }
     }
 
@@ -175,6 +295,14 @@ impl Event {
             Event::PartitionChanged { .. } => EventKind::PartitionChanged,
             Event::Completed { .. } => EventKind::Completed,
             Event::DeadlineMissed { .. } => EventKind::DeadlineMissed,
+            Event::FaultInjected { .. } => EventKind::FaultInjected,
+            Event::ProbeLost { .. } => EventKind::ProbeLost,
+            Event::ProbeBackoff { .. } => EventKind::ProbeBackoff,
+            Event::NodeHealthChanged { .. } => EventKind::NodeHealthChanged,
+            Event::Placed { .. } => EventKind::Placed,
+            Event::Migrated { .. } => EventKind::Migrated,
+            Event::ReservationRevoked { .. } => EventKind::ReservationRevoked,
+            Event::DowngradedUnderFault { .. } => EventKind::DowngradedUnderFault,
         }
     }
 }
@@ -210,11 +338,27 @@ pub enum EventKind {
     Completed,
     /// See [`Event::DeadlineMissed`].
     DeadlineMissed,
+    /// See [`Event::FaultInjected`].
+    FaultInjected,
+    /// See [`Event::ProbeLost`].
+    ProbeLost,
+    /// See [`Event::ProbeBackoff`].
+    ProbeBackoff,
+    /// See [`Event::NodeHealthChanged`].
+    NodeHealthChanged,
+    /// See [`Event::Placed`].
+    Placed,
+    /// See [`Event::Migrated`].
+    Migrated,
+    /// See [`Event::ReservationRevoked`].
+    ReservationRevoked,
+    /// See [`Event::DowngradedUnderFault`].
+    DowngradedUnderFault,
 }
 
 impl EventKind {
     /// Every kind, in declaration order.
-    pub const ALL: [EventKind; 13] = [
+    pub const ALL: [EventKind; 21] = [
         EventKind::RunStarted,
         EventKind::Submitted,
         EventKind::Admitted,
@@ -228,6 +372,14 @@ impl EventKind {
         EventKind::PartitionChanged,
         EventKind::Completed,
         EventKind::DeadlineMissed,
+        EventKind::FaultInjected,
+        EventKind::ProbeLost,
+        EventKind::ProbeBackoff,
+        EventKind::NodeHealthChanged,
+        EventKind::Placed,
+        EventKind::Migrated,
+        EventKind::ReservationRevoked,
+        EventKind::DowngradedUnderFault,
     ];
 }
 
@@ -303,6 +455,83 @@ mod tests {
         assert_eq!(e.kind(), EventKind::Started);
         let p = Event::PartitionChanged { targets: vec![] };
         assert_eq!(p.job(), None);
-        assert_eq!(EventKind::ALL.len(), 13);
+        assert_eq!(EventKind::ALL.len(), 21);
+    }
+
+    #[test]
+    fn fault_events_round_trip_and_extract_jobs() {
+        let records = vec![
+            Record {
+                at: Cycles::new(10),
+                event: Event::FaultInjected {
+                    node: NodeId::new(1),
+                    fault: FaultKind::WayFault { way: 3 },
+                },
+            },
+            Record {
+                at: Cycles::new(11),
+                event: Event::NodeHealthChanged {
+                    node: NodeId::new(1),
+                    from: Health::Healthy,
+                    to: Health::Suspect,
+                },
+            },
+            Record {
+                at: Cycles::new(12),
+                event: Event::ProbeLost {
+                    job: JobId::new(4),
+                    node: NodeId::new(1),
+                },
+            },
+            Record {
+                at: Cycles::new(13),
+                event: Event::ProbeBackoff {
+                    job: JobId::new(4),
+                    node: NodeId::new(1),
+                    delay: Cycles::new(1000),
+                },
+            },
+            Record {
+                at: Cycles::new(14),
+                event: Event::Placed {
+                    job: JobId::new(4),
+                    node: NodeId::new(2),
+                },
+            },
+            Record {
+                at: Cycles::new(15),
+                event: Event::Migrated {
+                    job: JobId::new(4),
+                    from: NodeId::new(2),
+                    to: NodeId::new(0),
+                },
+            },
+            Record {
+                at: Cycles::new(16),
+                event: Event::ReservationRevoked {
+                    job: JobId::new(5),
+                    node: NodeId::new(1),
+                    cause: RejectCause::CapacityRevoked,
+                },
+            },
+            Record {
+                at: Cycles::new(17),
+                event: Event::DowngradedUnderFault {
+                    job: JobId::new(6),
+                    node: NodeId::new(1),
+                    ways_cut: Ways::new(2),
+                },
+            },
+        ];
+        for r in &records {
+            let line = serde_json::to_string(r).unwrap();
+            let back: Record = serde_json::from_str(&line).unwrap();
+            assert_eq!(&back, r);
+        }
+        assert_eq!(records[0].event.job(), None);
+        assert_eq!(records[1].event.job(), None);
+        assert_eq!(records[2].event.job(), Some(JobId::new(4)));
+        assert_eq!(records[6].event.job(), Some(JobId::new(5)));
+        assert_eq!(records[7].event.kind(), EventKind::DowngradedUnderFault);
     }
 }

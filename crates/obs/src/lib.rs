@@ -25,6 +25,6 @@ mod event;
 mod recorder;
 mod timeline;
 
-pub use event::{Event, EventKind, Mode, Record, RejectCause};
+pub use event::{Event, EventKind, FaultKind, Health, Mode, Record, RejectCause};
 pub use recorder::{Counters, JsonlRecorder, NullRecorder, Recorder, RingBufferRecorder};
 pub use timeline::{Band, JobTimeline, Timeline};

@@ -118,6 +118,22 @@ pub struct Counters {
     pub completed: u64,
     /// Deadlines missed.
     pub deadlines_missed: u64,
+    /// Faults injected.
+    pub faults_injected: u64,
+    /// Admission probes lost in transit.
+    pub probes_lost: u64,
+    /// Probe retries scheduled with backoff.
+    pub probe_backoffs: u64,
+    /// Node health transitions.
+    pub node_health_changes: u64,
+    /// Jobs placed on a node by the global admission controller.
+    pub placed: u64,
+    /// Jobs migrated off a dead node.
+    pub migrated: u64,
+    /// Reservations revoked by capacity loss.
+    pub reservations_revoked: u64,
+    /// Elastic downgrades absorbing a capacity loss.
+    pub downgraded_under_fault: u64,
 }
 
 impl Counters {
@@ -143,6 +159,14 @@ impl Counters {
             EventKind::PartitionChanged => self.partition_changes,
             EventKind::Completed => self.completed,
             EventKind::DeadlineMissed => self.deadlines_missed,
+            EventKind::FaultInjected => self.faults_injected,
+            EventKind::ProbeLost => self.probes_lost,
+            EventKind::ProbeBackoff => self.probe_backoffs,
+            EventKind::NodeHealthChanged => self.node_health_changes,
+            EventKind::Placed => self.placed,
+            EventKind::Migrated => self.migrated,
+            EventKind::ReservationRevoked => self.reservations_revoked,
+            EventKind::DowngradedUnderFault => self.downgraded_under_fault,
         }
     }
 
@@ -167,6 +191,14 @@ impl Counters {
             EventKind::PartitionChanged => &mut self.partition_changes,
             EventKind::Completed => &mut self.completed,
             EventKind::DeadlineMissed => &mut self.deadlines_missed,
+            EventKind::FaultInjected => &mut self.faults_injected,
+            EventKind::ProbeLost => &mut self.probes_lost,
+            EventKind::ProbeBackoff => &mut self.probe_backoffs,
+            EventKind::NodeHealthChanged => &mut self.node_health_changes,
+            EventKind::Placed => &mut self.placed,
+            EventKind::Migrated => &mut self.migrated,
+            EventKind::ReservationRevoked => &mut self.reservations_revoked,
+            EventKind::DowngradedUnderFault => &mut self.downgraded_under_fault,
         }
     }
 }

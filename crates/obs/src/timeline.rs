@@ -3,9 +3,9 @@
 
 use std::collections::BTreeMap;
 
-use cmpqos_types::{Cycles, JobId, Ways};
+use cmpqos_types::{Cycles, JobId, NodeId, Ways};
 
-use crate::event::{Event, Mode, Record, RejectCause};
+use crate::event::{Event, FaultKind, Health, Mode, Record, RejectCause};
 
 /// A span of a job's lifetime spent in one execution mode.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +43,18 @@ pub struct JobTimeline {
     pub ways_returned: u64,
     /// Shadow-tag guard trips attributed to this job.
     pub guard_trips: u64,
+    /// The node the global admission controller last placed this job on.
+    pub placed: Option<(Cycles, NodeId)>,
+    /// When and why the job's reservation was revoked by a capacity loss.
+    pub revoked: Option<(Cycles, NodeId, RejectCause)>,
+    /// Migrations off a failed node, in stream order: `(at, from, to)`.
+    pub migrations: Vec<(Cycles, NodeId, NodeId)>,
+    /// Admission probes to this job that were lost in transit.
+    pub probe_losses: u64,
+    /// Probe retries scheduled with backoff for this job.
+    pub probe_backoffs: u64,
+    /// Elastic downgrades that absorbed a capacity loss: `(at, node, ways_cut)`.
+    pub fault_downgrades: Vec<(Cycles, NodeId, Ways)>,
 }
 
 impl JobTimeline {
@@ -76,6 +88,8 @@ pub struct Timeline {
     label: Option<String>,
     jobs: BTreeMap<JobId, JobTimeline>,
     partition_changes: Vec<(Cycles, Vec<Ways>)>,
+    faults: Vec<(Cycles, NodeId, FaultKind)>,
+    health_changes: Vec<(Cycles, NodeId, Health, Health)>,
 }
 
 impl Timeline {
@@ -157,6 +171,18 @@ impl Timeline {
         &self.partition_changes
     }
 
+    /// Injected faults, in stream order.
+    #[must_use]
+    pub fn faults(&self) -> &[(Cycles, NodeId, FaultKind)] {
+        &self.faults
+    }
+
+    /// Node health transitions, in stream order: `(at, node, from, to)`.
+    #[must_use]
+    pub fn health_changes(&self) -> &[(Cycles, NodeId, Health, Health)] {
+        &self.health_changes
+    }
+
     fn apply(&mut self, r: &Record) {
         let at = r.at;
         match &r.event {
@@ -167,6 +193,12 @@ impl Timeline {
             }
             Event::PartitionChanged { targets } => {
                 self.partition_changes.push((at, targets.clone()));
+            }
+            Event::FaultInjected { node, fault } => {
+                self.faults.push((at, *node, *fault));
+            }
+            Event::NodeHealthChanged { node, from, to } => {
+                self.health_changes.push((at, *node, *from, *to));
             }
             event => {
                 let Some(id) = event.job() else { return };
@@ -206,7 +238,23 @@ impl Timeline {
                     Event::DeadlineMissed {
                         deadline, finished, ..
                     } => job.deadline_missed = Some((*deadline, *finished)),
-                    Event::RunStarted { .. } | Event::PartitionChanged { .. } => {}
+                    Event::ProbeLost { .. } => job.probe_losses += 1,
+                    Event::ProbeBackoff { .. } => job.probe_backoffs += 1,
+                    Event::Placed { node, .. } => job.placed = Some((at, *node)),
+                    Event::Migrated { from, to, .. } => {
+                        job.migrations.push((at, *from, *to));
+                        job.placed = Some((at, *to));
+                    }
+                    Event::ReservationRevoked { node, cause, .. } => {
+                        job.revoked = Some((at, *node, *cause));
+                    }
+                    Event::DowngradedUnderFault { node, ways_cut, .. } => {
+                        job.fault_downgrades.push((at, *node, *ways_cut));
+                    }
+                    Event::RunStarted { .. }
+                    | Event::PartitionChanged { .. }
+                    | Event::FaultInjected { .. }
+                    | Event::NodeHealthChanged { .. } => {}
                 }
             }
         }

@@ -2,7 +2,7 @@
 
 use crate::config::{SystemConfig, SystemConfigError};
 use crate::task::{Placement, SpawnError, Task, TaskCompletion, TaskSpec};
-use cmpqos_cache::l2::PartitionError;
+use cmpqos_cache::l2::{Eviction, PartitionError, WayMaskError};
 use cmpqos_cache::{DuplicateTagMonitor, L1Cache, SharedL2, VictimClass};
 use cmpqos_cpu::{MemOutcome, PerfCounters};
 use cmpqos_mem::{BandwidthRegulator, BusMonitor, MemoryChannel, Priority};
@@ -234,6 +234,23 @@ impl CmpNode {
     #[must_use]
     pub fn l2(&self) -> &SharedL2 {
         &self.l2
+    }
+
+    /// L2 ways still usable (associativity minus masked faulty ways).
+    #[must_use]
+    pub fn l2_usable_ways(&self) -> Ways {
+        Ways::new(self.l2.effective_associativity())
+    }
+
+    /// Masks a faulty L2 way (see [`SharedL2::mask_way`]): the way is
+    /// flushed and excluded from future fills, and partition targets are
+    /// re-normalized to the shrunken associativity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WayMaskError`] from the cache.
+    pub fn mask_l2_way(&mut self, way: u16) -> Result<Vec<Eviction>, WayMaskError> {
+        self.l2.mask_way(way)
     }
 
     /// Attaches a duplicate-tag monitor to a live task, modelling

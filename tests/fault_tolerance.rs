@@ -1,0 +1,67 @@
+//! Property-based fault-tolerance tests: whatever fault schedule is
+//! thrown at the admission layer — dead ways, dead cores, lost probes,
+//! whole nodes dying, in any order, at any time — no admitted reservation
+//! is ever silently lost. Every job ends in exactly one terminal state:
+//! completed (possibly after migrating to a survivor) or revoked with a
+//! reason.
+
+use cmpqos::experiments::chaos::{self, ChaosParams};
+use cmpqos::faults::FaultPlan;
+use cmpqos::types::{CoreId, Cycles, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn no_reservation_is_silently_lost_under_any_fault_schedule(
+        faults in proptest::collection::vec(
+            (0u64..60_000, 0u32..3, 0u32..4, 0u16..16),
+            0..12,
+        ),
+        seed in 0u64..50,
+    ) {
+        let mut p = ChaosParams::standard();
+        p.horizon = Cycles::new(60_000);
+        p.seed = seed;
+        let mut plan = FaultPlan::new();
+        for (at, node, kind, idx) in faults {
+            let at = Cycles::new(at);
+            let node = NodeId::new(node);
+            plan = match kind {
+                0 => plan.way_fault(at, node, idx),
+                1 => plan.core_fault(at, node, CoreId::new(u32::from(idx) % 4)),
+                2 => plan.probe_loss(at, node, u32::from(idx) % 5 + 1),
+                // Unrestricted: the schedule may kill *every* node,
+                // including node 0 — jobs must then surface as revoked.
+                _ => plan.node_fault(at, node),
+            };
+        }
+        let o = chaos::run(&p, plan.build());
+        prop_assert!(
+            o.stranded().is_empty(),
+            "stranded reservations: {:?}",
+            o.stranded()
+        );
+        for f in &o.fates {
+            if f.admitted.is_some() {
+                prop_assert!(
+                    f.completed.is_some() ^ f.revoked,
+                    "job {} must end completed XOR revoked: {f:?}",
+                    f.id
+                );
+            } else {
+                // Never-admitted jobs acquire no terminal fault state.
+                prop_assert!(f.completed.is_none() && !f.revoked, "{f:?}");
+            }
+        }
+        // The event stream accounts for the same story: one Completed or
+        // ReservationRevoked record per admitted job.
+        let tl = o.timeline();
+        for f in &o.fates {
+            if f.admitted.is_some() {
+                let jt = tl.job(f.id).expect("admitted jobs appear in the log");
+                prop_assert_eq!(jt.completed.is_some(), f.completed.is_some());
+                prop_assert_eq!(jt.revoked.is_some(), f.revoked);
+            }
+        }
+    }
+}
