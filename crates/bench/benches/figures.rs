@@ -17,6 +17,7 @@ fn quick() -> ExperimentParams {
         scale: 16,
         work: Instructions::new(60_000),
         seed: 1,
+        jobs: 1,
         events: None,
     }
 }

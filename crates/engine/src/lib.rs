@@ -1,0 +1,60 @@
+//! Deterministic parallel execution engine for independent simulation
+//! cells.
+//!
+//! The paper's evaluation is a grid of *independent* cells: every
+//! (workload, configuration, seed) tuple is a self-contained, seeded
+//! simulation whose outcome depends only on its inputs. This crate runs
+//! such grids on a bounded work-stealing worker pool while guaranteeing
+//! **bit-identical results to serial execution**:
+//!
+//! * results are returned **ordered by cell index**, never by completion
+//!   order;
+//! * cells receive no shared mutable state — each cell owns its input and
+//!   produces an owned output;
+//! * a panicking cell is isolated ([`std::panic::catch_unwind`]) and
+//!   reported as a failed cell instead of tearing down the whole run.
+//!
+//! The pool is plain `std` (threads + channels + mutex-guarded deques):
+//! the workspace builds offline with no registry dependencies. Cells are
+//! coarse (milliseconds to minutes of simulation), so queue overhead is
+//! irrelevant next to determinism and robustness.
+//!
+//! # Example
+//!
+//! ```
+//! use cmpqos_engine::Engine;
+//!
+//! let engine = Engine::new(4);
+//! let squares = engine.run((0u64..8).collect(), |_idx, n| n * n);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! // Serial and parallel runs are indistinguishable:
+//! assert_eq!(squares, Engine::serial().run((0u64..8).collect(), |_i, n| n * n));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pool;
+
+pub use pool::{CellFailure, Engine};
+
+/// The `CMPQOS_JOBS` environment variable read by [`Engine::from_env`] and
+/// the experiment binaries' `--jobs` flag.
+pub const JOBS_ENV: &str = "CMPQOS_JOBS";
+
+/// The machine's available parallelism (1 when it cannot be queried).
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parses [`JOBS_ENV`]; `Some(0)` (= "auto") resolves to
+/// [`default_jobs`]. Returns `None` when unset or unparseable.
+#[must_use]
+pub fn jobs_from_env() -> Option<usize> {
+    let raw = std::env::var(JOBS_ENV).ok()?;
+    let n: usize = raw.trim().parse().ok()?;
+    Some(if n == 0 { default_jobs() } else { n })
+}

@@ -14,6 +14,7 @@
 use crate::output::{banner, Table};
 use crate::params::ExperimentParams;
 use cmpqos_cache::PartitionPolicy;
+use cmpqos_engine::Engine;
 use cmpqos_system::{CmpNode, Placement, SystemConfig, TaskSpec};
 use cmpqos_trace::spec;
 use cmpqos_types::{CoreId, Cycles, Instructions, JobId, Percent, RunningStats, Ways};
@@ -28,15 +29,17 @@ pub struct VarianceResult {
 }
 
 /// Runs `bzip2` pinned with 7 ways while a seed-varied `mcf` co-runner
-/// shares the cache, under the given policy, across `seeds` runs.
+/// shares the cache, under the given policy, across `seeds` runs. The
+/// per-seed runs are independent engine cells; the CPIs come back in seed
+/// order, so the running aggregate is bitwise identical at every pool
+/// width.
 #[must_use]
 pub fn partition_variance(
     params: &ExperimentParams,
     policy: PartitionPolicy,
     seeds: u64,
 ) -> VarianceResult {
-    let mut cpi = RunningStats::new();
-    for s in 0..seeds {
+    let cpis = Engine::new(params.jobs).run((0..seeds).collect(), |_, s| {
         let mut system = SystemConfig::paper_scaled(params.scale);
         system.partition_policy = policy;
         let mut node = CmpNode::new(system);
@@ -66,7 +69,11 @@ pub fn partition_variance(
             let t = node.now() + Cycles::new(1_000_000);
             node.run_until(t);
         }
-        cpi.record(node.perf(JobId::new(0)).expect("ran").cpi());
+        node.perf(JobId::new(0)).expect("ran").cpi()
+    });
+    let mut cpi = RunningStats::new();
+    for c in cpis {
+        cpi.record(c);
     }
     VarianceResult { policy, cpi }
 }
@@ -82,20 +89,18 @@ pub struct SamplingPoint {
     pub stolen: u16,
 }
 
-/// Runs an Elastic(`x`) stealing scenario at several sampling periods.
+/// Runs an Elastic(`x`) stealing scenario at several sampling periods
+/// (one engine cell per period).
 #[must_use]
 pub fn sampling_accuracy(params: &ExperimentParams, periods: &[u32]) -> Vec<SamplingPoint> {
-    periods
-        .iter()
-        .map(|&sample_every| {
-            let (miss_increase, stolen) = stealing_run(params, sample_every, None);
-            SamplingPoint {
-                sample_every,
-                miss_increase,
-                stolen,
-            }
-        })
-        .collect()
+    Engine::new(params.jobs).run(periods.to_vec(), |_, sample_every| {
+        let (miss_increase, stolen) = stealing_run(params, sample_every, None);
+        SamplingPoint {
+            sample_every,
+            miss_increase,
+            stolen,
+        }
+    })
 }
 
 /// Ways stolen per steal-interval length.
@@ -107,16 +112,13 @@ pub struct IntervalPoint {
     pub stolen: u16,
 }
 
-/// Sweeps the repartition interval.
+/// Sweeps the repartition interval (one engine cell per interval).
 #[must_use]
 pub fn interval_sweep(params: &ExperimentParams, intervals: &[u64]) -> Vec<IntervalPoint> {
-    intervals
-        .iter()
-        .map(|&interval| {
-            let (_, stolen) = stealing_run(params, 8, Some(Instructions::new(interval)));
-            IntervalPoint { interval, stolen }
-        })
-        .collect()
+    Engine::new(params.jobs).run(intervals.to_vec(), |_, interval| {
+        let (_, stolen) = stealing_run(params, 8, Some(Instructions::new(interval)));
+        IntervalPoint { interval, stolen }
+    })
 }
 
 /// One gobmk-donor stealing run through the QoS scheduler; returns the

@@ -5,17 +5,42 @@
 //! run's event stream round-trips through JSONL back into an identical
 //! `Timeline`.
 //!
+//! `--seeds a,b,c` replays the cell at several seeds; the independent
+//! replays run on the `cmpqos-engine` pool (`--jobs N` / `CMPQOS_JOBS`
+//! wide) and print in seed order regardless of the pool width.
+//!
 //! ```text
 //! cargo run --release -p cmpqos-experiments --bin chaos -- --seed 1 --events chaos.jsonl
+//! cargo run --release -p cmpqos-experiments --bin chaos -- --seeds 1,2,3,4 --jobs 4
 //! ```
 use cmpqos_experiments::chaos;
 use cmpqos_obs::Timeline;
 
-fn main() {
-    let params = chaos::ChaosParams::from_env_and_args();
-    let outcome = chaos::run(&params, params.schedule());
-    chaos::print(&outcome, &params);
+/// `--seeds a,b,c` / `--seeds=a,b,c` (unknown flags are ignored, like
+/// `ChaosParams::from_env_and_args`).
+fn parse_seeds(args: &[String]) -> Option<Vec<u64>> {
+    let mut it = args.iter();
+    let mut seeds = None;
+    while let Some(arg) = it.next() {
+        let list = if arg == "--seeds" {
+            it.next().cloned()
+        } else {
+            arg.strip_prefix("--seeds=").map(str::to_string)
+        };
+        if let Some(list) = list {
+            let parsed: Vec<u64> = list
+                .split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect();
+            if !parsed.is_empty() {
+                seeds = Some(parsed);
+            }
+        }
+    }
+    seeds
+}
 
+fn verify_roundtrip(outcome: &chaos::ChaosOutcome) {
     // The run must be fully reconstructible from its serialized event
     // log alone: serialize to JSONL, parse back, compare timelines.
     let jsonl: String = outcome
@@ -33,4 +58,30 @@ fn main() {
         "event log: {} records, round-trips through Timeline intact",
         outcome.records.len()
     );
+}
+
+fn main() {
+    let params = chaos::ChaosParams::from_env_and_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(seeds) = parse_seeds(&args) {
+        let jobs = cmpqos_experiments::ExperimentParams::from_env()
+            .with_args(&args)
+            .jobs;
+        let outcomes = chaos::run_many(&params, &seeds, jobs);
+        for (outcome, &seed) in outcomes.iter().zip(&seeds) {
+            let mut p = params.clone();
+            p.seed = seed;
+            chaos::print(outcome, &p);
+            verify_roundtrip(outcome);
+        }
+        println!(
+            "replayed {} seeds on {} worker(s); all runs accounted for every reservation",
+            seeds.len(),
+            jobs
+        );
+    } else {
+        let outcome = chaos::run(&params, params.schedule());
+        chaos::print(&outcome, &params);
+        verify_roundtrip(&outcome);
+    }
 }

@@ -318,6 +318,32 @@ pub fn run(params: &ChaosParams, mut schedule: FaultSchedule) -> ChaosOutcome {
     outcome
 }
 
+/// Replays the chaos cell across several seeds on the `cmpqos-engine`
+/// pool (`jobs` wide; `1` = serial). Each seed gets its own generated
+/// schedule via [`ChaosParams::schedule`]; the outcomes come back in seed
+/// order and, when `params.events` is set, the per-seed event streams are
+/// appended to the log *after* the pool drains, in seed order — so the
+/// file is byte-identical at every pool width.
+#[must_use]
+pub fn run_many(params: &ChaosParams, seeds: &[u64], jobs: usize) -> Vec<ChaosOutcome> {
+    let cells: Vec<ChaosParams> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut p = params.clone();
+            p.seed = seed;
+            p.events = None; // appended below in seed order, not per-cell
+            p
+        })
+        .collect();
+    let outcomes = cmpqos_engine::Engine::new(jobs).run(cells, |_, p| run(&p, p.schedule()));
+    if let Some(path) = &params.events {
+        for o in &outcomes {
+            append_events(path, &o.records);
+        }
+    }
+    outcomes
+}
+
 fn append_events(path: &std::path::Path, records: &[Record]) {
     match cmpqos_obs::JsonlRecorder::append(path) {
         Ok(mut sink) => {
@@ -449,6 +475,26 @@ mod tests {
         p2.seed = 8;
         let c = run(&p2, p2.schedule());
         assert_ne!(a.records, c.records, "a new seed must change the run");
+    }
+
+    #[test]
+    fn multi_seed_replay_is_identical_at_every_pool_width() {
+        let p = quick();
+        let seeds = [7, 8, 9];
+        let serial = run_many(&p, &seeds, 1);
+        let parallel = run_many(&p, &seeds, 3);
+        assert_eq!(serial.len(), 3);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.records, b.records);
+            assert_eq!(a.fates, b.fates);
+            assert_eq!(a.live_nodes, b.live_nodes);
+        }
+        // Seed order is preserved: cell i reran seed i.
+        for (o, &seed) in serial.iter().zip(&seeds) {
+            let mut ps = p.clone();
+            ps.seed = seed;
+            assert_eq!(o.records, run(&ps, ps.schedule()).records);
+        }
     }
 
     #[test]

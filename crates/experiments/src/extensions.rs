@@ -11,6 +11,7 @@
 use crate::output::{banner, Table};
 use crate::params::ExperimentParams;
 use cmpqos_cache::utility::{lookahead_partition, UtilityMonitor};
+use cmpqos_engine::Engine;
 use cmpqos_system::{CmpNode, Placement, SystemConfig, TaskSpec};
 use cmpqos_trace::{spec, TraceSource};
 use cmpqos_types::{CoreId, Cycles, JobId, Ways};
@@ -90,8 +91,14 @@ pub fn ucp_comparison(params: &ExperimentParams) -> UcpComparison {
         Ways::ZERO,
         Ways::ZERO,
     ];
-    let (eq_s, eq_i) = run_pair(params, &equal);
-    let (ucp_s, ucp_i) = run_pair(params, &ucp_targets);
+    // The two co-run measurements are independent engine cells.
+    let mut pairs = Engine::new(params.jobs)
+        .run(vec![equal, ucp_targets.clone()], |_, targets| {
+            run_pair(params, &targets)
+        })
+        .into_iter();
+    let (eq_s, eq_i) = pairs.next().expect("equal-split cell ran");
+    let (ucp_s, ucp_i) = pairs.next().expect("UCP cell ran");
 
     UcpComparison {
         sensitive_ipc: (eq_s, ucp_s),
@@ -146,8 +153,11 @@ pub fn bandwidth_isolation(params: &ExperimentParams, hog_cap: u8) -> ((f64, f64
             node.perf(JobId::new(0)).expect("victim ran").ipc(),
         )
     };
-    let (hog_free, victim_free) = run(None);
-    let (hog_capped, victim_capped) = run(Some(hog_cap));
+    let mut runs = Engine::new(params.jobs)
+        .run(vec![None, Some(hog_cap)], |_, cap| run(cap))
+        .into_iter();
+    let (hog_free, victim_free) = runs.next().expect("uncapped cell ran");
+    let (hog_capped, victim_capped) = runs.next().expect("capped cell ran");
     ((hog_free, hog_capped), (victim_free, victim_capped))
 }
 

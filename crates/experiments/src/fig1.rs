@@ -8,6 +8,7 @@
 
 use crate::output::{banner, Table};
 use crate::params::ExperimentParams;
+use cmpqos_engine::Engine;
 use cmpqos_system::{CmpNode, Placement, SystemConfig, TaskSpec};
 use cmpqos_trace::spec;
 use cmpqos_types::{CoreId, Cycles, JobId, Ways};
@@ -46,11 +47,11 @@ impl Fig1Result {
     }
 }
 
-/// Runs the experiment.
+/// Runs the experiment. The four instance counts are independent CMP
+/// nodes, so each is one `cmpqos-engine` cell.
 #[must_use]
 pub fn run(params: &ExperimentParams) -> Fig1Result {
-    let mut rows = Vec::new();
-    for k in 1..=4usize {
+    let rows = Engine::new(params.jobs).run((1..=4usize).collect(), |_, k| {
         let system = SystemConfig::paper_scaled(params.scale);
         let assoc = system.l2.associativity();
         let mut node = CmpNode::new(system);
@@ -75,12 +76,12 @@ pub fn run(params: &ExperimentParams) -> Fig1Result {
         let ipcs = (0..k)
             .map(|i| node.perf(JobId::new(i as u32)).expect("task ran").ipc())
             .collect();
-        rows.push(Fig1Row {
+        Fig1Row {
             instances: k,
             ipcs,
             ways_each: each,
-        });
-    }
+        }
+    });
     let solo_ipc = rows[0].ipcs[0];
     Fig1Result {
         solo_ipc,

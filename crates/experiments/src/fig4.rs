@@ -5,6 +5,7 @@
 
 use crate::output::{banner, pct, Table};
 use crate::params::ExperimentParams;
+use cmpqos_engine::Engine;
 use cmpqos_trace::spec::{self, SensitivityClass};
 use cmpqos_types::Ways;
 use cmpqos_workloads::calibrate::solo_run;
@@ -24,32 +25,30 @@ pub struct Fig4Point {
     pub inc_1: f64,
 }
 
-/// Runs the sweep over all fifteen benchmarks.
+/// Runs the sweep over all fifteen benchmarks (one engine cell per
+/// benchmark; each cell runs its own 7/4/1-way solo measurements).
 #[must_use]
 pub fn run(params: &ExperimentParams) -> Vec<Fig4Point> {
-    spec::all()
-        .iter()
-        .map(|b| {
-            let cpi = |ways: u16| {
-                solo_run(
-                    b.name(),
-                    Ways::new(ways),
-                    params.work,
-                    params.scale,
-                    params.seed,
-                )
-                .cpi()
-            };
-            let cpi7 = cpi(7);
-            Fig4Point {
-                bench: b.name().to_string(),
-                class: b.class(),
-                cpi7,
-                inc_4: cpi(4) / cpi7 - 1.0,
-                inc_1: cpi(1) / cpi7 - 1.0,
-            }
-        })
-        .collect()
+    Engine::new(params.jobs).run(spec::all().to_vec(), |_, b| {
+        let cpi = |ways: u16| {
+            solo_run(
+                b.name(),
+                Ways::new(ways),
+                params.work,
+                params.scale,
+                params.seed,
+            )
+            .cpi()
+        };
+        let cpi7 = cpi(7);
+        Fig4Point {
+            bench: b.name().to_string(),
+            class: b.class(),
+            cpi7,
+            inc_4: cpi(4) / cpi7 - 1.0,
+            inc_1: cpi(1) / cpi7 - 1.0,
+        }
+    })
 }
 
 /// Prints the scatter as a table, grouped by class.

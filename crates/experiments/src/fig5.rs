@@ -10,7 +10,7 @@
 use crate::output::{banner, gain, pct, Table};
 use crate::params::ExperimentParams;
 use cmpqos_workloads::metrics::{normalized_throughput, paper_hit_rate};
-use cmpqos_workloads::runner::{run as run_cell, RunConfig, RunOutcome};
+use cmpqos_workloads::runner::{run_batch, RunConfig, RunOutcome};
 use cmpqos_workloads::{Configuration, WorkloadSpec};
 
 /// All cells of one workload row.
@@ -43,31 +43,33 @@ pub fn run(params: &ExperimentParams) -> Vec<Fig5Workload> {
     run_for(params, &BENCHMARKS)
 }
 
-/// Runs a chosen subset of benchmarks (tests use one).
+/// Runs a chosen subset of benchmarks (tests use one). All
+/// (workload, configuration) cells go through the `cmpqos-engine` pool
+/// (`params.jobs` wide) and come back in cell order.
 #[must_use]
 pub fn run_for(params: &ExperimentParams, benches: &[&str]) -> Vec<Fig5Workload> {
+    let configs = Configuration::all();
+    let cells: Vec<RunConfig> = benches
+        .iter()
+        .flat_map(|bench| {
+            configs.iter().map(|&configuration| RunConfig {
+                workload: WorkloadSpec::single(bench, 10),
+                configuration,
+                scale: params.scale,
+                work: params.work,
+                seed: params.seed,
+                stealing_enabled: true,
+                steal_interval: None,
+                events: params.events.clone(),
+            })
+        })
+        .collect();
+    let mut outcomes = run_batch(cells, params.jobs).into_iter();
     benches
         .iter()
-        .map(|bench| {
-            let outcomes = Configuration::all()
-                .into_iter()
-                .map(|configuration| {
-                    run_cell(&RunConfig {
-                        workload: WorkloadSpec::single(bench, 10),
-                        configuration,
-                        scale: params.scale,
-                        work: params.work,
-                        seed: params.seed,
-                        stealing_enabled: true,
-                        steal_interval: None,
-                        events: params.events.clone(),
-                    })
-                })
-                .collect();
-            Fig5Workload {
-                bench: (*bench).to_string(),
-                outcomes,
-            }
+        .map(|bench| Fig5Workload {
+            bench: (*bench).to_string(),
+            outcomes: outcomes.by_ref().take(configs.len()).collect(),
         })
         .collect()
 }

@@ -11,7 +11,7 @@
 use crate::output::{banner, Table};
 use crate::params::ExperimentParams;
 use cmpqos_workloads::metrics::wall_clock_by_mode;
-use cmpqos_workloads::runner::{run as run_cell, RunConfig, RunOutcome};
+use cmpqos_workloads::runner::{run_batch, RunConfig, RunOutcome};
 use cmpqos_workloads::{Configuration, WorkloadSpec};
 
 /// Outcomes per configuration for the bzip2 workload.
@@ -27,25 +27,26 @@ pub fn run(params: &ExperimentParams) -> Fig6Result {
     run_bench(params, "bzip2")
 }
 
-/// Runs a chosen benchmark (tests use gobmk for speed).
+/// Runs a chosen benchmark (tests use gobmk for speed). The per-config
+/// cells run on the `cmpqos-engine` pool.
 #[must_use]
 pub fn run_bench(params: &ExperimentParams, bench: &str) -> Fig6Result {
-    let outcomes = Configuration::all()
+    let cells: Vec<RunConfig> = Configuration::all()
         .into_iter()
-        .map(|configuration| {
-            run_cell(&RunConfig {
-                workload: WorkloadSpec::single(bench, 10),
-                configuration,
-                scale: params.scale,
-                work: params.work,
-                seed: params.seed,
-                stealing_enabled: true,
-                steal_interval: None,
-                events: params.events.clone(),
-            })
+        .map(|configuration| RunConfig {
+            workload: WorkloadSpec::single(bench, 10),
+            configuration,
+            scale: params.scale,
+            work: params.work,
+            seed: params.seed,
+            stealing_enabled: true,
+            steal_interval: None,
+            events: params.events.clone(),
         })
         .collect();
-    Fig6Result { outcomes }
+    Fig6Result {
+        outcomes: run_batch(cells, params.jobs),
+    }
 }
 
 /// Prints mean/min/max wall-clock (in Mcycles) per mode per configuration.

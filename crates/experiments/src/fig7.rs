@@ -7,7 +7,7 @@ use crate::output::banner;
 use crate::params::ExperimentParams;
 use cmpqos_core::JobEvent;
 use cmpqos_types::Cycles;
-use cmpqos_workloads::runner::{run as run_cell, RunConfig, RunOutcome};
+use cmpqos_workloads::runner::{run_batch, RunConfig, RunOutcome};
 use cmpqos_workloads::{Configuration, WorkloadSpec};
 
 /// One job's timeline entry.
@@ -43,11 +43,13 @@ pub fn run(params: &ExperimentParams) -> Fig7Result {
     run_bench(params, "bzip2", 10)
 }
 
-/// Runs a chosen benchmark/size (tests shrink both).
+/// Runs a chosen benchmark/size (tests shrink both). Both cells run on
+/// the `cmpqos-engine` pool.
 #[must_use]
 pub fn run_bench(params: &ExperimentParams, bench: &str, n: usize) -> Fig7Result {
-    let cell = |configuration| {
-        run_cell(&RunConfig {
+    let cells: Vec<RunConfig> = [Configuration::AllStrict, Configuration::AllStrictAutoDown]
+        .into_iter()
+        .map(|configuration| RunConfig {
             workload: WorkloadSpec::single(bench, n),
             configuration,
             scale: params.scale,
@@ -57,10 +59,11 @@ pub fn run_bench(params: &ExperimentParams, bench: &str, n: usize) -> Fig7Result
             steal_interval: None,
             events: params.events.clone(),
         })
-    };
+        .collect();
+    let mut outcomes = run_batch(cells, params.jobs).into_iter();
     Fig7Result {
-        strict: cell(Configuration::AllStrict),
-        autodown: cell(Configuration::AllStrictAutoDown),
+        strict: outcomes.next().expect("two cells ran"),
+        autodown: outcomes.next().expect("two cells ran"),
     }
 }
 

@@ -12,7 +12,7 @@ use crate::params::ExperimentParams;
 use cmpqos_core::ExecutionMode;
 use cmpqos_types::Percent;
 use cmpqos_workloads::metrics::mean_wall_clock;
-use cmpqos_workloads::runner::{run as run_cell, RunConfig, RunOutcome};
+use cmpqos_workloads::runner::{run_batch, RunConfig, RunOutcome};
 use cmpqos_workloads::{Configuration, WorkloadSpec};
 
 /// The slack sweep of the paper.
@@ -62,30 +62,34 @@ fn elastic_mean<F: Fn(&cmpqos_workloads::runner::AcceptedJob) -> Option<f64>>(
 }
 
 /// Runs the sweep on `bench` (the paper uses bzip2) at the given slacks.
+/// The no-stealing baseline and every sweep point are independent cells
+/// and run together on the `cmpqos-engine` pool.
 #[must_use]
 pub fn run_bench(params: &ExperimentParams, bench: &str, slacks: &[f64]) -> Fig8Result {
-    let cell = |slack: f64, stealing: bool| {
-        run_cell(&RunConfig {
-            workload: WorkloadSpec::single(bench, 10),
-            configuration: Configuration::Hybrid2 {
-                slack: Percent::new(slack),
-            },
-            scale: params.scale,
-            work: params.work,
-            seed: params.seed,
-            stealing_enabled: stealing,
-            steal_interval: None,
-            events: params.events.clone(),
-        })
+    let cell = |slack: f64, stealing: bool| RunConfig {
+        workload: WorkloadSpec::single(bench, 10),
+        configuration: Configuration::Hybrid2 {
+            slack: Percent::new(slack),
+        },
+        scale: params.scale,
+        work: params.work,
+        seed: params.seed,
+        stealing_enabled: stealing,
+        steal_interval: None,
+        events: params.events.clone(),
     };
-    let baseline = cell(5.0, false);
+    let cells: Vec<RunConfig> = std::iter::once(cell(5.0, false))
+        .chain(slacks.iter().map(|&slack| cell(slack, true)))
+        .collect();
+    let mut outcomes = run_batch(cells, params.jobs).into_iter();
+    let baseline = outcomes.next().expect("baseline cell ran");
     let base_elastic_cpi = elastic_mean(&baseline, |j| Some(j.report.perf.cpi()));
     let base_opp = mean_wall_clock(&baseline, "Opportunistic").unwrap_or(1.0);
 
     let points = slacks
         .iter()
-        .map(|&slack| {
-            let o = cell(slack, true);
+        .zip(outcomes)
+        .map(|(&slack, o)| {
             let miss_increase = elastic_mean(&o, |j| j.report.steal.map(|s| s.miss_increase));
             let cpi = elastic_mean(&o, |j| Some(j.report.perf.cpi()));
             let opp = mean_wall_clock(&o, "Opportunistic").unwrap_or(base_opp);

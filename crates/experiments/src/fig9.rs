@@ -9,7 +9,7 @@
 use crate::output::{banner, gain, pct, Table};
 use crate::params::ExperimentParams;
 use cmpqos_workloads::metrics::{normalized_throughput, paper_hit_rate};
-use cmpqos_workloads::runner::{run as run_cell, RunConfig, RunOutcome};
+use cmpqos_workloads::runner::{run_batch, RunConfig, RunOutcome};
 use cmpqos_workloads::{Configuration, WorkloadSpec};
 
 /// One mix's row of outcomes.
@@ -30,26 +30,28 @@ pub fn run(params: &ExperimentParams) -> Vec<Fig9Mix> {
         .collect()
 }
 
-/// Runs one mix under every configuration.
+/// Runs one mix under every configuration. The per-config cells run on
+/// the `cmpqos-engine` pool.
 #[must_use]
 pub fn run_mix(params: &ExperimentParams, workload: WorkloadSpec) -> Fig9Mix {
     let name = workload.name().to_string();
-    let outcomes = Configuration::all()
+    let cells: Vec<RunConfig> = Configuration::all()
         .into_iter()
-        .map(|configuration| {
-            run_cell(&RunConfig {
-                workload: workload.clone(),
-                configuration,
-                scale: params.scale,
-                work: params.work,
-                seed: params.seed,
-                stealing_enabled: true,
-                steal_interval: None,
-                events: params.events.clone(),
-            })
+        .map(|configuration| RunConfig {
+            workload: workload.clone(),
+            configuration,
+            scale: params.scale,
+            work: params.work,
+            seed: params.seed,
+            stealing_enabled: true,
+            steal_interval: None,
+            events: params.events.clone(),
         })
         .collect();
-    Fig9Mix { name, outcomes }
+    Fig9Mix {
+        name,
+        outcomes: run_batch(cells, params.jobs),
+    }
 }
 
 /// Prints both panels.

@@ -5,7 +5,7 @@
 use crate::output::{banner, pct, Table};
 use crate::params::ExperimentParams;
 use cmpqos_workloads::metrics::lac_occupancy;
-use cmpqos_workloads::runner::{run as run_cell, RunConfig, RunOutcome};
+use cmpqos_workloads::runner::{run_batch, RunConfig};
 use cmpqos_workloads::{Configuration, WorkloadSpec};
 
 /// One workload's LAC characterization.
@@ -24,29 +24,33 @@ pub struct LacRow {
 }
 
 /// Characterizes the LAC across the three single-benchmark workloads under
-/// `All-Strict` (the most admission-intensive configuration).
+/// `All-Strict` (the most admission-intensive configuration). The three
+/// cells run on the `cmpqos-engine` pool.
 #[must_use]
 pub fn run(params: &ExperimentParams) -> Vec<LacRow> {
-    ["gobmk", "hmmer", "bzip2"]
+    let benches = ["gobmk", "hmmer", "bzip2"];
+    let cells: Vec<RunConfig> = benches
         .iter()
-        .map(|bench| {
-            let o: RunOutcome = run_cell(&RunConfig {
-                workload: WorkloadSpec::single(bench, 10),
-                configuration: Configuration::AllStrict,
-                scale: params.scale,
-                work: params.work,
-                seed: params.seed,
-                stealing_enabled: true,
-                steal_interval: None,
-                events: params.events.clone(),
-            });
-            LacRow {
-                workload: format!("{bench} x10"),
-                submissions: o.submissions,
-                tests: o.lac_tests,
-                cost_cycles: o.lac_cost.get(),
-                occupancy: lac_occupancy(&o),
-            }
+        .map(|bench| RunConfig {
+            workload: WorkloadSpec::single(bench, 10),
+            configuration: Configuration::AllStrict,
+            scale: params.scale,
+            work: params.work,
+            seed: params.seed,
+            stealing_enabled: true,
+            steal_interval: None,
+            events: params.events.clone(),
+        })
+        .collect();
+    benches
+        .iter()
+        .zip(run_batch(cells, params.jobs))
+        .map(|(bench, o)| LacRow {
+            workload: format!("{bench} x10"),
+            submissions: o.submissions,
+            tests: o.lac_tests,
+            cost_cycles: o.lac_cost.get(),
+            occupancy: lac_occupancy(&o),
         })
         .collect()
 }

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod bench;
 pub mod chaos;
 pub mod extensions;
 pub mod fig1;

@@ -4,7 +4,8 @@ use cmpqos_types::Instructions;
 use std::path::PathBuf;
 
 /// Global knobs for every experiment: the geometry scale factor, the
-/// per-job instruction budget, the master seed and an optional event log.
+/// per-job instruction budget, the master seed, the worker-pool width and
+/// an optional event log.
 ///
 /// Defaults reproduce the paper's shapes in seconds per experiment; the
 /// environment variables `CMPQOS_SCALE`, `CMPQOS_WORK` and `CMPQOS_SEED`
@@ -12,6 +13,11 @@ use std::path::PathBuf;
 /// CMPQOS_WORK=200000000` is the paper's literal setup. `CMPQOS_EVENTS`
 /// (or the figure binaries' `--events <path>` flag) names a JSONL file
 /// that receives every QoS event of every run (see `cmpqos-obs`).
+///
+/// `CMPQOS_JOBS` (or `--jobs N`) bounds the `cmpqos-engine` worker pool
+/// that runs independent experiment cells in parallel: `1` is serial, `0`
+/// means "auto" (the machine's available parallelism, also the default).
+/// Results are bit-identical at every width — see `docs/performance.md`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExperimentParams {
     /// Geometry scale factor `k` (see
@@ -21,29 +27,35 @@ pub struct ExperimentParams {
     pub work: Instructions,
     /// Master seed.
     pub seed: u64,
+    /// Worker-pool width for independent experiment cells (1 = serial).
+    pub jobs: usize,
     /// When set, every run appends its event stream to this JSONL file.
     pub events: Option<PathBuf>,
 }
 
 impl ExperimentParams {
-    /// Default experiment fidelity: scale 8, 800k instructions/job.
+    /// Default experiment fidelity: scale 8, 800k instructions/job, one
+    /// engine worker per available core.
     #[must_use]
     pub fn standard() -> Self {
         Self {
             scale: 8,
             work: Instructions::new(800_000),
             seed: 1,
+            jobs: cmpqos_engine::default_jobs(),
             events: None,
         }
     }
 
-    /// Fast parameters for tests: scale 16, 80k instructions/job.
+    /// Fast parameters for tests: scale 16, 80k instructions/job, serial
+    /// (tests already run in parallel under the libtest harness).
     #[must_use]
     pub fn quick() -> Self {
         Self {
             scale: 16,
             work: Instructions::new(80_000),
             seed: 1,
+            jobs: 1,
             events: None,
         }
     }
@@ -61,6 +73,9 @@ impl ExperimentParams {
         if let Some(v) = read_env("CMPQOS_SEED") {
             p.seed = v;
         }
+        if let Some(jobs) = cmpqos_engine::jobs_from_env() {
+            p.jobs = jobs;
+        }
         if let Ok(path) = std::env::var("CMPQOS_EVENTS") {
             let path = path.trim();
             if !path.is_empty() {
@@ -71,23 +86,45 @@ impl ExperimentParams {
     }
 
     /// [`ExperimentParams::from_env`] plus command-line overrides: every
-    /// figure binary accepts `--events <path>` (which wins over
-    /// `CMPQOS_EVENTS`). Unknown arguments are ignored so existing
-    /// invocations keep working.
+    /// figure binary accepts `--events <path>` and `--jobs <n>` (which win
+    /// over `CMPQOS_EVENTS`/`CMPQOS_JOBS`). Unknown arguments are ignored
+    /// so existing invocations keep working.
     #[must_use]
     pub fn from_env_and_args() -> Self {
-        let mut p = Self::from_env();
-        let mut args = std::env::args().skip(1);
-        while let Some(arg) = args.next() {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_env().with_args(&args)
+    }
+
+    /// Applies `--events <path>` / `--events=<path>` and `--jobs <n>` /
+    /// `--jobs=<n>` overrides from an argument list (`--jobs 0` = auto).
+    #[must_use]
+    pub fn with_args(mut self, args: &[String]) -> Self {
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
             if arg == "--events" {
-                if let Some(path) = args.next() {
-                    p.events = Some(PathBuf::from(path));
+                if let Some(path) = it.next() {
+                    self.events = Some(PathBuf::from(path));
                 }
             } else if let Some(path) = arg.strip_prefix("--events=") {
-                p.events = Some(PathBuf::from(path));
+                self.events = Some(PathBuf::from(path));
+            } else if arg == "--jobs" {
+                if let Some(n) = it.next().and_then(|v| v.trim().parse().ok()) {
+                    self.jobs = resolve_jobs(n);
+                }
+            } else if let Some(n) = arg.strip_prefix("--jobs=").and_then(|v| v.parse().ok()) {
+                self.jobs = resolve_jobs(n);
             }
         }
-        p
+        self
+    }
+}
+
+/// `0` means "auto": one worker per available core.
+fn resolve_jobs(n: usize) -> usize {
+    if n == 0 {
+        cmpqos_engine::default_jobs()
+    } else {
+        n
     }
 }
 
@@ -112,10 +149,27 @@ mod tests {
         assert_eq!(ExperimentParams::default(), p);
         assert!(ExperimentParams::quick().work < p.work);
         assert_eq!(p.events, None);
+        assert!(p.jobs >= 1);
+        assert_eq!(ExperimentParams::quick().jobs, 1);
     }
 
     #[test]
     fn env_parsing_ignores_garbage() {
         assert_eq!(read_env("CMPQOS_DOES_NOT_EXIST"), None);
+    }
+
+    #[test]
+    fn jobs_flag_parses_both_spellings_and_auto() {
+        let args = |v: &[&str]| v.iter().map(|s| (*s).to_string()).collect::<Vec<_>>();
+        let p = ExperimentParams::quick().with_args(&args(&["--jobs", "3"]));
+        assert_eq!(p.jobs, 3);
+        let p = ExperimentParams::quick().with_args(&args(&["--jobs=7", "--events=ev.jsonl"]));
+        assert_eq!(p.jobs, 7);
+        assert_eq!(p.events, Some(PathBuf::from("ev.jsonl")));
+        let p = ExperimentParams::quick().with_args(&args(&["--jobs", "0"]));
+        assert_eq!(p.jobs, cmpqos_engine::default_jobs());
+        // Garbage and unknown flags are ignored.
+        let p = ExperimentParams::quick().with_args(&args(&["--jobs", "x", "--frobnicate"]));
+        assert_eq!(p.jobs, 1);
     }
 }

@@ -4,6 +4,7 @@
 
 use crate::output::{banner, pct, Table};
 use crate::params::ExperimentParams;
+use cmpqos_engine::Engine;
 use cmpqos_types::Ways;
 use cmpqos_workloads::calibrate::solo_run;
 
@@ -27,21 +28,19 @@ pub struct Table1Row {
     pub ipc: f64,
 }
 
-/// Measures the three Table 1 benchmarks.
+/// Measures the three Table 1 benchmarks (one engine cell per benchmark).
 #[must_use]
 pub fn run(params: &ExperimentParams) -> Vec<Table1Row> {
-    PAPER_TABLE1
-        .iter()
-        .map(|(bench, _, _)| {
-            let s = solo_run(bench, Ways::new(7), params.work, params.scale, params.seed);
-            Table1Row {
-                bench: (*bench).to_string(),
-                miss_rate: s.perf.l2_miss_ratio(),
-                mpi: s.perf.mpi(),
-                ipc: s.ipc(),
-            }
-        })
-        .collect()
+    let benches: Vec<&str> = PAPER_TABLE1.iter().map(|(bench, _, _)| *bench).collect();
+    Engine::new(params.jobs).run(benches, |_, bench| {
+        let s = solo_run(bench, Ways::new(7), params.work, params.scale, params.seed);
+        Table1Row {
+            bench: bench.to_string(),
+            miss_rate: s.perf.l2_miss_ratio(),
+            mpi: s.perf.mpi(),
+            ipc: s.ipc(),
+        }
+    })
 }
 
 /// Prints measured-versus-paper rows.

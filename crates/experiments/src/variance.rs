@@ -9,7 +9,7 @@ use crate::output::{banner, Table};
 use crate::params::ExperimentParams;
 use cmpqos_types::RunningStats;
 use cmpqos_workloads::metrics::{normalized_throughput, paper_hit_rate};
-use cmpqos_workloads::runner::{run as run_cell, RunConfig};
+use cmpqos_workloads::runner::{run_batch, RunConfig};
 use cmpqos_workloads::{Configuration, WorkloadSpec};
 
 /// Stability statistics for one configuration.
@@ -23,7 +23,10 @@ pub struct VarianceRow {
     pub throughput: RunningStats,
 }
 
-/// Runs the given workload under every configuration for each seed.
+/// Runs the given workload under every configuration for each seed. All
+/// (seed, configuration) cells run on the `cmpqos-engine` pool; the stats
+/// are then accumulated in the fixed seed-outer/config-inner order so the
+/// running aggregates are bitwise identical at every pool width.
 #[must_use]
 pub fn run_workload(
     params: &ExperimentParams,
@@ -39,9 +42,10 @@ pub fn run_workload(
             throughput: RunningStats::new(),
         })
         .collect();
-    for &seed in seeds {
-        let cell = |configuration: Configuration| {
-            run_cell(&RunConfig {
+    let cells: Vec<RunConfig> = seeds
+        .iter()
+        .flat_map(|&seed| {
+            configs.iter().map(move |&configuration| RunConfig {
                 workload: workload.clone(),
                 configuration,
                 scale: params.scale,
@@ -51,16 +55,16 @@ pub fn run_workload(
                 steal_interval: None,
                 events: params.events.clone(),
             })
-        };
-        let base = cell(Configuration::AllStrict);
-        for (row, &config) in rows.iter_mut().zip(configs.iter()) {
-            let o = if config == Configuration::AllStrict {
-                base.clone()
-            } else {
-                cell(config)
-            };
-            row.hit_rate.record(paper_hit_rate(&o));
-            row.throughput.record(normalized_throughput(&base, &o));
+        })
+        .collect();
+    let outcomes = run_batch(cells, params.jobs);
+    for per_seed in outcomes.chunks(configs.len()) {
+        // `Configuration::all` starts with All-Strict: the first outcome
+        // of each seed chunk is that seed's normalization baseline.
+        let base = &per_seed[0];
+        for (row, o) in rows.iter_mut().zip(per_seed) {
+            row.hit_rate.record(paper_hit_rate(o));
+            row.throughput.record(normalized_throughput(base, o));
         }
     }
     rows

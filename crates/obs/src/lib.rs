@@ -13,7 +13,9 @@
 //!   no-op whose `enabled()` lets hot paths skip payload construction
 //!   entirely; [`RingBufferRecorder`] keeps a bounded in-memory log for
 //!   tests and timeline queries; [`JsonlRecorder`] streams records as JSON
-//!   Lines for the experiment binaries.
+//!   Lines for the experiment binaries; [`ShardRecorder`] buffers one
+//!   parallel experiment cell's stream so `cmpqos-engine` sweeps can merge
+//!   per-cell shards deterministically ([`merge_shards`]).
 //! * [`Timeline`] — reconstructs Figure-7-style job-lifetime bands (which
 //!   mode a job ran in, from when to when) out of a recorded stream.
 //!
@@ -26,5 +28,8 @@ mod recorder;
 mod timeline;
 
 pub use event::{Event, EventKind, FaultKind, Health, Mode, Record, RejectCause};
-pub use recorder::{Counters, JsonlRecorder, NullRecorder, Recorder, RingBufferRecorder};
+pub use recorder::{
+    merge_shards, Counters, JsonlRecorder, NullRecorder, Recorder, RingBufferRecorder,
+    ShardRecorder,
+};
 pub use timeline::{Band, JobTimeline, Timeline};

@@ -18,7 +18,13 @@ use crate::timeline::Timeline;
 /// vector) should check [`Recorder::enabled`] first: the default
 /// [`NullRecorder`] reports `false`, so the disabled path stays free of
 /// allocation and formatting.
-pub trait Recorder {
+///
+/// Recorders are [`Send`] so a cell (one seeded simulation plus its
+/// recorder) can execute on a `cmpqos-engine` worker thread; sinks are
+/// still single-owner — parallel cells each record into their own
+/// [`ShardRecorder`] and the shards are merged afterwards (see
+/// [`merge_shards`]).
+pub trait Recorder: Send {
     /// Records that `event` happened at cycle `at`.
     fn record(&mut self, at: Cycles, event: Event);
 
@@ -278,6 +284,79 @@ impl Recorder for RingBufferRecorder {
     }
 }
 
+/// Unbounded in-memory sink for one parallel experiment cell.
+///
+/// Each cell running on a `cmpqos-engine` worker records into its own
+/// shard; after the pool drains, the shards are concatenated **in cell
+/// order** (never completion order) with [`merge_shards`], reproducing the
+/// exact stream a serial run would have written. Within a shard records
+/// are already cycle-ordered because the simulation emits them in cycle
+/// order.
+#[derive(Debug, Default, Clone)]
+pub struct ShardRecorder {
+    records: Vec<Record>,
+    counters: Counters,
+}
+
+impl ShardRecorder {
+    /// An empty shard.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events, in emission order.
+    #[must_use]
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// The monotonic counters.
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Consumes the shard, yielding its records.
+    #[must_use]
+    pub fn into_records(self) -> Vec<Record> {
+        self.records
+    }
+
+    /// Reconstructs the [`Timeline`] of this shard's records.
+    #[must_use]
+    pub fn timeline(&self) -> Timeline {
+        Timeline::from_records(self.records.iter())
+    }
+}
+
+impl Recorder for ShardRecorder {
+    fn record(&mut self, at: Cycles, event: Event) {
+        self.counters.bump(event.kind());
+        self.records.push(Record { at, event });
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// Replays `shards` into `sink` **in shard order**, flushing at the end.
+///
+/// This is the deterministic merge step of a parallel sweep: shard `i`
+/// holds cell `i`'s full event stream (each beginning with its
+/// [`Event::RunStarted`] marker), so the merged stream is byte-identical
+/// to what a serial run appending cell after cell would have produced,
+/// regardless of the order in which the cells actually completed.
+pub fn merge_shards<R: Recorder + ?Sized>(shards: Vec<ShardRecorder>, sink: &mut R) {
+    for shard in shards {
+        for record in shard.into_records() {
+            sink.record(record.at, record.event);
+        }
+    }
+    sink.flush();
+}
+
 /// Streaming sink: one JSON object per line (JSON Lines).
 ///
 /// Write errors don't panic mid-simulation; they are counted and the sink
@@ -388,6 +467,49 @@ mod tests {
         assert_eq!(kept, vec![3, 4]);
         assert_eq!(r.counters().completed, 5);
         assert_eq!(r.counters().total(), 5);
+    }
+
+    #[test]
+    fn shard_merge_reproduces_serial_order() {
+        // Three "cells" record interleaved in time; the merge must honor
+        // shard order, not timestamps across shards (each cell restarts
+        // its clock, exactly like the experiment runs do).
+        let mut shards = vec![
+            ShardRecorder::new(),
+            ShardRecorder::new(),
+            ShardRecorder::new(),
+        ];
+        for (i, shard) in shards.iter_mut().enumerate() {
+            shard.record(
+                Cycles::ZERO,
+                Event::RunStarted {
+                    label: format!("cell{i}"),
+                },
+            );
+            shard.record(Cycles::new(10 + i as u64), ev(i as u32));
+        }
+        assert_eq!(shards[1].counters().completed, 1);
+        assert_eq!(shards[1].timeline().label(), Some("cell1"));
+        let mut sink = RingBufferRecorder::new(64);
+        merge_shards(shards, &mut sink);
+        let labels: Vec<String> = sink
+            .records()
+            .filter_map(|r| match &r.event {
+                Event::RunStarted { label } => Some(label.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(labels, vec!["cell0", "cell1", "cell2"]);
+        assert_eq!(sink.counters().total(), 6);
+    }
+
+    #[test]
+    fn recorders_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ShardRecorder>();
+        assert_send::<RingBufferRecorder>();
+        assert_send::<JsonlRecorder>();
+        assert_send::<Box<dyn Recorder>>();
     }
 
     #[test]

@@ -4,6 +4,12 @@
 //! evaluation: a Poisson submission stream feeds the node until ten jobs
 //! are accepted, then the run completes and the first-ten-accepted
 //! makespan, deadline outcomes and per-job reports are collected.
+//!
+//! [`run_batch`] executes many such cells on the `cmpqos-engine` worker
+//! pool: every cell is seeded and self-contained, results come back in
+//! cell order, and event streams are buffered per cell
+//! ([`cmpqos_obs::ShardRecorder`]) and merged in cell order afterwards —
+//! so a `--jobs N` sweep is bit-identical to the serial one.
 
 use crate::arrivals::ArrivalStream;
 use crate::calibrate::Calibrator;
@@ -14,10 +20,12 @@ use cmpqos_core::{
     Decision, ExecutionMode, JobReport, QosJob, QosScheduler, ResourceRequest, SchedulerConfig,
     StealingConfig,
 };
-use cmpqos_obs::{Event, JsonlRecorder, NullRecorder, Recorder};
+use cmpqos_engine::Engine;
+use cmpqos_obs::{merge_shards, Event, JsonlRecorder, NullRecorder, Recorder, ShardRecorder};
 use cmpqos_system::{CmpNode, Placement, SystemConfig, TaskSpec};
 use cmpqos_trace::spec;
 use cmpqos_types::{Cycles, Instructions, JobId, Ways};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 /// Parameters of one experiment run.
@@ -114,10 +122,86 @@ pub struct RunOutcome {
 /// its internal hard cap (which indicates a livelocked configuration).
 #[must_use]
 pub fn run(cfg: &RunConfig) -> RunOutcome {
-    match cfg.configuration {
-        Configuration::EqualPart => run_equal_part(cfg),
-        _ => run_qos(cfg),
+    run_recorded(cfg, open_recorder(cfg)).0
+}
+
+/// [`run`] with a caller-supplied event sink instead of the
+/// [`RunConfig::events`] JSONL appender: the cell's full stream (starting
+/// with its [`Event::RunStarted`] marker) goes to `recorder`, which is
+/// handed back alongside the outcome. This is how [`run_batch`] captures
+/// per-cell [`ShardRecorder`] shards for the deterministic merge.
+///
+/// # Panics
+///
+/// As [`run`].
+#[must_use]
+pub fn run_recorded(
+    cfg: &RunConfig,
+    mut recorder: Box<dyn Recorder>,
+) -> (RunOutcome, Box<dyn Recorder>) {
+    if recorder.enabled() {
+        recorder.record(
+            Cycles::ZERO,
+            Event::RunStarted {
+                label: format!("{} / {}", cfg.workload.name(), cfg.configuration),
+            },
+        );
     }
+    match cfg.configuration {
+        Configuration::EqualPart => run_equal_part(cfg, recorder),
+        _ => run_qos(cfg, recorder),
+    }
+}
+
+/// Runs many independent cells on a [`cmpqos_engine::Engine`] worker pool
+/// (`jobs` workers; `1` = serial), returning outcomes **in cell order**.
+///
+/// Determinism guarantee: every cell is seeded and self-contained, so
+/// `run_batch(cells, 1)` and `run_batch(cells, n)` produce identical
+/// outcomes *and* identical event files. Cells with an
+/// [`RunConfig::events`] path record into an in-memory
+/// [`ShardRecorder`] instead of appending to the file mid-run; after the
+/// pool drains, the shards are appended per file in cell order
+/// ([`merge_shards`]), byte-identical to what serial appending produces.
+///
+/// # Panics
+///
+/// Panics after all cells complete if any cell panicked (the failure
+/// summary names each failed cell).
+#[must_use]
+pub fn run_batch(cells: Vec<RunConfig>, jobs: usize) -> Vec<RunOutcome> {
+    let results = Engine::new(jobs).run(cells, |_, mut cfg| {
+        let events = cfg.events.take();
+        if events.is_some() {
+            let (outcome, recorder) = run_recorded(&cfg, Box::new(ShardRecorder::new()));
+            let shard = recorder
+                .as_any()
+                .and_then(|any| any.downcast_ref::<ShardRecorder>())
+                .cloned()
+                .expect("run_recorded hands back the shard it was given");
+            (outcome, events, Some(shard))
+        } else {
+            (run(&cfg), None, None)
+        }
+    });
+
+    // Group shards per event file, preserving cell order within each, then
+    // replay them through one appender per file.
+    let mut shards_by_path: BTreeMap<PathBuf, Vec<ShardRecorder>> = BTreeMap::new();
+    let mut outcomes = Vec::with_capacity(results.len());
+    for (outcome, events, shard) in results {
+        if let (Some(path), Some(shard)) = (events, shard) {
+            shards_by_path.entry(path).or_default().push(shard);
+        }
+        outcomes.push(outcome);
+    }
+    for (path, shards) in shards_by_path {
+        match JsonlRecorder::append(&path) {
+            Ok(mut sink) => merge_shards(shards, &mut sink),
+            Err(e) => eprintln!("cmpqos: cannot open event log {}: {e}", path.display()),
+        }
+    }
+    outcomes
 }
 
 /// Scales the OS timeslice (and switch cost) with the per-job instruction
@@ -132,24 +216,16 @@ fn scale_timeslice(system: &mut SystemConfig, work: Instructions) {
     system.context_switch_cost = Cycles::new((quantum / 100).max(100));
 }
 
-/// The event sink for one cell: a JSONL appender opened on
-/// `cfg.events` (prefixed with a `RunStarted` marker) or the free
-/// [`NullRecorder`]. An unopenable path degrades to no recording rather
-/// than failing the run.
-fn open_recorder(cfg: &RunConfig, label: &str) -> Box<dyn Recorder> {
+/// The event sink for one serial cell: a JSONL appender opened on
+/// `cfg.events` or the free [`NullRecorder`]. An unopenable path degrades
+/// to no recording rather than failing the run. (The `RunStarted` marker
+/// is written by [`run_recorded`].)
+fn open_recorder(cfg: &RunConfig) -> Box<dyn Recorder> {
     let Some(path) = &cfg.events else {
         return Box::new(NullRecorder);
     };
     match JsonlRecorder::append(path) {
-        Ok(mut r) => {
-            r.record(
-                Cycles::ZERO,
-                Event::RunStarted {
-                    label: label.to_string(),
-                },
-            );
-            Box::new(r)
-        }
+        Ok(r) => Box::new(r),
         Err(e) => {
             eprintln!("cmpqos: cannot open event log {}: {e}", path.display());
             Box::new(NullRecorder)
@@ -167,7 +243,7 @@ fn trace_for(cfg: &RunConfig, bench: &str, submission: u32) -> Box<dyn cmpqos_tr
     Box::new(profile.instantiate(seed, u64::from(submission + 1) << 36))
 }
 
-fn run_qos(cfg: &RunConfig) -> RunOutcome {
+fn run_qos(cfg: &RunConfig, recorder: Box<dyn Recorder>) -> (RunOutcome, Box<dyn Recorder>) {
     let n = cfg.workload.len();
     let mut cal = Calibrator::new(cfg.scale, cfg.work);
     let classes = assign_classes(n, cfg.seed);
@@ -185,7 +261,6 @@ fn run_qos(cfg: &RunConfig) -> RunOutcome {
         )
         .build();
     let label = format!("{} / {}", cfg.workload.name(), cfg.configuration);
-    let recorder = open_recorder(cfg, &label);
     let mut sched = QosScheduler::with_recorder(system, sched_cfg, recorder);
 
     // Arrival rate keyed to the first benchmark's wall-clock need.
@@ -267,7 +342,7 @@ fn run_qos(cfg: &RunConfig) -> RunOutcome {
         });
     }
 
-    RunOutcome {
+    let outcome = RunOutcome {
         label,
         configuration: cfg.configuration,
         accepted: jobs,
@@ -276,14 +351,18 @@ fn run_qos(cfg: &RunConfig) -> RunOutcome {
         lac_cost: sched.lac().modeled_cost(),
         lac_tests: sched.lac().admission_tests(),
         work: cfg.work,
-    }
+    };
+    (outcome, sched.take_recorder())
 }
 
 /// The non-QoS baseline: no admission control (the first ten arrivals are
 /// taken), default-OS-style round-robin timesharing over all cores, and an
 /// equally partitioned L2 (Table 2's `EqualPart`, mimicking Virtual Private
 /// Caches without an admission controller).
-fn run_equal_part(cfg: &RunConfig) -> RunOutcome {
+fn run_equal_part(
+    cfg: &RunConfig,
+    mut recorder: Box<dyn Recorder>,
+) -> (RunOutcome, Box<dyn Recorder>) {
     let n = cfg.workload.len();
     let mut cal = Calibrator::new(cfg.scale, cfg.work);
     let classes = assign_classes(n, cfg.seed);
@@ -347,7 +426,6 @@ fn run_equal_part(cfg: &RunConfig) -> RunOutcome {
     node.run_to_completion(hard_cap);
 
     let label = format!("{} / EqualPart", cfg.workload.name());
-    let mut recorder = open_recorder(cfg, &label);
     let mut jobs = Vec::with_capacity(n);
     let mut makespan = Cycles::ZERO;
     for p in pending {
@@ -416,7 +494,7 @@ fn run_equal_part(cfg: &RunConfig) -> RunOutcome {
     }
 
     recorder.flush();
-    RunOutcome {
+    let outcome = RunOutcome {
         label,
         configuration: cfg.configuration,
         accepted: jobs,
@@ -425,7 +503,8 @@ fn run_equal_part(cfg: &RunConfig) -> RunOutcome {
         lac_cost: Cycles::ZERO,
         lac_tests: 0,
         work: cfg.work,
-    }
+    };
+    (outcome, recorder)
 }
 
 #[cfg(test)]
@@ -444,6 +523,66 @@ mod tests {
             steal_interval: None,
             events: None,
         }
+    }
+
+    #[test]
+    fn batch_is_identical_to_serial_cell_by_cell() {
+        let cells: Vec<RunConfig> = [
+            Configuration::AllStrict,
+            Configuration::Hybrid1,
+            Configuration::EqualPart,
+        ]
+        .into_iter()
+        .map(|c| {
+            let mut cfg = quick(WorkloadSpec::single("gobmk", 4), c);
+            cfg.work = Instructions::new(40_000);
+            cfg
+        })
+        .collect();
+        let serial: Vec<RunOutcome> = cells.iter().map(run).collect();
+        let parallel = run_batch(cells, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.label, p.label);
+            assert_eq!(s.makespan, p.makespan);
+            assert_eq!(s.submissions, p.submissions);
+            assert_eq!(s.lac_cost, p.lac_cost);
+            assert_eq!(s.accepted.len(), p.accepted.len());
+            for (a, b) in s.accepted.iter().zip(&p.accepted) {
+                assert_eq!(a.slot, b.slot);
+                assert_eq!(a.report.started, b.report.started);
+                assert_eq!(a.report.finished, b.report.finished);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_event_files_match_serial_byte_for_byte() {
+        let dir = std::env::temp_dir();
+        let serial_path = dir.join(format!("cmpqos-batch-serial-{}.jsonl", std::process::id()));
+        let parallel_path = dir.join(format!("cmpqos-batch-par-{}.jsonl", std::process::id()));
+        for p in [&serial_path, &parallel_path] {
+            let _ = std::fs::remove_file(p);
+        }
+        let cells = |path: &std::path::Path| -> Vec<RunConfig> {
+            [Configuration::AllStrict, Configuration::EqualPart]
+                .into_iter()
+                .map(|c| {
+                    let mut cfg = quick(WorkloadSpec::single("gobmk", 3), c);
+                    cfg.work = Instructions::new(30_000);
+                    cfg.events = Some(path.to_path_buf());
+                    cfg
+                })
+                .collect()
+        };
+        let _ = run_batch(cells(&serial_path), 1);
+        let _ = run_batch(cells(&parallel_path), 4);
+        let serial = std::fs::read_to_string(&serial_path).expect("serial events written");
+        let parallel = std::fs::read_to_string(&parallel_path).expect("parallel events written");
+        assert!(!serial.is_empty());
+        assert_eq!(serial, parallel, "--jobs must not change the event file");
+        let _ = std::fs::remove_file(&serial_path);
+        let _ = std::fs::remove_file(&parallel_path);
     }
 
     #[test]

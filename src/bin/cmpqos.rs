@@ -5,6 +5,7 @@
 //! cmpqos solo --bench bzip2 --ways 7 [--scale 8] [--work 800000]
 //! cmpqos run --workload gobmk|mix1|mix2 --config all-strict|hybrid1|hybrid2|autodown|equalpart
 //!            [--scale 8] [--work 800000] [--seed 1] [--json out.json]
+//! cmpqos bench [--jobs N] [--scale 8] [--work 800000] [--seed 1] [--out BENCH.json]
 //! ```
 //!
 //! A thin, dependency-free argument parser over the library API — also the
@@ -39,6 +40,7 @@ fn main() -> ExitCode {
         "list" => cmd_list(),
         "solo" => cmd_solo(&flags),
         "run" => cmd_run(&flags),
+        "bench" => cmd_bench(&flags),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {
@@ -53,9 +55,12 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   cmpqos list
-  cmpqos solo --bench <name> [--ways N] [--scale N] [--work N] [--seed N]
-  cmpqos run  --workload <bench|mix1|mix2> --config <all-strict|hybrid1|hybrid2|autodown|equalpart>
-              [--scale N] [--work N] [--seed N] [--json <path>] [--events <path>]";
+  cmpqos solo  --bench <name> [--ways N] [--scale N] [--work N] [--seed N]
+  cmpqos run   --workload <bench|mix1|mix2> --config <all-strict|hybrid1|hybrid2|autodown|equalpart>
+               [--scale N] [--work N] [--seed N] [--json <path>] [--events <path>]
+  cmpqos bench [--jobs N] [--scale N] [--work N] [--seed N] [--out <path>]
+               (times figure/table cells serial vs parallel plus component
+                micro-benchmarks; writes a schema-versioned BENCH_<git-sha>.json)";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -182,5 +187,70 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         write_json(Path::new(path), &outcome).map_err(|e| e.to_string())?;
         println!("  raw results written to {path}");
     }
+    Ok(())
+}
+
+fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
+    let mut params = cmpqos::experiments::ExperimentParams::from_env();
+    params.scale = get_num(flags, "scale", params.scale)?.max(1);
+    params.work = Instructions::new(get_num(flags, "work", params.work.get())?.max(1_000));
+    params.seed = get_num(flags, "seed", params.seed)?;
+    if let Some(v) = flags.get("jobs") {
+        let n: usize = v
+            .parse()
+            .map_err(|_| format!("--jobs expects a number, got `{v}`"))?;
+        params.jobs = if n == 0 {
+            cmpqos::engine::default_jobs()
+        } else {
+            n
+        };
+    }
+    eprintln!(
+        "benchmarking at scale 1/{}, {} instructions/job, seed {}, {} worker(s)...",
+        params.scale,
+        params.work.get(),
+        params.seed,
+        params.jobs
+    );
+    let report = cmpqos::experiments::bench::run(&params);
+
+    println!(
+        "{:<28} {:>6} {:>12} {:>12} {:>10} {:>9}",
+        "experiment", "cells", "serial (ms)", "wall (ms)", "cells/s", "speedup"
+    );
+    for f in &report.figures {
+        if let Some(e) = &f.error {
+            println!("{:<28} FAILED: {e}", f.name);
+        } else {
+            println!(
+                "{:<28} {:>6} {:>12.1} {:>12.1} {:>10.2} {:>8.2}x",
+                f.name, f.cells, f.serial_ms, f.wall_ms, f.cells_per_sec, f.speedup
+            );
+        }
+    }
+    println!();
+    println!(
+        "{:<36} {:>6} {:>12} {:>14}",
+        "component", "iters", "wall (ms)", "ns/iter"
+    );
+    for c in &report.components {
+        println!(
+            "{:<36} {:>6} {:>12.1} {:>14.0}",
+            c.name, c.iters, c.wall_ms, c.ns_per_iter
+        );
+    }
+    println!(
+        "\noverall speedup at --jobs {}: {:.2}x (git {}, schema v{})",
+        report.jobs,
+        report.overall_speedup(),
+        report.git_sha,
+        report.schema_version
+    );
+
+    let out = flags
+        .get("out")
+        .map_or_else(|| report.default_filename(), std::path::PathBuf::from);
+    write_json(&out, &report).map_err(|e| e.to_string())?;
+    println!("report written to {}", out.display());
     Ok(())
 }

@@ -12,6 +12,7 @@
 pub use cmpqos_cache as cache;
 pub use cmpqos_core as qos;
 pub use cmpqos_cpu as cpu;
+pub use cmpqos_engine as engine;
 pub use cmpqos_experiments as experiments;
 pub use cmpqos_faults as faults;
 pub use cmpqos_mem as mem;
