@@ -18,7 +18,7 @@
 //! a typed [`cmpqos_obs::Event`], so a recorded run fully reconstructs the
 //! chaos.
 
-use crate::lac::{Decision, Lac, LacConfig, RejectReason, Reservation, RevocationAction};
+use crate::lac::{Decision, Lac, LacConfig, LacState, RejectReason, Reservation, RevocationAction};
 use crate::modes::ExecutionMode;
 use crate::target::ResourceRequest;
 use cmpqos_faults::{Fault, Injection};
@@ -28,6 +28,7 @@ use std::fmt;
 
 /// Order in which nodes are probed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ProbePolicy {
     /// Probe nodes in index order (first fit).
     #[default]
@@ -56,6 +57,7 @@ impl std::error::Error for GacError {}
 
 /// A node's health as tracked by the GAC's probe loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum NodeHealth {
     /// Probes are answered; the node is probed first.
     Healthy,
@@ -100,6 +102,7 @@ pub enum ProbeOutcome {
 /// struct is `#[non_exhaustive]`, so fields may be added without breaking
 /// downstream crates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub struct GacConfig {
     /// Retries after a lost probe, per node per submission.
@@ -138,13 +141,13 @@ impl GacConfig {
 
     /// The deterministic backoff delay before retry number `attempt`
     /// (0-based): `backoff_base · backoff_factor^attempt`, saturating.
+    ///
+    /// Computed in closed form (`saturating_pow`), so huge attempt counts
+    /// cap at `u64::MAX` in O(1) instead of iterating `attempt` times.
     #[must_use]
     pub fn backoff_delay(&self, attempt: u32) -> Cycles {
-        let mut delay = self.backoff_base.get();
-        for _ in 0..attempt {
-            delay = delay.saturating_mul(u64::from(self.backoff_factor));
-        }
-        Cycles::new(delay)
+        let factor = u64::from(self.backoff_factor).saturating_pow(attempt);
+        Cycles::new(self.backoff_base.get().saturating_mul(factor))
     }
 }
 
@@ -228,12 +231,49 @@ impl FaultReport {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct NodeState {
     lac: Lac,
     health: NodeHealth,
     consecutive_losses: u32,
     pending_losses: u32,
+}
+
+/// A serializable snapshot of one node as the GAC sees it.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeSnapshot {
+    /// The node's LAC state.
+    pub lac: LacState,
+    /// The node's health.
+    pub health: NodeHealth,
+    /// Consecutive lost probes driving the health state machine.
+    pub consecutive_losses: u32,
+    /// Injected probe losses not yet consumed.
+    pub pending_losses: u32,
+}
+
+/// A complete, serializable snapshot of a [`GlobalAdmissionController`].
+///
+/// Produced by [`GlobalAdmissionController::snapshot`] and consumed by
+/// [`GlobalAdmissionController::restore`]; `cmpqos-recovery` embeds one
+/// in each journal compaction record. Restoring yields a controller whose
+/// every subsequent decision matches the original's.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GacState {
+    /// Per-node LAC states and health, in node order.
+    pub nodes: Vec<NodeSnapshot>,
+    /// The probe policy.
+    pub policy: ProbePolicy,
+    /// Retry/backoff/health configuration.
+    pub config: GacConfig,
+    /// Total submissions seen.
+    pub submissions: u64,
+    /// The placement table (admitted, not yet completed).
+    pub placements: Vec<(JobId, NodeId)>,
+    /// The GAC's clock.
+    pub now: Cycles,
 }
 
 /// The server-level admission controller over a set of per-node LACs.
@@ -256,7 +296,7 @@ struct NodeState {
 /// assert!(decision.is_accepted());
 /// assert_eq!(node, Some(cmpqos_types::NodeId::new(0)));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GlobalAdmissionController {
     nodes: Vec<NodeState>,
     policy: ProbePolicy,
@@ -318,6 +358,52 @@ impl GlobalAdmissionController {
     #[must_use]
     pub fn gac_config(&self) -> GacConfig {
         self.config
+    }
+
+    /// Captures the controller's complete state for journaling.
+    #[must_use]
+    pub fn snapshot(&self) -> GacState {
+        GacState {
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| NodeSnapshot {
+                    lac: n.lac.snapshot(),
+                    health: n.health,
+                    consecutive_losses: n.consecutive_losses,
+                    pending_losses: n.pending_losses,
+                })
+                .collect(),
+            policy: self.policy,
+            config: self.config,
+            submissions: self.submissions,
+            placements: self.placements.clone(),
+            now: self.now,
+        }
+    }
+
+    /// Rebuilds a controller from a [`GlobalAdmissionController::snapshot`].
+    /// The result is indistinguishable from the controller the snapshot was
+    /// taken of.
+    #[must_use]
+    pub fn restore(state: GacState) -> Self {
+        Self {
+            nodes: state
+                .nodes
+                .into_iter()
+                .map(|n| NodeState {
+                    lac: Lac::restore(n.lac),
+                    health: n.health,
+                    consecutive_losses: n.consecutive_losses,
+                    pending_losses: n.pending_losses,
+                })
+                .collect(),
+            policy: state.policy,
+            config: state.config,
+            submissions: state.submissions,
+            placements: state.placements,
+            now: state.now,
+        }
     }
 
     /// Number of nodes (of any health).
@@ -405,6 +491,7 @@ impl GlobalAdmissionController {
     /// any) and the final decision — the genuine last rejection when every
     /// probed LAC rejected, or [`RejectReason::NoHealthyNodes`] when no LAC
     /// answered at all.
+    #[must_use = "dropping the decision loses whether (and where) the job was placed"]
     pub fn submit(
         &mut self,
         id: JobId,
@@ -420,6 +507,7 @@ impl GlobalAdmissionController {
     /// full probe history — `Submitted`, per-probe `Admitted`/`Rejected`,
     /// `ProbeLost`/`ProbeBackoff`, health transitions, and the final
     /// `Placed` — to `recorder`.
+    #[must_use = "dropping the decision loses whether (and where) the job was placed"]
     pub fn submit_recorded(
         &mut self,
         id: JobId,
@@ -520,6 +608,15 @@ impl GlobalAdmissionController {
             }
             Fault::ProbeLoss { count, .. } => {
                 self.nodes[i].pending_losses += count;
+            }
+            Fault::ControllerCrash { .. } => {
+                // The crash destroys the controller process, not the node's
+                // resources or reservations: in-core state is simply gone.
+                // The GAC cannot "lose its own memory" from inside a method
+                // call, so the harness interprets this fault — it drops the
+                // controller and rebuilds it from the write-ahead journal
+                // (`cmpqos-recovery`). Only the FaultInjected event above is
+                // emitted here.
             }
         }
         report
@@ -815,8 +912,8 @@ mod tests {
     fn rejects_when_all_nodes_full() {
         let mut gac =
             GlobalAdmissionController::new(1, LacConfig::default(), ProbePolicy::FirstFit);
-        submit_strict(&mut gac, 0);
-        submit_strict(&mut gac, 1);
+        let _ = submit_strict(&mut gac, 0);
+        let _ = submit_strict(&mut gac, 1);
         let (node, d) = submit_strict(&mut gac, 2);
         assert_eq!(node, None);
         // The genuine LAC rejection, not a fabricated default.
@@ -878,10 +975,38 @@ mod tests {
     }
 
     #[test]
+    fn backoff_saturates_with_a_pinned_capped_sequence() {
+        // base 100 · 2^a overflows u64 at a = 58 (100 ≈ 2^6.6), so the
+        // sequence must walk up to the cap and then stay pinned there —
+        // in O(1) per call even for absurd attempt counts.
+        let cfg = GacConfig::builder()
+            .backoff_base(Cycles::new(100))
+            .backoff_factor(2)
+            .build();
+        assert_eq!(cfg.backoff_delay(57).get(), 100u64 << 57);
+        for attempt in [58, 64, 1_000, u32::MAX - 1, u32::MAX] {
+            assert_eq!(cfg.backoff_delay(attempt).get(), u64::MAX, "{attempt}");
+        }
+        // Degenerate factors stay exact: factor 1 never grows, factor 0
+        // collapses to zero after the first retry (0^0 == 1).
+        let flat = GacConfig::builder()
+            .backoff_base(Cycles::new(500))
+            .backoff_factor(1)
+            .build();
+        assert_eq!(flat.backoff_delay(u32::MAX).get(), 500);
+        let zero = GacConfig::builder()
+            .backoff_base(Cycles::new(500))
+            .backoff_factor(0)
+            .build();
+        assert_eq!(zero.backoff_delay(0).get(), 500);
+        assert_eq!(zero.backoff_delay(7).get(), 0);
+    }
+
+    #[test]
     fn completed_jobs_leave_the_placement_table() {
         let mut gac =
             GlobalAdmissionController::new(1, LacConfig::default(), ProbePolicy::FirstFit);
-        submit_strict(&mut gac, 0);
+        let _ = submit_strict(&mut gac, 0);
         assert_eq!(gac.placements().len(), 1);
         let done = gac.advance(Cycles::new(200));
         assert_eq!(done, vec![(JobId::new(0), NodeId::new(0))]);
@@ -1092,7 +1217,7 @@ mod tests {
         let mut gac =
             GlobalAdmissionController::new(1, LacConfig::default(), ProbePolicy::FirstFit);
         let mut rec = RingBufferRecorder::new(32);
-        submit_strict(&mut gac, 0);
+        let _ = submit_strict(&mut gac, 0);
         let report = gac.inject(
             FaultPlan::new()
                 .node_fault(Cycles::ZERO, NodeId::new(0))

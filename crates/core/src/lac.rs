@@ -30,6 +30,14 @@ pub enum RejectReason {
     CapacityRevoked,
     /// Every node is dead: the global controller had no one left to probe.
     NoHealthyNodes,
+    /// The overload-protection layer shed the request before it reached the
+    /// FCFS admission test (intake queue full, per-source rate limit
+    /// exceeded, or circuit breaker open).
+    ShedOverload,
+    /// The request's deadline slack can no longer fit any feasible timeslot
+    /// (`td − now < duration`), so it was shed in O(1) without scanning the
+    /// reservation table.
+    ShedInfeasible,
 }
 
 impl From<RejectReason> for cmpqos_obs::RejectCause {
@@ -42,6 +50,8 @@ impl From<RejectReason> for cmpqos_obs::RejectCause {
             RejectReason::ExceedsNodeCapacity => cmpqos_obs::RejectCause::ExceedsNodeCapacity,
             RejectReason::CapacityRevoked => cmpqos_obs::RejectCause::CapacityRevoked,
             RejectReason::NoHealthyNodes => cmpqos_obs::RejectCause::NoHealthyNodes,
+            RejectReason::ShedOverload => cmpqos_obs::RejectCause::ShedOverload,
+            RejectReason::ShedInfeasible => cmpqos_obs::RejectCause::ShedInfeasible,
         }
     }
 }
@@ -60,13 +70,24 @@ impl fmt::Display for RejectReason {
                 f.write_str("reservation revoked after the node lost capacity")
             }
             RejectReason::NoHealthyNodes => f.write_str("no healthy node left to probe"),
+            RejectReason::ShedOverload => {
+                f.write_str("shed by overload protection before admission")
+            }
+            RejectReason::ShedInfeasible => {
+                f.write_str("shed: deadline slack fits no feasible timeslot")
+            }
         }
     }
 }
 
 /// The LAC's answer to a submission.
+///
+/// Marked `#[must_use]`: dropping an admission decision silently loses a
+/// job (an accepted reservation nobody starts, or a rejection nobody
+/// reports), so ignoring one is a compile-time warning — and a CI failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[must_use = "an admission decision carries the job's fate; dropping it loses the job"]
 pub enum Decision {
     /// Accepted; resources are reserved from `start` (Opportunistic jobs:
     /// `start` is the submission time, nothing is reserved).
@@ -97,6 +118,7 @@ impl Decision {
 
 /// One reservation in the LAC's timeline (active over `[start, end)`).
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Reservation {
     /// The holding job.
     pub id: JobId,
@@ -152,6 +174,7 @@ pub struct Revocation {
 /// the struct is `#[non_exhaustive]`, so fields may be added without
 /// breaking downstream crates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub struct LacConfig {
     /// Total node capacity (paper: 4 cores + 16 L2 ways).
@@ -222,7 +245,7 @@ const ADMIT_PER_RESERVATION_COST: u64 = 200;
 /// );
 /// assert!(d.is_accepted());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Lac {
     config: LacConfig,
     now: Cycles,
@@ -231,6 +254,32 @@ pub struct Lac {
     accepted: u64,
     rejected: u64,
     modeled_cost: Cycles,
+}
+
+/// A complete, serializable snapshot of a [`Lac`]'s state.
+///
+/// Produced by [`Lac::snapshot`] and consumed by [`Lac::restore`];
+/// `cmpqos-recovery` embeds one in each journal compaction record so a
+/// crashed controller can be rebuilt as snapshot + op replay. The field
+/// set is exhaustive: restoring a snapshot yields a controller whose
+/// every subsequent decision matches the original's.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LacState {
+    /// The configuration (including post-fault shrunken capacity).
+    pub config: LacConfig,
+    /// The controller's clock.
+    pub now: Cycles,
+    /// Live reservations, in FCFS order.
+    pub reservations: Vec<Reservation>,
+    /// Admission tests performed.
+    pub admission_tests: u64,
+    /// Jobs accepted.
+    pub accepted: u64,
+    /// Jobs rejected.
+    pub rejected: u64,
+    /// Modeled CPU cost so far.
+    pub modeled_cost: Cycles,
 }
 
 impl Lac {
@@ -252,6 +301,35 @@ impl Lac {
     #[must_use]
     pub fn capacity(&self) -> ResourceRequest {
         self.config.capacity
+    }
+
+    /// Captures the controller's complete state for journaling.
+    #[must_use]
+    pub fn snapshot(&self) -> LacState {
+        LacState {
+            config: self.config,
+            now: self.now,
+            reservations: self.reservations.clone(),
+            admission_tests: self.admission_tests,
+            accepted: self.accepted,
+            rejected: self.rejected,
+            modeled_cost: self.modeled_cost,
+        }
+    }
+
+    /// Rebuilds a controller from a [`Lac::snapshot`]. The result is
+    /// indistinguishable from the controller the snapshot was taken of.
+    #[must_use]
+    pub fn restore(state: LacState) -> Self {
+        Self {
+            config: state.config,
+            now: state.now,
+            reservations: state.reservations,
+            admission_tests: state.admission_tests,
+            accepted: state.accepted,
+            rejected: state.rejected,
+            modeled_cost: state.modeled_cost,
+        }
     }
 
     /// Advances the controller's clock and purges expired reservations.
@@ -693,8 +771,8 @@ mod tests {
     #[test]
     fn tight_deadline_job_rejected_when_it_cannot_start_in_time() {
         let mut l = lac();
-        strict(&mut l, 0, 100, 1000);
-        strict(&mut l, 1, 100, 1000);
+        let _ = strict(&mut l, 0, 100, 1000);
+        let _ = strict(&mut l, 1, 100, 1000);
         // Needs to start by t=5 to make its deadline, but capacity frees at 100.
         assert_eq!(
             strict(&mut l, 2, 100, 105),
@@ -736,8 +814,8 @@ mod tests {
     #[test]
     fn opportunistic_accepted_while_cores_spare() {
         let mut l = lac();
-        strict(&mut l, 0, 100, 1000);
-        strict(&mut l, 1, 100, 1000);
+        let _ = strict(&mut l, 0, 100, 1000);
+        let _ = strict(&mut l, 1, 100, 1000);
         let d = l.admit(
             JobId::new(2),
             ExecutionMode::Opportunistic,
@@ -760,8 +838,8 @@ mod tests {
         let mut l = Lac::new(LacConfig {
             capacity: ResourceRequest::new(2, Ways::new(16)),
         });
-        strict(&mut l, 0, 100, 1000);
-        strict(&mut l, 1, 100, 1000);
+        let _ = strict(&mut l, 0, 100, 1000);
+        let _ = strict(&mut l, 1, 100, 1000);
         let d = l.admit(
             JobId::new(2),
             ExecutionMode::Opportunistic,
@@ -810,7 +888,7 @@ mod tests {
             capacity: ResourceRequest::new(1, Ways::new(16)),
         });
         // Occupy [400, 500).
-        l.admit(
+        let _ = l.admit(
             JobId::new(0),
             ExecutionMode::Strict,
             ResourceRequest::new(1, Ways::new(7)),
@@ -844,8 +922,8 @@ mod tests {
     #[test]
     fn release_frees_capacity_early() {
         let mut l = lac();
-        strict(&mut l, 0, 100, 1000);
-        strict(&mut l, 1, 100, 1000);
+        let _ = strict(&mut l, 0, 100, 1000);
+        let _ = strict(&mut l, 1, 100, 1000);
         // Job 0 completes at t=40: release lets a new job start at 40.
         l.release(JobId::new(0), Cycles::new(40));
         assert_eq!(
@@ -859,7 +937,7 @@ mod tests {
     #[test]
     fn advance_purges_expired_reservations() {
         let mut l = lac();
-        strict(&mut l, 0, 100, 1000);
+        let _ = strict(&mut l, 0, 100, 1000);
         l.advance(Cycles::new(150));
         assert!(l.reservations().is_empty());
         assert_eq!(l.now(), Cycles::new(150));
@@ -890,9 +968,9 @@ mod tests {
     #[test]
     fn cost_model_grows_with_reservation_count() {
         let mut l = lac();
-        strict(&mut l, 0, 100, 10_000);
+        let _ = strict(&mut l, 0, 100, 10_000);
         let c1 = l.modeled_cost();
-        strict(&mut l, 1, 100, 10_000);
+        let _ = strict(&mut l, 1, 100, 10_000);
         let c2 = l.modeled_cost();
         assert!(c2 - c1 > c1, "second test scans one reservation");
         assert_eq!(l.admission_tests(), 2);
@@ -943,7 +1021,7 @@ mod tests {
                 .capacity(ResourceRequest::new(1, Ways::new(16)))
                 .build(),
         );
-        strict(&mut l, 0, 100, 1000);
+        let _ = strict(&mut l, 0, 100, 1000);
         let mut rec = cmpqos_obs::RingBufferRecorder::new(8);
         let d = l.admit_recorded(
             JobId::new(1),
@@ -986,8 +1064,8 @@ mod tests {
     #[test]
     fn admit_rejects_when_no_slot_frees_before_deadline() {
         let mut l = lac();
-        strict(&mut l, 0, 100, 1000);
-        strict(&mut l, 1, 100, 1000);
+        let _ = strict(&mut l, 0, 100, 1000);
+        let _ = strict(&mut l, 1, 100, 1000);
         let mut rec = cmpqos_obs::RingBufferRecorder::new(8);
         let d = l.admit_recorded(
             JobId::new(2),
@@ -1050,7 +1128,7 @@ mod tests {
                 .build(),
         );
         // One job owns the whole window [0, 500).
-        l.admit(
+        let _ = l.admit(
             JobId::new(0),
             ExecutionMode::Strict,
             ResourceRequest::new(1, Ways::new(7)),
@@ -1096,14 +1174,14 @@ mod tests {
         let mut l = lac();
         // Job 0: Strict, 8 ways. Job 1: Elastic(50%), 8 ways. Job 2:
         // Strict, 7 ways, queued behind them.
-        l.admit(
+        let _ = l.admit(
             JobId::new(0),
             ExecutionMode::Strict,
             ResourceRequest::new(1, Ways::new(8)),
             Cycles::new(100),
             None,
         );
-        l.admit(
+        let _ = l.admit(
             JobId::new(1),
             ExecutionMode::Elastic(cmpqos_types::Percent::new(50.0)),
             ResourceRequest::new(1, Ways::new(8)),
@@ -1135,14 +1213,14 @@ mod tests {
     #[test]
     fn revoke_capacity_downgrades_elastic_within_slack() {
         let mut l = lac();
-        l.admit(
+        let _ = l.admit(
             JobId::new(0),
             ExecutionMode::Strict,
             ResourceRequest::new(1, Ways::new(8)),
             Cycles::new(100),
             None,
         );
-        l.admit(
+        let _ = l.admit(
             JobId::new(1),
             ExecutionMode::Elastic(cmpqos_types::Percent::new(50.0)),
             ResourceRequest::new(1, Ways::new(8)),
@@ -1168,7 +1246,7 @@ mod tests {
     #[test]
     fn readmit_preserves_duration_mode_and_deadline() {
         let mut src = lac();
-        src.admit(
+        let _ = src.admit(
             JobId::new(0),
             ExecutionMode::Strict,
             ResourceRequest::paper_job(),
@@ -1194,7 +1272,7 @@ mod tests {
     #[test]
     fn readmit_rejects_when_the_original_deadline_cannot_be_met() {
         let mut src = lac();
-        src.admit(
+        let _ = src.admit(
             JobId::new(0),
             ExecutionMode::Strict,
             ResourceRequest::paper_job(),
@@ -1214,8 +1292,8 @@ mod tests {
     #[test]
     fn fcfs_no_deadline_job_queues_indefinitely() {
         let mut l = lac();
-        strict(&mut l, 0, 100, 1000);
-        strict(&mut l, 1, 100, 1000);
+        let _ = strict(&mut l, 0, 100, 1000);
+        let _ = strict(&mut l, 1, 100, 1000);
         let d = l.admit(
             JobId::new(2),
             ExecutionMode::Strict,

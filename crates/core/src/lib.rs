@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod gac;
+pub mod intake;
 pub mod lac;
 pub mod modes;
 pub mod scheduler;
@@ -57,11 +58,15 @@ pub mod stealing;
 pub mod target;
 
 pub use gac::{
-    FaultReport, GacConfig, GacConfigBuilder, GacError, GlobalAdmissionController, NodeHealth,
-    ProbeOutcome, ProbePolicy,
+    FaultReport, GacConfig, GacConfigBuilder, GacError, GacState, GlobalAdmissionController,
+    NodeHealth, NodeSnapshot, ProbeOutcome, ProbePolicy,
+};
+pub use intake::{
+    AdmissionIntake, AdmissionRequest, DrainedDecision, IntakeConfig, IntakeConfigBuilder,
+    IntakeOutcome, IntakeStats,
 };
 pub use lac::{
-    Decision, Lac, LacConfig, LacConfigBuilder, RejectReason, Reservation, Revocation,
+    Decision, Lac, LacConfig, LacConfigBuilder, LacState, RejectReason, Reservation, Revocation,
     RevocationAction,
 };
 pub use modes::ExecutionMode;

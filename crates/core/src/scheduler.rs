@@ -1115,11 +1115,11 @@ mod tests {
     #[test]
     fn infeasible_deadline_is_rejected_upfront() {
         let mut s = sched(false);
-        s.submit(
+        let _ = s.submit(
             job(0, ExecutionMode::Strict, WORK, TW, Some(10 * TW)),
             source(0, "gobmk"),
         );
-        s.submit(
+        let _ = s.submit(
             job(1, ExecutionMode::Strict, WORK, TW, Some(10 * TW)),
             source(1, "gobmk"),
         );
@@ -1134,7 +1134,7 @@ mod tests {
     #[test]
     fn opportunistic_jobs_run_on_spare_cores() {
         let mut s = sched(false);
-        s.submit(
+        let _ = s.submit(
             job(0, ExecutionMode::Strict, WORK, TW, Some(10 * TW)),
             source(0, "gobmk"),
         );
@@ -1169,7 +1169,7 @@ mod tests {
             source(0, "gobmk"),
         );
         assert!(d.is_accepted());
-        s.submit(
+        let _ = s.submit(
             job(1, ExecutionMode::Opportunistic, 200_000, TW, None),
             source(1, "bzip2"),
         );
@@ -1212,7 +1212,7 @@ mod tests {
         // Two long strict jobs pin cores (no deadline: not downgraded);
         // the third queues after them.
         for i in 0..3 {
-            s.submit(
+            let _ = s.submit(
                 job(i, ExecutionMode::Strict, 4 * WORK, 3 * TW, None),
                 source(i, "gobmk"),
             );
@@ -1238,11 +1238,11 @@ mod tests {
     #[test]
     fn reports_cover_all_submissions() {
         let mut s = sched(false);
-        s.submit(
+        let _ = s.submit(
             job(0, ExecutionMode::Strict, WORK, TW, Some(10 * TW)),
             source(0, "gobmk"),
         );
-        s.submit(
+        let _ = s.submit(
             job(1, ExecutionMode::Opportunistic, WORK, TW, None),
             source(1, "hmmer"),
         );
@@ -1295,7 +1295,7 @@ mod tests {
     #[test]
     fn partition_targets_track_reservations() {
         let mut s = sched(false);
-        s.submit(
+        let _ = s.submit(
             job(0, ExecutionMode::Strict, 4 * WORK, 4 * TW, None),
             source(0, "gobmk"),
         );

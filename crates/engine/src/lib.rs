@@ -12,7 +12,10 @@
 //! * cells receive no shared mutable state — each cell owns its input and
 //!   produces an owned output;
 //! * a panicking cell is isolated ([`std::panic::catch_unwind`]) and
-//!   reported as a failed cell instead of tearing down the whole run.
+//!   reported as a failed cell instead of tearing down the whole run;
+//! * an optional per-cell watchdog ([`PoolConfig::cell_timeout`]) reports
+//!   a cell that overran its budget as [`CellFailure::TimedOut`] and
+//!   discards its late result.
 //!
 //! The pool is plain `std` (threads + channels + mutex-guarded deques):
 //! the workspace builds offline with no registry dependencies. Cells are
@@ -36,7 +39,7 @@
 
 mod pool;
 
-pub use pool::{CellFailure, Engine};
+pub use pool::{CellFailure, Engine, PoolConfig};
 
 /// The `CMPQOS_JOBS` environment variable read by [`Engine::from_env`] and
 /// the experiment binaries' `--jobs` flag.

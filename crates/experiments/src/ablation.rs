@@ -138,7 +138,7 @@ fn stealing_run(
     let bzip2 = spec::scaled("bzip2", params.scale).expect("built-in");
     let work = params.work;
     let tw = Cycles::new(work.get() * 40);
-    sched.submit(
+    let _ = sched.submit(
         QosJob::elastic(
             JobId::new(0),
             ResourceRequest::paper_job(),
@@ -150,7 +150,7 @@ fn stealing_run(
         .build(),
         Box::new(gobmk.instantiate(params.seed, 1 << 36)),
     );
-    sched.submit(
+    let _ = sched.submit(
         QosJob::opportunistic(JobId::new(1), ResourceRequest::paper_job())
             .work(work)
             .max_wall_clock(tw)

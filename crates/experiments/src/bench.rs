@@ -212,6 +212,13 @@ fn timed_experiments(params: &ExperimentParams) -> Vec<Timed> {
                 }
             }),
         },
+        Timed {
+            name: "overload",
+            cells: crate::overload::RATES.len(),
+            run: Box::new(|p| {
+                let _ = crate::overload::run(p);
+            }),
+        },
     ]
 }
 

@@ -52,6 +52,10 @@ fn main() {
         let rows = lac_overhead::run(&params);
         lac_overhead::print(&rows, &params);
     });
+    timed(&mut times, "overload (shedding)", || {
+        let rows = overload::run(&params);
+        overload::print(&rows, &params);
+    });
     timed(&mut times, "ablations", || {
         ablation::print(&params);
     });

@@ -9,9 +9,15 @@
 //! replays run on the `cmpqos-engine` pool (`--jobs N` / `CMPQOS_JOBS`
 //! wide) and print in seed order regardless of the pool width.
 //!
+//! `--crash-at <cycle>` kills the admission controller mid-run and
+//! recovers it from its write-ahead journal (`cmpqos-recovery`); the
+//! printed survival table is byte-identical to an uncrashed run of the
+//! same seed — CI diffs exactly that.
+//!
 //! ```text
 //! cargo run --release -p cmpqos-experiments --bin chaos -- --seed 1 --events chaos.jsonl
 //! cargo run --release -p cmpqos-experiments --bin chaos -- --seeds 1,2,3,4 --jobs 4
+//! cargo run --release -p cmpqos-experiments --bin chaos -- --seed 1 --crash-at 300000
 //! ```
 use cmpqos_experiments::chaos;
 use cmpqos_obs::Timeline;
@@ -54,7 +60,10 @@ fn verify_roundtrip(outcome: &chaos::ChaosOutcome) {
         outcome.timeline(),
         "JSONL round-trip must reproduce the timeline"
     );
-    println!(
+    // stderr, not stdout: the CI recovery-smoke job diffs a crashed run's
+    // stdout against an uncrashed same-seed run's, and the two event logs
+    // legitimately differ by the crash/recovery marker records.
+    eprintln!(
         "event log: {} records, round-trips through Timeline intact",
         outcome.records.len()
     );

@@ -1,0 +1,9 @@
+//! Sweeps the admission intake across arrival rates and prints the
+//! shed-rate / admission-latency table (see `cmpqos_experiments::overload`).
+use cmpqos_experiments::{overload, ExperimentParams};
+
+fn main() {
+    let params = ExperimentParams::from_env_and_args();
+    let rows = overload::run(&params);
+    overload::print(&rows, &params);
+}

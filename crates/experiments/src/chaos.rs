@@ -19,11 +19,17 @@ use cmpqos_core::gac::FaultReport;
 use cmpqos_core::{
     ExecutionMode, GlobalAdmissionController, LacConfig, ProbePolicy, ResourceRequest,
 };
-use cmpqos_faults::{FaultPlan, FaultSchedule};
+use cmpqos_faults::{Fault, FaultPlan, FaultSchedule};
 use cmpqos_obs::{Event, Record, Recorder, RingBufferRecorder, Timeline};
+use cmpqos_recovery::JournaledGac;
 use cmpqos_types::{Cycles, JobId, NodeId, Percent};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+
+/// Journal compaction interval for the chaos GAC: small enough to exercise
+/// compaction in every standard run, large enough to leave a replayable
+/// tail after the snapshot.
+const COMPACT_EVERY: u64 = 64;
 
 /// Knobs for one chaos run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +48,11 @@ pub struct ChaosParams {
     pub faults: usize,
     /// When set, the run's event stream is appended to this JSONL file.
     pub events: Option<PathBuf>,
+    /// When set, the admission controller crashes at this cycle: its
+    /// in-core state is dropped and rebuilt from the write-ahead journal
+    /// (`cmpqos-recovery`). The surviving run's admission decisions must be
+    /// identical to an uncrashed run of the same seed.
+    pub crash_at: Option<Cycles>,
 }
 
 impl ChaosParams {
@@ -55,12 +66,13 @@ impl ChaosParams {
             seed: 1,
             faults: 6,
             events: None,
+            crash_at: None,
         }
     }
 
     /// [`ChaosParams::standard`] with `CMPQOS_SEED`/`CMPQOS_EVENTS` env
-    /// overrides and `--events <path>`/`--seed <n>` flag overrides
-    /// applied (flags win). Unknown arguments are ignored.
+    /// overrides and `--events <path>`/`--seed <n>`/`--crash-at <cycle>`
+    /// flag overrides applied (flags win). Unknown arguments are ignored.
     #[must_use]
     pub fn from_env_and_args() -> Self {
         let mut p = Self::standard();
@@ -89,6 +101,12 @@ impl ChaosParams {
                 }
             } else if let Some(v) = arg.strip_prefix("--seed=").and_then(|v| v.parse().ok()) {
                 p.seed = v;
+            } else if arg == "--crash-at" {
+                if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                    p.crash_at = Some(Cycles::new(v));
+                }
+            } else if let Some(v) = arg.strip_prefix("--crash-at=").and_then(|v| v.parse().ok()) {
+                p.crash_at = Some(Cycles::new(v));
             }
         }
         p
@@ -105,6 +123,12 @@ impl ChaosParams {
                 Cycles::new(self.horizon.get() / 2),
                 NodeId::new(self.nodes as u32 - 1),
             );
+        }
+        if let Some(at) = self.crash_at {
+            // The crash names node 0 as a stand-in for "the controller
+            // process"; the run loop realizes it by dropping the GAC and
+            // recovering from the journal.
+            plan = plan.controller_crash(at, NodeId::new(0));
         }
         plan.build()
     }
@@ -224,11 +248,16 @@ pub fn run(params: &ChaosParams, mut schedule: FaultSchedule) -> ChaosOutcome {
     );
     // LeastLoaded spreads the stream across every node, so a mid-run node
     // death actually has victims to fail over (FirstFit would pack node 0
-    // and leave the doomed node idle).
-    let mut gac = GlobalAdmissionController::new(
-        params.nodes,
-        LacConfig::default(),
-        ProbePolicy::LeastLoaded,
+    // and leave the doomed node idle). The controller is journaled so a
+    // `--crash-at` injection can drop it and rebuild it from the write-
+    // ahead log mid-run.
+    let mut gac = JournaledGac::new(
+        GlobalAdmissionController::new(
+            params.nodes,
+            LacConfig::default(),
+            ProbePolicy::LeastLoaded,
+        ),
+        COMPACT_EVERY,
     );
     let mut faults = FaultReport::default();
     let mut pending = arrivals(params);
@@ -240,12 +269,38 @@ pub fn run(params: &ChaosParams, mut schedule: FaultSchedule) -> ChaosOutcome {
     let drain_until = Cycles::new(params.horizon.get().saturating_mul(4));
     let mut t = Cycles::ZERO;
     loop {
-        faults.merge(gac.inject_due(&mut schedule, t, &mut rec));
+        for injection in schedule.due(t) {
+            faults.merge(gac.inject(injection, &mut rec));
+            if matches!(injection.fault, Fault::ControllerCrash { .. }) {
+                // The crash kills the controller process: everything but
+                // the serialized journal is gone. Rebuild from it and
+                // carry on — the recovered controller's decisions must be
+                // indistinguishable from the uncrashed run's.
+                let surviving = gac.to_jsonl();
+                drop(gac);
+                let (recovered, report) = JournaledGac::recover(&surviving, COMPACT_EVERY);
+                gac = recovered;
+                rec.record(
+                    injection.at,
+                    Event::ControllerRecovered {
+                        node: injection.fault.node(),
+                        replayed: report.replayed,
+                        lost: report.lost,
+                    },
+                );
+            }
+        }
         // Snapshot reservation ends *before* completions are purged so a
         // finished job's completion instant (and deadline verdict) is its
         // final reservation's own end, not the polling step.
-        for &(id, node) in gac.placements() {
-            if let Some(r) = gac.lac(node).reservations().iter().find(|r| r.id == id) {
+        for &(id, node) in gac.gac().placements() {
+            if let Some(r) = gac
+                .gac()
+                .lac(node)
+                .reservations()
+                .iter()
+                .find(|r| r.id == id)
+            {
                 ends.insert(id, r.end);
             }
         }
@@ -280,7 +335,7 @@ pub fn run(params: &ChaosParams, mut schedule: FaultSchedule) -> ChaosOutcome {
                 },
             );
         }
-        if pending.is_empty() && schedule.is_exhausted() && gac.placements().is_empty() {
+        if pending.is_empty() && schedule.is_exhausted() && gac.gac().placements().is_empty() {
             break;
         }
         if t >= drain_until {
@@ -310,7 +365,7 @@ pub fn run(params: &ChaosParams, mut schedule: FaultSchedule) -> ChaosOutcome {
         fates: fates.into_values().collect(),
         faults,
         records: rec.to_vec(),
-        live_nodes: gac.live_nodes(),
+        live_nodes: gac.gac().live_nodes(),
     };
     if let Some(path) = &params.events {
         append_events(path, &outcome.records);
@@ -475,6 +530,49 @@ mod tests {
         p2.seed = 8;
         let c = run(&p2, p2.schedule());
         assert_ne!(a.records, c.records, "a new seed must change the run");
+    }
+
+    #[test]
+    fn a_mid_run_controller_crash_recovers_byte_identically() {
+        let p = quick();
+        let mut pc = p.clone();
+        pc.crash_at = Some(Cycles::new(p.horizon.get() / 3));
+        let base = run(&p, p.schedule());
+        let crashed = run(&pc, pc.schedule());
+        // The crash actually happened and was recovered from the journal.
+        let recoveries: Vec<_> = crashed
+            .records
+            .iter()
+            .filter_map(|r| match r.event {
+                Event::ControllerRecovered { replayed, lost, .. } => Some((replayed, lost)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(recoveries.len(), 1, "exactly one recovery");
+        assert_eq!(recoveries[0].1, 0, "an untorn journal loses nothing");
+        // Every admission decision, fate, and surviving-node count is
+        // identical to the uncrashed same-seed run …
+        assert_eq!(crashed.fates, base.fates);
+        assert_eq!(crashed.live_nodes, base.live_nodes);
+        assert!(crashed.stranded().is_empty());
+        // … and the event streams differ only by the two crash markers.
+        let strip = |records: &[Record]| {
+            records
+                .iter()
+                .filter(|r| {
+                    !matches!(
+                        r.event,
+                        Event::ControllerRecovered { .. }
+                            | Event::FaultInjected {
+                                fault: cmpqos_obs::FaultKind::ControllerCrash,
+                                ..
+                            }
+                    )
+                })
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&crashed.records), strip(&base.records));
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod fig9;
 pub mod json;
 pub mod lac_overhead;
 pub mod output;
+pub mod overload;
 pub mod params;
 pub mod table1;
 pub mod variance;

@@ -5,8 +5,9 @@
 //! under partial failure. This crate provides the *fault model* the rest of
 //! the stack consumes:
 //!
-//! * [`Fault`] — the four injectable failures: a dead L2 way, a dead core,
-//!   a whole dead node, and lost admission probes.
+//! * [`Fault`] — the five injectable failures: a dead L2 way, a dead core,
+//!   a whole dead node, lost admission probes, and a crashed admission
+//!   controller (recovered from its write-ahead journal).
 //! * [`Injection`] — a fault stamped with the cycle it strikes at.
 //! * [`FaultSchedule`] — a sorted, drainable sequence of injections. The
 //!   simulation loop calls [`FaultSchedule::due`] each step and applies
@@ -31,6 +32,7 @@ use std::fmt;
 
 /// One injectable failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Fault {
     /// One way of a node's shared L2 dies: it must be excluded from
     /// allocation and victim selection, and reservations that no longer fit
@@ -64,6 +66,14 @@ pub enum Fault {
         /// How many consecutive probes are lost.
         count: u32,
     },
+    /// The node's admission controller crashes, losing its in-core
+    /// reservation tables. The fault itself does not touch resources or
+    /// reservations; the harness interprets it by dropping the controller
+    /// and rebuilding it from its write-ahead journal (`cmpqos-recovery`).
+    ControllerCrash {
+        /// The node whose controller crashes.
+        node: NodeId,
+    },
 }
 
 impl Fault {
@@ -74,7 +84,8 @@ impl Fault {
             Fault::WayFault { node, .. }
             | Fault::CoreFault { node, .. }
             | Fault::NodeFault { node }
-            | Fault::ProbeLoss { node, .. } => node,
+            | Fault::ProbeLoss { node, .. }
+            | Fault::ControllerCrash { node } => node,
         }
     }
 
@@ -87,6 +98,7 @@ impl Fault {
             Fault::CoreFault { core, .. } => cmpqos_obs::FaultKind::CoreFault { core },
             Fault::NodeFault { .. } => cmpqos_obs::FaultKind::NodeFault,
             Fault::ProbeLoss { count, .. } => cmpqos_obs::FaultKind::ProbeLoss { count },
+            Fault::ControllerCrash { .. } => cmpqos_obs::FaultKind::ControllerCrash,
         }
     }
 }
@@ -98,12 +110,14 @@ impl fmt::Display for Fault {
             Fault::CoreFault { node, core } => write!(f, "{core} of {node} dies"),
             Fault::NodeFault { node } => write!(f, "{node} dies"),
             Fault::ProbeLoss { node, count } => write!(f, "{count} probe(s) to {node} lost"),
+            Fault::ControllerCrash { node } => write!(f, "controller of {node} crashes"),
         }
     }
 }
 
 /// A [`Fault`] stamped with the cycle it strikes at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Injection {
     /// When the fault strikes.
     pub at: Cycles,
@@ -282,6 +296,12 @@ impl FaultPlan {
     #[must_use]
     pub fn probe_loss(self, at: Cycles, node: NodeId, count: u32) -> Self {
         self.inject(at, Fault::ProbeLoss { node, count })
+    }
+
+    /// Crashes the admission controller of `node` at cycle `at`.
+    #[must_use]
+    pub fn controller_crash(self, at: Cycles, node: NodeId) -> Self {
+        self.inject(at, Fault::ControllerCrash { node })
     }
 
     /// Finishes the plan into a cycle-ordered schedule.

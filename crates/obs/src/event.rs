@@ -33,6 +33,12 @@ pub enum RejectCause {
     CapacityRevoked,
     /// Every node is dead (or unreachable): no LAC could even be probed.
     NoHealthyNodes,
+    /// The overload-protection layer shed the request before admission
+    /// (intake queue full, rate limit exceeded, or circuit breaker open).
+    ShedOverload,
+    /// The request's deadline slack could no longer fit any feasible
+    /// timeslot, so it was shed without consuming an FCFS admission test.
+    ShedInfeasible,
 }
 
 /// The kind of an injected fault, as seen by the observability layer.
@@ -58,6 +64,9 @@ pub enum FaultKind {
         /// How many consecutive probes are lost.
         count: u32,
     },
+    /// The node's admission controller crashed, losing its in-core
+    /// reservation tables (recovered from the write-ahead journal).
+    ControllerCrash,
 }
 
 /// A node's health as tracked by the global admission controller.
@@ -247,6 +256,33 @@ pub enum Event {
         /// Ways removed from its reservation.
         ways_cut: Ways,
     },
+    /// The admission circuit breaker tripped: the reject ratio over the
+    /// sliding decision window crossed the threshold, so intake sheds
+    /// everything until the cooldown elapses.
+    CircuitTripped {
+        /// The node whose intake tripped.
+        node: NodeId,
+        /// Rejections observed in the window that tripped it.
+        rejected: u64,
+        /// The window length the ratio was measured over.
+        window: u64,
+    },
+    /// The admission circuit breaker's cooldown elapsed: intake accepts
+    /// requests again.
+    CircuitRestored {
+        /// The node whose intake recovered.
+        node: NodeId,
+    },
+    /// A crashed admission controller was rebuilt from its write-ahead
+    /// journal (snapshot + replay).
+    ControllerRecovered {
+        /// The node whose controller was recovered.
+        node: NodeId,
+        /// Journal operations replayed on top of the snapshot.
+        replayed: u64,
+        /// Journal records lost to a torn or corrupted tail.
+        lost: u64,
+    },
 }
 
 impl Event {
@@ -274,7 +310,10 @@ impl Event {
             Event::RunStarted { .. }
             | Event::PartitionChanged { .. }
             | Event::FaultInjected { .. }
-            | Event::NodeHealthChanged { .. } => None,
+            | Event::NodeHealthChanged { .. }
+            | Event::CircuitTripped { .. }
+            | Event::CircuitRestored { .. }
+            | Event::ControllerRecovered { .. } => None,
         }
     }
 
@@ -303,6 +342,9 @@ impl Event {
             Event::Migrated { .. } => EventKind::Migrated,
             Event::ReservationRevoked { .. } => EventKind::ReservationRevoked,
             Event::DowngradedUnderFault { .. } => EventKind::DowngradedUnderFault,
+            Event::CircuitTripped { .. } => EventKind::CircuitTripped,
+            Event::CircuitRestored { .. } => EventKind::CircuitRestored,
+            Event::ControllerRecovered { .. } => EventKind::ControllerRecovered,
         }
     }
 }
@@ -354,11 +396,17 @@ pub enum EventKind {
     ReservationRevoked,
     /// See [`Event::DowngradedUnderFault`].
     DowngradedUnderFault,
+    /// See [`Event::CircuitTripped`].
+    CircuitTripped,
+    /// See [`Event::CircuitRestored`].
+    CircuitRestored,
+    /// See [`Event::ControllerRecovered`].
+    ControllerRecovered,
 }
 
 impl EventKind {
     /// Every kind, in declaration order.
-    pub const ALL: [EventKind; 21] = [
+    pub const ALL: [EventKind; 24] = [
         EventKind::RunStarted,
         EventKind::Submitted,
         EventKind::Admitted,
@@ -380,6 +428,9 @@ impl EventKind {
         EventKind::Migrated,
         EventKind::ReservationRevoked,
         EventKind::DowngradedUnderFault,
+        EventKind::CircuitTripped,
+        EventKind::CircuitRestored,
+        EventKind::ControllerRecovered,
     ];
 }
 
@@ -455,7 +506,7 @@ mod tests {
         assert_eq!(e.kind(), EventKind::Started);
         let p = Event::PartitionChanged { targets: vec![] };
         assert_eq!(p.job(), None);
-        assert_eq!(EventKind::ALL.len(), 21);
+        assert_eq!(EventKind::ALL.len(), 24);
     }
 
     #[test]

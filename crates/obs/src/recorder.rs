@@ -140,6 +140,12 @@ pub struct Counters {
     pub reservations_revoked: u64,
     /// Elastic downgrades absorbing a capacity loss.
     pub downgraded_under_fault: u64,
+    /// Admission circuit-breaker trips.
+    pub circuits_tripped: u64,
+    /// Admission circuit-breaker cooldowns elapsed.
+    pub circuits_restored: u64,
+    /// Controllers rebuilt from their write-ahead journals.
+    pub controllers_recovered: u64,
 }
 
 impl Counters {
@@ -173,6 +179,9 @@ impl Counters {
             EventKind::Migrated => self.migrated,
             EventKind::ReservationRevoked => self.reservations_revoked,
             EventKind::DowngradedUnderFault => self.downgraded_under_fault,
+            EventKind::CircuitTripped => self.circuits_tripped,
+            EventKind::CircuitRestored => self.circuits_restored,
+            EventKind::ControllerRecovered => self.controllers_recovered,
         }
     }
 
@@ -205,6 +214,9 @@ impl Counters {
             EventKind::Migrated => &mut self.migrated,
             EventKind::ReservationRevoked => &mut self.reservations_revoked,
             EventKind::DowngradedUnderFault => &mut self.downgraded_under_fault,
+            EventKind::CircuitTripped => &mut self.circuits_tripped,
+            EventKind::CircuitRestored => &mut self.circuits_restored,
+            EventKind::ControllerRecovered => &mut self.controllers_recovered,
         }
     }
 }

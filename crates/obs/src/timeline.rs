@@ -90,6 +90,9 @@ pub struct Timeline {
     partition_changes: Vec<(Cycles, Vec<Ways>)>,
     faults: Vec<(Cycles, NodeId, FaultKind)>,
     health_changes: Vec<(Cycles, NodeId, Health, Health)>,
+    circuit_trips: Vec<(Cycles, NodeId, u64, u64)>,
+    circuit_restores: Vec<(Cycles, NodeId)>,
+    recoveries: Vec<(Cycles, NodeId, u64, u64)>,
 }
 
 impl Timeline {
@@ -183,6 +186,24 @@ impl Timeline {
         &self.health_changes
     }
 
+    /// Circuit-breaker trips, in stream order: `(at, node, rejected, window)`.
+    #[must_use]
+    pub fn circuit_trips(&self) -> &[(Cycles, NodeId, u64, u64)] {
+        &self.circuit_trips
+    }
+
+    /// Circuit-breaker restores, in stream order.
+    #[must_use]
+    pub fn circuit_restores(&self) -> &[(Cycles, NodeId)] {
+        &self.circuit_restores
+    }
+
+    /// Journal recoveries, in stream order: `(at, node, replayed, lost)`.
+    #[must_use]
+    pub fn recoveries(&self) -> &[(Cycles, NodeId, u64, u64)] {
+        &self.recoveries
+    }
+
     fn apply(&mut self, r: &Record) {
         let at = r.at;
         match &r.event {
@@ -199,6 +220,23 @@ impl Timeline {
             }
             Event::NodeHealthChanged { node, from, to } => {
                 self.health_changes.push((at, *node, *from, *to));
+            }
+            Event::CircuitTripped {
+                node,
+                rejected,
+                window,
+            } => {
+                self.circuit_trips.push((at, *node, *rejected, *window));
+            }
+            Event::CircuitRestored { node } => {
+                self.circuit_restores.push((at, *node));
+            }
+            Event::ControllerRecovered {
+                node,
+                replayed,
+                lost,
+            } => {
+                self.recoveries.push((at, *node, *replayed, *lost));
             }
             event => {
                 let Some(id) = event.job() else { return };
@@ -254,7 +292,10 @@ impl Timeline {
                     Event::RunStarted { .. }
                     | Event::PartitionChanged { .. }
                     | Event::FaultInjected { .. }
-                    | Event::NodeHealthChanged { .. } => {}
+                    | Event::NodeHealthChanged { .. }
+                    | Event::CircuitTripped { .. }
+                    | Event::CircuitRestored { .. }
+                    | Event::ControllerRecovered { .. } => {}
                 }
             }
         }

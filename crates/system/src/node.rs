@@ -308,6 +308,7 @@ impl CmpNode {
     }
 
     /// Drains the completion records accumulated since the last call.
+    #[must_use = "dropping drained completions loses the jobs' terminal records"]
     pub fn take_completions(&mut self) -> Vec<TaskCompletion> {
         std::mem::take(&mut self.completions)
     }

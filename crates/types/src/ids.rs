@@ -82,6 +82,13 @@ id_newtype!(
     "node"
 );
 
+id_newtype!(
+    /// Identifies an admission-request source (a tenant, client, or traffic
+    /// class) for per-source rate limiting on the overloaded admission path.
+    SourceId,
+    "source"
+);
+
 impl CoreId {
     /// Iterates over the first `n` core identifiers.
     ///

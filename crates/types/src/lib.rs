@@ -2,7 +2,7 @@
 //!
 //! This crate defines the unit newtypes ([`Cycles`], [`Instructions`],
 //! [`ByteSize`], [`Ways`], [`Percent`]), identifier newtypes ([`CoreId`],
-//! [`JobId`], [`NodeId`]) and small statistics helpers
+//! [`JobId`], [`NodeId`], [`SourceId`]) and small statistics helpers
 //! ([`stats::RunningStats`], [`stats::Histogram`]) used throughout the
 //! simulator and the QoS framework.
 //!
@@ -29,6 +29,6 @@ pub mod ids;
 pub mod stats;
 pub mod units;
 
-pub use ids::{CoreId, JobId, NodeId};
+pub use ids::{CoreId, JobId, NodeId, SourceId};
 pub use stats::{Histogram, RunningStats};
 pub use units::{ByteSize, Cycles, Instructions, Percent, Ways};

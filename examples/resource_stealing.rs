@@ -36,8 +36,12 @@ fn main() {
 
     let gobmk = spec::scaled("gobmk", K).expect("built-in");
     let bzip2 = spec::scaled("bzip2", K).expect("built-in");
-    sched.submit(donor, Box::new(gobmk.instantiate(1, 1 << 40)));
-    sched.submit(recipient, Box::new(bzip2.instantiate(2, 2 << 40)));
+    assert!(sched
+        .submit(donor, Box::new(gobmk.instantiate(1, 1 << 40)))
+        .is_accepted());
+    assert!(sched
+        .submit(recipient, Box::new(bzip2.instantiate(2, 2 << 40)))
+        .is_accepted());
 
     println!("time(Mcyc)  donor ways  stolen  guard miss-increase  cancelled");
     println!("{}", "-".repeat(66));

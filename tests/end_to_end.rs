@@ -79,7 +79,7 @@ fn stealing_never_violates_the_elastic_bound_end_to_end() {
         let mut sched = QosScheduler::new(SystemConfig::paper_scaled(K), cfg);
         let work = Instructions::new(150_000);
         let tw = Cycles::new(work.get() * 30);
-        sched.submit(
+        let donor = sched.submit(
             QosJob::elastic(
                 JobId::new(0),
                 ResourceRequest::paper_job(),
@@ -91,13 +91,15 @@ fn stealing_never_violates_the_elastic_bound_end_to_end() {
             .build(),
             Box::new(spec::scaled(bench, K).unwrap().instantiate(5, 1 << 40)),
         );
-        sched.submit(
+        assert!(donor.is_accepted(), "{bench}: donor admitted");
+        let recipient = sched.submit(
             QosJob::opportunistic(JobId::new(1), ResourceRequest::paper_job())
                 .work(work)
                 .max_wall_clock(tw)
                 .build(),
             Box::new(spec::scaled("mcf", K).unwrap().instantiate(6, 2 << 40)),
         );
+        assert!(recipient.is_accepted(), "{bench}: recipient admitted");
         sched.run_to_idle(tw * 20);
         let r = sched.report(JobId::new(0)).unwrap();
         assert!(r.met_deadline(), "{bench}: deadline");
@@ -143,7 +145,7 @@ fn partition_targets_never_exceed_associativity_during_a_busy_run() {
             ExecutionMode::Opportunistic => builder.build(),
             _ => builder.deadline(tw * 4).build(),
         };
-        sched.submit(
+        let d = sched.submit(
             job,
             Box::new(
                 spec::scaled(bench, K)
@@ -151,6 +153,7 @@ fn partition_targets_never_exceed_associativity_during_a_busy_run() {
                     .instantiate(i as u64, (i as u64 + 1) << 40),
             ),
         );
+        assert!(d.is_accepted(), "{bench} admitted");
     }
     let assoc = 16u16;
     let mut t = Cycles::ZERO;
@@ -174,7 +177,7 @@ fn opportunistic_jobs_benefit_from_elastic_donors() {
         let work = Instructions::new(200_000);
         let tw = Cycles::new(work.get() * 30);
         for i in 0..2u32 {
-            sched.submit(
+            let d = sched.submit(
                 QosJob::with_mode(JobId::new(i), donor_mode, ResourceRequest::paper_job())
                     .work(work)
                     .max_wall_clock(tw)
@@ -186,14 +189,16 @@ fn opportunistic_jobs_benefit_from_elastic_donors() {
                         .instantiate(u64::from(i), (u64::from(i) + 1) << 40),
                 ),
             );
+            assert!(d.is_accepted(), "donor {i} admitted");
         }
-        sched.submit(
+        let d = sched.submit(
             QosJob::opportunistic(JobId::new(9), ResourceRequest::paper_job())
                 .work(work)
                 .max_wall_clock(tw)
                 .build(),
             Box::new(spec::scaled("bzip2", K).unwrap().instantiate(9, 10 << 40)),
         );
+        assert!(d.is_accepted(), "recipient admitted");
         sched.run_to_idle(tw * 20);
         sched
             .report(JobId::new(9))

@@ -46,13 +46,15 @@ fn thousand_job_fcfs_stream_is_consistent() {
 #[test]
 fn release_never_extends_a_reservation() {
     let mut l = lac();
-    l.admit(
-        JobId::new(0),
-        ExecutionMode::Strict,
-        ResourceRequest::paper_job(),
-        Cycles::new(100),
-        None,
-    );
+    assert!(l
+        .admit(
+            JobId::new(0),
+            ExecutionMode::Strict,
+            ResourceRequest::paper_job(),
+            Cycles::new(100),
+            None,
+        )
+        .is_accepted());
     let end_before = l.reservations()[0].end;
     // "Releasing" at a time after the end must not extend it.
     l.release(JobId::new(0), Cycles::new(500));

@@ -5,7 +5,7 @@
 //! configurations, seeds) and the pool width, then compare the serial
 //! (`jobs = 1`) run against the parallel one.
 
-use cmpqos::engine::Engine;
+use cmpqos::engine::{CellFailure, Engine};
 use cmpqos::types::{Instructions, Percent};
 use cmpqos::workloads::runner::{run_batch, RunConfig};
 use cmpqos::workloads::{Configuration, WorkloadSpec};
@@ -113,8 +113,11 @@ fn a_poisoned_cell_fails_alone_without_tearing_down_the_batch() {
     for (i, r) in results.iter().enumerate() {
         if i == 11 {
             let err = r.as_ref().expect_err("cell 11 must fail");
-            assert_eq!(err.index, 11);
-            assert!(err.message.contains("poisoned"), "got: {}", err.message);
+            assert_eq!(err.index(), 11);
+            assert!(
+                matches!(err, CellFailure::Panicked { message, .. } if message.contains("poisoned")),
+                "got: {err}"
+            );
         } else {
             assert_eq!(*r.as_ref().expect("healthy cells complete"), i as u32 * 2);
         }
