@@ -13,6 +13,21 @@
 
 use cmpqos_types::{Percent, Ways};
 
+/// Snapshot of a monitor's cumulative counters.
+///
+/// Used by differential tests to diff the sampled monitor against an
+/// independent full-coverage shadow model: the full model, restricted to
+/// the sampled sets, must reproduce these counts exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShadowCounts {
+    /// Sampled accesses observed (visible to both tag arrays).
+    pub sampled_accesses: u64,
+    /// Cumulative misses at the original (shadow) allocation.
+    pub shadow_misses: u64,
+    /// Cumulative misses at the actual (stolen) allocation.
+    pub main_misses: u64,
+}
+
 /// A duplicate tag array for one monitored job, sampled every `N`-th set.
 ///
 /// # Examples
@@ -141,6 +156,16 @@ impl DuplicateTagMonitor {
     #[must_use]
     pub fn sampled_accesses(&self) -> u64 {
         self.main_accesses
+    }
+
+    /// Snapshot of the cumulative counters, for projection-equality diffs.
+    #[must_use]
+    pub fn counts(&self) -> ShadowCounts {
+        ShadowCounts {
+            sampled_accesses: self.main_accesses,
+            shadow_misses: self.shadow_misses,
+            main_misses: self.main_misses,
+        }
     }
 
     /// Relative increase of main misses over shadow misses

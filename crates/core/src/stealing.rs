@@ -209,6 +209,15 @@ impl StealingController {
         if self.cancelled {
             return StealingAction::Hold;
         }
+        if self.slack.fraction() <= 0.0 {
+            // Elastic(0) tolerates no slowdown at all, and the guard is
+            // reactive — it can only trip *after* extra misses were already
+            // inflicted. The only allocation consistent with X = 0 is to
+            // never start stealing (and never emit a stealing event), which
+            // also makes an X = 0 run byte-identical to one with stealing
+            // disabled.
+            return StealingAction::Hold;
+        }
         if monitor.exceeded(self.slack) {
             self.cancelled = true;
             let returned = self.stolen;
@@ -240,7 +249,8 @@ impl StealingController {
     ) -> StealingAction {
         // A Cancel can only come from the guard, but capture the condition
         // before `decide` mutates state so the attribution stays honest.
-        let guard_trips = !self.cancelled && monitor.exceeded(self.slack);
+        let guard_trips =
+            !self.cancelled && self.slack.fraction() > 0.0 && monitor.exceeded(self.slack);
         let action = self.decide(monitor, bus_utilization);
         if recorder.enabled() {
             match action {
@@ -326,6 +336,33 @@ mod tests {
         assert_eq!(ctl.current_ways(), Ways::new(7));
         // Permanently off.
         assert_eq!(ctl.decide(&quiet, 0.0), StealingAction::Hold);
+    }
+
+    #[test]
+    fn zero_slack_never_steals_and_never_trips() {
+        let mut ctl =
+            StealingController::new(Percent::ZERO, Ways::new(7), StealingConfig::default());
+        let quiet = quiet_monitor();
+        // Even a monitor with main > shadow (which `exceeded(0%)` flags)
+        // must produce no Cancel: with X = 0 nothing was ever stolen, so
+        // there is nothing to return and no event to emit.
+        let noisy = tripped_monitor(0.01);
+        for _ in 0..5 {
+            assert_eq!(ctl.decide(&quiet, 0.0), StealingAction::Hold);
+            assert_eq!(ctl.decide(&noisy, 0.0), StealingAction::Hold);
+        }
+        assert_eq!(ctl.stolen(), Ways::ZERO);
+        assert!(!ctl.is_cancelled());
+
+        // And the recorded variant emits nothing at all.
+        use cmpqos_obs::RingBufferRecorder;
+        use cmpqos_types::{Cycles, JobId};
+        let mut rec = RingBufferRecorder::new(16);
+        assert_eq!(
+            ctl.decide_recorded(&noisy, 0.0, JobId::new(1), Cycles::new(5), &mut rec),
+            StealingAction::Hold
+        );
+        assert!(rec.to_vec().is_empty());
     }
 
     #[test]

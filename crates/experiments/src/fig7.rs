@@ -142,6 +142,26 @@ pub fn render(outcome: &RunOutcome, width: usize) -> String {
     out
 }
 
+/// QoS-relevant structure counts of one trace — what the conformance
+/// suite and tests assert on.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceSummary {
+    /// Jobs that ran downgraded at some point.
+    pub downgrades: usize,
+    /// Jobs that switched back to their original mode mid-run.
+    pub switch_backs: usize,
+}
+
+/// Summarizes [`timeline`]`(outcome)`.
+#[must_use]
+pub fn summarize(outcome: &RunOutcome) -> TraceSummary {
+    let jobs = timeline(outcome);
+    TraceSummary {
+        downgrades: jobs.iter().filter(|j| j.downgraded).count(),
+        switch_backs: jobs.iter().filter(|j| j.switch_back.is_some()).count(),
+    }
+}
+
 /// Prints both traces side by side (stacked).
 pub fn print(result: &Fig7Result, params: &ExperimentParams) {
     banner("Figure 7: execution traces (bzip2 x10)", params);
@@ -163,9 +183,8 @@ mod tests {
     fn autodown_trace_contains_downgraded_jobs_and_finishes_no_later() {
         let p = ExperimentParams::quick();
         let r = run_bench(&p, "gobmk", 8);
-        let t = timeline(&r.autodown);
         assert!(
-            t.iter().any(|j| j.downgraded),
+            summarize(&r.autodown).downgrades > 0,
             "some jobs should auto-downgrade"
         );
         assert!(r.autodown.makespan <= r.strict.makespan);

@@ -1,0 +1,609 @@
+//! The executable conformance suite: every shape verdict of
+//! `EXPERIMENTS.md` as a machine-checked assertion.
+//!
+//! The shape-by-shape table in `EXPERIMENTS.md` records what the paper
+//! reports and what this reproduction measures, row by row. Prose rots;
+//! this module encodes each row's *verdict* — who wins, by roughly what
+//! factor, where the crossovers fall — as an executable check over the
+//! experiment modules' structured results, so a regression that silently
+//! bends a figure's shape fails `cmpqos conform` instead of waiting for a
+//! human to re-read a table.
+//!
+//! Check ids mirror the table rows: `fig1`, `fig3`, `fig4`, `table1`,
+//! `fig5a`, `fig5b`, `fig6`, `fig7`, `fig8a`, `fig8b`, `fig9a`, `fig9b`,
+//! `lac` (§7.5) — plus `guard`, the stealing-guard contract replay
+//! ([`crate::shadow::GuardHarness`]) that the fault-injection mode below
+//! exists to break.
+//!
+//! [`Inject::BrokenGuard`] deliberately mis-calibrates the guard by one
+//! percentage point (controllers run at `X + 1` while the suite still
+//! asserts at `X`): the `guard` check's fine-grained probe must catch it,
+//! proving the suite can actually fail.
+
+use crate::shadow::{off_by_one_probe, GuardHarness, GuardHarnessConfig};
+use cmpqos_experiments::{
+    fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, lac_overhead, table1, ExperimentParams,
+};
+use cmpqos_trace::spec::SensitivityClass;
+use cmpqos_types::Ways;
+use cmpqos_workloads::metrics::{normalized_throughput, paper_hit_rate, wall_clock_by_mode};
+use cmpqos_workloads::Configuration;
+
+/// Deliberate defects the suite must be able to catch (the "does the
+/// alarm ring" half of a conformance suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Inject {
+    /// Nothing injected: all checks must pass.
+    #[default]
+    None,
+    /// Run every stealing guard with `X + 1` percentage points of slack
+    /// while still asserting at `X` — the classic off-by-one in the
+    /// cancellation threshold. The `guard` check's fine-grained probe is
+    /// guaranteed to catch it; the shifted `fig8a` sweep shows the
+    /// system-level drift.
+    BrokenGuard,
+}
+
+/// One check's outcome.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// Stable check id (the `--only` key), mirroring `EXPERIMENTS.md`.
+    pub id: &'static str,
+    /// What the paper-shape assertion is.
+    pub title: &'static str,
+    /// Whether the measured results honoured the shape.
+    pub passed: bool,
+    /// Measured numbers backing the outcome (or the failure reason).
+    pub detail: String,
+}
+
+/// Outcome of a conformance run.
+#[derive(Debug, Clone)]
+pub struct ConformReport {
+    /// One verdict per executed check, in table order.
+    pub verdicts: Vec<Verdict>,
+}
+
+impl ConformReport {
+    /// Whether every executed check passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.verdicts.iter().all(|v| v.passed)
+    }
+
+    /// Renders the verdict table as printable text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for v in &self.verdicts {
+            let mark = if v.passed { "PASS" } else { "FAIL" };
+            out.push_str(&format!(
+                "{mark}  {:7} {}\n      {}\n",
+                v.id, v.title, v.detail
+            ));
+        }
+        let failed = self.verdicts.iter().filter(|v| !v.passed).count();
+        out.push_str(&format!(
+            "{} checks, {} failed\n",
+            self.verdicts.len(),
+            failed
+        ));
+        out
+    }
+}
+
+/// All check ids, in `EXPERIMENTS.md` table order.
+pub const CHECKS: [&str; 14] = [
+    "fig1", "fig3", "fig4", "table1", "fig5a", "fig5b", "fig6", "fig7", "fig8a", "fig8b", "fig9a",
+    "fig9b", "lac", "guard",
+];
+
+fn approx_monotone_nondecreasing(xs: &[f64], tolerance: f64) -> bool {
+    xs.windows(2).all(|w| w[1] >= w[0] - tolerance)
+}
+
+/// Runs the conformance suite.
+///
+/// `only` filters by check id (empty = all); unknown ids are reported as
+/// failed verdicts rather than silently skipped. Expensive experiments
+/// shared by two panels (Figures 5, 8, 9) run once.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run(params: &ExperimentParams, only: &[String], inject: Inject) -> ConformReport {
+    let want = |id: &str| only.is_empty() || only.iter().any(|o| o == id);
+    let mut verdicts = Vec::new();
+    let mut push = |id: &'static str, title: &'static str, passed: bool, detail: String| {
+        verdicts.push(Verdict {
+            id,
+            title,
+            passed,
+            detail,
+        });
+    };
+    for o in only {
+        if !CHECKS.contains(&o.as_str()) {
+            push(
+                "?",
+                "unknown check id",
+                false,
+                format!("no such check: {o}"),
+            );
+        }
+    }
+
+    if want("fig1") {
+        let r = fig1::run(params);
+        let met = r.counts_meeting_target();
+        let ok = met.contains(&1) && met.contains(&2) && !met.contains(&3) && !met.contains(&4);
+        push(
+            "fig1",
+            "equal split meets the 2/3-solo target at 1-2 bzip2 instances, fails at 3-4",
+            ok,
+            format!("target {:.3}, met at {met:?}", r.target),
+        );
+    }
+
+    if want("fig3") {
+        let s = fig3::run();
+        let opp_last_finish = |sc: &fig3::Fig3Scenario| {
+            sc.jobs
+                .iter()
+                .filter(|j| !j.mode.reserves_resources())
+                .map(|j| j.finish)
+                .max()
+        };
+        let strict_total_ok = (2.9..=3.2).contains(&s[0].total_in_t);
+        let opp_helps = s[1].total_in_t < s[0].total_in_t;
+        let stealing_helps_more = s[2].total_in_t < s[1].total_in_t;
+        let opp_faster_with_stealing = match (opp_last_finish(&s[2]), opp_last_finish(&s[1])) {
+            (Some(with), Some(without)) => with < without,
+            _ => false,
+        };
+        push(
+            "fig3",
+            "six Strict = 3T; Opportunistic shortens it; Elastic donors shorten it again",
+            strict_total_ok && opp_helps && stealing_helps_more && opp_faster_with_stealing,
+            format!(
+                "totals {:.2}T -> {:.2}T -> {:.2}T (opportunistic finish earlier with stealing: {opp_faster_with_stealing})",
+                s[0].total_in_t, s[1].total_in_t, s[2].total_in_t
+            ),
+        );
+    }
+
+    if want("fig4") {
+        let points = fig4::run(params);
+        let mut bad = Vec::new();
+        for p in &points {
+            let ok = match p.class {
+                SensitivityClass::HighlySensitive => p.inc_4 >= 0.10,
+                SensitivityClass::ModeratelySensitive => p.inc_1 >= 0.40 && p.inc_4 <= 0.35,
+                SensitivityClass::Insensitive => p.inc_4 <= 0.08 && p.inc_1 <= 0.30,
+            };
+            if !ok {
+                bad.push(format!(
+                    "{} ({:?}: 7->4 {:+.0}%, 7->1 {:+.0}%)",
+                    p.bench,
+                    p.class,
+                    p.inc_4 * 100.0,
+                    p.inc_1 * 100.0
+                ));
+            }
+        }
+        push(
+            "fig4",
+            "the fifteen benchmarks separate into the paper's three sensitivity groups",
+            bad.is_empty(),
+            if bad.is_empty() {
+                format!(
+                    "{} benchmarks, all inside their group envelopes",
+                    points.len()
+                )
+            } else {
+                format!("outside their group envelope: {}", bad.join(", "))
+            },
+        );
+    }
+
+    if want("table1") {
+        let rows = table1::run(params);
+        let mpi = |name: &str| rows.iter().find(|r| r.bench == name).map(|r| r.mpi);
+        let ok = match (mpi("bzip2"), mpi("gobmk"), mpi("hmmer")) {
+            (Some(b), Some(g), Some(h)) => b > g && g > h && h > 0.0,
+            _ => false,
+        } && rows
+            .iter()
+            .all(|r| r.miss_rate > 0.05 && r.miss_rate < 0.60);
+        push(
+            "table1",
+            "MPI ordering bzip2 > gobmk > hmmer with plausible miss rates",
+            ok,
+            rows.iter()
+                .map(|r| format!("{} {:.1}%/{:.4}", r.bench, r.miss_rate * 100.0, r.mpi))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+    }
+
+    let fig5_rows = (want("fig5a") || want("fig5b")).then(|| fig5::run(params));
+    if let Some(rows) = &fig5_rows {
+        if want("fig5a") {
+            let mut bad = Vec::new();
+            for w in rows {
+                for o in &w.outcomes {
+                    let hr = paper_hit_rate(o);
+                    let equal_part = matches!(o.configuration, Configuration::EqualPart);
+                    if equal_part && hr > 0.6 {
+                        bad.push(format!("{} EqualPart hit rate {hr:.2}", w.bench));
+                    }
+                    if !equal_part && hr < 1.0 {
+                        bad.push(format!("{} {} hit rate {hr:.2}", w.bench, o.configuration));
+                    }
+                }
+            }
+            push(
+                "fig5a",
+                "QoS configurations hit 100% of deadlines; EqualPart collapses",
+                bad.is_empty(),
+                if bad.is_empty() {
+                    "QoS 100% everywhere, EqualPart <= 60% everywhere".to_string()
+                } else {
+                    bad.join(", ")
+                },
+            );
+        }
+        if want("fig5b") {
+            // Throughput gains over All-Strict, per workload, in
+            // Configuration::all() order.
+            let gains: Vec<(String, Vec<f64>)> = rows
+                .iter()
+                .map(|w| {
+                    let g = w
+                        .outcomes
+                        .iter()
+                        .map(|o| normalized_throughput(w.baseline(), o) - 1.0)
+                        .collect();
+                    (w.bench.clone(), g)
+                })
+                .collect();
+            let by_bench = |name: &str| gains.iter().find(|(b, _)| b == name).map(|(_, g)| g);
+            let mut ok = true;
+            let mut notes = Vec::new();
+            for (bench, g) in &gains {
+                // [AllStrict, Hybrid1, Hybrid2, AutoDown, EqualPart]
+                let (h1, h2, auto, equal) = (g[1], g[2], g[3], g[4]);
+                if equal <= 0.10 || auto <= 0.10 || h1 <= 0.10 || h2 <= 0.10 {
+                    ok = false;
+                }
+                if (h1 - h2).abs() > 0.10 {
+                    ok = false; // the paper's subtle Hybrid-1 ~ Hybrid-2 finding
+                }
+                notes.push(format!(
+                    "{bench} H1 {h1:+.0}% H2 {h2:+.0}% auto {auto:+.0}% equal {equal:+.0}%",
+                    h1 = h1 * 100.0,
+                    h2 = h2 * 100.0,
+                    auto = auto * 100.0,
+                    equal = equal * 100.0
+                ));
+            }
+            // EqualPart's gain orders by cache-insensitivity.
+            if let (Some(g), Some(h), Some(b)) =
+                (by_bench("gobmk"), by_bench("hmmer"), by_bench("bzip2"))
+            {
+                if !(g[4] > h[4] && h[4] > b[4]) {
+                    ok = false;
+                }
+            } else {
+                ok = false;
+            }
+            push(
+                "fig5b",
+                "EqualPart/AutoDown/Hybrids all beat All-Strict; Hybrid-2 ~ Hybrid-1; EqualPart's gain orders gobmk > hmmer > bzip2",
+                ok,
+                notes.join("; "),
+            );
+        }
+    }
+
+    if want("fig6") {
+        let r = fig6::run(params);
+        // Outcomes in Configuration::all() order.
+        let stats = |i: usize, mode: &str| wall_clock_by_mode(&r.outcomes[i]).get(mode).cloned();
+        let mut ok = true;
+        let mut notes = Vec::new();
+        if let Some(s) = stats(0, "Strict") {
+            let spread = (s.max().unwrap_or(0.0) - s.min().unwrap_or(0.0)) / s.mean();
+            ok &= spread < 0.5;
+            notes.push(format!("Strict spread {:.1}%", spread * 100.0));
+            if let Some(e) = stats(2, "Elastic") {
+                // Slightly longer than Strict, not wildly so.
+                ok &= e.mean() >= s.mean() * 0.95 && e.mean() <= s.mean() * 2.0;
+                notes.push(format!("Elastic/Strict {:.2}", e.mean() / s.mean()));
+            } else {
+                ok = false;
+            }
+            match (stats(1, "Opportunistic"), stats(2, "Opportunistic")) {
+                (Some(o1), Some(o2)) => {
+                    ok &= o1.mean() > s.mean(); // longer and variable
+                    ok &= o2.mean() < o1.mean(); // Hybrid-2's faster (stealing)
+                    notes.push(format!(
+                        "Opp H1 {:.2} vs H2 {:.2} Mcyc",
+                        o1.mean() / 1.0e6,
+                        o2.mean() / 1.0e6
+                    ));
+                }
+                _ => ok = false,
+            }
+            match (stats(3, "Strict"), stats(4, "Strict")) {
+                (Some(auto), Some(equal)) => {
+                    ok &= auto.mean() >= s.mean(); // stretched...
+                    ok &= paper_hit_rate(&r.outcomes[3]) >= 1.0; // ...but within deadlines
+                    ok &= equal.mean() > auto.mean(); // EqualPart worst
+                    notes.push(format!(
+                        "AutoDown {:.2} < EqualPart {:.2} Mcyc",
+                        auto.mean() / 1.0e6,
+                        equal.mean() / 1.0e6
+                    ));
+                }
+                _ => ok = false,
+            }
+        } else {
+            ok = false;
+        }
+        push(
+            "fig6",
+            "per-mode wall-clock candles: Strict tight, Elastic slightly longer, Opportunistic longer (H2 < H1), EqualPart worst",
+            ok,
+            notes.join("; "),
+        );
+    }
+
+    if want("fig7") {
+        let r = fig7::run(params);
+        let auto = fig7::summarize(&r.autodown);
+        let (downgrades, switch_backs) = (auto.downgrades, auto.switch_backs);
+        let ok = r.autodown.makespan < r.strict.makespan
+            && downgrades > 0
+            && switch_backs > 0
+            && fig7::summarize(&r.strict).downgrades == 0;
+        push(
+            "fig7",
+            "AutoDown admits earlier and finishes sooner, with downgraded runs and switch-backs in the trace",
+            ok,
+            format!(
+                "makespan {:.2} -> {:.2} Mcyc, {downgrades} downgrades, {switch_backs} switch-backs",
+                r.strict.makespan.as_f64() / 1.0e6,
+                r.autodown.makespan.as_f64() / 1.0e6
+            ),
+        );
+    }
+
+    let fig8_result = (want("fig8a") || want("fig8b")).then(|| {
+        let slacks: Vec<f64> = match inject {
+            Inject::None => fig8::SLACKS.to_vec(),
+            // The off-by-one: controllers get X + 1 while the assertions
+            // below still hold them to X.
+            Inject::BrokenGuard => fig8::SLACKS.iter().map(|x| x + 1.0).collect(),
+        };
+        fig8::run_bench(params, "bzip2", &slacks)
+    });
+    if let Some(r) = &fig8_result {
+        if want("fig8a") {
+            let misses: Vec<f64> = r.points.iter().map(|p| p.miss_increase).collect();
+            let mut ok = approx_monotone_nondecreasing(&misses, 0.005);
+            let mut notes = Vec::new();
+            // The guard trips at the first *interval boundary* at or past
+            // X, so the end-of-run cumulative increase can overshoot by
+            // the misses of one repartition interval — a small additive
+            // slop at this scale, never a multiple of X.
+            const INTERVAL_SLOP: f64 = 0.03;
+            for (asserted_x, p) in fig8::SLACKS.iter().zip(&r.points) {
+                if p.miss_increase > asserted_x / 100.0 + INTERVAL_SLOP {
+                    ok = false;
+                    notes.push(format!(
+                        "X={asserted_x}%: miss increase +{:.1}% breaks the guard bound",
+                        p.miss_increase * 100.0
+                    ));
+                }
+                // The paper's additive-CPI argument: slowdown tracks
+                // *below* the miss increase (misses are only part of CPI).
+                if p.cpi_increase >= p.miss_increase + 1e-9 {
+                    ok = false;
+                    notes.push(format!(
+                        "X={asserted_x}%: CPI +{:.1}% outruns the miss increase +{:.1}%",
+                        p.cpi_increase * 100.0,
+                        p.miss_increase * 100.0
+                    ));
+                }
+            }
+            // Tracking: the sweep actually spans X (not a flat line), and
+            // donation reaches near the 6-way ceiling.
+            ok &= misses.last().copied().unwrap_or(0.0) > misses.first().copied().unwrap_or(0.0);
+            let peak = r
+                .points
+                .iter()
+                .map(|p| p.ways_stolen)
+                .fold(0.0f64, f64::max);
+            ok &= peak >= 5.0;
+            if notes.is_empty() {
+                notes.push(format!(
+                    "miss increase {} | CPI increase {} | peak donation {peak:.1} ways",
+                    misses
+                        .iter()
+                        .map(|m| format!("{:.1}%", m * 100.0))
+                        .collect::<Vec<_>>()
+                        .join("/"),
+                    r.points
+                        .iter()
+                        .map(|p| format!("{:.1}%", p.cpi_increase * 100.0))
+                        .collect::<Vec<_>>()
+                        .join("/")
+                ));
+            }
+            push(
+                "fig8a",
+                "miss increase tracks X within one interval of slop; CPI increase stays below it",
+                ok,
+                notes.join("; "),
+            );
+        }
+        if want("fig8b") {
+            let wall: Vec<f64> = r.points.iter().map(|p| p.opp_wall_clock).collect();
+            let ok = wall.iter().all(|&w| w <= 1.02)
+                && wall.last() < wall.first()
+                && wall.iter().copied().fold(f64::INFINITY, f64::min) <= 0.97;
+            push(
+                "fig8b",
+                "Opportunistic wall-clock falls as X grows",
+                ok,
+                format!(
+                    "normalized wall-clock {}",
+                    wall.iter()
+                        .map(|w| format!("{w:.3}"))
+                        .collect::<Vec<_>>()
+                        .join("/")
+                ),
+            );
+        }
+    }
+
+    let fig9_mixes = (want("fig9a") || want("fig9b")).then(|| fig9::run(params));
+    if let Some(mixes) = &fig9_mixes {
+        if want("fig9a") {
+            let mut bad = Vec::new();
+            for m in mixes {
+                for o in &m.outcomes {
+                    let hr = paper_hit_rate(o);
+                    let equal_part = matches!(o.configuration, Configuration::EqualPart);
+                    if equal_part && hr > 0.6 {
+                        bad.push(format!("{} EqualPart {hr:.2}", m.name));
+                    }
+                    if !equal_part && hr < 1.0 {
+                        bad.push(format!("{} {} {hr:.2}", m.name, o.configuration));
+                    }
+                }
+            }
+            push(
+                "fig9a",
+                "mixed workloads: QoS 100% deadline hit rate, EqualPart collapses",
+                bad.is_empty(),
+                if bad.is_empty() {
+                    "QoS 100% on both mixes, EqualPart <= 60%".to_string()
+                } else {
+                    bad.join(", ")
+                },
+            );
+        }
+        if want("fig9b") {
+            // gain(mix, config index) over that mix's All-Strict baseline.
+            let gain = |m: &fig9::Fig9Mix, i: usize| {
+                normalized_throughput(&m.outcomes[0], &m.outcomes[i]) - 1.0
+            };
+            let (m1, m2) = (&mixes[0], &mixes[1]);
+            let (h1m1, h1m2) = (gain(m1, 1), gain(m2, 1));
+            let (h2m1, h2m2) = (gain(m1, 2), gain(m2, 2));
+            // The paper's causal claim (and the part `EXPERIMENTS.md`
+            // marks reproduced): moving from Hybrid-1 to Hybrid-2 turns
+            // stealing on, which helps Mix-1 (insensitive gobmk donates
+            // to cache-hungry bzip2) and hurts Mix-2 — leaving Mix-1
+            // ahead under Hybrid-2. Both hybrids beat All-Strict soundly.
+            let ok = h2m1 > h1m1
+                && h2m2 < h1m2
+                && h2m1 > h2m2
+                && [h1m1, h1m2, h2m1, h2m2].iter().all(|&g| g > 0.10);
+            push(
+                "fig9b",
+                "stealing moves Mix-1 up and Mix-2 down, leaving Mix-1 ahead under Hybrid-2",
+                ok,
+                format!(
+                    "H1: Mix-1 {:+.0}% / Mix-2 {:+.0}%; H2: Mix-1 {:+.0}% / Mix-2 {:+.0}%",
+                    h1m1 * 100.0,
+                    h1m2 * 100.0,
+                    h2m1 * 100.0,
+                    h2m2 * 100.0
+                ),
+            );
+        }
+    }
+
+    if want("lac") {
+        let rows = lac_overhead::run(params);
+        let worst = rows.iter().map(|r| r.occupancy).fold(0.0f64, f64::max);
+        push(
+            "lac",
+            "LAC occupancy stays below 1% of wall-clock",
+            !rows.is_empty() && worst < 0.01,
+            format!("worst occupancy {:.2}%", worst * 100.0),
+        );
+    }
+
+    if want("guard") {
+        let bias = match inject {
+            Inject::None => 0.0,
+            Inject::BrokenGuard => 1.0,
+        };
+        let config = GuardHarnessConfig {
+            original_ways: Ways::new(7),
+            blocks_per_set: 7,
+            intervals: 48,
+            slack_bias_pp: bias,
+            ..GuardHarnessConfig::default()
+        };
+        let report = GuardHarness::new(config).run();
+        // The cache-coupled replay catches coarse breakage; the fine-step
+        // ramp pins the exact cancellation threshold, so a one-point
+        // miscalibration cannot slip between interval boundaries.
+        let mut violations = report.violations.clone();
+        violations.extend(off_by_one_probe(
+            GuardHarnessConfig::default().slack_pct,
+            bias,
+        ));
+        push(
+            "guard",
+            "the stealing guard cancels at the first boundary where the declared slack is reached",
+            violations.is_empty() && report.cancelled,
+            if violations.is_empty() {
+                format!(
+                    "cancelled={}, worst uncancelled sampled increase {:.2}% (bound {}%)",
+                    report.cancelled,
+                    report.worst_uncancelled_increase * 100.0,
+                    GuardHarnessConfig::default().slack_pct
+                )
+            } else {
+                violations.join("; ")
+            },
+        );
+    }
+
+    ConformReport { verdicts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn only(ids: &[&str]) -> Vec<String> {
+        ids.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn fig3_and_guard_checks_pass_quickly() {
+        let params = ExperimentParams::quick();
+        let report = run(&params, &only(&["fig3", "guard"]), Inject::None);
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.verdicts.len(), 2);
+    }
+
+    #[test]
+    fn broken_guard_injection_fails_the_guard_check() {
+        let params = ExperimentParams::quick();
+        let report = run(&params, &only(&["guard"]), Inject::BrokenGuard);
+        assert!(!report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn unknown_check_ids_fail_instead_of_skipping() {
+        let params = ExperimentParams::quick();
+        let report = run(&params, &only(&["no-such-figure"]), Inject::None);
+        assert!(!report.passed());
+    }
+}

@@ -1,0 +1,129 @@
+//! Direct additive-CPI evaluation (Luo's model) against measured counters.
+//!
+//! The simulator *measures* CPI by charging cycles per retired instruction;
+//! Luo's model (Section 4.2) *predicts* it from the closed form
+//! `CPI = CPI_L1∞ + h2·t2 + hm·tm`. This module re-derives the prediction
+//! directly from a job's [`PerfCounters`] — base component from the
+//! measured `base_cycles`, `t2`/`tm` from the machine configuration — and
+//! cross-checks it against the measured value. Two checks apply:
+//!
+//! * **Exact decomposition** — the simulator charges every retired cycle
+//!   to exactly one of base / L2-hit stall / memory stall, so
+//!   `cycles = base + l2_stall + mem_stall` must hold to the cycle
+//!   ([`decomposition_error`]).
+//! * **Model agreement** — on an uncontended solo run the closed form and
+//!   the measurement agree closely; the residual comes from the model
+//!   charging `t2` on *all* L2 accesses (misses included) while the
+//!   machine adds queueing delay beyond `tm` on misses. The paper's whole
+//!   stealing-guard argument leans on this additivity, so drift here is a
+//!   correctness signal, not noise.
+
+use cmpqos_cpu::{CpiModel, PerfCounters};
+use cmpqos_system::SystemConfig;
+use cmpqos_types::{Instructions, Ways};
+use cmpqos_workloads::calibrate::solo_run;
+
+/// Cycles unaccounted for by the base + L2-stall + memory-stall
+/// decomposition (`0` when the additive accounting is airtight).
+#[must_use]
+pub fn decomposition_error(perf: &PerfCounters) -> u64 {
+    let accounted = perf.base_cycles() + perf.l2_stall_cycles() + perf.mem_stall_cycles();
+    perf.cycles().get().abs_diff(accounted.get())
+}
+
+/// Outcome of one model-vs-measurement cross-check.
+#[derive(Debug, Clone, Copy)]
+pub struct CpiCrossCheck {
+    /// Closed-form prediction at the measured operating point.
+    pub predicted: f64,
+    /// Measured CPI.
+    pub measured: f64,
+    /// Cycles missed by the additive decomposition.
+    pub decomposition_error: u64,
+}
+
+impl CpiCrossCheck {
+    /// `|predicted − measured| / measured` (`0.0` when nothing retired).
+    #[must_use]
+    pub fn relative_error(&self) -> f64 {
+        if self.measured == 0.0 {
+            0.0
+        } else {
+            (self.predicted - self.measured).abs() / self.measured
+        }
+    }
+
+    /// Whether the model agrees within `tol` (relative) *and* the cycle
+    /// decomposition is exact.
+    #[must_use]
+    pub fn passes(&self, tol: f64) -> bool {
+        self.decomposition_error == 0 && self.relative_error() <= tol
+    }
+}
+
+/// Cross-checks measured counters against the closed form, taking the
+/// base component from the measurement and `t2`/`tm` from `config`.
+#[must_use]
+pub fn cross_check(perf: &PerfCounters, config: &SystemConfig) -> CpiCrossCheck {
+    let instructions = perf.instructions().as_f64().max(1.0);
+    let base = perf.base_cycles().as_f64() / instructions;
+    let model = CpiModel::new(base, config.l2.latency(), config.memory.latency);
+    let (predicted, measured) = model.validate(perf);
+    CpiCrossCheck {
+        predicted,
+        measured,
+        decomposition_error: decomposition_error(perf),
+    }
+}
+
+/// Runs `bench` solo at `ways` on a `k`-scaled paper node and cross-checks
+/// its CPI (the uncontended setting where the model is supposed to hold).
+#[must_use]
+pub fn cross_check_solo(
+    bench: &str,
+    ways: Ways,
+    work: Instructions,
+    k: u64,
+    seed: u64,
+) -> CpiCrossCheck {
+    let stats = solo_run(bench, ways, work, k, seed);
+    cross_check(&stats.perf, &SystemConfig::paper_scaled(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomposition_is_exact_on_solo_runs() {
+        for bench in ["bzip2", "hmmer"] {
+            let stats = solo_run(bench, Ways::new(7), Instructions::new(40_000), 16, 3);
+            assert_eq!(
+                decomposition_error(&stats.perf),
+                0,
+                "{bench}: cycles not fully attributed"
+            );
+        }
+    }
+
+    #[test]
+    fn model_tracks_measurement_solo() {
+        let check = cross_check_solo("bzip2", Ways::new(7), Instructions::new(60_000), 16, 3);
+        assert!(
+            check.passes(0.15),
+            "additive model off by {:.1}% (predicted {:.3}, measured {:.3})",
+            check.relative_error() * 100.0,
+            check.predicted,
+            check.measured
+        );
+    }
+
+    #[test]
+    fn model_residual_is_structural_not_random() {
+        // Same benchmark, two seeds: the prediction error should be stable
+        // (it is the mpi·t2 double-charge minus queueing, not noise).
+        let a = cross_check_solo("gobmk", Ways::new(7), Instructions::new(60_000), 16, 1);
+        let b = cross_check_solo("gobmk", Ways::new(7), Instructions::new(60_000), 16, 9);
+        assert!((a.relative_error() - b.relative_error()).abs() < 0.05);
+    }
+}

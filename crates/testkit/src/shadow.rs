@@ -1,0 +1,424 @@
+//! Full-coverage shadow-tag oracle and the stealing-guard harness.
+//!
+//! The production guard ([`cmpqos_cache::DuplicateTagMonitor`]) samples
+//! every `N`-th set to bound hardware cost. [`FullShadowModel`] keeps
+//! duplicate tags for **every** set, with an independently implemented LRU
+//! (timestamped entries, not an MRU-ordered vector), and supports two
+//! checks:
+//!
+//! 1. **Projection equality** — the full model restricted to the sampled
+//!    sets must reproduce the sampled monitor's counters exactly
+//!    ([`FullShadowModel::projection_matches`]). This is a theorem, not a
+//!    tolerance: both arrays see the same access stream and model the same
+//!    original allocation.
+//! 2. **Estimate fidelity** — on a set-uniform stream the sampled
+//!    miss-increase estimate tracks the full-coverage one closely
+//!    (`EXPERIMENTS.md` ablation: within ~0.3 pp at 1/8 sampling).
+//!
+//! [`GuardHarness`] closes the loop: it replays a synthetic donor access
+//! stream through a simulated main tag array, the sampled monitor, the
+//! full model, **and** the production [`StealingController`], asserting
+//! the Section 4.3 contract — at no interval boundary does the controller
+//! keep stealing while the cumulative miss increase has already reached
+//! the job's slack `X`. The [`GuardHarnessConfig::slack_bias_pp`] knob
+//! builds the controller with an off-by-`bias` slack while still asserting
+//! the honest bound, demonstrating that a broken guard is caught.
+
+use cmpqos_cache::{DuplicateTagMonitor, ShadowCounts};
+use cmpqos_core::{StealingAction, StealingConfig, StealingController};
+use cmpqos_types::{Percent, Ways};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One set of the full-coverage model: LRU entries as `(block, last_used)`
+/// pairs plus per-set counters, so any sampling pattern can be projected
+/// out after the fact.
+#[derive(Debug, Clone, Default)]
+struct FullSet {
+    lines: Vec<(u64, u64)>,
+    accesses: u64,
+    shadow_misses: u64,
+    main_misses: u64,
+}
+
+/// An unsampled duplicate-tag model covering every set.
+#[derive(Debug, Clone)]
+pub struct FullShadowModel {
+    ways: usize,
+    sets: Vec<FullSet>,
+    tick: u64,
+}
+
+impl FullShadowModel {
+    /// A model of `original_ways` per set, for a cache with `sets` sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original_ways` or `sets` is zero.
+    #[must_use]
+    pub fn new(original_ways: Ways, sets: u32) -> Self {
+        assert!(!original_ways.is_zero(), "need at least one way");
+        assert!(sets > 0, "need at least one set");
+        Self {
+            ways: original_ways.as_usize(),
+            sets: vec![FullSet::default(); sets as usize],
+            tick: 0,
+        }
+    }
+
+    /// Feeds one access: set index, block address, and whether the main
+    /// (possibly shrunken) tags hit. Sees every set — no sampling.
+    pub fn observe(&mut self, set: u32, block_addr: u64, main_hit: bool) {
+        self.tick += 1;
+        let s = &mut self.sets[set as usize];
+        s.accesses += 1;
+        if !main_hit {
+            s.main_misses += 1;
+        }
+        if let Some(entry) = s.lines.iter_mut().find(|(b, _)| *b == block_addr) {
+            entry.1 = self.tick;
+            return;
+        }
+        s.shadow_misses += 1;
+        while s.lines.len() >= self.ways {
+            // True LRU: evict the entry with the oldest timestamp.
+            let lru = s
+                .lines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(i, _)| i)
+                .expect("set is non-empty");
+            let _ = s.lines.swap_remove(lru);
+        }
+        s.lines.push((block_addr, self.tick));
+    }
+
+    /// Full-coverage counters over all sets.
+    #[must_use]
+    pub fn counts(&self) -> ShadowCounts {
+        self.project(1)
+    }
+
+    /// Counters restricted to sets that are multiples of `sample_every` —
+    /// exactly the sets a sampled monitor watches.
+    #[must_use]
+    pub fn project(&self, sample_every: u32) -> ShadowCounts {
+        let step = sample_every.max(1);
+        let mut c = ShadowCounts {
+            sampled_accesses: 0,
+            shadow_misses: 0,
+            main_misses: 0,
+        };
+        for (i, s) in self.sets.iter().enumerate() {
+            if (i as u32).is_multiple_of(step) {
+                c.sampled_accesses += s.accesses;
+                c.shadow_misses += s.shadow_misses;
+                c.main_misses += s.main_misses;
+            }
+        }
+        c
+    }
+
+    /// Full-coverage relative miss increase (same convention as
+    /// [`DuplicateTagMonitor::miss_increase`]).
+    #[must_use]
+    pub fn miss_increase(&self) -> f64 {
+        let c = self.counts();
+        if c.shadow_misses == 0 {
+            if c.main_misses == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (c.main_misses as f64 - c.shadow_misses as f64).max(0.0) / c.shadow_misses as f64
+        }
+    }
+
+    /// Checks that this model, restricted to `monitor`'s sampled sets,
+    /// reproduces the monitor's counters exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first differing counter.
+    pub fn projection_matches(&self, monitor: &DuplicateTagMonitor) -> Result<(), String> {
+        let full = self.project(monitor.sample_every());
+        let sampled = monitor.counts();
+        if full == sampled {
+            Ok(())
+        } else {
+            Err(format!(
+                "shadow projection diverged at 1/{} sampling: full-model projection {full:?} \
+                 vs sampled monitor {sampled:?}",
+                monitor.sample_every()
+            ))
+        }
+    }
+}
+
+/// Configuration of one guard-harness replay.
+#[derive(Debug, Clone, Copy)]
+pub struct GuardHarnessConfig {
+    /// Donor's original allocation.
+    pub original_ways: Ways,
+    /// Number of L2 sets.
+    pub sets: u32,
+    /// Sampling period of the production monitor (paper: 8).
+    pub sample_every: u32,
+    /// The Elastic slack `X` being *asserted* (percent).
+    pub slack_pct: f64,
+    /// Bias (percentage points) added to the slack the controller is
+    /// *built* with. `0.0` is an honest guard; `+1.0` reproduces the
+    /// "X off-by-one" broken guard the testkit must catch.
+    pub slack_bias_pp: f64,
+    /// Donor accesses between stealing-interval boundaries.
+    pub accesses_per_interval: u32,
+    /// Interval boundaries to replay.
+    pub intervals: u32,
+    /// Distinct blocks the donor cycles through per set (relative to
+    /// `original_ways`, larger means more capacity-sensitive).
+    pub blocks_per_set: u32,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl Default for GuardHarnessConfig {
+    fn default() -> Self {
+        Self {
+            original_ways: Ways::new(7),
+            sets: 64,
+            sample_every: 8,
+            slack_pct: 5.0,
+            slack_bias_pp: 0.0,
+            accesses_per_interval: 4_096,
+            intervals: 24,
+            blocks_per_set: 8,
+            seed: 1,
+        }
+    }
+}
+
+/// Outcome of one guard-harness replay.
+#[derive(Debug, Clone)]
+pub struct GuardHarnessReport {
+    /// Whether the guard cancelled stealing at some boundary.
+    pub cancelled: bool,
+    /// Donor allocation when the replay ended.
+    pub final_ways: Ways,
+    /// Most ways stolen at once.
+    pub max_stolen: Ways,
+    /// Sampled miss-increase estimate at the end.
+    pub sampled_increase: f64,
+    /// Full-coverage miss increase at the end.
+    pub full_increase: f64,
+    /// Largest sampled miss increase observed at a boundary where the
+    /// controller did **not** cancel (and had not cancelled earlier). An
+    /// honest guard keeps this strictly below the slack.
+    pub worst_uncancelled_increase: f64,
+    /// Violations of the asserted contract (empty for an honest guard).
+    pub violations: Vec<String>,
+}
+
+/// Replays a synthetic donor stream through monitor + full model +
+/// controller and checks the stealing-guard contract.
+#[derive(Debug, Clone)]
+pub struct GuardHarness {
+    config: GuardHarnessConfig,
+}
+
+impl GuardHarness {
+    /// A harness for `config`.
+    #[must_use]
+    pub fn new(config: GuardHarnessConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs the replay and returns the report.
+    ///
+    /// The main tag array is simulated at the donor's *current* allocation
+    /// (shrinking as the controller steals, restored on cancel), the
+    /// monitor and full model at the original allocation; every access is
+    /// visible to all three, mirroring how `CmpNode` feeds its monitors.
+    #[must_use]
+    pub fn run(&self) -> GuardHarnessReport {
+        let cfg = &self.config;
+        let slack = Percent::new(cfg.slack_pct);
+        let built_slack = Percent::new((cfg.slack_pct + cfg.slack_bias_pp).max(0.0));
+        let mut controller =
+            StealingController::new(built_slack, cfg.original_ways, StealingConfig::default());
+        let mut monitor = DuplicateTagMonitor::new(cfg.original_ways, cfg.sets, cfg.sample_every);
+        let mut full = FullShadowModel::new(cfg.original_ways, cfg.sets);
+        // Main tags at the current (possibly shrunken) allocation — an
+        // independent timestamped LRU like the full model's.
+        let mut main = FullShadowModel::new(cfg.original_ways, cfg.sets);
+        let mut main_ways = cfg.original_ways.as_usize();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let mut violations = Vec::new();
+        let mut worst_uncancelled = 0.0_f64;
+
+        for _interval in 0..cfg.intervals {
+            for _ in 0..cfg.accesses_per_interval {
+                let set = rng.gen_range(0..cfg.sets);
+                let block = u64::from(rng.gen_range(0..cfg.blocks_per_set));
+                // Probe + update the main array at its current capacity,
+                // evicting LRU lines first if stealing shrunk the set.
+                main.ways = main_ways;
+                let s = &mut main.sets[set as usize];
+                while s.lines.len() > main_ways {
+                    let lru = s
+                        .lines
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, (_, used))| *used)
+                        .map(|(i, _)| i)
+                        .expect("set is non-empty");
+                    let _ = s.lines.swap_remove(lru);
+                }
+                let before = s.shadow_misses;
+                main.observe(set, block, true);
+                let main_hit = main.sets[set as usize].shadow_misses == before;
+                monitor.observe(set, block, main_hit);
+                full.observe(set, block, main_hit);
+            }
+
+            if let Err(e) = full.projection_matches(&monitor) {
+                violations.push(e);
+            }
+
+            let was_cancelled = controller.is_cancelled();
+            let increase_before = monitor.miss_increase();
+            let action = controller.decide(&monitor, 0.0);
+            match action {
+                StealingAction::StealOne => {
+                    main_ways = controller.current_ways().as_usize();
+                }
+                StealingAction::Cancel { .. } => {
+                    main_ways = cfg.original_ways.as_usize();
+                }
+                StealingAction::Hold => {}
+            }
+            if !was_cancelled && !matches!(action, StealingAction::Cancel { .. }) {
+                worst_uncancelled = worst_uncancelled.max(increase_before);
+            }
+        }
+
+        let bound = slack.fraction();
+        if worst_uncancelled >= bound && monitor.main_misses() > monitor.shadow_misses() {
+            violations.push(format!(
+                "guard kept stealing at a boundary where the sampled miss increase was \
+                 already {:.2}% (bound {:.2}%)",
+                worst_uncancelled * 100.0,
+                bound * 100.0
+            ));
+        }
+
+        GuardHarnessReport {
+            cancelled: controller.is_cancelled(),
+            final_ways: controller.current_ways(),
+            max_stolen: controller.max_stolen(),
+            sampled_increase: monitor.miss_increase(),
+            full_increase: full.miss_increase(),
+            worst_uncancelled_increase: worst_uncancelled,
+            violations,
+        }
+    }
+}
+
+/// Walks a [`StealingController`] through a monitor whose cumulative miss
+/// increase ramps in fine (≤ 0.5 pp) steps and returns every boundary at
+/// which the controller kept stealing although the increase had already
+/// reached `slack_pct` — the exact Section 4.3 cancellation contract.
+///
+/// The controller is built with `slack_pct + bias_pp` while the contract
+/// is asserted at `slack_pct`: with `bias_pp = 0` the walk is clean (the
+/// controller cancels at the first offending boundary); any positive bias
+/// — the classic off-by-one in the threshold comparison — leaves a window
+/// `[X, X + bias)` where the ramp *must* catch it holding.
+#[must_use]
+pub fn off_by_one_probe(slack_pct: f64, bias_pp: f64) -> Vec<String> {
+    let asserted = Percent::new(slack_pct);
+    let mut controller = StealingController::new(
+        Percent::new((slack_pct + bias_pp).max(0.0)),
+        Ways::new(7),
+        StealingConfig::default(),
+    );
+    // Sample every set so the ramp is exact: 200 cold misses in both
+    // arrays (increase 0), then one extra main-only miss per boundary
+    // (shadow hits a resident block) — each step +0.5 pp.
+    let mut monitor = DuplicateTagMonitor::new(Ways::new(7), 8, 1);
+    for b in 0..200u64 {
+        monitor.observe((b % 8) as u32, b, false);
+    }
+    let mut violations = Vec::new();
+    for step in 0..40u64 {
+        // Re-access the most recently inserted block of set 0: a shadow
+        // hit (it is MRU-resident) charged as a main miss.
+        monitor.observe(0, 192, false);
+        let was_cancelled = controller.is_cancelled();
+        let action = controller.decide(&monitor, 0.0);
+        let kept_stealing = !was_cancelled && !matches!(action, StealingAction::Cancel { .. });
+        if kept_stealing && monitor.exceeded(asserted) {
+            violations.push(format!(
+                "boundary {step}: guard held at a cumulative miss increase of {:.2}% \
+                 (declared slack {slack_pct}%)",
+                monitor.miss_increase() * 100.0
+            ));
+        }
+        if controller.is_cancelled() {
+            break;
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_equality_on_random_streams() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..crate::cases(8) {
+            let mut monitor = DuplicateTagMonitor::new(Ways::new(3), 32, 8);
+            let mut full = FullShadowModel::new(Ways::new(3), 32);
+            for _ in 0..2_000 {
+                let set = rng.gen_range(0..32u32);
+                let block = u64::from(rng.gen_range(0..6u32));
+                let main_hit = rng.gen_bool(0.5);
+                monitor.observe(set, block, main_hit);
+                full.observe(set, block, main_hit);
+            }
+            full.projection_matches(&monitor).expect("projection holds");
+            // Full model sees all sets, sampled only 1/8 of them.
+            assert!(full.counts().sampled_accesses > monitor.sampled_accesses());
+        }
+    }
+
+    #[test]
+    fn honest_guard_replay_is_clean() {
+        let report = GuardHarness::new(GuardHarnessConfig::default()).run();
+        assert!(
+            report.violations.is_empty(),
+            "honest guard violated its contract: {:?}",
+            report.violations
+        );
+        assert!(report.worst_uncancelled_increase < 0.05);
+    }
+
+    #[test]
+    fn capacity_pressure_trips_the_honest_guard() {
+        // More blocks than ways per set: shrinking the allocation inflates
+        // misses fast, so the guard must cancel and give everything back.
+        let report = GuardHarness::new(GuardHarnessConfig {
+            blocks_per_set: 7,
+            intervals: 48,
+            ..GuardHarnessConfig::default()
+        })
+        .run();
+        assert!(report.cancelled, "pressure should trip the guard");
+        assert_eq!(report.final_ways, Ways::new(7));
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+}

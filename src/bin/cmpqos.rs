@@ -42,6 +42,8 @@ fn main() -> ExitCode {
         "run" => cmd_run(&flags),
         "bench" => cmd_bench(&flags),
         "recover" => cmd_recover(&flags),
+        "conform" => cmd_conform(&flags),
+        "explore" => cmd_explore(&flags),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {
@@ -64,7 +66,15 @@ usage:
                 micro-benchmarks; writes a schema-versioned BENCH_<git-sha>.json)
   cmpqos recover --journal <path> [--kind gac|lac] [--compact-every N]
                (rebuilds admission state from a write-ahead reservation
-                journal, tolerating a torn or corrupted tail)";
+                journal, tolerating a torn or corrupted tail)
+  cmpqos conform [--scale N] [--work N] [--seed N] [--jobs N]
+               [--only fig1,fig8a,...] [--inject broken-guard]
+               (machine-checks every EXPERIMENTS.md shape verdict;
+                exits nonzero if any check fails)
+  cmpqos explore [--scenarios N] [--seed N] [--kind lac|intake|scheduler|gac|all]
+               (differential explorer: random scenarios diffed against the
+                reference oracles; on divergence prints a shrunken
+                counterexample and a one-line repro, exits nonzero)";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -195,20 +205,7 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
-    let mut params = cmpqos::experiments::ExperimentParams::from_env();
-    params.scale = get_num(flags, "scale", params.scale)?.max(1);
-    params.work = Instructions::new(get_num(flags, "work", params.work.get())?.max(1_000));
-    params.seed = get_num(flags, "seed", params.seed)?;
-    if let Some(v) = flags.get("jobs") {
-        let n: usize = v
-            .parse()
-            .map_err(|_| format!("--jobs expects a number, got `{v}`"))?;
-        params.jobs = if n == 0 {
-            cmpqos::engine::default_jobs()
-        } else {
-            n
-        };
-    }
+    let params = experiment_params(flags)?;
     eprintln!(
         "benchmarking at scale 1/{}, {} instructions/job, seed {}, {} worker(s)...",
         params.scale,
@@ -257,6 +254,91 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     write_json(&out, &report).map_err(|e| e.to_string())?;
     println!("report written to {}", out.display());
     Ok(())
+}
+
+fn experiment_params(
+    flags: &HashMap<String, String>,
+) -> Result<cmpqos::experiments::ExperimentParams, String> {
+    let mut params = cmpqos::experiments::ExperimentParams::from_env();
+    params.scale = get_num(flags, "scale", params.scale)?.max(1);
+    params.work = Instructions::new(get_num(flags, "work", params.work.get())?.max(1_000));
+    params.seed = get_num(flags, "seed", params.seed)?;
+    if let Some(v) = flags.get("jobs") {
+        let n: usize = v
+            .parse()
+            .map_err(|_| format!("--jobs expects a number, got `{v}`"))?;
+        params.jobs = if n == 0 {
+            cmpqos::engine::default_jobs()
+        } else {
+            n
+        };
+    }
+    Ok(params)
+}
+
+fn cmd_conform(flags: &HashMap<String, String>) -> Result<(), String> {
+    use cmpqos::testkit::conform::{self, Inject};
+
+    let params = experiment_params(flags)?;
+    let only: Vec<String> = flags
+        .get("only")
+        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
+        .unwrap_or_default();
+    let inject = match flags.get("inject").map(String::as_str) {
+        None => Inject::None,
+        Some("broken-guard") => Inject::BrokenGuard,
+        Some(other) => {
+            return Err(format!(
+                "unknown --inject `{other}` (expected broken-guard)"
+            ))
+        }
+    };
+    eprintln!(
+        "conformance suite at scale 1/{}, {} instructions/job, seed {}, {} worker(s)...",
+        params.scale,
+        params.work.get(),
+        params.seed,
+        params.jobs
+    );
+    let report = conform::run(&params, &only, inject);
+    print!("{}", report.render());
+    if report.passed() {
+        Ok(())
+    } else {
+        Err("conformance checks failed".into())
+    }
+}
+
+fn cmd_explore(flags: &HashMap<String, String>) -> Result<(), String> {
+    use cmpqos::testkit::scenario::{explore, ScenarioKind};
+
+    let scenarios = get_num(flags, "scenarios", 50)?.max(1) as usize;
+    let seed = get_num(flags, "seed", 1)?;
+    let kinds: Vec<ScenarioKind> = match flags.get("kind").map(String::as_str) {
+        None | Some("all") => ScenarioKind::ALL.to_vec(),
+        Some(k) => vec![ScenarioKind::parse(k).ok_or_else(|| {
+            format!("unknown --kind `{k}` (expected lac|intake|scheduler|gac|all)")
+        })?],
+    };
+    let report = explore(seed, scenarios, &kinds);
+    match report.divergence {
+        None => {
+            println!(
+                "{} scenario(s) explored ({}), no divergences from the reference oracles",
+                report.scenarios_run,
+                kinds
+                    .iter()
+                    .map(|k| k.as_str())
+                    .collect::<Vec<_>>()
+                    .join("+")
+            );
+            Ok(())
+        }
+        Some(d) => {
+            println!("{}", d.render());
+            Err("divergence from the reference oracle".into())
+        }
+    }
 }
 
 fn cmd_recover(flags: &HashMap<String, String>) -> Result<(), String> {

@@ -1,0 +1,54 @@
+//! The executable conformance suite as a library: cheap `--only` subsets
+//! at quick parameters, plus the broken-guard injection that the suite
+//! must catch. The full 14-check run at standard parameters is exercised
+//! by CI's `conform-smoke` job (`cmpqos conform --seed 1`).
+
+use cmpqos::experiments::ExperimentParams;
+use cmpqos::testkit::conform::{self, Inject, CHECKS};
+
+fn only(ids: &[&str]) -> Vec<String> {
+    ids.iter().map(ToString::to_string).collect()
+}
+
+/// Scale-independent checks pass at quick parameters with nothing
+/// injected.
+#[test]
+fn quick_subset_passes_clean() {
+    let params = ExperimentParams::quick();
+    let report = conform::run(&params, &only(&["fig3", "guard"]), Inject::None);
+    assert!(report.passed(), "{}", report.render());
+    assert!(report.render().contains("0 failed"));
+}
+
+/// The X off-by-one injection must fail the guard check — the acceptance
+/// gate for the whole suite: a broken guard cannot conform.
+#[test]
+fn broken_guard_injection_fails_the_suite() {
+    let params = ExperimentParams::quick();
+    let report = conform::run(&params, &only(&["guard"]), Inject::BrokenGuard);
+    assert!(
+        !report.passed(),
+        "broken guard conformed:\n{}",
+        report.render()
+    );
+}
+
+/// A typo'd `--only` id is a failed verdict, not a silent no-op: the
+/// suite never reports success for checks it did not run.
+#[test]
+fn unknown_check_id_fails_rather_than_skips() {
+    let params = ExperimentParams::quick();
+    let report = conform::run(&params, &only(&["fig99"]), Inject::None);
+    assert!(!report.passed());
+}
+
+/// The published check list stays in sync with the verdicts the full run
+/// produces (one verdict per `EXPERIMENTS.md` row).
+#[test]
+fn check_list_is_complete_and_duplicate_free() {
+    assert_eq!(CHECKS.len(), 14);
+    let mut sorted: Vec<_> = CHECKS.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), CHECKS.len(), "duplicate check id");
+}

@@ -1,0 +1,209 @@
+//! Edge-case and property tests for [`AdmissionIntake`]: token-bucket
+//! clamping and refill saturation, plus exact circuit-breaker trip and
+//! restore boundaries.
+
+use cmpqos::obs::NullRecorder;
+use cmpqos::qos::{
+    AdmissionIntake, AdmissionRequest, ExecutionMode, IntakeConfig, IntakeOutcome, Lac, LacConfig,
+    RejectReason, ResourceRequest,
+};
+use cmpqos::types::{Cycles, JobId, NodeId, SourceId};
+use proptest::prelude::*;
+
+fn req(id: u32, source: u32, tw: u64, deadline: Option<u64>) -> AdmissionRequest {
+    AdmissionRequest {
+        id: JobId::new(id),
+        source: SourceId::new(source),
+        mode: ExecutionMode::Strict,
+        request: ResourceRequest::paper_job(),
+        tw: Cycles::new(tw),
+        deadline: deadline.map(Cycles::new),
+    }
+}
+
+fn intake(config: IntakeConfig) -> AdmissionIntake {
+    AdmissionIntake::new(NodeId::new(0), config)
+}
+
+/// A zero-token bucket would shed everything forever; the intake clamps
+/// the capacity to one token so each source still trickles through at the
+/// refill rate.
+#[test]
+fn zero_capacity_bucket_clamps_to_one_token() {
+    let config = IntakeConfig::builder()
+        .bucket_capacity(0)
+        .refill_interval(Cycles::new(100))
+        .queue_capacity(16)
+        .build();
+    let mut i = intake(config);
+    let now = Cycles::new(0);
+    assert!(i
+        .offer(req(0, 7, 50, None), now, &mut NullRecorder)
+        .is_enqueued());
+    assert_eq!(
+        i.offer(req(1, 7, 50, None), now, &mut NullRecorder),
+        IntakeOutcome::Shed(RejectReason::ShedOverload),
+        "clamped bucket must hold exactly one token"
+    );
+    assert_eq!(i.stats().shed_rate_limited, 1);
+    // One full interval later a single token is back — and only one.
+    let later = Cycles::new(100);
+    assert!(i
+        .offer(req(2, 7, 50, None), later, &mut NullRecorder)
+        .is_enqueued());
+    assert_eq!(
+        i.offer(req(3, 7, 50, None), later, &mut NullRecorder),
+        IntakeOutcome::Shed(RejectReason::ShedOverload)
+    );
+}
+
+/// However long a source stays quiet, refills saturate at the bucket
+/// capacity: an idle epoch never banks a burst larger than `cap`.
+#[test]
+fn refill_saturates_at_bucket_capacity() {
+    let config = IntakeConfig::builder()
+        .bucket_capacity(3)
+        .refill_interval(Cycles::new(10))
+        .queue_capacity(64)
+        .build();
+    let mut i = intake(config);
+    for id in 0..3 {
+        assert!(i
+            .offer(req(id, 1, 50, None), Cycles::new(0), &mut NullRecorder)
+            .is_enqueued());
+    }
+    assert_eq!(
+        i.offer(req(3, 1, 50, None), Cycles::new(0), &mut NullRecorder),
+        IntakeOutcome::Shed(RejectReason::ShedOverload)
+    );
+    // ~100k elapsed intervals still refill to exactly 3 tokens.
+    let later = Cycles::new(1_000_000);
+    for id in 10..13 {
+        assert!(i
+            .offer(req(id, 1, 50, None), later, &mut NullRecorder)
+            .is_enqueued());
+    }
+    assert_eq!(
+        i.offer(req(13, 1, 50, None), later, &mut NullRecorder),
+        IntakeOutcome::Shed(RejectReason::ShedOverload)
+    );
+}
+
+proptest! {
+    /// Token-bucket property: after draining the bucket dry, a quiet gap
+    /// of `g` cycles buys back exactly `min(cap, g / interval)` tokens.
+    #[test]
+    fn quiet_gap_buys_back_exactly_the_refilled_tokens(
+        cap in 1u32..6,
+        interval in 1u64..50,
+        gap in 0u64..10_000,
+    ) {
+        let config = IntakeConfig::builder()
+            .bucket_capacity(cap)
+            .refill_interval(Cycles::new(interval))
+            .queue_capacity(4_096)
+            .build();
+        let mut i = intake(config);
+        let mut id = 0u32;
+        let mut offer = |i: &mut AdmissionIntake, now: u64| {
+            id += 1;
+            i.offer(req(id, 0, 50, None), Cycles::new(now), &mut NullRecorder)
+                .is_enqueued()
+        };
+        // Drain the initially-full bucket.
+        for _ in 0..cap {
+            prop_assert!(offer(&mut i, 0));
+        }
+        prop_assert!(!offer(&mut i, 0));
+        // After the gap, exactly min(cap, gap / interval) offers pass.
+        let refilled = (gap / interval).min(u64::from(cap));
+        let at = gap;
+        for k in 0..refilled {
+            prop_assert!(offer(&mut i, at), "token {k} of {refilled} missing");
+        }
+        prop_assert!(!offer(&mut i, at), "bucket over-refilled past {refilled}");
+    }
+}
+
+/// Builds an intake whose breaker trips iff `rejects` of `window`
+/// drained decisions are rejections, then feeds it `accepts` feasible and
+/// `rejects` stale-deadline requests and drains once.
+fn drive_breaker(window: usize, threshold_pct: u32, rejects: usize) -> (AdmissionIntake, Cycles) {
+    let config = IntakeConfig::builder()
+        .breaker_window(window)
+        .breaker_threshold_pct(threshold_pct)
+        .breaker_cooldown(Cycles::new(1_000))
+        .queue_capacity(64)
+        .bucket_capacity(u32::try_from(window).expect("small window"))
+        .build();
+    let mut i = intake(config);
+    let mut lac = Lac::new(LacConfig::default());
+    let accepts = window - rejects;
+    // Feasible at offer time (deadline 10_000), still feasible at drain.
+    for id in 0..accepts {
+        let id = u32::try_from(id).expect("small window");
+        assert!(i
+            .offer(
+                req(id, id, 100, Some(10_000)),
+                Cycles::new(0),
+                &mut NullRecorder
+            )
+            .is_enqueued());
+    }
+    // Feasible at offer time (now 0 + 100 <= 150), stale by drain time.
+    for id in 0..rejects {
+        let id = 100 + u32::try_from(id).expect("small window");
+        assert!(i
+            .offer(
+                req(id, id, 100, Some(150)),
+                Cycles::new(0),
+                &mut NullRecorder
+            )
+            .is_enqueued());
+    }
+    let drain_at = Cycles::new(200);
+    let drained = i.drain(&mut lac, drain_at, &mut NullRecorder);
+    assert_eq!(drained.len(), window);
+    (i, drain_at)
+}
+
+/// The breaker trips at *exactly* the threshold (`rejects * 100 >= pct *
+/// window`), not one rejection later.
+#[test]
+fn breaker_trips_at_exactly_the_threshold() {
+    // 2 rejects of 4 at 50%: 200 >= 200 — trips on the boundary.
+    let (i, now) = drive_breaker(4, 50, 2);
+    assert_eq!(i.stats().breaker_trips, 1);
+    assert!(i.breaker_open(now));
+    // Same mix at 51%: 200 < 204 — must NOT trip.
+    let (i, now) = drive_breaker(4, 51, 2);
+    assert_eq!(i.stats().breaker_trips, 0);
+    assert!(!i.breaker_open(now));
+    // 1 reject of 4 at 50%: 100 < 200 — below the boundary.
+    let (i, now) = drive_breaker(4, 50, 1);
+    assert_eq!(i.stats().breaker_trips, 0);
+    assert!(!i.breaker_open(now));
+}
+
+/// An open breaker sheds up to the last cycle of its cooldown and
+/// restores at *exactly* `trip + cooldown`: `now < until` is open,
+/// `now == until` is closed.
+#[test]
+fn breaker_restores_at_exactly_cooldown_expiry() {
+    let (mut i, tripped_at) = drive_breaker(4, 50, 2);
+    assert!(i.breaker_open(tripped_at));
+    let until = tripped_at + Cycles::new(1_000);
+    let last_open = Cycles::new(until.get() - 1);
+    assert!(i.breaker_open(last_open));
+    assert_eq!(
+        i.offer(req(900, 50, 100, None), last_open, &mut NullRecorder),
+        IntakeOutcome::Shed(RejectReason::ShedOverload)
+    );
+    assert_eq!(i.stats().shed_breaker, 1);
+    // At exactly `until` the breaker is closed and offers flow again.
+    assert!(!i.breaker_open(until));
+    assert!(i
+        .offer(req(901, 51, 100, None), until, &mut NullRecorder)
+        .is_enqueued());
+    assert_eq!(i.stats().shed_breaker, 1, "no shed after restore");
+}

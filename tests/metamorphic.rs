@@ -1,0 +1,41 @@
+//! Metamorphic relations over whole admission/scheduling runs: transformed
+//! inputs whose outputs must relate to the original in a known way, with
+//! no oracle needed.
+//!
+//! Scale the seed counts with `CMPQOS_TESTKIT_CASES` (see
+//! `tests/README.md`).
+
+use cmpqos::testkit::{cases, metamorphic};
+
+/// Inserting an Opportunistic admission anywhere in a Strict/Elastic
+/// stream never flips any other decision and leaves the reservation table
+/// untouched: Opportunistic jobs reserve nothing.
+#[test]
+fn opportunistic_insertion_never_flips_a_decision() {
+    for seed in 0..cases(16) as u64 {
+        metamorphic::opportunistic_insertion_is_invisible(0x0BB5 + seed)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+/// Multiplying every duration, deadline, and clock advance by the same
+/// factor preserves the accept/reject set, scales accepted start slots by
+/// exactly that factor, and preserves rejection reasons.
+#[test]
+fn uniform_time_scaling_preserves_the_accept_set() {
+    for seed in 0..cases(16) as u64 {
+        metamorphic::uniform_scaling_preserves_decisions(0x5CA1E + seed)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+/// A full scheduler run with stealing enabled at `X = 0` produces a
+/// byte-identical event stream and identical job reports to the same run
+/// with stealing disabled: zero slack means the guard must never donate.
+#[test]
+fn stealing_at_zero_slack_is_byte_identical_to_disabled() {
+    for seed in 0..cases(2) as u64 {
+        metamorphic::zero_slack_stealing_matches_disabled(0x2E20 + seed)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Differential tests: the production admission stack against the
+//! testkit's brute-force reference oracles.
+//!
+//! Scale the explorer with `CMPQOS_TESTKIT_CASES` (see `tests/README.md`);
+//! any divergence prints a shrunken counterexample and a one-line repro
+//! command (`cmpqos explore --kind ... --seed ... --scenarios 1`).
+
+use cmpqos::qos::{Decision, ExecutionMode, Lac, LacConfig, ResourceRequest, RevocationAction};
+use cmpqos::testkit::oracle::{OracleLac, OracleRevocation};
+use cmpqos::testkit::scenario::{self, ScenarioKind};
+use cmpqos::testkit::shadow::{self, GuardHarness, GuardHarnessConfig};
+use cmpqos::types::{Cycles, JobId, Percent, Ways};
+
+/// Seeded random scenarios of every kind, diffed against the oracles.
+/// `run_lac`/`run_intake` additionally re-check the full reservation table
+/// and the no-overbooking invariant after every operation.
+#[test]
+fn explorer_finds_no_divergences_in_any_scenario_kind() {
+    for (kind, default, base_seed) in [
+        (ScenarioKind::Lac, 12, 0xA11),
+        (ScenarioKind::Intake, 12, 0xB22),
+        (ScenarioKind::Scheduler, 3, 0xC33),
+        (ScenarioKind::Gac, 6, 0xD44),
+    ] {
+        let n = cmpqos::testkit::cases(default);
+        let report = scenario::explore(base_seed, n, &[kind]);
+        assert_eq!(report.scenarios_run, n, "{kind:?} stopped early");
+        if let Some(d) = report.divergence {
+            panic!("{kind:?} diverged:\n{}", d.render());
+        }
+    }
+}
+
+fn supply(cores: u32, ways: u16) -> ResourceRequest {
+    ResourceRequest::new(cores, Ways::new(ways)).with_bandwidth(100)
+}
+
+/// Admits a fixed mixed-mode job set into both controllers.
+fn admitted_pair() -> (Lac, OracleLac) {
+    let config = LacConfig::default();
+    let mut lac = Lac::new(config);
+    let mut oracle = OracleLac::new(config.capacity);
+    let jobs: &[(u32, ExecutionMode, u32, u16, u64)] = &[
+        (0, ExecutionMode::Strict, 2, 8, 400),
+        (1, ExecutionMode::Elastic(Percent::new(25.0)), 1, 6, 300),
+        (2, ExecutionMode::Strict, 1, 4, 500),
+        (3, ExecutionMode::Elastic(Percent::new(50.0)), 2, 10, 250),
+        (4, ExecutionMode::Opportunistic, 1, 2, 200),
+        (5, ExecutionMode::Elastic(Percent::new(100.0)), 1, 12, 350),
+        (6, ExecutionMode::Strict, 3, 14, 450),
+    ];
+    for &(id, mode, cores, ways, tw) in jobs {
+        let request = supply(cores, ways);
+        let deadline = Some(Cycles::new(10_000 + u64::from(id) * 500));
+        let got = lac.admit(JobId::new(id), mode, request, Cycles::new(tw), deadline);
+        let want = oracle.admit(JobId::new(id), mode, request, Cycles::new(tw), deadline);
+        assert_eq!(got, want, "admit(job {id}) disagreed before any revocation");
+    }
+    (lac, oracle)
+}
+
+/// `Lac::revoke_capacity` + `readmit` pinned against the oracle under
+/// every order of a shrink/regrow capacity sequence: identical
+/// keep/downgrade/evict verdicts, identical FCFS re-placement decisions,
+/// identical reservation tables, and a never-overbooked timeline.
+#[test]
+fn revocation_and_readmission_match_the_oracle_in_any_order() {
+    let levels = [(3u32, 12u16), (2, 8), (1, 4)];
+    let orders: [[usize; 3]; 6] = [
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ];
+    for order in orders {
+        let (mut lac, mut oracle) = admitted_pair();
+        let mut now = Cycles::ZERO;
+        for (step, &slot) in order.iter().enumerate() {
+            let (cores, ways) = levels[slot];
+            now += Cycles::new(50);
+            let got = lac.revoke_capacity(supply(cores, ways), now);
+            let want = oracle.revoke_capacity(supply(cores, ways), now);
+            assert_eq!(
+                got.len(),
+                want.len(),
+                "order {order:?} step {step}: revocation counts differ"
+            );
+            let mut evicted = Vec::new();
+            for (g, (wid, w)) in got.iter().zip(&want) {
+                assert_eq!(
+                    g.id, *wid,
+                    "order {order:?} step {step}: FCFS order differs"
+                );
+                assert_eq!(
+                    OracleRevocation::of(&g.action),
+                    *w,
+                    "order {order:?} step {step}: job {:?} verdict differs",
+                    g.id
+                );
+                if let RevocationAction::Evicted { reservation, .. } = g.action {
+                    evicted.push(reservation);
+                }
+            }
+            for r in &evicted {
+                let got: Decision = lac.readmit(r);
+                let want = oracle.readmit(r);
+                assert_eq!(
+                    got, want,
+                    "order {order:?} step {step}: readmit({:?}) disagreed",
+                    r.id
+                );
+            }
+            oracle
+                .table_matches(&lac)
+                .unwrap_or_else(|e| panic!("order {order:?} step {step}: {e}"));
+            assert_eq!(
+                oracle.first_overbooked_instant(),
+                None,
+                "order {order:?} step {step}: timeline overbooked"
+            );
+        }
+    }
+}
+
+/// The intentionally-broken guard (built at `X + 1` percentage points,
+/// asserted at `X`) is caught by the fine-grained off-by-one probe, while
+/// the honest guard passes both the probe and the full replay harness.
+#[test]
+fn off_by_one_guard_is_caught_and_honest_guard_is_clean() {
+    assert!(
+        shadow::off_by_one_probe(5.0, 0.0).is_empty(),
+        "honest guard flagged by the off-by-one probe"
+    );
+    let violations = shadow::off_by_one_probe(5.0, 1.0);
+    assert!(
+        !violations.is_empty(),
+        "X off-by-one guard escaped the probe"
+    );
+
+    let honest = GuardHarness::new(GuardHarnessConfig::default()).run();
+    assert!(honest.violations.is_empty(), "{:?}", honest.violations);
+    assert!(
+        honest.cancelled,
+        "honest guard never cancelled under pressure"
+    );
+}
