@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use cmpqos_cache::{CacheConfig, DuplicateTagMonitor, L1Cache, PartitionPolicy, SharedL2};
-use cmpqos_core::{ExecutionMode, Lac, LacConfig, ResourceRequest};
+use cmpqos_core::{AdmissionRequest, Lac, LacConfig, ResourceRequest};
 use cmpqos_system::{CmpNode, Placement, SystemConfig, TaskSpec};
 use cmpqos_trace::{spec, TraceSource};
 use cmpqos_types::{CoreId, Cycles, Instructions, JobId, Ways};
@@ -91,23 +91,25 @@ fn bench_lac(c: &mut Criterion) {
                 let mut lac = Lac::new(LacConfig::default());
                 for i in 0..n {
                     let _ = lac.admit(
-                        JobId::new(i as u32),
-                        ExecutionMode::Strict,
-                        ResourceRequest::new(1, Ways::new(1)),
-                        Cycles::new(1_000_000),
-                        None,
+                        &AdmissionRequest::builder(
+                            JobId::new(i as u32),
+                            ResourceRequest::new(1, Ways::new(1)),
+                            Cycles::new(1_000_000),
+                        )
+                        .build(),
                     );
                 }
                 let mut next = n as u32;
                 b.iter(|| {
                     next += 1;
-                    let d = lac.admit(
+                    let req = AdmissionRequest::builder(
                         JobId::new(next),
-                        ExecutionMode::Strict,
                         ResourceRequest::paper_job(),
                         Cycles::new(100),
-                        Some(Cycles::new(150)),
-                    );
+                    )
+                    .deadline(Cycles::new(150))
+                    .build();
+                    let d = lac.admit(&req);
                     lac.cancel(JobId::new(next));
                     black_box(d)
                 });

@@ -20,6 +20,7 @@
 
 use crate::lac::{Decision, Lac, LacConfig, LacState, RejectReason, Reservation, RevocationAction};
 use crate::modes::ExecutionMode;
+use crate::request::AdmissionRequest;
 use crate::target::ResourceRequest;
 use cmpqos_faults::{Fault, Injection};
 use cmpqos_obs::{Event, NullRecorder, Recorder};
@@ -500,7 +501,8 @@ impl GlobalAdmissionController {
         tw: Cycles,
         deadline: Option<Cycles>,
     ) -> (Option<NodeId>, Decision) {
-        self.submit_recorded(id, mode, request, tw, deadline, &mut NullRecorder)
+        let req = Self::build_request(id, mode, request, tw, deadline);
+        self.submit_request(&req, &mut NullRecorder)
     }
 
     /// [`GlobalAdmissionController::submit`], additionally emitting the
@@ -517,19 +519,48 @@ impl GlobalAdmissionController {
         deadline: Option<Cycles>,
         recorder: &mut dyn Recorder,
     ) -> (Option<NodeId>, Decision) {
+        let req = Self::build_request(id, mode, request, tw, deadline);
+        self.submit_request(&req, recorder)
+    }
+
+    fn build_request(
+        id: JobId,
+        mode: ExecutionMode,
+        request: ResourceRequest,
+        tw: Cycles,
+        deadline: Option<Cycles>,
+    ) -> AdmissionRequest {
+        let mut b = AdmissionRequest::builder(id, request, tw).mode(mode);
+        if let Some(td) = deadline {
+            b = b.deadline(td);
+        }
+        b.build()
+    }
+
+    /// Submits a typed [`AdmissionRequest`], emitting the full probe
+    /// history to `recorder`. This is the primary entry point;
+    /// [`GlobalAdmissionController::submit`] and
+    /// [`GlobalAdmissionController::submit_recorded`] delegate here.
+    #[must_use = "dropping the decision loses whether (and where) the job was placed"]
+    pub fn submit_request(
+        &mut self,
+        req: &AdmissionRequest,
+        recorder: &mut dyn Recorder,
+    ) -> (Option<NodeId>, Decision) {
+        let id = req.id;
         self.submissions += 1;
         if recorder.enabled() {
             recorder.record(
                 self.now,
                 Event::Submitted {
                     job: id,
-                    mode: mode.into(),
+                    mode: req.mode.into(),
                 },
             );
         }
         let mut last: Option<Decision> = None;
         for i in self.probe_order() {
-            match self.probe(i, id, mode, request, tw, deadline, recorder) {
+            match self.probe(i, req, recorder) {
                 ProbeOutcome::Accepted { start } => {
                     let node = NodeId::new(i as u32);
                     self.placements.push((id, node));
@@ -557,6 +588,21 @@ impl GlobalAdmissionController {
                 (None, Decision::Rejected(RejectReason::NoHealthyNodes))
             }
         }
+    }
+
+    /// Submits a FCFS run of typed requests, returning one
+    /// placement/decision pair per request. Outcomes are bit-identical to
+    /// calling [`GlobalAdmissionController::submit_request`] once per
+    /// request, in order.
+    #[must_use = "dropping the decisions loses where the jobs were placed"]
+    pub fn submit_batch(
+        &mut self,
+        reqs: &[AdmissionRequest],
+        recorder: &mut dyn Recorder,
+    ) -> Vec<(Option<NodeId>, Decision)> {
+        reqs.iter()
+            .map(|req| self.submit_request(req, recorder))
+            .collect()
     }
 
     /// Applies one fault injection, emitting every consequence to
@@ -665,7 +711,7 @@ impl GlobalAdmissionController {
             .filter(|&i| self.nodes[i].health != NodeHealth::Dead)
             .collect();
         if self.policy == ProbePolicy::LeastLoaded {
-            order.sort_by_key(|&i| self.nodes[i].lac.reservations().len());
+            order.sort_by_key(|&i| self.nodes[i].lac.reservation_count());
         }
         order.sort_by_key(|&i| match self.nodes[i].health {
             NodeHealth::Healthy => 0u8,
@@ -684,17 +730,13 @@ impl GlobalAdmissionController {
     /// One node's probe with bounded retry. Lost probes consume queued
     /// losses, count toward the health state machine, and back off
     /// deterministically (the delay advances only this node's LAC clock).
-    #[allow(clippy::too_many_arguments)]
     fn probe(
         &mut self,
         i: usize,
-        id: JobId,
-        mode: ExecutionMode,
-        request: ResourceRequest,
-        tw: Cycles,
-        deadline: Option<Cycles>,
+        req: &AdmissionRequest,
         recorder: &mut dyn Recorder,
     ) -> ProbeOutcome {
+        let id = req.id;
         let node = NodeId::new(i as u32);
         for attempt in 0..=self.config.max_retries {
             if self.nodes[i].health == NodeHealth::Dead {
@@ -735,9 +777,7 @@ impl GlobalAdmissionController {
             if self.nodes[i].health == NodeHealth::Suspect {
                 self.set_health(i, NodeHealth::Healthy, recorder);
             }
-            let decision = self.nodes[i]
-                .lac
-                .admit_recorded(id, mode, request, tw, deadline, recorder);
+            let decision = self.nodes[i].lac.admit_with(req, recorder);
             return match decision {
                 Decision::Accepted { start } => ProbeOutcome::Accepted { start },
                 Decision::Rejected(reason) => ProbeOutcome::Rejected(reason),

@@ -9,8 +9,19 @@
 //! The LAC is the component that *requires* convertible (RUM) targets: its
 //! admission test is literally `demand + usage ≤ capacity` over a time
 //! window — impossible to phrase for an IPC target.
+//!
+//! Reservations are held in an occupancy-indexed table
+//! (`crate::occupancy`): feasibility checks and earliest-feasible-start
+//! queries run in O(log n + k) over the k reservation change points in the
+//! probed window instead of re-scanning the whole table, while every
+//! decision stays bit-identical to the brute-force scan (the testkit's
+//! `OracleLac` is the referee). Requests arrive as typed
+//! [`AdmissionRequest`] values; the old positional `admit_*` family
+//! survives one release as deprecated wrappers.
 
 use crate::modes::ExecutionMode;
+use crate::occupancy::ReservationTable;
+use crate::request::{AdmissionRequest, Feasibility, Placement};
 use crate::target::ResourceRequest;
 use cmpqos_types::{Cycles, JobId, Ways};
 use std::fmt;
@@ -224,6 +235,8 @@ impl LacConfigBuilder {
 /// term. The paper implements the LAC as a user-level program and reports
 /// its occupancy at under 1% of wall-clock time (Section 7.5); these
 /// constants model that software cost without perturbing the simulation.
+/// The formula is unchanged by the occupancy index — it models the paper's
+/// software LAC, not our implementation.
 const ADMIT_BASE_COST: u64 = 2_000;
 const ADMIT_PER_RESERVATION_COST: u64 = 200;
 
@@ -232,28 +245,45 @@ const ADMIT_PER_RESERVATION_COST: u64 = 200;
 /// # Examples
 ///
 /// ```
-/// use cmpqos_core::{ExecutionMode, Lac, LacConfig, ResourceRequest};
+/// use cmpqos_core::{AdmissionRequest, Lac, LacConfig, ResourceRequest};
 /// use cmpqos_types::{Cycles, JobId};
 ///
 /// let mut lac = Lac::new(LacConfig::default());
-/// let d = lac.admit(
+/// let req = AdmissionRequest::builder(
 ///     JobId::new(0),
-///     ExecutionMode::Strict,
 ///     ResourceRequest::paper_job(),
 ///     Cycles::new(1_000),
-///     Some(Cycles::new(2_000)),
-/// );
-/// assert!(d.is_accepted());
+/// )
+/// .deadline(Cycles::new(2_000))
+/// .build();
+/// assert!(lac.admit(&req).is_accepted());
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Lac {
     config: LacConfig,
     now: Cycles,
-    reservations: Vec<Reservation>,
+    table: ReservationTable,
     admission_tests: u64,
     accepted: u64,
     rejected: u64,
     modeled_cost: Cycles,
+}
+
+/// Two LACs are equal when every observable matches: configuration, clock,
+/// counters, and the FCFS reservation list. The occupancy index's internal
+/// layout (slot numbering, free-list order) is deliberately excluded — a
+/// recovered controller rebuilds a compact arena yet must compare equal to
+/// the fragmented original it journals for.
+impl PartialEq for Lac {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+            && self.now == other.now
+            && self.admission_tests == other.admission_tests
+            && self.accepted == other.accepted
+            && self.rejected == other.rejected
+            && self.modeled_cost == other.modeled_cost
+            && self.table.iter_fcfs().eq(other.table.iter_fcfs())
+    }
 }
 
 /// A complete, serializable snapshot of a [`Lac`]'s state.
@@ -262,7 +292,8 @@ pub struct Lac {
 /// `cmpqos-recovery` embeds one in each journal compaction record so a
 /// crashed controller can be rebuilt as snapshot + op replay. The field
 /// set is exhaustive: restoring a snapshot yields a controller whose
-/// every subsequent decision matches the original's.
+/// every subsequent decision matches the original's — the occupancy index
+/// is rebuilt deterministically from the FCFS reservation list.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LacState {
@@ -289,7 +320,7 @@ impl Lac {
         Self {
             config,
             now: Cycles::ZERO,
-            reservations: Vec::new(),
+            table: ReservationTable::default(),
             admission_tests: 0,
             accepted: 0,
             rejected: 0,
@@ -309,7 +340,7 @@ impl Lac {
         LacState {
             config: self.config,
             now: self.now,
-            reservations: self.reservations.clone(),
+            reservations: self.table.to_vec(),
             admission_tests: self.admission_tests,
             accepted: self.accepted,
             rejected: self.rejected,
@@ -318,13 +349,19 @@ impl Lac {
     }
 
     /// Rebuilds a controller from a [`Lac::snapshot`]. The result is
-    /// indistinguishable from the controller the snapshot was taken of.
+    /// indistinguishable from the controller the snapshot was taken of:
+    /// the occupancy index is rebuilt by re-inserting the FCFS list, which
+    /// is deterministic.
     #[must_use]
     pub fn restore(state: LacState) -> Self {
+        let mut table = ReservationTable::default();
+        for r in state.reservations {
+            table.insert(r);
+        }
         Self {
             config: state.config,
             now: state.now,
-            reservations: state.reservations,
+            table,
             admission_tests: state.admission_tests,
             accepted: state.accepted,
             rejected: state.rejected,
@@ -335,8 +372,7 @@ impl Lac {
     /// Advances the controller's clock and purges expired reservations.
     pub fn advance(&mut self, now: Cycles) {
         self.now = self.now.max(now);
-        let t = self.now;
-        self.reservations.retain(|r| r.end > t);
+        self.table.purge_through(self.now);
     }
 
     /// Current time.
@@ -345,32 +381,84 @@ impl Lac {
         self.now
     }
 
-    /// Live (non-expired) reservations.
+    /// Live (non-expired) reservations, materialized in FCFS order.
     #[must_use]
-    pub fn reservations(&self) -> &[Reservation] {
-        &self.reservations
+    pub fn reservations(&self) -> Vec<Reservation> {
+        self.table.to_vec()
+    }
+
+    /// Number of live reservations (O(1); prefer over
+    /// `reservations().len()`, which materializes the list).
+    #[must_use]
+    pub fn reservation_count(&self) -> usize {
+        self.table.len()
     }
 
     /// Reserved usage at instant `t`.
     #[must_use]
     pub fn usage_at(&self, t: Cycles) -> ResourceRequest {
-        self.reservations
-            .iter()
-            .filter(|r| r.start <= t && t < r.end)
-            .fold(
-                ResourceRequest::new(0, cmpqos_types::Ways::ZERO),
-                |acc, r| acc.plus(&r.request),
-            )
+        self.table.usage_at(t)
     }
 
-    /// FCFS admission test (Section 5).
+    /// FCFS admission test (Section 5) over a typed [`AdmissionRequest`].
     ///
     /// * `Strict` — reserve `[s, s+tw)` at the earliest feasible `s ≥ now`
     ///   with `s+tw ≤ deadline` (when given).
     /// * `Elastic(X)` — like Strict with duration `tw·(1+X)`.
-    /// * `Opportunistic` — no reservation; accepted iff a core is unreserved
-    ///   right now.
-    pub fn admit(
+    /// * `Opportunistic` — no reservation; accepted iff a core is
+    ///   unreserved right now.
+    ///
+    /// A request built with
+    /// [`latest_feasible`](crate::AdmissionRequestBuilder::latest_feasible)
+    /// and a deadline instead reserves the **latest** slot
+    /// `[td − tw, td)` (Section 3.4 places an automatically downgraded
+    /// job's fallback reservation as far away as possible), falling back
+    /// to the earliest feasible slot when the latest is taken.
+    pub fn admit(&mut self, req: &AdmissionRequest) -> Decision {
+        match (req.placement, req.deadline) {
+            (Placement::LatestFeasible, Some(td)) => {
+                self.admit_latest_at(req.id, req.request, req.tw, td)
+            }
+            _ => self.admit_earliest(req.id, req.mode, req.request, req.tw, req.deadline),
+        }
+    }
+
+    /// [`Lac::admit`], additionally emitting `Admitted`/`Rejected` to
+    /// `recorder` with the controller's current cycle.
+    pub fn admit_with(
+        &mut self,
+        req: &AdmissionRequest,
+        recorder: &mut dyn cmpqos_obs::Recorder,
+    ) -> Decision {
+        let decision = self.admit(req);
+        self.emit_decision(req.id, decision, recorder);
+        decision
+    }
+
+    /// Admits a FCFS run of requests in order, returning one decision per
+    /// request. Decisions are bit-identical to calling [`Lac::admit_with`]
+    /// once per request; the batch amortizes the recorder-enabled check
+    /// and the output allocation over the run.
+    #[must_use = "each decision carries a job's fate; dropping them loses the batch"]
+    pub fn admit_batch(
+        &mut self,
+        reqs: &[AdmissionRequest],
+        recorder: &mut dyn cmpqos_obs::Recorder,
+    ) -> Vec<Decision> {
+        let enabled = recorder.enabled();
+        let mut out = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            let decision = self.admit(req);
+            if enabled {
+                self.emit_decision(req.id, decision, recorder);
+            }
+            out.push(decision);
+        }
+        out
+    }
+
+    /// Earliest-feasible FCFS admission (the old positional `admit`).
+    fn admit_earliest(
         &mut self,
         id: JobId,
         mode: ExecutionMode,
@@ -404,11 +492,11 @@ impl Lac {
                         };
                         Cycles::new(ls)
                     }
-                    None => Cycles::new(u64::MAX / 2),
+                    None => Cycles::HORIZON,
                 };
                 match self.earliest_start(&request, duration, self.now, latest_start) {
                     Some(start) => {
-                        self.reservations.push(Reservation {
+                        self.table.insert(Reservation {
                             id,
                             start,
                             end: start + duration,
@@ -428,11 +516,10 @@ impl Lac {
         }
     }
 
-    /// Reserves the **latest** slot `[td − duration, td)` for an
-    /// automatically downgraded Strict job (Section 3.4 places the fallback
-    /// reservation as far away as possible). Falls back to the earliest
-    /// feasible slot when the latest is taken.
-    pub fn admit_latest(
+    /// Latest-slot admission (the old positional `admit_latest`): reserve
+    /// `[td − tw, td)`, falling back to the earliest feasible slot when
+    /// the latest is taken. Always admits as `Strict`.
+    fn admit_latest_at(
         &mut self,
         id: JobId,
         request: ResourceRequest,
@@ -444,7 +531,9 @@ impl Lac {
             self.rejected += 1;
             return Decision::Rejected(RejectReason::ExceedsNodeCapacity);
         }
-        if deadline.saturating_sub(tw) < self.now && deadline < self.now + tw {
+        // Any tw-long slot ending by `deadline` needs `deadline >= now + tw`
+        // (this also keeps `deadline - tw` below from underflowing).
+        if deadline < self.now + tw {
             self.rejected += 1;
             return Decision::Rejected(RejectReason::NoCapacityBeforeDeadline);
         }
@@ -456,7 +545,7 @@ impl Lac {
         };
         match start {
             Some(start) => {
-                self.reservations.push(Reservation {
+                self.table.insert(Reservation {
                     id,
                     start,
                     end: start + tw,
@@ -474,8 +563,35 @@ impl Lac {
         }
     }
 
-    /// [`Lac::admit`], additionally emitting `Admitted`/`Rejected` to
-    /// `recorder` with the controller's current cycle.
+    /// Positional FCFS admission, kept one release for migration.
+    #[deprecated(note = "build an `AdmissionRequest` and call `Lac::admit`")]
+    pub fn admit_args(
+        &mut self,
+        id: JobId,
+        mode: ExecutionMode,
+        request: ResourceRequest,
+        tw: Cycles,
+        deadline: Option<Cycles>,
+    ) -> Decision {
+        self.admit_earliest(id, mode, request, tw, deadline)
+    }
+
+    /// Positional latest-slot admission, kept one release for migration.
+    #[deprecated(
+        note = "build an `AdmissionRequest` with `.deadline(td).latest_feasible()` and call `Lac::admit`"
+    )]
+    pub fn admit_latest(
+        &mut self,
+        id: JobId,
+        request: ResourceRequest,
+        tw: Cycles,
+        deadline: Cycles,
+    ) -> Decision {
+        self.admit_latest_at(id, request, tw, deadline)
+    }
+
+    /// Positional recorded admission, kept one release for migration.
+    #[deprecated(note = "build an `AdmissionRequest` and call `Lac::admit_with`")]
     pub fn admit_recorded(
         &mut self,
         id: JobId,
@@ -485,13 +601,16 @@ impl Lac {
         deadline: Option<Cycles>,
         recorder: &mut dyn cmpqos_obs::Recorder,
     ) -> Decision {
-        let decision = self.admit(id, mode, request, tw, deadline);
+        let decision = self.admit_earliest(id, mode, request, tw, deadline);
         self.emit_decision(id, decision, recorder);
         decision
     }
 
-    /// [`Lac::admit_latest`], additionally emitting `Admitted`/`Rejected`
-    /// to `recorder` with the controller's current cycle.
+    /// Positional recorded latest-slot admission, kept one release for
+    /// migration.
+    #[deprecated(
+        note = "build an `AdmissionRequest` with `.deadline(td).latest_feasible()` and call `Lac::admit_with`"
+    )]
     pub fn admit_latest_recorded(
         &mut self,
         id: JobId,
@@ -500,7 +619,7 @@ impl Lac {
         deadline: Cycles,
         recorder: &mut dyn cmpqos_obs::Recorder,
     ) -> Decision {
-        let decision = self.admit_latest(id, request, tw, deadline);
+        let decision = self.admit_latest_at(id, request, tw, deadline);
         self.emit_decision(id, decision, recorder);
         decision
     }
@@ -528,17 +647,18 @@ impl Lac {
     /// "when automatically downgraded jobs complete, the LAC reclaims their
     /// resources, allowing other jobs to be accepted earlier").
     pub fn release(&mut self, id: JobId, at: Cycles) {
-        for r in &mut self.reservations {
-            if r.id == id && r.end > at {
-                r.end = r.end.min(at.max(r.start));
+        for slot in self.table.slots_of(id) {
+            let r = self.table.reservation(slot);
+            if r.end > at {
+                self.table.update_end(slot, r.end.min(at.max(r.start)));
             }
         }
-        self.reservations.retain(|r| r.end > r.start);
+        self.table.purge_zero_len();
     }
 
     /// Cancels a job's reservation entirely.
     pub fn cancel(&mut self, id: JobId) {
-        self.reservations.retain(|r| r.id != id);
+        self.table.remove_job(id);
     }
 
     /// Shrinks the node's capacity to `new_capacity` (a way or core died)
@@ -564,7 +684,8 @@ impl Lac {
     ) -> Vec<Revocation> {
         self.advance(now);
         self.config.capacity = new_capacity;
-        let old = std::mem::take(&mut self.reservations);
+        let old = self.table.to_vec();
+        self.table.clear();
         let mut outcome = Vec::with_capacity(old.len());
         for mut r in old {
             let original = r;
@@ -583,7 +704,7 @@ impl Lac {
                 )
             };
             if !matches!(action, RevocationAction::Evicted { .. }) {
-                self.reservations.push(r);
+                self.table.insert(r);
             }
             outcome.push(Revocation { id: r.id, action });
         }
@@ -627,11 +748,11 @@ impl Lac {
                 };
                 Cycles::new(ls)
             }
-            None => Cycles::new(u64::MAX / 2),
+            None => Cycles::HORIZON,
         };
         match self.earliest_start(&r.request, duration, self.now, latest_start) {
             Some(start) => {
-                self.reservations.push(Reservation {
+                self.table.insert(Reservation {
                     id: r.id,
                     start,
                     end: start + duration,
@@ -676,28 +797,15 @@ impl Lac {
 
     fn charge_test(&mut self) {
         self.admission_tests += 1;
-        self.modeled_cost += Cycles::new(
-            ADMIT_BASE_COST + ADMIT_PER_RESERVATION_COST * self.reservations.len() as u64,
-        );
+        self.modeled_cost +=
+            Cycles::new(ADMIT_BASE_COST + ADMIT_PER_RESERVATION_COST * self.table.len() as u64);
     }
 
     /// Whether `request` fits on top of existing reservations at every
     /// instant of `[start, end)`.
     fn fits_during(&self, request: &ResourceRequest, start: Cycles, end: Cycles) -> bool {
-        if end <= start {
-            return true;
-        }
-        let mut points = vec![start];
-        for r in &self.reservations {
-            if r.start > start && r.start < end {
-                points.push(r.start);
-            }
-        }
-        points.iter().all(|&p| {
-            self.usage_at(p)
-                .plus(request)
-                .fits_within(&self.config.capacity)
-        })
+        self.table
+            .fits_over(request, start, end, &self.config.capacity)
     }
 
     /// Earliest `s ∈ [not_before, latest_start]` such that `request` fits
@@ -710,18 +818,41 @@ impl Lac {
         not_before: Cycles,
         latest_start: Cycles,
     ) -> Option<Cycles> {
-        let mut candidates = vec![not_before];
-        for r in &self.reservations {
-            if r.end > not_before {
-                candidates.push(r.end);
-            }
-        }
-        candidates.sort_unstable();
-        candidates.dedup();
-        candidates
-            .into_iter()
-            .filter(|&s| s <= latest_start)
-            .find(|&s| self.fits_during(request, s, s + duration))
+        self.table.earliest_start(
+            request,
+            duration,
+            not_before,
+            latest_start,
+            &self.config.capacity,
+        )
+    }
+}
+
+impl Feasibility for Lac {
+    fn capacity(&self) -> ResourceRequest {
+        self.config.capacity
+    }
+
+    fn now(&self) -> Cycles {
+        self.now
+    }
+
+    fn usage_at(&self, t: Cycles) -> ResourceRequest {
+        self.table.usage_at(t)
+    }
+
+    fn fits_over(&self, request: &ResourceRequest, start: Cycles, end: Cycles) -> bool {
+        self.fits_during(request, start, end)
+    }
+
+    fn earliest_feasible(
+        &self,
+        request: &ResourceRequest,
+        duration: Cycles,
+        not_before: Cycles,
+        latest_start: Cycles,
+    ) -> Option<Cycles> {
+        self.earliest_start(request, duration, not_before, latest_start)
     }
 }
 
@@ -734,14 +865,18 @@ mod tests {
         Lac::new(LacConfig::default())
     }
 
-    fn strict(l: &mut Lac, id: u32, tw: u64, td: u64) -> Decision {
-        l.admit(
+    fn paper_req(id: u32, tw: u64, td: u64) -> AdmissionRequest {
+        AdmissionRequest::builder(
             JobId::new(id),
-            ExecutionMode::Strict,
             ResourceRequest::paper_job(),
             Cycles::new(tw),
-            Some(Cycles::new(td)),
         )
+        .deadline(Cycles::new(td))
+        .build()
+    }
+
+    fn strict(l: &mut Lac, id: u32, tw: u64, td: u64) -> Decision {
+        l.admit(&paper_req(id, tw, td))
     }
 
     #[test]
@@ -784,11 +919,14 @@ mod tests {
     fn elastic_reserves_longer() {
         let mut l = lac();
         let d = l.admit(
-            JobId::new(0),
-            ExecutionMode::Elastic(cmpqos_types::Percent::new(5.0)),
-            ResourceRequest::paper_job(),
-            Cycles::new(1000),
-            Some(Cycles::new(10_000)),
+            &AdmissionRequest::builder(
+                JobId::new(0),
+                ResourceRequest::paper_job(),
+                Cycles::new(1000),
+            )
+            .mode(ExecutionMode::Elastic(cmpqos_types::Percent::new(5.0)))
+            .deadline(Cycles::new(10_000))
+            .build(),
         );
         assert!(d.is_accepted());
         assert_eq!(l.reservations()[0].end, Cycles::new(1050));
@@ -799,11 +937,14 @@ mod tests {
         let mut l = lac();
         // tw(1+X) = 1050 > deadline 1040: rejected even though tw fits.
         let d = l.admit(
-            JobId::new(0),
-            ExecutionMode::Elastic(cmpqos_types::Percent::new(5.0)),
-            ResourceRequest::paper_job(),
-            Cycles::new(1000),
-            Some(Cycles::new(1040)),
+            &AdmissionRequest::builder(
+                JobId::new(0),
+                ResourceRequest::paper_job(),
+                Cycles::new(1000),
+            )
+            .mode(ExecutionMode::Elastic(cmpqos_types::Percent::new(5.0)))
+            .deadline(Cycles::new(1040))
+            .build(),
         );
         assert_eq!(
             d,
@@ -817,11 +958,13 @@ mod tests {
         let _ = strict(&mut l, 0, 100, 1000);
         let _ = strict(&mut l, 1, 100, 1000);
         let d = l.admit(
-            JobId::new(2),
-            ExecutionMode::Opportunistic,
-            ResourceRequest::paper_job(),
-            Cycles::new(100),
-            None,
+            &AdmissionRequest::builder(
+                JobId::new(2),
+                ResourceRequest::paper_job(),
+                Cycles::new(100),
+            )
+            .mode(ExecutionMode::Opportunistic)
+            .build(),
         );
         assert_eq!(
             d,
@@ -831,21 +974,26 @@ mod tests {
         );
         // No reservation was added for it.
         assert_eq!(l.reservations().len(), 2);
+        assert_eq!(l.reservation_count(), 2);
     }
 
     #[test]
     fn opportunistic_rejected_when_all_cores_reserved() {
-        let mut l = Lac::new(LacConfig {
-            capacity: ResourceRequest::new(2, Ways::new(16)),
-        });
+        let mut l = Lac::new(
+            LacConfig::builder()
+                .capacity(ResourceRequest::new(2, Ways::new(16)))
+                .build(),
+        );
         let _ = strict(&mut l, 0, 100, 1000);
         let _ = strict(&mut l, 1, 100, 1000);
         let d = l.admit(
-            JobId::new(2),
-            ExecutionMode::Opportunistic,
-            ResourceRequest::new(1, Ways::ZERO),
-            Cycles::new(100),
-            None,
+            &AdmissionRequest::builder(
+                JobId::new(2),
+                ResourceRequest::new(1, Ways::ZERO),
+                Cycles::new(100),
+            )
+            .mode(ExecutionMode::Opportunistic)
+            .build(),
         );
         assert_eq!(d, Decision::Rejected(RejectReason::NoSpareResources));
     }
@@ -854,11 +1002,12 @@ mod tests {
     fn oversized_request_rejected_outright() {
         let mut l = lac();
         let d = l.admit(
-            JobId::new(0),
-            ExecutionMode::Strict,
-            ResourceRequest::new(5, Ways::new(4)),
-            Cycles::new(10),
-            None,
+            &AdmissionRequest::builder(
+                JobId::new(0),
+                ResourceRequest::new(5, Ways::new(4)),
+                Cycles::new(10),
+            )
+            .build(),
         );
         assert_eq!(d, Decision::Rejected(RejectReason::ExceedsNodeCapacity));
     }
@@ -866,11 +1015,15 @@ mod tests {
     #[test]
     fn admit_latest_places_reservation_at_deadline() {
         let mut l = lac();
-        let d = l.admit_latest(
-            JobId::new(0),
-            ResourceRequest::paper_job(),
-            Cycles::new(100),
-            Cycles::new(500),
+        let d = l.admit(
+            &AdmissionRequest::builder(
+                JobId::new(0),
+                ResourceRequest::paper_job(),
+                Cycles::new(100),
+            )
+            .deadline(Cycles::new(500))
+            .latest_feasible()
+            .build(),
         );
         assert_eq!(
             d,
@@ -884,31 +1037,35 @@ mod tests {
 
     #[test]
     fn admit_latest_falls_back_to_earliest_when_late_slot_taken() {
-        let mut l = Lac::new(LacConfig {
-            capacity: ResourceRequest::new(1, Ways::new(16)),
+        // Seed the table with a reservation occupying [400, 500) directly
+        // through a snapshot restore.
+        let mut l = Lac::restore(LacState {
+            config: LacConfig::builder()
+                .capacity(ResourceRequest::new(1, Ways::new(16)))
+                .build(),
+            now: Cycles::ZERO,
+            reservations: vec![Reservation {
+                id: JobId::new(0),
+                start: Cycles::new(400),
+                end: Cycles::new(500),
+                request: ResourceRequest::new(1, Ways::new(7)),
+                mode: ExecutionMode::Strict,
+                deadline: Some(Cycles::new(500)),
+            }],
+            admission_tests: 0,
+            accepted: 0,
+            rejected: 0,
+            modeled_cost: Cycles::ZERO,
         });
-        // Occupy [400, 500).
-        let _ = l.admit(
-            JobId::new(0),
-            ExecutionMode::Strict,
-            ResourceRequest::new(1, Ways::new(7)),
-            Cycles::new(100),
-            Some(Cycles::new(500)),
-        );
-        l.cancel(JobId::new(0));
-        l.reservations.push(Reservation {
-            id: JobId::new(0),
-            start: Cycles::new(400),
-            end: Cycles::new(500),
-            request: ResourceRequest::new(1, Ways::new(7)),
-            mode: ExecutionMode::Strict,
-            deadline: Some(Cycles::new(500)),
-        });
-        let d = l.admit_latest(
-            JobId::new(1),
-            ResourceRequest::new(1, Ways::new(7)),
-            Cycles::new(100),
-            Cycles::new(500),
+        let d = l.admit(
+            &AdmissionRequest::builder(
+                JobId::new(1),
+                ResourceRequest::new(1, Ways::new(7)),
+                Cycles::new(100),
+            )
+            .deadline(Cycles::new(500))
+            .latest_feasible()
+            .build(),
         );
         // Latest slot [400,500) conflicts; earliest feasible is [0,100).
         assert_eq!(
@@ -986,6 +1143,121 @@ mod tests {
         assert_eq!(LacConfig::builder().build(), LacConfig::default());
     }
 
+    #[test]
+    fn admit_batch_matches_one_at_a_time() {
+        let reqs: Vec<AdmissionRequest> = (0..20u32)
+            .map(|i| {
+                let mut b = AdmissionRequest::builder(
+                    JobId::new(i),
+                    ResourceRequest::paper_job(),
+                    Cycles::new(60 + u64::from(i % 5) * 17),
+                )
+                .deadline(Cycles::new(400 + u64::from(i) * 37));
+                if i % 4 == 3 {
+                    b = b.latest_feasible();
+                }
+                if i % 5 == 2 {
+                    b = b.mode(ExecutionMode::Opportunistic);
+                }
+                b.build()
+            })
+            .collect();
+        let mut batched = lac();
+        let batch_decisions = batched.admit_batch(&reqs, &mut cmpqos_obs::NullRecorder);
+        let mut sequential = lac();
+        let seq_decisions: Vec<Decision> = reqs
+            .iter()
+            .map(|r| sequential.admit_with(r, &mut cmpqos_obs::NullRecorder))
+            .collect();
+        assert_eq!(batch_decisions, seq_decisions);
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_through_the_index() {
+        let mut l = lac();
+        for i in 0..10u32 {
+            let _ = strict(&mut l, i, 80 + u64::from(i) * 11, 5_000);
+        }
+        l.release(JobId::new(2), Cycles::new(30));
+        l.cancel(JobId::new(5));
+        let restored = Lac::restore(l.snapshot());
+        assert_eq!(restored, l);
+        assert_eq!(restored.reservations(), l.reservations());
+        // Restored controllers keep deciding identically.
+        let mut a = l.clone();
+        let mut b = restored;
+        assert_eq!(
+            a.admit(&paper_req(90, 100, 2_000)),
+            b.admit(&paper_req(90, 100, 2_000))
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_positional_wrappers_still_decide_identically() {
+        let mut old_api = lac();
+        let mut new_api = lac();
+        let d_old = old_api.admit_args(
+            JobId::new(0),
+            ExecutionMode::Strict,
+            ResourceRequest::paper_job(),
+            Cycles::new(100),
+            Some(Cycles::new(1_000)),
+        );
+        let d_new = new_api.admit(&paper_req(0, 100, 1_000));
+        assert_eq!(d_old, d_new);
+        let d_old = old_api.admit_latest(
+            JobId::new(1),
+            ResourceRequest::paper_job(),
+            Cycles::new(100),
+            Cycles::new(500),
+        );
+        let d_new = new_api.admit(
+            &AdmissionRequest::builder(
+                JobId::new(1),
+                ResourceRequest::paper_job(),
+                Cycles::new(100),
+            )
+            .deadline(Cycles::new(500))
+            .latest_feasible()
+            .build(),
+        );
+        assert_eq!(d_old, d_new);
+        let mut rec = cmpqos_obs::RingBufferRecorder::new(8);
+        let d_old = old_api.admit_recorded(
+            JobId::new(2),
+            ExecutionMode::Strict,
+            ResourceRequest::paper_job(),
+            Cycles::new(100),
+            Some(Cycles::new(2_000)),
+            &mut rec,
+        );
+        let d_new = new_api.admit_with(&paper_req(2, 100, 2_000), &mut rec);
+        assert_eq!(d_old, d_new);
+        let d_old = old_api.admit_latest_recorded(
+            JobId::new(3),
+            ResourceRequest::paper_job(),
+            Cycles::new(50),
+            Cycles::new(3_000),
+            &mut rec,
+        );
+        let d_new = new_api.admit_with(
+            &AdmissionRequest::builder(
+                JobId::new(3),
+                ResourceRequest::paper_job(),
+                Cycles::new(50),
+            )
+            .deadline(Cycles::new(3_000))
+            .latest_feasible()
+            .build(),
+            &mut rec,
+        );
+        assert_eq!(d_old, d_new);
+        assert_eq!(old_api, new_api);
+    }
+
     // --- every RejectReason path, with the recorded variants ------------
 
     fn last_cause(rec: &cmpqos_obs::RingBufferRecorder) -> Option<cmpqos_obs::RejectCause> {
@@ -999,12 +1271,13 @@ mod tests {
     fn admit_rejects_oversized_request_and_records_it() {
         let mut l = lac();
         let mut rec = cmpqos_obs::RingBufferRecorder::new(8);
-        let d = l.admit_recorded(
-            JobId::new(0),
-            ExecutionMode::Strict,
-            ResourceRequest::new(5, Ways::new(4)),
-            Cycles::new(10),
-            None,
+        let d = l.admit_with(
+            &AdmissionRequest::builder(
+                JobId::new(0),
+                ResourceRequest::new(5, Ways::new(4)),
+                Cycles::new(10),
+            )
+            .build(),
             &mut rec,
         );
         assert_eq!(d, Decision::Rejected(RejectReason::ExceedsNodeCapacity));
@@ -1023,12 +1296,14 @@ mod tests {
         );
         let _ = strict(&mut l, 0, 100, 1000);
         let mut rec = cmpqos_obs::RingBufferRecorder::new(8);
-        let d = l.admit_recorded(
-            JobId::new(1),
-            ExecutionMode::Opportunistic,
-            ResourceRequest::new(1, Ways::ZERO),
-            Cycles::new(10),
-            None,
+        let d = l.admit_with(
+            &AdmissionRequest::builder(
+                JobId::new(1),
+                ResourceRequest::new(1, Ways::ZERO),
+                Cycles::new(10),
+            )
+            .mode(ExecutionMode::Opportunistic)
+            .build(),
             &mut rec,
         );
         assert_eq!(d, Decision::Rejected(RejectReason::NoSpareResources));
@@ -1043,14 +1318,7 @@ mod tests {
         // duration > deadline: the latest-start subtraction underflows.
         let mut l = lac();
         let mut rec = cmpqos_obs::RingBufferRecorder::new(8);
-        let d = l.admit_recorded(
-            JobId::new(0),
-            ExecutionMode::Strict,
-            ResourceRequest::paper_job(),
-            Cycles::new(200),
-            Some(Cycles::new(100)),
-            &mut rec,
-        );
+        let d = l.admit_with(&paper_req(0, 200, 100), &mut rec);
         assert_eq!(
             d,
             Decision::Rejected(RejectReason::NoCapacityBeforeDeadline)
@@ -1067,14 +1335,7 @@ mod tests {
         let _ = strict(&mut l, 0, 100, 1000);
         let _ = strict(&mut l, 1, 100, 1000);
         let mut rec = cmpqos_obs::RingBufferRecorder::new(8);
-        let d = l.admit_recorded(
-            JobId::new(2),
-            ExecutionMode::Strict,
-            ResourceRequest::paper_job(),
-            Cycles::new(100),
-            Some(Cycles::new(105)),
-            &mut rec,
-        );
+        let d = l.admit_with(&paper_req(2, 100, 105), &mut rec);
         assert_eq!(
             d,
             Decision::Rejected(RejectReason::NoCapacityBeforeDeadline)
@@ -1089,11 +1350,15 @@ mod tests {
     fn admit_latest_rejects_oversized_request() {
         let mut l = lac();
         let mut rec = cmpqos_obs::RingBufferRecorder::new(8);
-        let d = l.admit_latest_recorded(
-            JobId::new(0),
-            ResourceRequest::new(5, Ways::new(4)),
-            Cycles::new(10),
-            Cycles::new(100),
+        let d = l.admit_with(
+            &AdmissionRequest::builder(
+                JobId::new(0),
+                ResourceRequest::new(5, Ways::new(4)),
+                Cycles::new(10),
+            )
+            .deadline(Cycles::new(100))
+            .latest_feasible()
+            .build(),
             &mut rec,
         );
         assert_eq!(d, Decision::Rejected(RejectReason::ExceedsNodeCapacity));
@@ -1108,11 +1373,15 @@ mod tests {
         let mut l = lac();
         l.advance(Cycles::new(500));
         // Latest slot starts in the past and the earliest finish misses td.
-        let d = l.admit_latest(
-            JobId::new(0),
-            ResourceRequest::paper_job(),
-            Cycles::new(100),
-            Cycles::new(550),
+        let d = l.admit(
+            &AdmissionRequest::builder(
+                JobId::new(0),
+                ResourceRequest::paper_job(),
+                Cycles::new(100),
+            )
+            .deadline(Cycles::new(550))
+            .latest_feasible()
+            .build(),
         );
         assert_eq!(
             d,
@@ -1129,17 +1398,23 @@ mod tests {
         );
         // One job owns the whole window [0, 500).
         let _ = l.admit(
-            JobId::new(0),
-            ExecutionMode::Strict,
-            ResourceRequest::new(1, Ways::new(7)),
-            Cycles::new(500),
-            Some(Cycles::new(500)),
+            &AdmissionRequest::builder(
+                JobId::new(0),
+                ResourceRequest::new(1, Ways::new(7)),
+                Cycles::new(500),
+            )
+            .deadline(Cycles::new(500))
+            .build(),
         );
-        let d = l.admit_latest(
-            JobId::new(1),
-            ResourceRequest::new(1, Ways::new(7)),
-            Cycles::new(100),
-            Cycles::new(500),
+        let d = l.admit(
+            &AdmissionRequest::builder(
+                JobId::new(1),
+                ResourceRequest::new(1, Ways::new(7)),
+                Cycles::new(100),
+            )
+            .deadline(Cycles::new(500))
+            .latest_feasible()
+            .build(),
         );
         assert_eq!(
             d,
@@ -1151,14 +1426,7 @@ mod tests {
     fn accepted_decision_is_recorded_as_admitted() {
         let mut l = lac();
         let mut rec = cmpqos_obs::RingBufferRecorder::new(8);
-        let d = l.admit_recorded(
-            JobId::new(0),
-            ExecutionMode::Strict,
-            ResourceRequest::paper_job(),
-            Cycles::new(100),
-            Some(Cycles::new(1000)),
-            &mut rec,
-        );
+        let d = l.admit_with(&paper_req(0, 100, 1_000), &mut rec);
         assert!(d.is_accepted());
         assert_eq!(
             rec.to_vec().last().map(|r| r.event.clone()),
@@ -1172,21 +1440,23 @@ mod tests {
     #[test]
     fn revoke_capacity_keeps_downgrades_and_evicts_in_fcfs_order() {
         let mut l = lac();
-        // Job 0: Strict, 8 ways. Job 1: Elastic(50%), 8 ways. Job 2:
-        // Strict, 7 ways, queued behind them.
+        // Job 0: Strict, 8 ways. Job 1: Elastic(50%), 8 ways.
         let _ = l.admit(
-            JobId::new(0),
-            ExecutionMode::Strict,
-            ResourceRequest::new(1, Ways::new(8)),
-            Cycles::new(100),
-            None,
+            &AdmissionRequest::builder(
+                JobId::new(0),
+                ResourceRequest::new(1, Ways::new(8)),
+                Cycles::new(100),
+            )
+            .build(),
         );
         let _ = l.admit(
-            JobId::new(1),
-            ExecutionMode::Elastic(cmpqos_types::Percent::new(50.0)),
-            ResourceRequest::new(1, Ways::new(8)),
-            Cycles::new(100),
-            None,
+            &AdmissionRequest::builder(
+                JobId::new(1),
+                ResourceRequest::new(1, Ways::new(8)),
+                Cycles::new(100),
+            )
+            .mode(ExecutionMode::Elastic(cmpqos_types::Percent::new(50.0)))
+            .build(),
         );
         // Lose 8 ways: capacity 16 -> 8.
         let revs = l.revoke_capacity(
@@ -1214,18 +1484,21 @@ mod tests {
     fn revoke_capacity_downgrades_elastic_within_slack() {
         let mut l = lac();
         let _ = l.admit(
-            JobId::new(0),
-            ExecutionMode::Strict,
-            ResourceRequest::new(1, Ways::new(8)),
-            Cycles::new(100),
-            None,
+            &AdmissionRequest::builder(
+                JobId::new(0),
+                ResourceRequest::new(1, Ways::new(8)),
+                Cycles::new(100),
+            )
+            .build(),
         );
         let _ = l.admit(
-            JobId::new(1),
-            ExecutionMode::Elastic(cmpqos_types::Percent::new(50.0)),
-            ResourceRequest::new(1, Ways::new(8)),
-            Cycles::new(100),
-            None,
+            &AdmissionRequest::builder(
+                JobId::new(1),
+                ResourceRequest::new(1, Ways::new(8)),
+                Cycles::new(100),
+            )
+            .mode(ExecutionMode::Elastic(cmpqos_types::Percent::new(50.0)))
+            .build(),
         );
         // Lose 2 ways: the Elastic job gives up exactly 2 (within its
         // 4-way slack), the Strict job is untouched.
@@ -1246,13 +1519,7 @@ mod tests {
     #[test]
     fn readmit_preserves_duration_mode_and_deadline() {
         let mut src = lac();
-        let _ = src.admit(
-            JobId::new(0),
-            ExecutionMode::Strict,
-            ResourceRequest::paper_job(),
-            Cycles::new(100),
-            Some(Cycles::new(1_000)),
-        );
+        let _ = src.admit(&paper_req(0, 100, 1_000));
         let r = src.reservations()[0];
         let mut dst = lac();
         dst.advance(Cycles::new(50));
@@ -1272,13 +1539,7 @@ mod tests {
     #[test]
     fn readmit_rejects_when_the_original_deadline_cannot_be_met() {
         let mut src = lac();
-        let _ = src.admit(
-            JobId::new(0),
-            ExecutionMode::Strict,
-            ResourceRequest::paper_job(),
-            Cycles::new(100),
-            Some(Cycles::new(150)),
-        );
+        let _ = src.admit(&paper_req(0, 100, 150));
         let r = src.reservations()[0];
         let mut dst = lac();
         // The destination node's clock is already past the latest start.
@@ -1295,11 +1556,12 @@ mod tests {
         let _ = strict(&mut l, 0, 100, 1000);
         let _ = strict(&mut l, 1, 100, 1000);
         let d = l.admit(
-            JobId::new(2),
-            ExecutionMode::Strict,
-            ResourceRequest::paper_job(),
-            Cycles::new(100),
-            None,
+            &AdmissionRequest::builder(
+                JobId::new(2),
+                ResourceRequest::paper_job(),
+                Cycles::new(100),
+            )
+            .build(),
         );
         assert_eq!(
             d,

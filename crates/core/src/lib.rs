@@ -53,6 +53,8 @@ pub mod gac;
 pub mod intake;
 pub mod lac;
 pub mod modes;
+mod occupancy;
+pub mod request;
 pub mod scheduler;
 pub mod stealing;
 pub mod target;
@@ -62,14 +64,14 @@ pub use gac::{
     NodeHealth, NodeSnapshot, ProbeOutcome, ProbePolicy,
 };
 pub use intake::{
-    AdmissionIntake, AdmissionRequest, DrainedDecision, IntakeConfig, IntakeConfigBuilder,
-    IntakeOutcome, IntakeStats,
+    AdmissionIntake, DrainedDecision, IntakeConfig, IntakeConfigBuilder, IntakeOutcome, IntakeStats,
 };
 pub use lac::{
     Decision, Lac, LacConfig, LacConfigBuilder, LacState, RejectReason, Reservation, Revocation,
     RevocationAction,
 };
 pub use modes::ExecutionMode;
+pub use request::{AdmissionRequest, AdmissionRequestBuilder, Feasibility, Placement};
 pub use scheduler::{
     JobEvent, JobReport, QosJob, QosJobBuilder, QosScheduler, SchedulerConfig,
     SchedulerConfigBuilder, StealReport, WayFaultOutcome,

@@ -1,0 +1,570 @@
+//! Occupancy-indexed reservation storage for the LAC hot path.
+//!
+//! [`ReservationTable`] replaces the flat `Vec<Reservation>` the LAC used
+//! to scan on every admission test. It keeps the same reservations, but
+//! three ordered indexes make the Section 5 FCFS test cheap:
+//!
+//! * **Slab arena** — reservations live in stable slots (`Vec<Option<Slot>>`
+//!   plus a free list), so every index refers to a reservation by a small
+//!   integer id that never moves.
+//! * **Step index** (`steps`) — the reserved-usage step function, keyed on
+//!   reservation change points. `usage_at` is one `BTreeMap` lookup
+//!   (O(log n)) instead of a table scan, and a feasibility check over a
+//!   window walks only the change points inside that window.
+//! * **End index** (`by_end`) — reservation end points in ascending order:
+//!   exactly the candidate set of `earliest_start` (capacity only frees
+//!   when something ends), streamed lazily instead of collected and sorted
+//!   per query.
+//!
+//! The table is an *index*, not a new algorithm: every query is defined to
+//! return bit-identical answers to the brute-force scan (the testkit's
+//! `OracleLac` is the referee). Two equivalences carry that proof:
+//!
+//! * `fits_over` checks the step boundaries inside the window, a superset
+//!   of the brute-force candidate points (which are reservation *starts*
+//!   only). The extra end-only boundaries can never flip the answer:
+//!   between two consecutive starts the usage only steps *down* (ends
+//!   subtract componentwise), so a window that fits at every start also
+//!   fits at every end-only boundary.
+//! * `earliest_start` streams `{not_before} ∪ {end points > not_before}` in
+//!   ascending order — the same candidates the brute force collects,
+//!   sorts, and dedups (`BTreeMap` keys are already sorted and unique).
+//!
+//! Zero-length reservations (`end == start`, e.g. a `tw = 0` admission)
+//! are kept in the arena and in `by_end` — their end points are still
+//! `earliest_start` candidates, matching the brute force — but contribute
+//! no steps, since they never cover an instant.
+
+use crate::lac::Reservation;
+use crate::target::ResourceRequest;
+use cmpqos_types::{Cycles, JobId, Ways};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound::{Excluded, Unbounded};
+
+/// Stable handle to one live reservation in the slab arena.
+pub(crate) type SlotId = u32;
+
+fn zero_usage() -> ResourceRequest {
+    ResourceRequest::new(0, Ways::ZERO)
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    /// FCFS sequence number: ascending admission order, never reused, so
+    /// iterating `by_seq` reproduces the exact order the old `Vec` kept.
+    seq: u64,
+    reservation: Reservation,
+}
+
+/// One point where the usage step function may change value. The entry's
+/// `usage` holds the total reserved usage over `[key, next key)`.
+#[derive(Debug, Clone)]
+struct Boundary {
+    usage: ResourceRequest,
+    /// Live reservations whose start or end sits exactly at this key; the
+    /// boundary is dropped when the count reaches zero (no reservation
+    /// changes the step function here any more).
+    refs: u32,
+}
+
+/// Slab arena + occupancy step index over the LAC's live reservations.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ReservationTable {
+    slots: Vec<Option<Slot>>,
+    free: Vec<SlotId>,
+    next_seq: u64,
+    /// FCFS iteration order: seq → slot.
+    by_seq: BTreeMap<u64, SlotId>,
+    /// End point → slots ending there (earliest-start candidates; also the
+    /// purge set for `advance`). Includes zero-length reservations.
+    by_end: BTreeMap<u64, Vec<SlotId>>,
+    /// Owning job → slots (O(log n) release/cancel).
+    by_id: BTreeMap<JobId, Vec<SlotId>>,
+    /// Slots with `end == start`, purged wholesale by `release`.
+    zero_len: BTreeSet<SlotId>,
+    /// The usage step function, keyed on reservation change points.
+    steps: BTreeMap<u64, Boundary>,
+}
+
+impl ReservationTable {
+    /// Number of live reservations.
+    pub(crate) fn len(&self) -> usize {
+        self.by_seq.len()
+    }
+
+    /// Live reservations in FCFS (admission) order.
+    pub(crate) fn iter_fcfs(&self) -> impl Iterator<Item = &Reservation> + '_ {
+        self.by_seq.values().map(|&id| &self.slot(id).reservation)
+    }
+
+    /// Materializes the FCFS reservation list (what the old `Vec` held).
+    pub(crate) fn to_vec(&self) -> Vec<Reservation> {
+        self.iter_fcfs().copied().collect()
+    }
+
+    fn slot(&self, id: SlotId) -> &Slot {
+        self.slots[id as usize].as_ref().expect("live slot")
+    }
+
+    /// The reservation held in `id`.
+    pub(crate) fn reservation(&self, id: SlotId) -> Reservation {
+        self.slot(id).reservation
+    }
+
+    /// Slots currently owned by `job`, in insertion order.
+    pub(crate) fn slots_of(&self, job: JobId) -> Vec<SlotId> {
+        self.by_id.get(&job).cloned().unwrap_or_default()
+    }
+
+    /// Inserts a reservation at the back of the FCFS order.
+    pub(crate) fn insert(&mut self, r: Reservation) -> SlotId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = Slot {
+            seq,
+            reservation: r,
+        };
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.slots[id as usize] = Some(slot);
+                id
+            }
+            None => {
+                self.slots.push(Some(slot));
+                SlotId::try_from(self.slots.len() - 1).expect("slab within u32 range")
+            }
+        };
+        self.by_seq.insert(seq, id);
+        self.by_end.entry(r.end.get()).or_default().push(id);
+        self.by_id.entry(r.id).or_default().push(id);
+        if r.end > r.start {
+            self.add_steps(r.start.get(), r.end.get(), &r.request);
+        } else {
+            self.zero_len.insert(id);
+        }
+        id
+    }
+
+    fn detach_end(&mut self, key: u64, id: SlotId) {
+        if let Some(ids) = self.by_end.get_mut(&key) {
+            ids.retain(|&s| s != id);
+            if ids.is_empty() {
+                self.by_end.remove(&key);
+            }
+        }
+    }
+
+    fn remove_slot(&mut self, id: SlotId) {
+        let slot = self.slots[id as usize].take().expect("live slot");
+        let r = slot.reservation;
+        self.by_seq.remove(&slot.seq);
+        self.detach_end(r.end.get(), id);
+        if let Some(ids) = self.by_id.get_mut(&r.id) {
+            ids.retain(|&s| s != id);
+            if ids.is_empty() {
+                self.by_id.remove(&r.id);
+            }
+        }
+        if r.end > r.start {
+            self.remove_steps(r.start.get(), r.end.get(), &r.request);
+        } else {
+            self.zero_len.remove(&id);
+        }
+        self.free.push(id);
+    }
+
+    /// Removes every reservation owned by `job`.
+    pub(crate) fn remove_job(&mut self, job: JobId) {
+        for id in self.slots_of(job) {
+            self.remove_slot(id);
+        }
+    }
+
+    /// Truncates a reservation to `new_end`, keeping its FCFS position.
+    pub(crate) fn update_end(&mut self, id: SlotId, new_end: Cycles) {
+        let r = self.reservation(id);
+        if new_end == r.end {
+            return;
+        }
+        self.detach_end(r.end.get(), id);
+        self.by_end.entry(new_end.get()).or_default().push(id);
+        if r.end > r.start {
+            self.remove_steps(r.start.get(), r.end.get(), &r.request);
+        } else {
+            self.zero_len.remove(&id);
+        }
+        if new_end > r.start {
+            self.add_steps(r.start.get(), new_end.get(), &r.request);
+        } else {
+            self.zero_len.insert(id);
+        }
+        self.slots[id as usize]
+            .as_mut()
+            .expect("live slot")
+            .reservation
+            .end = new_end;
+    }
+
+    /// Drops every zero-length reservation (the old `retain(end > start)`).
+    pub(crate) fn purge_zero_len(&mut self) {
+        let ids: Vec<SlotId> = self.zero_len.iter().copied().collect();
+        for id in ids {
+            self.remove_slot(id);
+        }
+    }
+
+    /// Drops every reservation with `end ≤ t` (the old `retain(end > t)`).
+    pub(crate) fn purge_through(&mut self, t: Cycles) {
+        let expired: Vec<SlotId> = self
+            .by_end
+            .range(..=t.get())
+            .flat_map(|(_, ids)| ids.iter().copied())
+            .collect();
+        for id in expired {
+            self.remove_slot(id);
+        }
+    }
+
+    /// Empties the table (capacity revocation rebuilds from scratch).
+    pub(crate) fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.next_seq = 0;
+        self.by_seq.clear();
+        self.by_end.clear();
+        self.by_id.clear();
+        self.zero_len.clear();
+        self.steps.clear();
+    }
+
+    /// Reserved usage at instant `t`: one ordered lookup in the step index.
+    pub(crate) fn usage_at(&self, t: Cycles) -> ResourceRequest {
+        self.steps
+            .range(..=t.get())
+            .next_back()
+            .map_or_else(zero_usage, |(_, b)| b.usage)
+    }
+
+    /// Whether `request` fits on top of existing reservations at every
+    /// instant of `[start, end)`: the segment covering `start` plus every
+    /// change point strictly inside the window.
+    pub(crate) fn fits_over(
+        &self,
+        request: &ResourceRequest,
+        start: Cycles,
+        end: Cycles,
+        capacity: &ResourceRequest,
+    ) -> bool {
+        if end <= start {
+            return true;
+        }
+        if !self.usage_at(start).plus(request).fits_within(capacity) {
+            return false;
+        }
+        self.steps
+            .range((Excluded(start.get()), Excluded(end.get())))
+            .all(|(_, b)| b.usage.plus(request).fits_within(capacity))
+    }
+
+    /// Earliest `s ∈ [not_before, latest_start]` such that `request` fits
+    /// over `[s, s+duration)`. Candidates are `not_before` and reservation
+    /// end points after it, streamed in ascending order.
+    pub(crate) fn earliest_start(
+        &self,
+        request: &ResourceRequest,
+        duration: Cycles,
+        not_before: Cycles,
+        latest_start: Cycles,
+        capacity: &ResourceRequest,
+    ) -> Option<Cycles> {
+        if not_before <= latest_start
+            && self.fits_over(request, not_before, not_before + duration, capacity)
+        {
+            return Some(not_before);
+        }
+        for &end in self
+            .by_end
+            .range((Excluded(not_before.get()), Unbounded))
+            .map(|(k, _)| k)
+        {
+            let s = Cycles::new(end);
+            if s > latest_start {
+                break;
+            }
+            if self.fits_over(request, s, s + duration, capacity) {
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    fn ensure_boundary(&mut self, at: u64) {
+        if self.steps.contains_key(&at) {
+            return;
+        }
+        // A fresh boundary splits an existing segment: it inherits the
+        // usage of the segment it lands in.
+        let usage = self
+            .steps
+            .range(..at)
+            .next_back()
+            .map_or_else(zero_usage, |(_, b)| b.usage);
+        self.steps.insert(at, Boundary { usage, refs: 0 });
+    }
+
+    fn add_steps(&mut self, start: u64, end: u64, request: &ResourceRequest) {
+        debug_assert!(start < end);
+        self.ensure_boundary(start);
+        self.ensure_boundary(end);
+        for (_, b) in self.steps.range_mut(start..end) {
+            b.usage = b.usage.plus(request);
+        }
+        self.steps.get_mut(&start).expect("boundary").refs += 1;
+        self.steps.get_mut(&end).expect("boundary").refs += 1;
+    }
+
+    fn remove_steps(&mut self, start: u64, end: u64, request: &ResourceRequest) {
+        debug_assert!(start < end);
+        for (_, b) in self.steps.range_mut(start..end) {
+            // Exact, not merely saturating: this reservation's request was
+            // added to every segment in the range and nothing else touched
+            // its contribution since.
+            b.usage = b.usage.minus(request);
+        }
+        for key in [start, end] {
+            let b = self.steps.get_mut(&key).expect("boundary");
+            b.refs -= 1;
+            if b.refs == 0 {
+                self.steps.remove(&key);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::ExecutionMode;
+
+    fn res(id: u32, start: u64, end: u64, cores: u32, ways: u16) -> Reservation {
+        Reservation {
+            id: JobId::new(id),
+            start: Cycles::new(start),
+            end: Cycles::new(end),
+            request: ResourceRequest::new(cores, Ways::new(ways)),
+            mode: ExecutionMode::Strict,
+            deadline: None,
+        }
+    }
+
+    /// Brute-force mirror of the original `Vec<Reservation>` queries.
+    struct BruteForce(Vec<Reservation>);
+
+    impl BruteForce {
+        fn usage_at(&self, t: Cycles) -> ResourceRequest {
+            self.0
+                .iter()
+                .filter(|r| r.start <= t && t < r.end)
+                .fold(zero_usage(), |acc, r| acc.plus(&r.request))
+        }
+
+        fn fits_during(
+            &self,
+            request: &ResourceRequest,
+            start: Cycles,
+            end: Cycles,
+            capacity: &ResourceRequest,
+        ) -> bool {
+            if end <= start {
+                return true;
+            }
+            let mut points = vec![start];
+            for r in &self.0 {
+                if r.start > start && r.start < end {
+                    points.push(r.start);
+                }
+            }
+            points
+                .iter()
+                .all(|&p| self.usage_at(p).plus(request).fits_within(capacity))
+        }
+
+        fn earliest_start(
+            &self,
+            request: &ResourceRequest,
+            duration: Cycles,
+            not_before: Cycles,
+            latest_start: Cycles,
+            capacity: &ResourceRequest,
+        ) -> Option<Cycles> {
+            let mut candidates = vec![not_before];
+            for r in &self.0 {
+                if r.end > not_before {
+                    candidates.push(r.end);
+                }
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+            candidates
+                .into_iter()
+                .filter(|&s| s <= latest_start)
+                .find(|&s| self.fits_during(request, s, s + duration, capacity))
+        }
+    }
+
+    /// Tiny deterministic LCG so the comparison sweep needs no RNG crate.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self, bound: u64) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            (self.0 >> 33) % bound.max(1)
+        }
+    }
+
+    #[test]
+    fn queries_match_the_brute_force_across_mutation_sequences() {
+        let capacity = ResourceRequest::new(4, Ways::new(16)).with_bandwidth(100);
+        for seed in 0..24u64 {
+            let mut rng = Lcg(seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
+            let mut table = ReservationTable::default();
+            let mut model: Vec<Reservation> = Vec::new();
+            for step in 0..60u32 {
+                match rng.next(10) {
+                    // Insert (zero-length ~10% of the time via dur == 0).
+                    0..=5 => {
+                        let start = rng.next(500);
+                        let dur = rng.next(120).saturating_sub(10);
+                        let r = res(
+                            step,
+                            start,
+                            start + dur,
+                            rng.next(3) as u32,
+                            rng.next(9) as u16,
+                        );
+                        table.insert(r);
+                        model.push(r);
+                    }
+                    6 => {
+                        let job = JobId::new(rng.next(u64::from(step.max(1))) as u32);
+                        table.remove_job(job);
+                        model.retain(|r| r.id != job);
+                    }
+                    7 => {
+                        let t = Cycles::new(rng.next(600));
+                        table.purge_through(t);
+                        model.retain(|r| r.end > t);
+                    }
+                    8 => {
+                        // Truncate one job's reservations to `at`, then
+                        // purge zero-length, exactly like `Lac::release`.
+                        let job = JobId::new(rng.next(u64::from(step.max(1))) as u32);
+                        let at = Cycles::new(rng.next(600));
+                        for id in table.slots_of(job) {
+                            let r = table.reservation(id);
+                            if r.end > at {
+                                table.update_end(id, r.end.min(at.max(r.start)));
+                            }
+                        }
+                        for r in &mut model {
+                            if r.id == job && r.end > at {
+                                r.end = r.end.min(at.max(r.start));
+                            }
+                        }
+                        table.purge_zero_len();
+                        model.retain(|r| r.end > r.start);
+                    }
+                    _ => {}
+                }
+                let brute = BruteForce(model.clone());
+                assert_eq!(table.to_vec(), model, "seed {seed} step {step}: order");
+                for t in [0, 1, 99, 100, 250, 499, 700] {
+                    assert_eq!(
+                        table.usage_at(Cycles::new(t)),
+                        brute.usage_at(Cycles::new(t)),
+                        "seed {seed} step {step}: usage at {t}"
+                    );
+                }
+                let probe = ResourceRequest::new(1, Ways::new(5));
+                for (s, e) in [(0, 50), (40, 200), (100, 101), (480, 700), (10, 10)] {
+                    assert_eq!(
+                        table.fits_over(&probe, Cycles::new(s), Cycles::new(e), &capacity),
+                        brute.fits_during(&probe, Cycles::new(s), Cycles::new(e), &capacity),
+                        "seed {seed} step {step}: fits over [{s}, {e})"
+                    );
+                }
+                for (nb, ls) in [(0, 1_000), (50, 400), (200, 199), (0, 0)] {
+                    assert_eq!(
+                        table.earliest_start(
+                            &probe,
+                            Cycles::new(75),
+                            Cycles::new(nb),
+                            Cycles::new(ls),
+                            &capacity,
+                        ),
+                        brute.earliest_start(
+                            &probe,
+                            Cycles::new(75),
+                            Cycles::new(nb),
+                            Cycles::new(ls),
+                            &capacity,
+                        ),
+                        "seed {seed} step {step}: earliest start [{nb}, {ls}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn step_index_collapses_when_reservations_leave() {
+        let mut table = ReservationTable::default();
+        table.insert(res(0, 0, 100, 1, 4));
+        table.insert(res(1, 50, 150, 1, 4));
+        assert!(!table.steps.is_empty());
+        table.remove_job(JobId::new(0));
+        table.remove_job(JobId::new(1));
+        assert!(table.steps.is_empty(), "boundaries must refcount to zero");
+        assert_eq!(table.len(), 0);
+        assert_eq!(table.usage_at(Cycles::new(75)), zero_usage());
+    }
+
+    #[test]
+    fn slab_reuses_freed_slots_and_keeps_fcfs_order() {
+        let mut table = ReservationTable::default();
+        table.insert(res(0, 0, 10, 1, 1));
+        table.insert(res(1, 0, 20, 1, 1));
+        table.remove_job(JobId::new(0));
+        // The freed slot is reused, but FCFS order is by seq, not slot id.
+        table.insert(res(2, 0, 30, 1, 1));
+        assert_eq!(table.slots.len(), 2);
+        let ids: Vec<u32> = table.iter_fcfs().map(|r| r.id.index()).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn zero_length_reservations_index_but_do_not_occupy() {
+        let capacity = ResourceRequest::new(4, Ways::new(16));
+        let mut table = ReservationTable::default();
+        table.insert(res(0, 40, 40, 4, 16));
+        // No usage anywhere...
+        assert_eq!(table.usage_at(Cycles::new(40)), zero_usage());
+        // ...but its end point is still an earliest-start candidate.
+        let probe = ResourceRequest::new(1, Ways::new(1));
+        assert_eq!(
+            table.earliest_start(
+                &probe,
+                Cycles::new(10),
+                Cycles::new(0),
+                Cycles::new(1_000),
+                &capacity,
+            ),
+            Some(Cycles::new(0))
+        );
+        table.purge_zero_len();
+        assert_eq!(table.len(), 0);
+    }
+}

@@ -12,6 +12,7 @@
 
 use crate::lac::{Decision, Lac, LacConfig, Revocation, RevocationAction};
 use crate::modes::{auto_downgrade_plan, ExecutionMode};
+use crate::request::AdmissionRequest;
 use crate::stealing::{StealingAction, StealingConfig, StealingController};
 use crate::target::ResourceRequest;
 use cmpqos_cache::WayMaskError;
@@ -503,22 +504,18 @@ impl QosScheduler {
 
         let decision = if auto {
             let td = job.deadline.expect("auto requires a deadline");
-            self.lac.admit_latest_recorded(
-                id,
-                job.request,
-                job.max_wall_clock,
-                td,
-                self.recorder.as_mut(),
-            )
+            let req = AdmissionRequest::builder(id, job.request, job.max_wall_clock)
+                .deadline(td)
+                .latest_feasible()
+                .build();
+            self.lac.admit_with(&req, self.recorder.as_mut())
         } else {
-            self.lac.admit_recorded(
-                id,
-                job.mode,
-                job.request,
-                job.max_wall_clock,
-                job.deadline,
-                self.recorder.as_mut(),
-            )
+            let mut b =
+                AdmissionRequest::builder(id, job.request, job.max_wall_clock).mode(job.mode);
+            if let Some(td) = job.deadline {
+                b = b.deadline(td);
+            }
+            self.lac.admit_with(&b.build(), self.recorder.as_mut())
         };
 
         let mut managed = Managed {

@@ -287,6 +287,66 @@ fn component_benches(params: &ExperimentParams) -> Vec<ComponentBench> {
         cmpqos_obs::merge_shards(shards, &mut sink);
     });
 
+    // The indexed admission hot path: three decisions per iteration
+    // against a live 10,000-reservation table — a Strict accept (then
+    // cancelled so the table is unchanged), a deadline-infeasible Strict
+    // reject, and an Opportunistic accept. CI derives decisions/sec as
+    // `3e9 / ns_per_iter` and gates regressions on the committed report.
+    {
+        use cmpqos_core::{
+            AdmissionRequest, ExecutionMode, Lac, LacConfig, LacState, Reservation, ResourceRequest,
+        };
+        use cmpqos_types::{Cycles, JobId, Ways};
+        // 3 of 4 cores and 12 of 16 ways busy at every instant of
+        // [0, 1e6): one core and four ways stay free.
+        let reservations: Vec<Reservation> = (0..10_000u64)
+            .map(|k| Reservation {
+                id: JobId::new(k as u32),
+                start: Cycles::new(k * 100),
+                end: Cycles::new((k + 1) * 100),
+                request: ResourceRequest::new(3, Ways::new(12)),
+                mode: ExecutionMode::Strict,
+                deadline: None,
+            })
+            .collect();
+        let mut lac = Lac::restore(LacState {
+            config: LacConfig::default(),
+            now: Cycles::ZERO,
+            reservations,
+            admission_tests: 0,
+            accepted: 10_000,
+            rejected: 0,
+            modeled_cost: Cycles::ZERO,
+        });
+        let fits = AdmissionRequest::builder(
+            JobId::new(100_000),
+            ResourceRequest::new(1, Ways::new(4)),
+            Cycles::new(100),
+        )
+        .deadline(Cycles::new(100))
+        .build();
+        let starved = AdmissionRequest::builder(
+            JobId::new(100_001),
+            ResourceRequest::new(2, Ways::new(4)),
+            Cycles::new(100),
+        )
+        .deadline(Cycles::new(500))
+        .build();
+        let opportunistic = AdmissionRequest::builder(
+            JobId::new(100_002),
+            ResourceRequest::new(1, Ways::ZERO),
+            Cycles::new(10),
+        )
+        .mode(ExecutionMode::Opportunistic)
+        .build();
+        timed("lac_admission_indexed", 5_000, &mut || {
+            assert!(lac.admit(&fits).is_accepted());
+            lac.cancel(fits.id);
+            assert!(!lac.admit(&starved).is_accepted());
+            assert!(lac.admit(&opportunistic).is_accepted());
+        });
+    }
+
     // JSONL timeline parsing (the observability read path).
     let jsonl: String = shard
         .records()

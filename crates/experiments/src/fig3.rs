@@ -86,7 +86,11 @@ fn simulate(label: &'static str, modes: &[ExecutionMode; 6], stealing: bool) -> 
     for (i, &mode) in modes.iter().enumerate() {
         // The figure's deadlines are 1.5T from each job's acceptance, so
         // admission itself is unconstrained FCFS (all six are accepted).
-        let d = lac.admit(JobId::new(i as u32), mode, request, T, None);
+        let d = lac.admit(
+            &cmpqos_core::AdmissionRequest::builder(JobId::new(i as u32), request, T)
+                .mode(mode)
+                .build(),
+        );
         let start = match d {
             Decision::Accepted { start } => start,
             Decision::Rejected(_) => Cycles::ZERO, // opportunistic always fits here

@@ -19,7 +19,7 @@
 use crate::output::{banner, pct, Table};
 use crate::params::ExperimentParams;
 use cmpqos_core::{
-    AdmissionIntake, AdmissionRequest, ExecutionMode, IntakeConfig, Lac, LacConfig, ResourceRequest,
+    AdmissionIntake, AdmissionRequest, IntakeConfig, Lac, LacConfig, ResourceRequest,
 };
 use cmpqos_obs::NullRecorder;
 use cmpqos_types::{Cycles, JobId, NodeId, SourceId};
@@ -102,14 +102,14 @@ fn arrivals(rate: u64) -> Vec<(Cycles, AdmissionRequest)> {
             let at = Cycles::new(at);
             (
                 at,
-                AdmissionRequest {
-                    id: JobId::new(i as u32),
-                    source: SourceId::new(i as u32 % SOURCES),
-                    mode: ExecutionMode::Strict,
-                    request: ResourceRequest::paper_job(),
-                    tw: Cycles::new(TW),
-                    deadline: Some(at + Cycles::new(3 * TW)),
-                },
+                AdmissionRequest::builder(
+                    JobId::new(i as u32),
+                    ResourceRequest::paper_job(),
+                    Cycles::new(TW),
+                )
+                .source(SourceId::new(i as u32 % SOURCES))
+                .deadline(at + Cycles::new(3 * TW))
+                .build(),
             )
         })
         .collect()
@@ -257,7 +257,7 @@ mod tests {
             let _ = intake.offer(req, at, &mut NullRecorder);
             let _ = intake.drain(&mut guarded, at, &mut NullRecorder);
             bare.advance(at);
-            let _ = bare.admit(req.id, req.mode, req.request, req.tw, req.deadline);
+            let _ = bare.admit(&req);
         }
         assert_eq!(guarded.reservations(), bare.reservations());
         assert_eq!(guarded.accepted(), bare.accepted());

@@ -3,7 +3,8 @@
 use crate::journal::Journal;
 use crate::RecoveryReport;
 use cmpqos_core::{
-    Decision, ExecutionMode, Lac, LacConfig, LacState, Reservation, ResourceRequest, Revocation,
+    AdmissionRequest, Decision, ExecutionMode, Lac, LacConfig, LacState, Placement, Reservation,
+    ResourceRequest, Revocation,
 };
 use cmpqos_types::{Cycles, JobId};
 use serde::{Deserialize, Serialize};
@@ -14,7 +15,7 @@ use serde::{Deserialize, Serialize};
 pub enum LacOp {
     /// A compaction snapshot: the complete controller state at this point.
     Snapshot(LacState),
-    /// [`Lac::admit`].
+    /// [`Lac::admit`] with earliest-feasible placement.
     Admit {
         /// The submitted job.
         id: JobId,
@@ -27,7 +28,7 @@ pub enum LacOp {
         /// Its deadline, when given.
         deadline: Option<Cycles>,
     },
-    /// [`Lac::admit_latest`].
+    /// [`Lac::admit`] with latest-feasible placement.
     AdmitLatest {
         /// The downgraded job.
         id: JobId,
@@ -167,7 +168,11 @@ impl JournaledLac {
                 tw,
                 deadline,
             } => {
-                let _ = lac.admit(*id, *mode, *request, *tw, *deadline);
+                let mut b = AdmissionRequest::builder(*id, *request, *tw).mode(*mode);
+                if let Some(td) = deadline {
+                    b = b.deadline(*td);
+                }
+                let _ = lac.admit(&b.build());
             }
             LacOp::AdmitLatest {
                 id,
@@ -175,7 +180,11 @@ impl JournaledLac {
                 tw,
                 deadline,
             } => {
-                let _ = lac.admit_latest(*id, *request, *tw, *deadline);
+                let req = AdmissionRequest::builder(*id, *request, *tw)
+                    .deadline(*deadline)
+                    .latest_feasible()
+                    .build();
+                let _ = lac.admit(&req);
             }
             LacOp::Readmit(r) => {
                 let _ = lac.readmit(r);
@@ -204,8 +213,72 @@ impl JournaledLac {
         }
     }
 
+    /// The journal record for one typed request: latest-feasible requests
+    /// with a deadline map to [`LacOp::AdmitLatest`], everything else to
+    /// [`LacOp::Admit`] — the wire format predates the typed API and is
+    /// frozen.
+    fn op_for(req: &AdmissionRequest) -> LacOp {
+        match (req.placement, req.deadline) {
+            (Placement::LatestFeasible, Some(td)) => LacOp::AdmitLatest {
+                id: req.id,
+                request: req.request,
+                tw: req.tw,
+                deadline: td,
+            },
+            _ => LacOp::Admit {
+                id: req.id,
+                mode: req.mode,
+                request: req.request,
+                tw: req.tw,
+                deadline: req.deadline,
+            },
+        }
+    }
+
     /// Journaled [`Lac::admit`].
-    pub fn admit(
+    pub fn admit(&mut self, req: &AdmissionRequest) -> Decision {
+        self.log(Self::op_for(req));
+        let decision = self.lac.admit(req);
+        self.maybe_compact();
+        decision
+    }
+
+    /// Journaled [`Lac::admit_with`]. The recorder only emits events — it
+    /// never influences state — so the journaled op is the same as for the
+    /// unrecorded call and replay uses the silent path.
+    pub fn admit_with(
+        &mut self,
+        req: &AdmissionRequest,
+        recorder: &mut dyn cmpqos_obs::Recorder,
+    ) -> Decision {
+        self.log(Self::op_for(req));
+        let decision = self.lac.admit_with(req, recorder);
+        self.maybe_compact();
+        decision
+    }
+
+    /// Journaled [`Lac::admit_batch`]: every op of the run is appended
+    /// write-ahead before the first admission mutates the tables, then the
+    /// whole run admits as one batch with a single compaction check at the
+    /// end. Decisions are bit-identical to journaling one request at a
+    /// time; replay reconstructs the same state either way.
+    #[must_use = "each decision carries a job's fate; dropping them loses the batch"]
+    pub fn admit_batch(
+        &mut self,
+        reqs: &[AdmissionRequest],
+        recorder: &mut dyn cmpqos_obs::Recorder,
+    ) -> Vec<Decision> {
+        for req in reqs {
+            self.log(Self::op_for(req));
+        }
+        let decisions = self.lac.admit_batch(reqs, recorder);
+        self.maybe_compact();
+        decisions
+    }
+
+    /// Positional journaled admission, kept one release for migration.
+    #[deprecated(note = "build an `AdmissionRequest` and call `JournaledLac::admit`")]
+    pub fn admit_args(
         &mut self,
         id: JobId,
         mode: ExecutionMode,
@@ -213,21 +286,16 @@ impl JournaledLac {
         tw: Cycles,
         deadline: Option<Cycles>,
     ) -> Decision {
-        self.log(LacOp::Admit {
-            id,
-            mode,
-            request,
-            tw,
-            deadline,
-        });
-        let decision = self.lac.admit(id, mode, request, tw, deadline);
-        self.maybe_compact();
-        decision
+        let mut b = AdmissionRequest::builder(id, request, tw).mode(mode);
+        if let Some(td) = deadline {
+            b = b.deadline(td);
+        }
+        self.admit(&b.build())
     }
 
-    /// Journaled [`Lac::admit_recorded`]. The recorder only emits events —
-    /// it never influences state — so the journaled op is the same as for
-    /// the unrecorded call and replay uses the silent path.
+    /// Positional journaled recorded admission, kept one release for
+    /// migration.
+    #[deprecated(note = "build an `AdmissionRequest` and call `JournaledLac::admit_with`")]
     pub fn admit_recorded(
         &mut self,
         id: JobId,
@@ -237,21 +305,18 @@ impl JournaledLac {
         deadline: Option<Cycles>,
         recorder: &mut dyn cmpqos_obs::Recorder,
     ) -> Decision {
-        self.log(LacOp::Admit {
-            id,
-            mode,
-            request,
-            tw,
-            deadline,
-        });
-        let decision = self
-            .lac
-            .admit_recorded(id, mode, request, tw, deadline, recorder);
-        self.maybe_compact();
-        decision
+        let mut b = AdmissionRequest::builder(id, request, tw).mode(mode);
+        if let Some(td) = deadline {
+            b = b.deadline(td);
+        }
+        self.admit_with(&b.build(), recorder)
     }
 
-    /// Journaled [`Lac::admit_latest`].
+    /// Positional journaled latest-slot admission, kept one release for
+    /// migration.
+    #[deprecated(
+        note = "build an `AdmissionRequest` with `.deadline(td).latest_feasible()` and call `JournaledLac::admit`"
+    )]
     pub fn admit_latest(
         &mut self,
         id: JobId,
@@ -259,15 +324,11 @@ impl JournaledLac {
         tw: Cycles,
         deadline: Cycles,
     ) -> Decision {
-        self.log(LacOp::AdmitLatest {
-            id,
-            request,
-            tw,
-            deadline,
-        });
-        let decision = self.lac.admit_latest(id, request, tw, deadline);
-        self.maybe_compact();
-        decision
+        let req = AdmissionRequest::builder(id, request, tw)
+            .deadline(deadline)
+            .latest_feasible()
+            .build();
+        self.admit(&req)
     }
 
     /// Journaled [`Lac::readmit`].
@@ -318,11 +379,13 @@ mod tests {
 
     fn paper_admit(lac: &mut JournaledLac, id: u32, tw: u64, td: u64) -> Decision {
         lac.admit(
-            JobId::new(id),
-            ExecutionMode::Strict,
-            ResourceRequest::paper_job(),
-            Cycles::new(tw),
-            Some(Cycles::new(td)),
+            &AdmissionRequest::builder(
+                JobId::new(id),
+                ResourceRequest::paper_job(),
+                Cycles::new(tw),
+            )
+            .deadline(Cycles::new(td))
+            .build(),
         )
     }
 

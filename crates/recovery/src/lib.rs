@@ -23,19 +23,19 @@
 //!   exactly this under `--crash-at`).
 //!
 //! ```
-//! use cmpqos_core::{ExecutionMode, Lac, LacConfig, ResourceRequest};
+//! use cmpqos_core::{AdmissionRequest, Lac, LacConfig, ResourceRequest};
 //! use cmpqos_recovery::JournaledLac;
 //! use cmpqos_types::{Cycles, JobId};
 //!
 //! let mut lac = JournaledLac::new(Lac::new(LacConfig::default()), 64);
-//! let d = lac.admit(
+//! let req = AdmissionRequest::builder(
 //!     JobId::new(0),
-//!     ExecutionMode::Strict,
 //!     ResourceRequest::paper_job(),
 //!     Cycles::new(100),
-//!     Some(Cycles::new(1_000)),
-//! );
-//! assert!(d.is_accepted());
+//! )
+//! .deadline(Cycles::new(1_000))
+//! .build();
+//! assert!(lac.admit(&req).is_accepted());
 //!
 //! // Crash: only the serialized journal survives.
 //! let surviving = lac.to_jsonl();

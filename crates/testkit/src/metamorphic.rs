@@ -21,8 +21,8 @@
 //!    same run with stealing disabled.
 
 use cmpqos_core::{
-    Decision, ExecutionMode, JobReport, Lac, LacConfig, QosJob, QosScheduler, ResourceRequest,
-    SchedulerConfig,
+    AdmissionRequest, Decision, ExecutionMode, JobReport, Lac, LacConfig, QosJob, QosScheduler,
+    ResourceRequest, SchedulerConfig,
 };
 use cmpqos_obs::ShardRecorder;
 use cmpqos_system::SystemConfig;
@@ -95,20 +95,25 @@ fn replay(
         lac.advance(now);
         if insert_opportunistic_at == Some(i) {
             let _ = lac.admit(
-                JobId::new(10_000),
-                ExecutionMode::Opportunistic,
-                ResourceRequest::new(1, Ways::new(1)),
-                Cycles::new(s.tw * m),
-                None,
+                &AdmissionRequest::builder(
+                    JobId::new(10_000),
+                    ResourceRequest::new(1, Ways::new(1)),
+                    Cycles::new(s.tw * m),
+                )
+                .mode(ExecutionMode::Opportunistic)
+                .build(),
             );
         }
-        decisions.push(lac.admit(
+        let mut b = AdmissionRequest::builder(
             JobId::new(i as u32),
-            s.mode,
             ResourceRequest::new(s.cores, Ways::new(s.ways)),
             Cycles::new(s.tw * m),
-            s.deadline_offset.map(|d| now + Cycles::new(d * m)),
-        ));
+        )
+        .mode(s.mode);
+        if let Some(d) = s.deadline_offset {
+            b = b.deadline(now + Cycles::new(d * m));
+        }
+        decisions.push(lac.admit(&b.build()));
     }
     (lac, decisions)
 }

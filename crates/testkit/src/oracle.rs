@@ -18,7 +18,8 @@
 
 use cmpqos_core::intake::AdmissionRequest;
 use cmpqos_core::{
-    Decision, ExecutionMode, Lac, RejectReason, Reservation, ResourceRequest, RevocationAction,
+    Decision, ExecutionMode, Feasibility, Lac, Placement, RejectReason, Reservation,
+    ResourceRequest, RevocationAction,
 };
 use cmpqos_types::{Cycles, JobId, SourceId, Ways};
 use std::collections::{BTreeMap, VecDeque};
@@ -259,6 +260,18 @@ impl OracleLac {
         }
     }
 
+    /// Brute-force mirror of `Lac::admit(&AdmissionRequest)`: dispatches
+    /// on [`Placement`] exactly like the production controller, so typed
+    /// call sites can be diffed without unpacking the request.
+    pub fn admit_request(&mut self, req: &AdmissionRequest) -> Decision {
+        match (req.placement, req.deadline) {
+            (Placement::LatestFeasible, Some(td)) => {
+                self.admit_latest(req.id, req.request, req.tw, td)
+            }
+            _ => self.admit(req.id, req.mode, req.request, req.tw, req.deadline),
+        }
+    }
+
     /// Brute-force mirror of [`Lac::admit`].
     pub fn admit(
         &mut self,
@@ -285,7 +298,7 @@ impl OracleLac {
                         Some(ls) => Cycles::new(ls),
                         None => return Decision::Rejected(RejectReason::NoCapacityBeforeDeadline),
                     },
-                    None => Cycles::new(u64::MAX / 2),
+                    None => Cycles::HORIZON,
                 };
                 match self.earliest_start(&request, duration, self.now, latest_start) {
                     Some(start) => {
@@ -318,7 +331,9 @@ impl OracleLac {
         if !request.fits_within(&self.capacity) {
             return Decision::Rejected(RejectReason::ExceedsNodeCapacity);
         }
-        if deadline.saturating_sub(tw) < self.now && deadline < self.now + tw {
+        // Any tw-long slot ending by `deadline` needs `deadline >= now + tw`
+        // (this also keeps `deadline - tw` below from underflowing).
+        if deadline < self.now + tw {
             return Decision::Rejected(RejectReason::NoCapacityBeforeDeadline);
         }
         let latest = deadline - tw;
@@ -355,7 +370,7 @@ impl OracleLac {
                 Some(ls) => Cycles::new(ls),
                 None => return Decision::Rejected(RejectReason::NoCapacityBeforeDeadline),
             },
-            None => Cycles::new(u64::MAX / 2),
+            None => Cycles::HORIZON,
         };
         match self.earliest_start(&r.request, duration, self.now, latest_start) {
             Some(start) => {
@@ -448,6 +463,34 @@ impl OracleLac {
                 lac.reservations()
             ))
         }
+    }
+}
+
+impl Feasibility for OracleLac {
+    fn capacity(&self) -> ResourceRequest {
+        self.capacity
+    }
+
+    fn now(&self) -> Cycles {
+        self.now
+    }
+
+    fn usage_at(&self, t: Cycles) -> ResourceRequest {
+        OracleLac::usage_at(self, t)
+    }
+
+    fn fits_over(&self, request: &ResourceRequest, start: Cycles, end: Cycles) -> bool {
+        OracleLac::fits_over(self, request, start, end)
+    }
+
+    fn earliest_feasible(
+        &self,
+        request: &ResourceRequest,
+        duration: Cycles,
+        not_before: Cycles,
+        latest_start: Cycles,
+    ) -> Option<Cycles> {
+        self.earliest_start(request, duration, not_before, latest_start)
     }
 }
 
@@ -616,11 +659,13 @@ mod tests {
         let mut l = Lac::new(LacConfig::default());
         for i in 0..5u32 {
             let d = l.admit(
-                JobId::new(i),
-                ExecutionMode::Strict,
-                ResourceRequest::paper_job(),
-                Cycles::new(100),
-                Some(Cycles::new(1_000)),
+                &AdmissionRequest::builder(
+                    JobId::new(i),
+                    ResourceRequest::paper_job(),
+                    Cycles::new(100),
+                )
+                .deadline(Cycles::new(1_000))
+                .build(),
             );
             let e = o.admit(
                 JobId::new(i),

@@ -53,6 +53,10 @@ pub enum ScenarioKind {
     Scheduler,
     /// Multi-node GAC runs with fault injection between submissions.
     Gac,
+    /// Batched admission: runs of consecutive requests go through
+    /// `admit_batch` and must decide identically to one-at-a-time
+    /// admission and the brute-force oracle.
+    Batch,
 }
 
 impl ScenarioKind {
@@ -64,6 +68,7 @@ impl ScenarioKind {
             ScenarioKind::Intake => "intake",
             ScenarioKind::Scheduler => "scheduler",
             ScenarioKind::Gac => "gac",
+            ScenarioKind::Batch => "batch",
         }
     }
 
@@ -75,16 +80,18 @@ impl ScenarioKind {
             "intake" => Some(ScenarioKind::Intake),
             "scheduler" => Some(ScenarioKind::Scheduler),
             "gac" => Some(ScenarioKind::Gac),
+            "batch" => Some(ScenarioKind::Batch),
             _ => None,
         }
     }
 
     /// All kinds, in explorer rotation order.
-    pub const ALL: [ScenarioKind; 4] = [
+    pub const ALL: [ScenarioKind; 5] = [
         ScenarioKind::Lac,
         ScenarioKind::Intake,
         ScenarioKind::Scheduler,
         ScenarioKind::Gac,
+        ScenarioKind::Batch,
     ];
 }
 
@@ -226,6 +233,50 @@ impl Scenario {
                         Op::Advance { delta }
                     }
                 },
+                // Admit-heavy so consecutive requests form real batches;
+                // the occasional release/cancel/advance breaks a run and
+                // mutates the table between flushes.
+                ScenarioKind::Batch => match rng.gen_range(0..10u32) {
+                    0..=5 => {
+                        let id = next_id;
+                        next_id += 1;
+                        Op::Admit {
+                            id,
+                            mode: gen_mode(&mut rng),
+                            cores: rng.gen_range(0..4),
+                            ways: rng.gen_range(0..10),
+                            bandwidth: rng.gen_range(0..51),
+                            tw: rng.gen_range(1..251),
+                            deadline: if rng.gen_bool(0.7) {
+                                Some(now + rng.gen_range(0..1201))
+                            } else {
+                                None
+                            },
+                        }
+                    }
+                    6 => {
+                        let id = next_id;
+                        next_id += 1;
+                        Op::AdmitLatest {
+                            id,
+                            cores: rng.gen_range(1..4),
+                            ways: rng.gen_range(1..10),
+                            tw: rng.gen_range(1..251),
+                            deadline: now + rng.gen_range(0..1201),
+                        }
+                    }
+                    7 => Op::Release {
+                        id: rng.gen_range(0..next_id.max(1)),
+                    },
+                    8 => Op::Cancel {
+                        id: rng.gen_range(0..next_id.max(1)),
+                    },
+                    _ => {
+                        let delta = rng.gen_range(0..301u64);
+                        now += delta;
+                        Op::Advance { delta }
+                    }
+                },
                 _ => match rng.gen_range(0..12u32) {
                     0..=4 => {
                         let id = next_id;
@@ -344,6 +395,7 @@ pub fn run(scenario: &Scenario) -> Result<(), Divergence> {
         ScenarioKind::Intake => run_intake(scenario),
         ScenarioKind::Scheduler => run_scheduler(scenario.seed),
         ScenarioKind::Gac => run_gac(scenario.seed),
+        ScenarioKind::Batch => run_batch(scenario),
     }
 }
 
@@ -387,13 +439,12 @@ pub fn run_lac(scenario: &Scenario) -> Result<(), Divergence> {
                 deadline,
             } => {
                 let request = request_of(cores, ways, bandwidth);
-                let got = jl.admit(
-                    JobId::new(id),
-                    mode,
-                    request,
-                    Cycles::new(tw),
-                    deadline.map(Cycles::new),
-                );
+                let mut b =
+                    AdmissionRequest::builder(JobId::new(id), request, Cycles::new(tw)).mode(mode);
+                if let Some(td) = deadline {
+                    b = b.deadline(Cycles::new(td));
+                }
+                let got = jl.admit(&b.build());
                 let want = oracle.admit(
                     JobId::new(id),
                     mode,
@@ -417,12 +468,11 @@ pub fn run_lac(scenario: &Scenario) -> Result<(), Divergence> {
                 deadline,
             } => {
                 let request = request_of(cores, ways, 0);
-                let got = jl.admit_latest(
-                    JobId::new(id),
-                    request,
-                    Cycles::new(tw),
-                    Cycles::new(deadline),
-                );
+                let req = AdmissionRequest::builder(JobId::new(id), request, Cycles::new(tw))
+                    .deadline(Cycles::new(deadline))
+                    .latest_feasible()
+                    .build();
+                let got = jl.admit(&req);
                 let want = oracle.admit_latest(
                     JobId::new(id),
                     request,
@@ -519,6 +569,167 @@ pub fn run_lac(scenario: &Scenario) -> Result<(), Divergence> {
     Ok(())
 }
 
+/// Batch-admission differential ([`ScenarioKind::Batch`]): every maximal
+/// run of consecutive admissions goes through `JournaledLac::admit_batch`
+/// on the production side and one-at-a-time through a plain [`Lac`] and
+/// the brute-force oracle. The three decision streams — and all three
+/// reservation tables — must be identical at every flush.
+///
+/// # Errors
+///
+/// Returns the first divergence between the batched controller, the
+/// sequential controller, and the oracle.
+pub fn run_batch(scenario: &Scenario) -> Result<(), Divergence> {
+    const COMPACT_EVERY: u64 = 5;
+
+    fn flush(
+        scenario: &Scenario,
+        op_index: usize,
+        run: &mut Vec<AdmissionRequest>,
+        jl: &mut JournaledLac,
+        seq: &mut Lac,
+        oracle: &mut OracleLac,
+    ) -> Result<(), Divergence> {
+        if run.is_empty() {
+            return Ok(());
+        }
+        let reqs = std::mem::take(run);
+        let batched = jl.admit_batch(&reqs, &mut NullRecorder);
+        for (req, got) in reqs.iter().zip(batched) {
+            let one = seq.admit(req);
+            let want = oracle.admit_request(req);
+            if got != one || got != want {
+                return Err(diverge(
+                    scenario,
+                    op_index,
+                    format!(
+                        "admit_batch(job {:?}): batch {got:?} vs sequential {one:?} \
+                         vs oracle {want:?}",
+                        req.id
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    let config = LacConfig::default();
+    let mut jl = JournaledLac::new(Lac::new(config), COMPACT_EVERY);
+    let mut seq = Lac::new(config);
+    let mut oracle = OracleLac::new(config.capacity);
+    let mut now = Cycles::ZERO;
+    let mut run: Vec<AdmissionRequest> = Vec::new();
+
+    for (i, op) in scenario.ops.iter().enumerate() {
+        match *op {
+            Op::Admit {
+                id,
+                mode,
+                cores,
+                ways,
+                bandwidth,
+                tw,
+                deadline,
+            } => {
+                let mut b = AdmissionRequest::builder(
+                    JobId::new(id),
+                    request_of(cores, ways, bandwidth),
+                    Cycles::new(tw),
+                )
+                .mode(mode);
+                if let Some(td) = deadline {
+                    b = b.deadline(Cycles::new(td));
+                }
+                run.push(b.build());
+                continue; // the run is still open — no table check yet
+            }
+            Op::AdmitLatest {
+                id,
+                cores,
+                ways,
+                tw,
+                deadline,
+            } => {
+                run.push(
+                    AdmissionRequest::builder(
+                        JobId::new(id),
+                        request_of(cores, ways, 0),
+                        Cycles::new(tw),
+                    )
+                    .deadline(Cycles::new(deadline))
+                    .latest_feasible()
+                    .build(),
+                );
+                continue;
+            }
+            Op::Advance { delta } => {
+                flush(scenario, i, &mut run, &mut jl, &mut seq, &mut oracle)?;
+                now += Cycles::new(delta);
+                jl.advance(now);
+                seq.advance(now);
+                oracle.advance(now);
+            }
+            Op::Release { id } => {
+                flush(scenario, i, &mut run, &mut jl, &mut seq, &mut oracle)?;
+                jl.release(JobId::new(id), now);
+                seq.release(JobId::new(id), now);
+                oracle.release(JobId::new(id), now);
+            }
+            Op::Cancel { id } => {
+                flush(scenario, i, &mut run, &mut jl, &mut seq, &mut oracle)?;
+                jl.cancel(JobId::new(id));
+                seq.cancel(JobId::new(id));
+                oracle.cancel(JobId::new(id));
+            }
+            // Not generated for batch scenarios.
+            Op::Revoke { .. } | Op::CrashRecover | Op::Offer { .. } | Op::Drain => {}
+        }
+
+        if jl.lac() != &seq {
+            return Err(diverge(
+                scenario,
+                i,
+                format!(
+                    "batched and sequential controllers diverged after {op:?}:\n  \
+                     batch: {:?}\n  seq:   {:?}",
+                    jl.lac().reservations(),
+                    seq.reservations()
+                ),
+            ));
+        }
+        if let Err(e) = oracle.table_matches(jl.lac()) {
+            return Err(diverge(scenario, i, format!("after {op:?}: {e}")));
+        }
+        if let Some(t) = oracle.first_overbooked_instant() {
+            return Err(diverge(
+                scenario,
+                i,
+                format!("timeline overbooked at {t} after {op:?}"),
+            ));
+        }
+    }
+    let last = scenario.ops.len().saturating_sub(1);
+    flush(scenario, last, &mut run, &mut jl, &mut seq, &mut oracle)?;
+    if jl.lac() != &seq {
+        return Err(diverge(
+            scenario,
+            last,
+            "batched and sequential controllers diverged at end of scenario".to_string(),
+        ));
+    }
+    if let Err(e) = oracle.table_matches(jl.lac()) {
+        return Err(diverge(scenario, last, format!("at end of scenario: {e}")));
+    }
+    if let Some(t) = oracle.first_overbooked_instant() {
+        return Err(diverge(
+            scenario,
+            last,
+            format!("timeline overbooked at {t} at end of scenario"),
+        ));
+    }
+    Ok(())
+}
+
 /// Intake differential ([`ScenarioKind::Intake`]).
 ///
 /// # Errors
@@ -554,14 +765,17 @@ pub fn run_intake(scenario: &Scenario) -> Result<(), Divergence> {
                 tw,
                 deadline,
             } => {
-                let req = AdmissionRequest {
-                    id: JobId::new(id),
-                    source: SourceId::new(source),
-                    mode,
-                    request: request_of(cores, ways, 0),
-                    tw: Cycles::new(tw),
-                    deadline: deadline.map(Cycles::new),
-                };
+                let mut b = AdmissionRequest::builder(
+                    JobId::new(id),
+                    request_of(cores, ways, 0),
+                    Cycles::new(tw),
+                )
+                .source(SourceId::new(source))
+                .mode(mode);
+                if let Some(td) = deadline {
+                    b = b.deadline(Cycles::new(td));
+                }
+                let req = b.build();
                 let got = intake.offer(req, now, &mut rec);
                 let want = oracle_intake.offer(req, now);
                 let matches = match (got, want) {
@@ -973,6 +1187,16 @@ mod tests {
     fn intake_scenarios_have_no_divergences() {
         for seed in 0..crate::cases(12) as u64 {
             let s = Scenario::generate(ScenarioKind::Intake, seed);
+            if let Err(d) = run(&s) {
+                panic!("{}", d.render());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scenarios_have_no_divergences() {
+        for seed in 0..crate::cases(12) as u64 {
+            let s = Scenario::generate(ScenarioKind::Batch, seed);
             if let Err(d) = run(&s) {
                 panic!("{}", d.render());
             }

@@ -135,6 +135,15 @@ pub struct Instructions(u64);
 impl_count_newtype!(Instructions, "instructions");
 
 impl Cycles {
+    /// The admission-control planning horizon: the latest start the LAC will
+    /// ever consider when a request carries no deadline.
+    ///
+    /// Chosen as `u64::MAX / 2` so that `start + duration` cannot overflow
+    /// `u64` for any candidate start at or below the horizon and any
+    /// reservation duration below it — the sum of two values each at most
+    /// `u64::MAX / 2` fits in a `u64` without a checked add on the hot path.
+    pub const HORIZON: Self = Self(u64::MAX / 2);
+
     /// Scales the cycle count by a floating-point factor, rounding to the
     /// nearest cycle. Used for, e.g., extending an `Elastic(X)` reservation
     /// to `tw * (1 + X)`.

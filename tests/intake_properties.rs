@@ -11,14 +11,17 @@ use cmpqos::types::{Cycles, JobId, NodeId, SourceId};
 use proptest::prelude::*;
 
 fn req(id: u32, source: u32, tw: u64, deadline: Option<u64>) -> AdmissionRequest {
-    AdmissionRequest {
-        id: JobId::new(id),
-        source: SourceId::new(source),
-        mode: ExecutionMode::Strict,
-        request: ResourceRequest::paper_job(),
-        tw: Cycles::new(tw),
-        deadline: deadline.map(Cycles::new),
+    let mut b = AdmissionRequest::builder(
+        JobId::new(id),
+        ResourceRequest::paper_job(),
+        Cycles::new(tw),
+    )
+    .source(SourceId::new(source))
+    .mode(ExecutionMode::Strict);
+    if let Some(td) = deadline {
+        b = b.deadline(Cycles::new(td));
     }
+    b.build()
 }
 
 fn intake(config: IntakeConfig) -> AdmissionIntake {

@@ -1,11 +1,27 @@
 //! Admission-control stress and edge-case integration tests.
 
 use cmpqos::qos::gac::{GlobalAdmissionController, ProbePolicy};
-use cmpqos::qos::{Decision, ExecutionMode, Lac, LacConfig, RejectReason, ResourceRequest};
+use cmpqos::qos::{
+    AdmissionRequest, Decision, ExecutionMode, Lac, LacConfig, RejectReason, ResourceRequest,
+};
 use cmpqos::types::{Cycles, JobId, NodeId, Percent, Ways};
 
 fn lac() -> Lac {
     Lac::new(LacConfig::default())
+}
+
+fn req(
+    id: u32,
+    mode: ExecutionMode,
+    request: ResourceRequest,
+    tw: u64,
+    deadline: Option<u64>,
+) -> AdmissionRequest {
+    let mut b = AdmissionRequest::builder(JobId::new(id), request, Cycles::new(tw)).mode(mode);
+    if let Some(td) = deadline {
+        b = b.deadline(Cycles::new(td));
+    }
+    b.build()
 }
 
 #[test]
@@ -17,15 +33,14 @@ fn thousand_job_fcfs_stream_is_consistent() {
     let mut last_start = Cycles::ZERO;
     let mut accepted = 0u32;
     for i in 0..1000u32 {
-        let tw = Cycles::new(100);
-        let deadline = Cycles::new(100 * u64::from(i % 50) + 200);
-        let d = l.admit(
-            JobId::new(i),
+        let deadline = 100 * u64::from(i % 50) + 200;
+        let d = l.admit(&req(
+            i,
             ExecutionMode::Strict,
             ResourceRequest::paper_job(),
-            tw,
+            100,
             Some(deadline),
-        );
+        ));
         if let Some(start) = d.start() {
             assert!(
                 start >= last_start,
@@ -47,13 +62,13 @@ fn thousand_job_fcfs_stream_is_consistent() {
 fn release_never_extends_a_reservation() {
     let mut l = lac();
     assert!(l
-        .admit(
-            JobId::new(0),
+        .admit(&req(
+            0,
             ExecutionMode::Strict,
             ResourceRequest::paper_job(),
-            Cycles::new(100),
+            100,
             None,
-        )
+        ))
         .is_accepted());
     let end_before = l.reservations()[0].end;
     // "Releasing" at a time after the end must not extend it.
@@ -68,31 +83,31 @@ fn release_never_extends_a_reservation() {
 fn elastic_and_strict_compete_fairly_for_capacity() {
     let mut l = lac();
     // Elastic(100%) reserves twice as long.
-    let d1 = l.admit(
-        JobId::new(0),
+    let d1 = l.admit(&req(
+        0,
         ExecutionMode::Elastic(Percent::new(100.0)),
         ResourceRequest::paper_job(),
-        Cycles::new(100),
-        Some(Cycles::new(1_000)),
-    );
+        100,
+        Some(1_000),
+    ));
     assert_eq!(d1.start(), Some(Cycles::ZERO));
     assert_eq!(l.reservations()[0].end, Cycles::new(200));
     // Two more 7-way jobs: the second must queue behind reservation end.
-    let d2 = l.admit(
-        JobId::new(1),
+    let d2 = l.admit(&req(
+        1,
         ExecutionMode::Strict,
         ResourceRequest::paper_job(),
-        Cycles::new(100),
+        100,
         None,
-    );
+    ));
     assert_eq!(d2.start(), Some(Cycles::ZERO));
-    let d3 = l.admit(
-        JobId::new(2),
+    let d3 = l.admit(&req(
+        2,
         ExecutionMode::Strict,
         ResourceRequest::paper_job(),
-        Cycles::new(100),
+        100,
         None,
-    );
+    ));
     assert_eq!(
         d3.start(),
         Some(Cycles::new(100)),
@@ -105,33 +120,33 @@ fn opportunistic_admission_considers_only_current_instant() {
     let mut l = lac();
     // Reserve all four cores *in the future*.
     for i in 0..4u32 {
-        let d = l.admit(
-            JobId::new(i),
+        let d = l.admit(&req(
+            i,
             ExecutionMode::Strict,
             ResourceRequest::new(1, Ways::new(4)),
-            Cycles::new(100),
+            100,
             None,
-        );
+        ));
         assert!(d.is_accepted());
     }
     // All cores reserved from t=0: opportunistic rejected.
-    let d = l.admit(
-        JobId::new(10),
+    let d = l.admit(&req(
+        10,
         ExecutionMode::Opportunistic,
         ResourceRequest::new(1, Ways::ZERO),
-        Cycles::new(10),
+        10,
         None,
-    );
+    ));
     assert_eq!(d, Decision::Rejected(RejectReason::NoSpareResources));
     // After the reservations expire, opportunistic is welcome again.
     l.advance(Cycles::new(150));
-    let d = l.admit(
-        JobId::new(11),
+    let d = l.admit(&req(
+        11,
         ExecutionMode::Opportunistic,
         ResourceRequest::new(1, Ways::ZERO),
-        Cycles::new(10),
+        10,
         None,
-    );
+    ));
     assert!(d.is_accepted());
 }
 
@@ -139,28 +154,50 @@ fn opportunistic_admission_considers_only_current_instant() {
 fn bandwidth_dimension_gates_admission() {
     let mut l = lac();
     // Three jobs each wanting 40% of the channel: only two fit at once.
-    let req = ResourceRequest::new(1, Ways::new(2)).with_bandwidth(40);
+    let request = ResourceRequest::new(1, Ways::new(2)).with_bandwidth(40);
     for i in 0..2u32 {
-        let d = l.admit(
-            JobId::new(i),
-            ExecutionMode::Strict,
-            req,
-            Cycles::new(100),
-            Some(Cycles::new(105)),
-        );
+        let d = l.admit(&req(i, ExecutionMode::Strict, request, 100, Some(105)));
         assert!(d.is_accepted(), "job {i}");
     }
-    let d = l.admit(
-        JobId::new(2),
-        ExecutionMode::Strict,
-        req,
-        Cycles::new(100),
-        Some(Cycles::new(105)),
-    );
+    let d = l.admit(&req(2, ExecutionMode::Strict, request, 100, Some(105)));
     assert!(
         !d.is_accepted(),
         "120% of bandwidth cannot be reserved: {d:?}"
     );
+}
+
+#[test]
+fn batch_admission_matches_the_sequential_stream() {
+    // The same 64-job mixed stream, one-at-a-time vs admit_batch: decisions
+    // and final tables must be identical.
+    let mut one = lac();
+    let mut batch = lac();
+    let reqs: Vec<AdmissionRequest> = (0..64u32)
+        .map(|i| {
+            let mode = match i % 3 {
+                0 => ExecutionMode::Strict,
+                1 => ExecutionMode::Elastic(Percent::new(50.0)),
+                _ => ExecutionMode::Opportunistic,
+            };
+            req(
+                i,
+                mode,
+                ResourceRequest::paper_job(),
+                100,
+                if i % 4 == 0 {
+                    None
+                } else {
+                    Some(100 * u64::from(i % 7) + 150)
+                },
+            )
+        })
+        .collect();
+    let sequential: Vec<Decision> = reqs.iter().map(|r| one.admit(r)).collect();
+    let batched = batch.admit_batch(&reqs, &mut cmpqos::obs::NullRecorder);
+    assert_eq!(sequential, batched);
+    assert_eq!(one.reservations(), batch.reservations());
+    assert_eq!(one.accepted(), batch.accepted());
+    assert_eq!(one.rejected(), batch.rejected());
 }
 
 #[test]

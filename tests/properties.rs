@@ -3,7 +3,7 @@
 //! tags and statistics.
 
 use cmpqos::cache::{CacheConfig, DuplicateTagMonitor, PartitionPolicy, SharedL2};
-use cmpqos::qos::{ExecutionMode, Lac, LacConfig, ResourceRequest};
+use cmpqos::qos::{AdmissionRequest, ExecutionMode, Lac, LacConfig, ResourceRequest};
 use cmpqos::types::{ByteSize, CoreId, Cycles, JobId, Percent, RunningStats, Ways};
 use proptest::prelude::*;
 
@@ -94,11 +94,14 @@ proptest! {
                 _ => ExecutionMode::Opportunistic,
             };
             let _ = lac.admit(
-                JobId::new(i as u32),
-                mode,
-                ResourceRequest::new(cores, Ways::new(ways)),
-                Cycles::new(tw),
-                Some(Cycles::new(tw * dl_factor + 50)),
+                &AdmissionRequest::builder(
+                    JobId::new(i as u32),
+                    ResourceRequest::new(cores, Ways::new(ways)),
+                    Cycles::new(tw),
+                )
+                .mode(mode)
+                .deadline(Cycles::new(tw * dl_factor + 50))
+                .build(),
             );
         }
         let capacity = lac.capacity();
@@ -124,11 +127,13 @@ proptest! {
         for (i, (tw, dl_factor)) in jobs.into_iter().enumerate() {
             let deadline = Cycles::new(tw * dl_factor + 7);
             let d = lac.admit(
-                JobId::new(i as u32),
-                ExecutionMode::Strict,
-                ResourceRequest::paper_job(),
-                Cycles::new(tw),
-                Some(deadline),
+                &AdmissionRequest::builder(
+                    JobId::new(i as u32),
+                    ResourceRequest::paper_job(),
+                    Cycles::new(tw),
+                )
+                .deadline(deadline)
+                .build(),
             );
             if let Some(start) = d.start() {
                 prop_assert!(

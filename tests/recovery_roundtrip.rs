@@ -5,7 +5,7 @@
 //! and a corrupted journal tail is truncated at the last valid checksum
 //! instead of panicking or replaying garbage.
 
-use cmpqos::qos::{ExecutionMode, Lac, LacConfig, ProbePolicy, ResourceRequest};
+use cmpqos::qos::{AdmissionRequest, ExecutionMode, Lac, LacConfig, ProbePolicy, ResourceRequest};
 use cmpqos::recovery::{JournaledGac, JournaledLac};
 use cmpqos::types::{Cycles, JobId, Percent, Ways};
 use proptest::prelude::*;
@@ -33,14 +33,16 @@ fn apply_lac(lac: &mut JournaledLac, ops: &[FuzzOp]) {
         let id = JobId::new(i as u32);
         match kind % 6 {
             0 | 1 => {
-                let deadline = (b % 2 == 0).then(|| Cycles::new(now + 5_000 + a));
-                let _ = lac.admit(
+                let mut req = AdmissionRequest::builder(
                     id,
-                    mode_of(b),
                     ResourceRequest::paper_job(),
                     Cycles::new(500 + a % 2_000),
-                    deadline,
-                );
+                )
+                .mode(mode_of(b));
+                if b % 2 == 0 {
+                    req = req.deadline(Cycles::new(now + 5_000 + a));
+                }
+                let _ = lac.admit(&req.build());
             }
             2 => {
                 now += a % 1_500;
@@ -62,13 +64,15 @@ fn apply_lac(lac: &mut JournaledLac, ops: &[FuzzOp]) {
 fn probe_decisions(lac: &mut JournaledLac, tag: u32) -> Vec<String> {
     (0..8u32)
         .map(|i| {
-            let d = lac.admit(
+            let req = AdmissionRequest::builder(
                 JobId::new(1_000 + tag * 100 + i),
-                mode_of(u64::from(i)),
                 ResourceRequest::paper_job(),
                 Cycles::new(700 + u64::from(i) * 131),
-                Some(Cycles::new(50_000 + u64::from(i) * 997)),
-            );
+            )
+            .mode(mode_of(u64::from(i)))
+            .deadline(Cycles::new(50_000 + u64::from(i) * 997))
+            .build();
+            let d = lac.admit(&req);
             format!("{d:?}")
         })
         .collect()
@@ -126,11 +130,13 @@ proptest! {
         // The recovered controller is still a working admission controller.
         let mut r = recovered;
         let _ = r.admit(
-            JobId::new(9_999),
-            ExecutionMode::Strict,
-            ResourceRequest::paper_job(),
-            Cycles::new(1_000),
-            None,
+            &AdmissionRequest::builder(
+                JobId::new(9_999),
+                ResourceRequest::paper_job(),
+                Cycles::new(1_000),
+            )
+            .mode(ExecutionMode::Strict)
+            .build(),
         );
     }
 

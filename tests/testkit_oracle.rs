@@ -5,7 +5,9 @@
 //! any divergence prints a shrunken counterexample and a one-line repro
 //! command (`cmpqos explore --kind ... --seed ... --scenarios 1`).
 
-use cmpqos::qos::{Decision, ExecutionMode, Lac, LacConfig, ResourceRequest, RevocationAction};
+use cmpqos::qos::{
+    AdmissionRequest, Decision, ExecutionMode, Lac, LacConfig, ResourceRequest, RevocationAction,
+};
 use cmpqos::testkit::oracle::{OracleLac, OracleRevocation};
 use cmpqos::testkit::scenario::{self, ScenarioKind};
 use cmpqos::testkit::shadow::{self, GuardHarness, GuardHarnessConfig};
@@ -51,9 +53,13 @@ fn admitted_pair() -> (Lac, OracleLac) {
     ];
     for &(id, mode, cores, ways, tw) in jobs {
         let request = supply(cores, ways);
-        let deadline = Some(Cycles::new(10_000 + u64::from(id) * 500));
-        let got = lac.admit(JobId::new(id), mode, request, Cycles::new(tw), deadline);
-        let want = oracle.admit(JobId::new(id), mode, request, Cycles::new(tw), deadline);
+        let deadline = Cycles::new(10_000 + u64::from(id) * 500);
+        let req = AdmissionRequest::builder(JobId::new(id), request, Cycles::new(tw))
+            .mode(mode)
+            .deadline(deadline)
+            .build();
+        let got = lac.admit(&req);
+        let want = oracle.admit(JobId::new(id), mode, request, Cycles::new(tw), Some(deadline));
         assert_eq!(got, want, "admit(job {id}) disagreed before any revocation");
     }
     (lac, oracle)
