@@ -65,9 +65,9 @@ pub enum NodeHealth {
     /// Probes were lost recently ([`GacConfig::suspect_after`] consecutive
     /// losses); the node is probed after all healthy nodes.
     Suspect,
-    /// The node failed ([`GacConfig::dead_after`] consecutive losses, or an
-    /// explicit node fault); it is never probed and its reservations were
-    /// evacuated.
+    /// The node failed ([`GacConfig::dead_after`] consecutive losses *and*
+    /// [`GacConfig::dead_timeout`] of silence, or an explicit node fault);
+    /// it is never probed and its reservations were evacuated.
     Dead,
 }
 
@@ -115,8 +115,17 @@ pub struct GacConfig {
     pub backoff_factor: u32,
     /// Consecutive losses that demote a node to [`NodeHealth::Suspect`].
     pub suspect_after: u32,
-    /// Consecutive losses that demote a node to [`NodeHealth::Dead`].
+    /// Consecutive losses required (together with
+    /// [`GacConfig::dead_timeout`]) to demote a node to
+    /// [`NodeHealth::Dead`].
     pub dead_after: u32,
+    /// How long a node must have gone without answering a single probe
+    /// before loss-driven death is allowed. Losses alone — however many —
+    /// only demote to Suspect until this timeout expires: a partitioned
+    /// node is *unreachable, not dead*, and evacuating its (still honored)
+    /// reservations would double-book them. `Cycles::ZERO` restores the
+    /// legacy pure-loss-count behavior.
+    pub dead_timeout: Cycles,
 }
 
 impl Default for GacConfig {
@@ -127,6 +136,7 @@ impl Default for GacConfig {
             backoff_factor: 2,
             suspect_after: 2,
             dead_after: 4,
+            dead_timeout: Cycles::new(30_000),
         }
     }
 }
@@ -194,6 +204,14 @@ impl GacConfigBuilder {
         self
     }
 
+    /// Sets the unreachable-before-dead timeout (`Cycles::ZERO` restores
+    /// the legacy pure-loss-count behavior).
+    #[must_use]
+    pub fn dead_timeout(mut self, timeout: Cycles) -> Self {
+        self.config.dead_timeout = timeout;
+        self
+    }
+
     /// Finishes the configuration.
     #[must_use]
     pub fn build(self) -> GacConfig {
@@ -238,6 +256,8 @@ struct NodeState {
     health: NodeHealth,
     consecutive_losses: u32,
     pending_losses: u32,
+    last_heard: Cycles,
+    partitioned: bool,
 }
 
 /// A serializable snapshot of one node as the GAC sees it.
@@ -252,6 +272,10 @@ pub struct NodeSnapshot {
     pub consecutive_losses: u32,
     /// Injected probe losses not yet consumed.
     pub pending_losses: u32,
+    /// When the node last answered a probe.
+    pub last_heard: Cycles,
+    /// Whether the GAC ↔ node link is currently severed.
+    pub partitioned: bool,
 }
 
 /// A complete, serializable snapshot of a [`GlobalAdmissionController`].
@@ -324,6 +348,8 @@ impl GlobalAdmissionController {
                     health: NodeHealth::Healthy,
                     consecutive_losses: 0,
                     pending_losses: 0,
+                    last_heard: Cycles::ZERO,
+                    partitioned: false,
                 })
                 .collect(),
             policy,
@@ -373,6 +399,8 @@ impl GlobalAdmissionController {
                     health: n.health,
                     consecutive_losses: n.consecutive_losses,
                     pending_losses: n.pending_losses,
+                    last_heard: n.last_heard,
+                    partitioned: n.partitioned,
                 })
                 .collect(),
             policy: self.policy,
@@ -397,6 +425,8 @@ impl GlobalAdmissionController {
                     health: n.health,
                     consecutive_losses: n.consecutive_losses,
                     pending_losses: n.pending_losses,
+                    last_heard: n.last_heard,
+                    partitioned: n.partitioned,
                 })
                 .collect(),
             policy: state.policy,
@@ -664,6 +694,23 @@ impl GlobalAdmissionController {
                 // (`cmpqos-recovery`). Only the FaultInjected event above is
                 // emitted here.
             }
+            Fault::LinkPartition { node } => {
+                self.nodes[i].partitioned = true;
+                if recorder.enabled() {
+                    recorder.record(at, Event::LinkPartitioned { node });
+                }
+            }
+            Fault::LinkHeal { node } => {
+                self.nodes[i].partitioned = false;
+                if recorder.enabled() {
+                    recorder.record(at, Event::LinkHealed { node });
+                }
+            }
+            Fault::MessageDrop { count, .. } => {
+                // At the probe layer a transient message loss is
+                // indistinguishable from a lost probe.
+                self.nodes[i].pending_losses += count;
+            }
         }
         report
     }
@@ -742,8 +789,12 @@ impl GlobalAdmissionController {
             if self.nodes[i].health == NodeHealth::Dead {
                 return ProbeOutcome::NodeDead;
             }
-            if self.nodes[i].pending_losses > 0 {
-                self.nodes[i].pending_losses -= 1;
+            if self.nodes[i].partitioned || self.nodes[i].pending_losses > 0 {
+                // A severed link loses every probe without consuming the
+                // queued transient losses.
+                if !self.nodes[i].partitioned {
+                    self.nodes[i].pending_losses -= 1;
+                }
                 self.nodes[i].consecutive_losses += 1;
                 if recorder.enabled() {
                     recorder.record(self.stamp(i), Event::ProbeLost { job: id, node });
@@ -774,6 +825,7 @@ impl GlobalAdmissionController {
             // Probe delivered: the node answered, so it is not losing
             // messages anymore.
             self.nodes[i].consecutive_losses = 0;
+            self.nodes[i].last_heard = self.stamp(i);
             if self.nodes[i].health == NodeHealth::Suspect {
                 self.set_health(i, NodeHealth::Healthy, recorder);
             }
@@ -788,9 +840,16 @@ impl GlobalAdmissionController {
 
     /// Demotes node `i` per its consecutive-loss count (health only ever
     /// worsens here; recovery happens when a probe is answered).
+    ///
+    /// Loss-driven death needs **both** [`GacConfig::dead_after`]
+    /// consecutive losses and [`GacConfig::dead_timeout`] of silence:
+    /// losing probes only proves the *link* is down, not the node. Without
+    /// the timeout a short partition burst would evacuate reservations a
+    /// healthy LAC is still honoring — double-booking them elsewhere.
     fn update_health(&mut self, i: usize, recorder: &mut dyn Recorder) {
         let losses = self.nodes[i].consecutive_losses;
-        let target = if losses >= self.config.dead_after {
+        let silent_for = self.stamp(i).saturating_sub(self.nodes[i].last_heard);
+        let target = if losses >= self.config.dead_after && silent_for >= self.config.dead_timeout {
             NodeHealth::Dead
         } else if losses >= self.config.suspect_after {
             NodeHealth::Suspect
@@ -1140,7 +1199,7 @@ mod tests {
     }
 
     #[test]
-    fn sustained_losses_demote_to_suspect_then_dead() {
+    fn sustained_losses_demote_to_suspect_not_dead_within_timeout() {
         let mut gac =
             GlobalAdmissionController::new(2, LacConfig::default(), ProbePolicy::FirstFit);
         let mut rec = RingBufferRecorder::new(64);
@@ -1151,8 +1210,10 @@ mod tests {
                 .injections()[0],
             &mut rec,
         );
-        // Default config: suspect after 2 losses, dead after 4 (within the
-        // 1 + 3-retry budget of a single submission).
+        // Default config: suspect after 2 losses; the 4 losses of one
+        // submission satisfy dead_after, but only ~7k cycles of backoff
+        // have elapsed — far short of the 30k dead_timeout. The node must
+        // stay Suspect (losses prove the link is down, not the node).
         let (node, d) = gac.submit_recorded(
             JobId::new(0),
             ExecutionMode::Strict,
@@ -1163,9 +1224,124 @@ mod tests {
         );
         assert!(d.is_accepted(), "spills to the healthy node");
         assert_eq!(node, Some(NodeId::new(1)));
+        assert_eq!(gac.node_health(NodeId::new(0)), NodeHealth::Suspect);
+        assert_eq!(gac.live_nodes(), 2, "suspect nodes are still probed");
+        assert_eq!(rec.counters().node_health_changes, 1);
+    }
+
+    #[test]
+    fn sustained_losses_past_the_timeout_demote_to_dead() {
+        let mut gac =
+            GlobalAdmissionController::new(1, LacConfig::default(), ProbePolicy::FirstFit);
+        let mut rec = RingBufferRecorder::new(64);
+        gac.inject(
+            FaultPlan::new()
+                .probe_loss(Cycles::ZERO, NodeId::new(0), 10)
+                .build()
+                .injections()[0],
+            &mut rec,
+        );
+        let (_, d) = gac.submit_recorded(
+            JobId::new(0),
+            ExecutionMode::Strict,
+            ResourceRequest::paper_job(),
+            Cycles::new(100),
+            None,
+            &mut rec,
+        );
+        assert_eq!(d, Decision::Rejected(RejectReason::NoHealthyNodes));
+        assert_eq!(gac.node_health(NodeId::new(0)), NodeHealth::Suspect);
+        // Past the 30k dead_timeout the node has been silent for too long:
+        // the next burst of losses is allowed to declare it dead.
+        let _ = gac.advance(Cycles::new(40_000));
+        let (_, d) = gac.submit_recorded(
+            JobId::new(1),
+            ExecutionMode::Strict,
+            ResourceRequest::paper_job(),
+            Cycles::new(100),
+            None,
+            &mut rec,
+        );
+        assert_eq!(d, Decision::Rejected(RejectReason::NoHealthyNodes));
         assert_eq!(gac.node_health(NodeId::new(0)), NodeHealth::Dead);
-        assert_eq!(gac.live_nodes(), 1);
+        assert_eq!(gac.live_nodes(), 0);
         assert_eq!(rec.counters().node_health_changes, 2);
+    }
+
+    #[test]
+    fn partition_is_not_death_and_heal_restores() {
+        // THE regression this PR pins: a partitioned node is unreachable,
+        // not dead. Evacuating its reservations would double-book them —
+        // the LAC on the far side of the partition is still honoring them.
+        let mut gac =
+            GlobalAdmissionController::new(2, LacConfig::default(), ProbePolicy::FirstFit);
+        let mut rec = RingBufferRecorder::new(128);
+        let submit = |gac: &mut GlobalAdmissionController,
+                      id: u32,
+                      deadline: Option<Cycles>,
+                      rec: &mut RingBufferRecorder| {
+            gac.submit_recorded(
+                JobId::new(id),
+                ExecutionMode::Strict,
+                ResourceRequest::paper_job(),
+                Cycles::new(100),
+                deadline,
+                rec,
+            )
+        };
+        let (node, d) = submit(&mut gac, 0, None, &mut rec);
+        assert!(d.is_accepted());
+        assert_eq!(node, Some(NodeId::new(0)));
+        gac.inject(
+            FaultPlan::new()
+                .link_partition(Cycles::ZERO, NodeId::new(0))
+                .build()
+                .injections()[0],
+            &mut rec,
+        );
+        // Every probe to node 0 is now lost; jobs spill to node 1. However
+        // many submissions hammer the dead link, node 0 must not be
+        // declared dead within the timeout — and job 0 must stay put.
+        for i in 1..4u32 {
+            let _ = submit(&mut gac, i, None, &mut rec);
+        }
+        assert_eq!(gac.node_health(NodeId::new(0)), NodeHealth::Suspect);
+        assert_eq!(
+            gac.placement(JobId::new(0)),
+            Some(NodeId::new(0)),
+            "the partitioned node keeps its placement"
+        );
+        let c = rec.counters();
+        assert_eq!(c.migrated, 0, "no evacuation of a merely-partitioned node");
+        assert_eq!(c.reservations_revoked, 0);
+        assert_eq!(c.links_partitioned, 1);
+        // Heal the link; the next answered probe restores the node.
+        gac.inject(
+            FaultPlan::new()
+                .link_heal(Cycles::ZERO, NodeId::new(0))
+                .build()
+                .injections()[0],
+            &mut rec,
+        );
+        // Advance past every backoff-skewed clock so old reservations
+        // complete, then fill node 1 with two tight-deadline jobs. The
+        // third forces a probe of the still-Suspect node 0, which now
+        // answers: health recovers and the job lands there.
+        let _ = gac.advance(Cycles::new(10_000));
+        let deadline = Some(Cycles::new(10_105));
+        assert_eq!(
+            submit(&mut gac, 4, deadline, &mut rec).0,
+            Some(NodeId::new(1))
+        );
+        assert_eq!(
+            submit(&mut gac, 5, deadline, &mut rec).0,
+            Some(NodeId::new(1))
+        );
+        let (node, d) = submit(&mut gac, 6, deadline, &mut rec);
+        assert!(d.is_accepted(), "healed node takes jobs: {d:?}");
+        assert_eq!(node, Some(NodeId::new(0)), "healed node takes jobs");
+        assert_eq!(gac.node_health(NodeId::new(0)), NodeHealth::Healthy);
+        assert_eq!(rec.counters().links_healed, 1);
     }
 
     #[test]

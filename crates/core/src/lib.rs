@@ -54,6 +54,7 @@ pub mod intake;
 pub mod lac;
 pub mod modes;
 mod occupancy;
+pub mod protocol;
 pub mod request;
 pub mod scheduler;
 pub mod stealing;
@@ -71,6 +72,10 @@ pub use lac::{
     RevocationAction,
 };
 pub use modes::ExecutionMode;
+pub use protocol::{
+    Cluster, LacBackend, LacEndpoint, NetGac, NetGacConfig, NetGacStats, NetReply, NetRequest,
+    ReplyBody, RequestBody, Wire,
+};
 pub use request::{AdmissionRequest, AdmissionRequestBuilder, Feasibility, Placement};
 pub use scheduler::{
     JobEvent, JobReport, QosJob, QosJobBuilder, QosScheduler, SchedulerConfig,

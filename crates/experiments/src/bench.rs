@@ -347,6 +347,44 @@ fn component_benches(params: &ExperimentParams) -> Vec<ComponentBench> {
         });
     }
 
+    // The message-layer control plane: each iteration is one full
+    // probe→admit conversation round-trip over the deterministic
+    // network simulator (10-cycle link, jitter 3), driving the
+    // sequenced channel, the conversation state machine, and the
+    // delivery event heap end to end. CI reports round-trips/sec.
+    {
+        use cmpqos_core::{
+            AdmissionRequest, Cluster, LacConfig, NetGacConfig, ProbePolicy, ResourceRequest,
+        };
+        use cmpqos_types::{Cycles, JobId};
+        let link = cmpqos_net::LinkConfig::default()
+            .base_latency(Cycles::new(10))
+            .jitter(3);
+        let mut cluster = Cluster::new(
+            4,
+            LacConfig::default(),
+            params.seed,
+            link,
+            NetGacConfig::default(),
+            ProbePolicy::FirstFit,
+        );
+        let mut rec = cmpqos_obs::NullRecorder;
+        let mut job = 0u32;
+        timed("net_roundtrip_probe_admit", 1_000, &mut || {
+            let at = cluster.now() + Cycles::new(10);
+            let req = AdmissionRequest::builder(
+                JobId::new(job),
+                ResourceRequest::paper_job(),
+                Cycles::new(50),
+            )
+            .build();
+            cluster.gac_mut().submit(req, at, &mut rec);
+            cluster.run_until(at + Cycles::new(5_000), &mut rec);
+            assert!(cluster.gac().idle(), "round-trip did not settle");
+            job += 1;
+        });
+    }
+
     // JSONL timeline parsing (the observability read path).
     let jsonl: String = shard
         .records()

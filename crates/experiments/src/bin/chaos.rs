@@ -14,13 +14,25 @@
 //! printed survival table is byte-identical to an uncrashed run of the
 //! same seed — CI diffs exactly that.
 //!
+//! `--net` switches to the message-layer cell: the GAC drives its LACs
+//! over the seeded `cmpqos-net` simulator (lossy, duplicating,
+//! reordering links), `--partition a:b@cycle` severs nodes `[a, b)`
+//! mid-run and `--heal @cycle` restores them. The printed summary is
+//! byte-identical across same-seed runs — CI diffs exactly that — and
+//! `--inject drop-reconcile` sabotages the rejoin reconciliation so the
+//! run must exit nonzero.
+//!
 //! ```text
 //! cargo run --release -p cmpqos-experiments --bin chaos -- --seed 1 --events chaos.jsonl
 //! cargo run --release -p cmpqos-experiments --bin chaos -- --seeds 1,2,3,4 --jobs 4
 //! cargo run --release -p cmpqos-experiments --bin chaos -- --seed 1 --crash-at 300000
+//! cargo run --release -p cmpqos-experiments --bin chaos -- --net --nodes 100 \
+//!     --partition 10:40@200000 --heal @350000
+//! cargo run --release -p cmpqos-experiments --bin chaos -- --net --inject drop-reconcile
 //! ```
 use cmpqos_experiments::chaos;
 use cmpqos_obs::Timeline;
+use cmpqos_types::Cycles;
 
 /// `--seeds a,b,c` / `--seeds=a,b,c` (unknown flags are ignored, like
 /// `ChaosParams::from_env_and_args`).
@@ -69,9 +81,74 @@ fn verify_roundtrip(outcome: &chaos::ChaosOutcome) {
     );
 }
 
+/// `a:b@cycle` — the node range `[a, b)` and the cycle it is cut.
+fn parse_partition(v: &str) -> Option<(u32, u32, Cycles)> {
+    let (range, at) = v.split_once('@')?;
+    let (a, b) = range.split_once(':')?;
+    Some((
+        a.trim().parse().ok()?,
+        b.trim().parse().ok()?,
+        Cycles::new(at.trim().parse().ok()?),
+    ))
+}
+
+/// Builds [`chaos::NetChaosParams`] from the `--net` flag family
+/// (unknown flags are ignored, like the classic-mode parser).
+fn parse_net_params(args: &[String]) -> chaos::NetChaosParams {
+    let mut p = chaos::NetChaosParams::standard();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |key: &str| -> Option<String> {
+            if arg == key {
+                it.next().cloned()
+            } else {
+                arg.strip_prefix(key)
+                    .and_then(|rest| rest.strip_prefix('='))
+                    .map(str::to_string)
+            }
+        };
+        if let Some(v) = grab("--nodes") {
+            if let Ok(n) = v.parse() {
+                p.nodes = n;
+            }
+        } else if let Some(v) = grab("--jobs") {
+            if let Ok(n) = v.parse() {
+                p.jobs = n;
+            }
+        } else if let Some(v) = grab("--horizon") {
+            if let Ok(n) = v.parse() {
+                p.horizon = Cycles::new(n);
+            }
+        } else if let Some(v) = grab("--seed") {
+            if let Ok(n) = v.parse() {
+                p.seed = n;
+            }
+        } else if let Some(v) = grab("--partition") {
+            p.partition = parse_partition(&v).or(p.partition);
+        } else if let Some(v) = grab("--heal") {
+            let at = v.trim();
+            let at = at.strip_prefix('@').unwrap_or(at);
+            if let Ok(n) = at.parse() {
+                p.heal_at = Some(Cycles::new(n));
+            }
+        } else if let Some(v) = grab("--inject") {
+            if v.trim() == "drop-reconcile" {
+                p.drop_reconcile = true;
+            }
+        }
+    }
+    p
+}
+
 fn main() {
-    let params = chaos::ChaosParams::from_env_and_args();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--net") {
+        let p = parse_net_params(&args);
+        let outcome = chaos::run_net(&p);
+        chaos::print_net(&outcome, &p);
+        return;
+    }
+    let params = chaos::ChaosParams::from_env_and_args();
     if let Some(seeds) = parse_seeds(&args) {
         let jobs = cmpqos_experiments::ExperimentParams::from_env()
             .with_args(&args)

@@ -17,10 +17,12 @@
 
 use cmpqos_core::gac::FaultReport;
 use cmpqos_core::{
-    ExecutionMode, GlobalAdmissionController, LacConfig, ProbePolicy, ResourceRequest,
+    AdmissionRequest, Cluster, Decision, ExecutionMode, GlobalAdmissionController, LacConfig,
+    NetGacConfig, NetGacStats, NodeHealth, ProbePolicy, ResourceRequest,
 };
-use cmpqos_faults::{Fault, FaultPlan, FaultSchedule};
-use cmpqos_obs::{Event, Record, Recorder, RingBufferRecorder, Timeline};
+use cmpqos_faults::{Fault, FaultPlan, FaultSchedule, Injection};
+use cmpqos_net::{LinkConfig, NetStats};
+use cmpqos_obs::{Counters, Event, Health, Record, Recorder, RingBufferRecorder, Timeline};
 use cmpqos_recovery::JournaledGac;
 use cmpqos_types::{Cycles, JobId, NodeId, Percent};
 use std::collections::BTreeMap;
@@ -470,6 +472,373 @@ pub fn print(outcome: &ChaosOutcome, params: &ChaosParams) {
     );
 }
 
+// ---------------------------------------------------------------------------
+// The message-layer chaos cell (`chaos --net`): partition and heal.
+// ---------------------------------------------------------------------------
+
+/// Knobs for one message-layer chaos run.
+///
+/// Unlike the classic cell, the controller here talks to its LACs over
+/// the seeded `cmpqos-net` simulator — a lossy, duplicating, reordering
+/// link per node — and the injected fault is a *partition*: a contiguous
+/// range of nodes cut off from the GAC mid-run and healed later. The
+/// partitioned nodes must be suspected, never evacuated, and the heal
+/// must trigger the rejoin reconciliation that re-diffs both sides'
+/// tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct NetChaosParams {
+    /// Cluster size (LAC endpoints behind the network).
+    pub nodes: usize,
+    /// Jobs in the arrival stream.
+    pub jobs: u32,
+    /// Nominal run length; arrivals stop at its midpoint.
+    pub horizon: Cycles,
+    /// Seed for every probabilistic decision of the network.
+    pub seed: u64,
+    /// Nodes `[a, b)` severed from the GAC at the given cycle.
+    pub partition: Option<(u32, u32, Cycles)>,
+    /// When the partitioned range is restored (`None` = just before the
+    /// drain).
+    pub heal_at: Option<Cycles>,
+    /// The `--inject drop-reconcile` must-fail switch: after the heal,
+    /// every further frame toward the formerly partitioned nodes is
+    /// force-dropped, so their flagged reconciliations can never complete
+    /// and the pending-reconciliation check must catch it.
+    pub drop_reconcile: bool,
+}
+
+impl NetChaosParams {
+    /// Default fidelity: 100 nodes, 600 jobs, a 30-node partition in the
+    /// middle third of the run.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self {
+            nodes: 100,
+            jobs: 600,
+            horizon: Cycles::new(600_000),
+            seed: 1,
+            partition: Some((10, 40, Cycles::new(200_000))),
+            heal_at: Some(Cycles::new(350_000)),
+            drop_reconcile: false,
+        }
+    }
+}
+
+impl Default for NetChaosParams {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// O(1)-memory recorder for the net cell: aggregate [`Counters`] plus the
+/// reconciliation and death tallies the verdict needs.
+#[derive(Debug, Default)]
+struct NetRecorder {
+    counters: Counters,
+    orphans_revoked: u64,
+    placements_repaired: u64,
+    deaths: u64,
+}
+
+impl Recorder for NetRecorder {
+    fn record(&mut self, _at: Cycles, event: Event) {
+        self.counters.bump(event.kind());
+        match event {
+            Event::Reconciled {
+                orphans_revoked,
+                placements_repaired,
+                ..
+            } => {
+                self.orphans_revoked += orphans_revoked;
+                self.placements_repaired += placements_repaired;
+            }
+            Event::NodeHealthChanged {
+                to: Health::Dead, ..
+            } => self.deaths += 1,
+            _ => {}
+        }
+    }
+}
+
+/// Everything one net chaos run produced. Same seed, same outcome —
+/// byte-identical, which is what the CI partition-smoke job diffs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct NetChaosOutcome {
+    /// Jobs submitted.
+    pub submitted: u32,
+    /// Jobs the GAC placed.
+    pub admitted: u32,
+    /// Jobs rejected at admission.
+    pub rejected: u32,
+    /// Admitted jobs whose reservations ran to completion.
+    pub completed: u32,
+    /// Admitted jobs revoked (no surviving capacity to re-place them).
+    pub revoked: u32,
+    /// Admitted jobs that ended neither completed XOR revoked — must be
+    /// empty.
+    pub unaccounted: Vec<JobId>,
+    /// Submitted jobs that never got a decision — must be empty.
+    pub undecided: Vec<JobId>,
+    /// Nodes still flagged for reconciliation after the drain — must be
+    /// 0 unless the drop-reconcile injection is live.
+    pub pending_reconciles: usize,
+    /// Final health census.
+    pub healthy: usize,
+    /// Nodes still suspected after the drain.
+    pub suspect: usize,
+    /// Nodes declared dead (a merely-partitioned node must never be).
+    pub dead: usize,
+    /// Evacuation migrations (must be 0: nobody died).
+    pub migrated: u64,
+    /// Loss-driven death transitions (must be 0).
+    pub deaths: u64,
+    /// Rejoin reconciliations completed.
+    pub reconciles: u64,
+    /// Orphan reservations revoked by reconciliation (their accept
+    /// replies were lost in transit).
+    pub orphans_revoked: u64,
+    /// Placements re-placed by reconciliation.
+    pub placements_repaired: u64,
+    /// Conversation-layer counters.
+    pub gac: NetGacStats,
+    /// Frame-layer counters.
+    pub net: NetStats,
+}
+
+/// One scheduled instant of the net cell, in deterministic order.
+#[derive(Debug, Clone, Copy)]
+enum NetStep {
+    Partition,
+    Heal,
+    Submit(u32),
+}
+
+/// Runs the message-layer chaos cell.
+#[must_use]
+pub fn run_net(params: &NetChaosParams) -> NetChaosOutcome {
+    // Lossy enough that accept replies genuinely vanish (creating the
+    // orphans reconciliation exists for), tame enough that conversations
+    // usually complete within the retry budget.
+    let link = LinkConfig::default()
+        .base_latency(Cycles::new(10))
+        .jitter(5)
+        .reorder(10)
+        .drop(0.05)
+        .duplicate(0.10);
+    let mut config = NetGacConfig::default();
+    // A partition heals. Merely-unreachable nodes must never cross the
+    // death timeout mid-run, drain included.
+    config.gac.dead_timeout = Cycles::new(params.horizon.get().saturating_mul(16));
+    let mut cluster = Cluster::new(
+        params.nodes,
+        LacConfig::default(),
+        params.seed,
+        link,
+        config,
+        ProbePolicy::LeastLoaded,
+    );
+    let mut rec = NetRecorder::default();
+
+    let tw = Cycles::new((params.horizon.get() / 6).max(1));
+    let stagger = (params.horizon.get() / (2 * u64::from(params.jobs).max(1))).max(1);
+    let cut = |range_end: u32| range_end.min(params.nodes as u32);
+
+    let mut steps: Vec<(Cycles, u8, NetStep)> = (0..params.jobs)
+        .map(|i| (Cycles::new(u64::from(i) * stagger), 2, NetStep::Submit(i)))
+        .collect();
+    if let Some((_, _, at)) = params.partition {
+        steps.push((at, 0, NetStep::Partition));
+        if let Some(heal) = params.heal_at {
+            steps.push((heal, 1, NetStep::Heal));
+        }
+    }
+    steps.sort_by_key(|&(at, rank, step)| {
+        (at, rank, if let NetStep::Submit(i) = step { i } else { 0 })
+    });
+
+    for (at, _, step) in steps {
+        cluster.run_until(at, &mut rec);
+        match step {
+            NetStep::Submit(i) => {
+                let mode = if i % 2 == 0 {
+                    ExecutionMode::Strict
+                } else {
+                    ExecutionMode::Elastic(Percent::new(50.0))
+                };
+                let req =
+                    AdmissionRequest::builder(JobId::new(i), ResourceRequest::paper_job(), tw)
+                        .mode(mode)
+                        .deadline(at + tw + tw + tw)
+                        .build();
+                cluster.gac_mut().submit(req, at, &mut rec);
+            }
+            NetStep::Partition => {
+                let (a, b, _) = params.partition.expect("scheduled only when set");
+                for n in a..cut(b) {
+                    let fault = Fault::LinkPartition {
+                        node: NodeId::new(n),
+                    };
+                    cluster.apply(Injection { at, fault }, &mut rec);
+                }
+            }
+            NetStep::Heal => {
+                let (a, b, _) = params.partition.expect("scheduled only when set");
+                for n in a..cut(b) {
+                    let fault = Fault::LinkHeal {
+                        node: NodeId::new(n),
+                    };
+                    cluster.apply(Injection { at, fault }, &mut rec);
+                    if params.drop_reconcile {
+                        let fault = Fault::MessageDrop {
+                            node: NodeId::new(n),
+                            count: u32::MAX,
+                        };
+                        cluster.apply(Injection { at, fault }, &mut rec);
+                    }
+                }
+            }
+        }
+    }
+    // A schedule that never healed heals now, so the drain below can
+    // reconcile instead of reporting every partitioned node stuck.
+    if let Some((a, b, _)) = params.partition {
+        if params.heal_at.is_none() {
+            let at = cluster.now();
+            for n in a..cut(b) {
+                let fault = Fault::LinkHeal {
+                    node: NodeId::new(n),
+                };
+                cluster.apply(Injection { at, fault }, &mut rec);
+            }
+        }
+    }
+    // Drain: a fully-connected cluster must settle every conversation,
+    // retire every placement, and complete every flagged reconciliation.
+    // Bounded so the drop-reconcile injection terminates instead of
+    // retrying forever.
+    let chunk = Cycles::new((params.horizon.get() / 4).max(1));
+    for _ in 0..16 {
+        let gac = cluster.gac();
+        if gac.idle() && gac.placements().is_empty() && gac.pending_reconciles() == 0 {
+            break;
+        }
+        let until = cluster.now() + chunk;
+        cluster.run_until(until, &mut rec);
+    }
+
+    let gac = cluster.gac();
+    let mut admitted = 0u32;
+    let mut rejected = 0u32;
+    let mut completed = 0u32;
+    let mut revoked = 0u32;
+    let mut unaccounted = Vec::new();
+    let mut undecided = Vec::new();
+    for i in 0..params.jobs {
+        let job = JobId::new(i);
+        match gac.decisions().get(&job) {
+            None => undecided.push(job),
+            Some((_, Decision::Accepted { .. })) => {
+                admitted += 1;
+                let done = gac.completed().contains(&job);
+                let gone = gac.revoked().contains(&job);
+                completed += u32::from(done);
+                revoked += u32::from(gone);
+                if done == gone {
+                    unaccounted.push(job);
+                }
+            }
+            Some((_, Decision::Rejected(_))) => rejected += 1,
+        }
+    }
+    let mut healthy = 0;
+    let mut suspect = 0;
+    let mut dead = 0;
+    for n in 0..params.nodes {
+        match gac.node_health(NodeId::new(n as u32)) {
+            NodeHealth::Healthy => healthy += 1,
+            NodeHealth::Suspect => suspect += 1,
+            NodeHealth::Dead => dead += 1,
+        }
+    }
+    NetChaosOutcome {
+        submitted: params.jobs,
+        admitted,
+        rejected,
+        completed,
+        revoked,
+        unaccounted,
+        undecided,
+        pending_reconciles: gac.pending_reconciles(),
+        healthy,
+        suspect,
+        dead,
+        migrated: rec.counters.migrated,
+        deaths: rec.deaths,
+        reconciles: rec.counters.reconciled,
+        orphans_revoked: rec.orphans_revoked,
+        placements_repaired: rec.placements_repaired,
+        gac: gac.stats(),
+        net: cluster.net().stats(),
+    }
+}
+
+/// Prints the net-cell verdict and asserts the partition-tolerance
+/// invariants: every job accounted for, nobody merely-partitioned was
+/// evacuated or declared dead, and every flagged reconciliation
+/// completed. The asserts make `--inject drop-reconcile` exit nonzero —
+/// CI's proof that the reconciliation check is live.
+pub fn print_net(o: &NetChaosOutcome, p: &NetChaosParams) {
+    println!(
+        "== Net chaos: {} jobs on {} nodes over a lossy control plane, seed {} ==",
+        p.jobs, p.nodes, p.seed
+    );
+    if let Some((a, b, at)) = p.partition {
+        let heal = p
+            .heal_at
+            .map_or_else(|| "at drain".to_string(), |h| format!("at {h}"));
+        println!("partition: nodes [{a}, {b}) severed at {at}, healed {heal}");
+    }
+    println!(
+        "jobs: {} submitted | {} admitted | {} rejected | {} completed | {} revoked",
+        o.submitted, o.admitted, o.rejected, o.completed, o.revoked
+    );
+    println!(
+        "health: {} healthy, {} suspect, {} dead | migrations {} | loss-driven deaths {}",
+        o.healthy, o.suspect, o.dead, o.migrated, o.deaths
+    );
+    println!(
+        "reconciliation: {} completed ({} orphan(s) revoked, {} placement(s) repaired), \
+         {} pending",
+        o.reconciles, o.orphans_revoked, o.placements_repaired, o.pending_reconciles
+    );
+    println!(
+        "conversations: {} opened | {} retransmits | {} abandoned | {} stale replies",
+        o.gac.conversations, o.gac.retransmits, o.gac.gave_up, o.gac.stale_replies
+    );
+    println!(
+        "frames: {} sent | {} delivered | {} dropped | {} eaten by partitions | {} duplicated",
+        o.net.sent, o.net.delivered, o.net.dropped, o.net.partitioned, o.net.duplicated
+    );
+    assert!(
+        o.undecided.is_empty(),
+        "submissions without a decision: {:?}",
+        o.undecided
+    );
+    assert!(
+        o.unaccounted.is_empty(),
+        "admitted jobs not completed XOR revoked: {:?}",
+        o.unaccounted
+    );
+    assert_eq!(o.deaths, 0, "a merely-partitioned node was declared dead");
+    assert_eq!(o.migrated, 0, "a merely-partitioned node was evacuated");
+    assert_eq!(
+        o.pending_reconciles, 0,
+        "nodes still awaiting rejoin reconciliation after the heal"
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -612,5 +981,58 @@ mod tests {
             assert_eq!(jt.migrations.len() as u32, f.migrations);
             assert_eq!(jt.revoked.is_some(), f.revoked);
         }
+    }
+
+    /// A small but genuinely lossy net cell: 12 nodes, a third of them
+    /// partitioned for a quarter of the run.
+    fn quick_net() -> NetChaosParams {
+        let mut p = NetChaosParams::standard();
+        p.nodes = 12;
+        p.jobs = 48;
+        p.horizon = Cycles::new(120_000);
+        p.seed = 5;
+        p.partition = Some((2, 6, Cycles::new(40_000)));
+        p.heal_at = Some(Cycles::new(70_000));
+        p
+    }
+
+    #[test]
+    fn a_partitioned_and_healed_cluster_accounts_for_every_job() {
+        let p = quick_net();
+        let o = run_net(&p);
+        assert!(o.net.partitioned > 0, "the partition ate no frames");
+        assert!(o.admitted > 0, "nothing was admitted");
+        assert!(o.undecided.is_empty(), "undecided: {:?}", o.undecided);
+        assert!(
+            o.unaccounted.is_empty(),
+            "not completed XOR revoked: {:?}",
+            o.unaccounted
+        );
+        assert_eq!(o.deaths, 0, "a merely-partitioned node was declared dead");
+        assert_eq!(o.migrated, 0, "a merely-partitioned node was evacuated");
+        assert_eq!(o.dead, 0);
+        assert_eq!(o.pending_reconciles, 0, "reconciliations left hanging");
+        assert!(o.reconciles > 0, "the heal triggered no reconciliation");
+    }
+
+    #[test]
+    fn same_seed_net_runs_are_identical_and_seeds_matter() {
+        let p = quick_net();
+        let first = run_net(&p);
+        assert_eq!(first, run_net(&p), "same seed must reproduce exactly");
+        let mut other = p.clone();
+        other.seed = 6;
+        assert_ne!(run_net(&other), first, "a new seed must reshuffle the run");
+    }
+
+    #[test]
+    fn the_drop_reconcile_injection_is_caught() {
+        let mut p = quick_net();
+        p.drop_reconcile = true;
+        let o = run_net(&p);
+        assert!(
+            o.pending_reconciles > 0,
+            "dropping every post-heal frame must leave reconciliations pending"
+        );
     }
 }

@@ -5,9 +5,13 @@
 //! under partial failure. This crate provides the *fault model* the rest of
 //! the stack consumes:
 //!
-//! * [`Fault`] — the five injectable failures: a dead L2 way, a dead core,
-//!   a whole dead node, lost admission probes, and a crashed admission
-//!   controller (recovered from its write-ahead journal).
+//! * [`Fault`] — the injectable failures: a dead L2 way, a dead core, a
+//!   whole dead node, lost admission probes, a crashed admission
+//!   controller (recovered from its write-ahead journal), and the
+//!   message-layer faults — a severed GAC ↔ node link
+//!   ([`Fault::LinkPartition`] / [`Fault::LinkHeal`]) and transient
+//!   message loss ([`Fault::MessageDrop`]). A partitioned node is
+//!   *unreachable, not dead*: the GAC must hold evacuation.
 //! * [`Injection`] — a fault stamped with the cycle it strikes at.
 //! * [`FaultSchedule`] — a sorted, drainable sequence of injections. The
 //!   simulation loop calls [`FaultSchedule::due`] each step and applies
@@ -74,6 +78,28 @@ pub enum Fault {
         /// The node whose controller crashes.
         node: NodeId,
     },
+    /// The GAC ↔ node control-plane link is severed in both directions.
+    /// The node is *unreachable*, not dead: its LAC keeps honoring
+    /// reservations, so the GAC must hold evacuation (Suspect, not Dead)
+    /// until the health timeout genuinely expires.
+    LinkPartition {
+        /// The unreachable node.
+        node: NodeId,
+    },
+    /// The GAC ↔ node link is restored; a rejoin reconciliation diffs the
+    /// two sides' tables.
+    LinkHeal {
+        /// The reachable-again node.
+        node: NodeId,
+    },
+    /// The next `count` control-plane messages toward the node are lost
+    /// in transit (a transient lossy link rather than a full partition).
+    MessageDrop {
+        /// The node end of the lossy link.
+        node: NodeId,
+        /// How many consecutive messages are lost.
+        count: u32,
+    },
 }
 
 impl Fault {
@@ -85,7 +111,10 @@ impl Fault {
             | Fault::CoreFault { node, .. }
             | Fault::NodeFault { node }
             | Fault::ProbeLoss { node, .. }
-            | Fault::ControllerCrash { node } => node,
+            | Fault::ControllerCrash { node }
+            | Fault::LinkPartition { node }
+            | Fault::LinkHeal { node }
+            | Fault::MessageDrop { node, .. } => node,
         }
     }
 
@@ -99,6 +128,9 @@ impl Fault {
             Fault::NodeFault { .. } => cmpqos_obs::FaultKind::NodeFault,
             Fault::ProbeLoss { count, .. } => cmpqos_obs::FaultKind::ProbeLoss { count },
             Fault::ControllerCrash { .. } => cmpqos_obs::FaultKind::ControllerCrash,
+            Fault::LinkPartition { .. } => cmpqos_obs::FaultKind::LinkPartition,
+            Fault::LinkHeal { .. } => cmpqos_obs::FaultKind::LinkHeal,
+            Fault::MessageDrop { count, .. } => cmpqos_obs::FaultKind::MessageDrop { count },
         }
     }
 }
@@ -111,6 +143,11 @@ impl fmt::Display for Fault {
             Fault::NodeFault { node } => write!(f, "{node} dies"),
             Fault::ProbeLoss { node, count } => write!(f, "{count} probe(s) to {node} lost"),
             Fault::ControllerCrash { node } => write!(f, "controller of {node} crashes"),
+            Fault::LinkPartition { node } => write!(f, "link to {node} partitioned"),
+            Fault::LinkHeal { node } => write!(f, "link to {node} healed"),
+            Fault::MessageDrop { node, count } => {
+                write!(f, "{count} message(s) to {node} dropped")
+            }
         }
     }
 }
@@ -304,6 +341,56 @@ impl FaultPlan {
         self.inject(at, Fault::ControllerCrash { node })
     }
 
+    /// Severs the GAC ↔ `node` link at cycle `at`.
+    #[must_use]
+    pub fn link_partition(self, at: Cycles, node: NodeId) -> Self {
+        self.inject(at, Fault::LinkPartition { node })
+    }
+
+    /// Restores the GAC ↔ `node` link at cycle `at`.
+    #[must_use]
+    pub fn link_heal(self, at: Cycles, node: NodeId) -> Self {
+        self.inject(at, Fault::LinkHeal { node })
+    }
+
+    /// Loses the next `count` control-plane messages to `node` from cycle
+    /// `at`.
+    #[must_use]
+    pub fn message_drop(self, at: Cycles, node: NodeId, count: u32) -> Self {
+        self.inject(at, Fault::MessageDrop { node, count })
+    }
+
+    /// A reproducible random *message-layer* plan: `faults` injections
+    /// spread over `[horizon/4, 3·horizon/4)` across `nodes` nodes, mixing
+    /// transient message drops with partition windows. Every
+    /// [`Fault::LinkPartition`] is paired with a [`Fault::LinkHeal`] no
+    /// later than `7·horizon/8`, so a run always ends with all links
+    /// restored (at most one partition window per node). The same
+    /// `(seed, nodes, horizon, faults)` always yields the same plan.
+    #[must_use]
+    pub fn seeded_net(seed: u64, nodes: u32, horizon: Cycles, faults: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = Self::new();
+        let lo = horizon.get() / 4;
+        let hi = (3 * horizon.get() / 4).max(lo + 1);
+        let heal_by = 7 * horizon.get() / 8;
+        let mut partitioned = vec![false; nodes.max(1) as usize];
+        for _ in 0..faults {
+            let at = Cycles::new(rng.gen_range(lo..hi));
+            let node = NodeId::new(rng.gen_range(0..nodes.max(1)));
+            if rng.gen_range(0u32..10) < 3 && !partitioned[node.as_usize()] {
+                partitioned[node.as_usize()] = true;
+                let heal_at = rng.gen_range(at.get() + 1..heal_by.max(at.get() + 2));
+                plan = plan
+                    .link_partition(at, node)
+                    .link_heal(Cycles::new(heal_at), node);
+            } else {
+                plan = plan.message_drop(at, node, rng.gen_range(1u32..4));
+            }
+        }
+        plan
+    }
+
     /// Finishes the plan into a cycle-ordered schedule.
     #[must_use]
     pub fn build(self) -> FaultSchedule {
@@ -373,6 +460,56 @@ mod tests {
         };
         assert_eq!(p.obs_kind(), cmpqos_obs::FaultKind::ProbeLoss { count: 3 });
         assert!(p.to_string().contains("3 probe(s)"));
+    }
+
+    #[test]
+    fn net_fault_accessors_and_display() {
+        let p = Fault::LinkPartition {
+            node: NodeId::new(2),
+        };
+        assert_eq!(p.node(), NodeId::new(2));
+        assert_eq!(p.obs_kind(), cmpqos_obs::FaultKind::LinkPartition);
+        assert!(p.to_string().contains("partitioned"));
+        let h = Fault::LinkHeal {
+            node: NodeId::new(2),
+        };
+        assert_eq!(h.obs_kind(), cmpqos_obs::FaultKind::LinkHeal);
+        assert!(h.to_string().contains("healed"));
+        let d = Fault::MessageDrop {
+            node: NodeId::new(1),
+            count: 3,
+        };
+        assert_eq!(
+            d.obs_kind(),
+            cmpqos_obs::FaultKind::MessageDrop { count: 3 }
+        );
+        assert!(d.to_string().contains("3 message(s)"));
+    }
+
+    #[test]
+    fn seeded_net_pairs_every_partition_with_a_heal() {
+        let a = FaultPlan::seeded_net(21, 8, Cycles::new(100_000), 12).build();
+        let b = FaultPlan::seeded_net(21, 8, Cycles::new(100_000), 12).build();
+        assert_eq!(a, b, "same seed, same plan");
+        let mut severed: Vec<NodeId> = Vec::new();
+        let mut healed: Vec<NodeId> = Vec::new();
+        for i in a.injections() {
+            match i.fault {
+                Fault::LinkPartition { node } => {
+                    assert!(!severed.contains(&node), "one window per node");
+                    severed.push(node);
+                }
+                Fault::LinkHeal { node } => {
+                    assert!(i.at <= Cycles::new(87_500), "heals leave settle time");
+                    healed.push(node);
+                }
+                Fault::MessageDrop { count, .. } => assert!((1..4).contains(&count)),
+                _ => panic!("non-net fault in a net plan: {:?}", i.fault),
+            }
+        }
+        severed.sort_unstable();
+        healed.sort_unstable();
+        assert_eq!(severed, healed, "every partition heals");
     }
 
     #[test]

@@ -67,6 +67,17 @@ pub enum FaultKind {
     /// The node's admission controller crashed, losing its in-core
     /// reservation tables (recovered from the write-ahead journal).
     ControllerCrash,
+    /// The GAC ↔ node link was severed in both directions: the node is
+    /// unreachable but alive (its LAC keeps honoring reservations).
+    LinkPartition,
+    /// The GAC ↔ node link was restored.
+    LinkHeal,
+    /// The next `count` control-plane messages on the GAC → node link are
+    /// silently lost in transit.
+    MessageDrop {
+        /// How many consecutive messages are lost.
+        count: u32,
+    },
 }
 
 /// A node's health as tracked by the global admission controller.
@@ -283,6 +294,36 @@ pub enum Event {
         /// Journal records lost to a torn or corrupted tail.
         lost: u64,
     },
+    /// The control-plane link between the GAC and a node was severed: the
+    /// node is unreachable (but alive — partition is not death).
+    LinkPartitioned {
+        /// The unreachable node.
+        node: NodeId,
+    },
+    /// The control-plane link between the GAC and a node was restored.
+    LinkHealed {
+        /// The reachable-again node.
+        node: NodeId,
+    },
+    /// A control-plane message was lost in transit (dropped, or eaten by
+    /// an active partition).
+    MessageDropped {
+        /// The node end of the lossy link.
+        node: NodeId,
+    },
+    /// A rejoin reconciliation completed: the GAC diffed its placement
+    /// table against the node's journal-backed reservation table and
+    /// repaired both sides.
+    Reconciled {
+        /// The reconciled node.
+        node: NodeId,
+        /// Orphaned reservations revoked on the node (the LAC admitted
+        /// them but the accept reply never reached the GAC).
+        orphans_revoked: u64,
+        /// Placements the GAC repaired (reservations it thought live that
+        /// the node no longer held).
+        placements_repaired: u64,
+    },
 }
 
 impl Event {
@@ -313,7 +354,11 @@ impl Event {
             | Event::NodeHealthChanged { .. }
             | Event::CircuitTripped { .. }
             | Event::CircuitRestored { .. }
-            | Event::ControllerRecovered { .. } => None,
+            | Event::ControllerRecovered { .. }
+            | Event::LinkPartitioned { .. }
+            | Event::LinkHealed { .. }
+            | Event::MessageDropped { .. }
+            | Event::Reconciled { .. } => None,
         }
     }
 
@@ -345,6 +390,10 @@ impl Event {
             Event::CircuitTripped { .. } => EventKind::CircuitTripped,
             Event::CircuitRestored { .. } => EventKind::CircuitRestored,
             Event::ControllerRecovered { .. } => EventKind::ControllerRecovered,
+            Event::LinkPartitioned { .. } => EventKind::LinkPartitioned,
+            Event::LinkHealed { .. } => EventKind::LinkHealed,
+            Event::MessageDropped { .. } => EventKind::MessageDropped,
+            Event::Reconciled { .. } => EventKind::Reconciled,
         }
     }
 }
@@ -402,11 +451,19 @@ pub enum EventKind {
     CircuitRestored,
     /// See [`Event::ControllerRecovered`].
     ControllerRecovered,
+    /// See [`Event::LinkPartitioned`].
+    LinkPartitioned,
+    /// See [`Event::LinkHealed`].
+    LinkHealed,
+    /// See [`Event::MessageDropped`].
+    MessageDropped,
+    /// See [`Event::Reconciled`].
+    Reconciled,
 }
 
 impl EventKind {
     /// Every kind, in declaration order.
-    pub const ALL: [EventKind; 24] = [
+    pub const ALL: [EventKind; 28] = [
         EventKind::RunStarted,
         EventKind::Submitted,
         EventKind::Admitted,
@@ -431,6 +488,10 @@ impl EventKind {
         EventKind::CircuitTripped,
         EventKind::CircuitRestored,
         EventKind::ControllerRecovered,
+        EventKind::LinkPartitioned,
+        EventKind::LinkHealed,
+        EventKind::MessageDropped,
+        EventKind::Reconciled,
     ];
 }
 
@@ -506,7 +567,7 @@ mod tests {
         assert_eq!(e.kind(), EventKind::Started);
         let p = Event::PartitionChanged { targets: vec![] };
         assert_eq!(p.job(), None);
-        assert_eq!(EventKind::ALL.len(), 24);
+        assert_eq!(EventKind::ALL.len(), 28);
     }
 
     #[test]
@@ -584,5 +645,59 @@ mod tests {
         assert_eq!(records[2].event.job(), Some(JobId::new(4)));
         assert_eq!(records[6].event.job(), Some(JobId::new(5)));
         assert_eq!(records[7].event.kind(), EventKind::DowngradedUnderFault);
+    }
+
+    #[test]
+    fn net_events_round_trip_and_carry_no_job() {
+        let records = vec![
+            Record {
+                at: Cycles::new(20),
+                event: Event::FaultInjected {
+                    node: NodeId::new(3),
+                    fault: FaultKind::LinkPartition,
+                },
+            },
+            Record {
+                at: Cycles::new(20),
+                event: Event::LinkPartitioned {
+                    node: NodeId::new(3),
+                },
+            },
+            Record {
+                at: Cycles::new(25),
+                event: Event::MessageDropped {
+                    node: NodeId::new(3),
+                },
+            },
+            Record {
+                at: Cycles::new(30),
+                event: Event::FaultInjected {
+                    node: NodeId::new(3),
+                    fault: FaultKind::MessageDrop { count: 2 },
+                },
+            },
+            Record {
+                at: Cycles::new(40),
+                event: Event::LinkHealed {
+                    node: NodeId::new(3),
+                },
+            },
+            Record {
+                at: Cycles::new(41),
+                event: Event::Reconciled {
+                    node: NodeId::new(3),
+                    orphans_revoked: 1,
+                    placements_repaired: 0,
+                },
+            },
+        ];
+        for r in &records {
+            let line = serde_json::to_string(r).unwrap();
+            let back: Record = serde_json::from_str(&line).unwrap();
+            assert_eq!(&back, r);
+            assert_eq!(r.event.job(), None);
+        }
+        assert_eq!(records[1].event.kind(), EventKind::LinkPartitioned);
+        assert_eq!(records[5].event.kind(), EventKind::Reconciled);
     }
 }

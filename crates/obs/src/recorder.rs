@@ -146,6 +146,14 @@ pub struct Counters {
     pub circuits_restored: u64,
     /// Controllers rebuilt from their write-ahead journals.
     pub controllers_recovered: u64,
+    /// GAC ↔ node links severed.
+    pub links_partitioned: u64,
+    /// GAC ↔ node links restored.
+    pub links_healed: u64,
+    /// Control-plane messages lost in transit.
+    pub messages_dropped: u64,
+    /// Rejoin reconciliations completed.
+    pub reconciled: u64,
 }
 
 impl Counters {
@@ -182,6 +190,10 @@ impl Counters {
             EventKind::CircuitTripped => self.circuits_tripped,
             EventKind::CircuitRestored => self.circuits_restored,
             EventKind::ControllerRecovered => self.controllers_recovered,
+            EventKind::LinkPartitioned => self.links_partitioned,
+            EventKind::LinkHealed => self.links_healed,
+            EventKind::MessageDropped => self.messages_dropped,
+            EventKind::Reconciled => self.reconciled,
         }
     }
 
@@ -217,6 +229,10 @@ impl Counters {
             EventKind::CircuitTripped => &mut self.circuits_tripped,
             EventKind::CircuitRestored => &mut self.circuits_restored,
             EventKind::ControllerRecovered => &mut self.controllers_recovered,
+            EventKind::LinkPartitioned => &mut self.links_partitioned,
+            EventKind::LinkHealed => &mut self.links_healed,
+            EventKind::MessageDropped => &mut self.messages_dropped,
+            EventKind::Reconciled => &mut self.reconciled,
         }
     }
 }

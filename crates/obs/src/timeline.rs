@@ -93,6 +93,9 @@ pub struct Timeline {
     circuit_trips: Vec<(Cycles, NodeId, u64, u64)>,
     circuit_restores: Vec<(Cycles, NodeId)>,
     recoveries: Vec<(Cycles, NodeId, u64, u64)>,
+    link_changes: Vec<(Cycles, NodeId, bool)>,
+    reconciles: Vec<(Cycles, NodeId, u64, u64)>,
+    messages_dropped: u64,
 }
 
 impl Timeline {
@@ -204,6 +207,27 @@ impl Timeline {
         &self.recoveries
     }
 
+    /// Control-plane link changes, in stream order: `(at, node,
+    /// partitioned)` — `true` when the link was severed, `false` when it
+    /// was healed.
+    #[must_use]
+    pub fn link_changes(&self) -> &[(Cycles, NodeId, bool)] {
+        &self.link_changes
+    }
+
+    /// Rejoin reconciliations, in stream order: `(at, node,
+    /// orphans_revoked, placements_repaired)`.
+    #[must_use]
+    pub fn reconciles(&self) -> &[(Cycles, NodeId, u64, u64)] {
+        &self.reconciles
+    }
+
+    /// Control-plane messages lost in transit over the whole run.
+    #[must_use]
+    pub fn messages_dropped(&self) -> u64 {
+        self.messages_dropped
+    }
+
     fn apply(&mut self, r: &Record) {
         let at = r.at;
         match &r.event {
@@ -237,6 +261,23 @@ impl Timeline {
                 lost,
             } => {
                 self.recoveries.push((at, *node, *replayed, *lost));
+            }
+            Event::LinkPartitioned { node } => {
+                self.link_changes.push((at, *node, true));
+            }
+            Event::LinkHealed { node } => {
+                self.link_changes.push((at, *node, false));
+            }
+            Event::MessageDropped { .. } => {
+                self.messages_dropped += 1;
+            }
+            Event::Reconciled {
+                node,
+                orphans_revoked,
+                placements_repaired,
+            } => {
+                self.reconciles
+                    .push((at, *node, *orphans_revoked, *placements_repaired));
             }
             event => {
                 let Some(id) = event.job() else { return };
@@ -295,7 +336,11 @@ impl Timeline {
                     | Event::NodeHealthChanged { .. }
                     | Event::CircuitTripped { .. }
                     | Event::CircuitRestored { .. }
-                    | Event::ControllerRecovered { .. } => {}
+                    | Event::ControllerRecovered { .. }
+                    | Event::LinkPartitioned { .. }
+                    | Event::LinkHealed { .. }
+                    | Event::MessageDropped { .. }
+                    | Event::Reconciled { .. } => {}
                 }
             }
         }

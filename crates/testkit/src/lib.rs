@@ -22,6 +22,9 @@
 //!   schedules, journal crash points) whose differential explorer diffs
 //!   whole `Lac`/`AdmissionIntake`/`QosScheduler` runs against the oracles
 //!   and prints a one-line repro command on divergence.
+//! * [`netreplay`] — the delivered-message-log replay oracle for the
+//!   message-layer control plane: node state must be a pure, idempotent
+//!   function of the frames the network actually delivered.
 //! * [`metamorphic`] — relations that must hold across *pairs* of runs:
 //!   inserting an Opportunistic job never flips a reserving decision,
 //!   uniformly scaling durations + deadlines preserves the accept set, and
@@ -40,6 +43,7 @@
 pub mod conform;
 pub mod cpi;
 pub mod metamorphic;
+pub mod netreplay;
 pub mod oracle;
 pub mod scenario;
 pub mod shadow;

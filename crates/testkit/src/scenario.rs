@@ -57,6 +57,12 @@ pub enum ScenarioKind {
     /// `admit_batch` and must decide identically to one-at-a-time
     /// admission and the brute-force oracle.
     Batch,
+    /// Message-layer control plane: a [`cmpqos_core::Cluster`] driven over
+    /// a seeded lossy/duplicating/reordering network with partitions,
+    /// heals, and forced drops, checked against the delivered-message-log
+    /// replay oracle ([`crate::netreplay`]) plus the
+    /// completed-XOR-revoked and no-overbooking invariants.
+    Net,
 }
 
 impl ScenarioKind {
@@ -69,6 +75,7 @@ impl ScenarioKind {
             ScenarioKind::Scheduler => "scheduler",
             ScenarioKind::Gac => "gac",
             ScenarioKind::Batch => "batch",
+            ScenarioKind::Net => "net",
         }
     }
 
@@ -81,17 +88,19 @@ impl ScenarioKind {
             "scheduler" => Some(ScenarioKind::Scheduler),
             "gac" => Some(ScenarioKind::Gac),
             "batch" => Some(ScenarioKind::Batch),
+            "net" => Some(ScenarioKind::Net),
             _ => None,
         }
     }
 
     /// All kinds, in explorer rotation order.
-    pub const ALL: [ScenarioKind; 5] = [
+    pub const ALL: [ScenarioKind; 6] = [
         ScenarioKind::Lac,
         ScenarioKind::Intake,
         ScenarioKind::Scheduler,
         ScenarioKind::Gac,
         ScenarioKind::Batch,
+        ScenarioKind::Net,
     ];
 }
 
@@ -172,6 +181,24 @@ pub enum Op {
     },
     /// Drain the intake queue FCFS through the LAC.
     Drain,
+    /// Sever the GAC ↔ node control-plane link (net scenarios only; the
+    /// runner maps `node` onto the cluster's actual node count).
+    Partition {
+        /// The node to cut off.
+        node: u32,
+    },
+    /// Restore the GAC ↔ node link.
+    Heal {
+        /// The node to reconnect.
+        node: u32,
+    },
+    /// Silently drop the next `count` frames toward the node.
+    DropNext {
+        /// The node end of the lossy link.
+        node: u32,
+        /// Frames to lose.
+        count: u32,
+    },
 }
 
 /// A seed-derived operation list for one differential run.
@@ -273,6 +300,47 @@ impl Scenario {
                     },
                     _ => {
                         let delta = rng.gen_range(0..301u64);
+                        now += delta;
+                        Op::Advance { delta }
+                    }
+                },
+                // Submission-heavy with the full message-layer fault mix;
+                // Advance deltas are large relative to the RTO (100) and
+                // retry interval (500) so conversations actually time out,
+                // give up, and reconcile inside one scenario.
+                ScenarioKind::Net => match rng.gen_range(0..12u32) {
+                    0..=4 => {
+                        let id = next_id;
+                        next_id += 1;
+                        Op::Admit {
+                            id,
+                            mode: gen_mode(&mut rng),
+                            cores: rng.gen_range(0..3),
+                            ways: rng.gen_range(1..9),
+                            bandwidth: rng.gen_range(0..51),
+                            tw: rng.gen_range(1..2001),
+                            deadline: if rng.gen_bool(0.6) {
+                                Some(now + rng.gen_range(0..12_001))
+                            } else {
+                                None
+                            },
+                        }
+                    }
+                    5 => Op::Cancel {
+                        id: rng.gen_range(0..next_id.max(1)),
+                    },
+                    6 => Op::Partition {
+                        node: rng.gen_range(0..4),
+                    },
+                    7 => Op::Heal {
+                        node: rng.gen_range(0..4),
+                    },
+                    8 => Op::DropNext {
+                        node: rng.gen_range(0..4),
+                        count: rng.gen_range(1..6),
+                    },
+                    _ => {
+                        let delta = rng.gen_range(0..3001u64);
                         now += delta;
                         Op::Advance { delta }
                     }
@@ -396,6 +464,7 @@ pub fn run(scenario: &Scenario) -> Result<(), Divergence> {
         ScenarioKind::Scheduler => run_scheduler(scenario.seed),
         ScenarioKind::Gac => run_gac(scenario.seed),
         ScenarioKind::Batch => run_batch(scenario),
+        ScenarioKind::Net => run_net(scenario),
     }
 }
 
@@ -552,7 +621,12 @@ pub fn run_lac(scenario: &Scenario) -> Result<(), Divergence> {
                 }
                 jl = recovered;
             }
-            Op::Offer { .. } | Op::Drain => {} // intake-only ops
+            // Intake-only and net-only ops.
+            Op::Offer { .. }
+            | Op::Drain
+            | Op::Partition { .. }
+            | Op::Heal { .. }
+            | Op::DropNext { .. } => {}
         }
 
         if let Err(e) = oracle.table_matches(jl.lac()) {
@@ -682,7 +756,13 @@ pub fn run_batch(scenario: &Scenario) -> Result<(), Divergence> {
                 oracle.cancel(JobId::new(id));
             }
             // Not generated for batch scenarios.
-            Op::Revoke { .. } | Op::CrashRecover | Op::Offer { .. } | Op::Drain => {}
+            Op::Revoke { .. }
+            | Op::CrashRecover
+            | Op::Offer { .. }
+            | Op::Drain
+            | Op::Partition { .. }
+            | Op::Heal { .. }
+            | Op::DropNext { .. } => {}
         }
 
         if jl.lac() != &seq {
@@ -726,6 +806,214 @@ pub fn run_batch(scenario: &Scenario) -> Result<(), Divergence> {
             last,
             format!("timeline overbooked at {t} at end of scenario"),
         ));
+    }
+    Ok(())
+}
+
+/// Message-layer control-plane differential ([`ScenarioKind::Net`]).
+///
+/// Replays the op list over a [`Cluster`] whose GAC↔LAC traffic crosses a
+/// seeded network with latency jitter, reordering, probabilistic drops
+/// and duplicates — plus the explicit partition/heal/forced-drop ops —
+/// then heals every link and drains. After **every** op the run is
+/// checked against the delivered-message-log replay oracle
+/// ([`crate::netreplay::check`]: node state must be a pure function of
+/// the frames actually delivered) and the per-node no-overbooking oracle;
+/// after the drain, every admitted job must be completed XOR revoked,
+/// every placement retired, and every flagged reconciliation completed.
+///
+/// The cluster topology (node count, probe policy, link misbehavior) is
+/// re-derived from the seed, so shrinking the op list never changes the
+/// network it runs over.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] from the replay or overbooking
+/// oracles, or from the end-state accounting invariants.
+pub fn run_net(scenario: &Scenario) -> Result<(), Divergence> {
+    use cmpqos_core::{Cluster, NetGacConfig};
+    use cmpqos_net::LinkConfig;
+
+    let mut rng = StdRng::seed_from_u64(scenario.seed ^ 0x4E70_0001);
+    let nodes = rng.gen_range(2..5usize);
+    let policy = if rng.gen_bool(0.5) {
+        ProbePolicy::FirstFit
+    } else {
+        ProbePolicy::LeastLoaded
+    };
+    let link = LinkConfig::default()
+        .base_latency(Cycles::new(rng.gen_range(5..21)))
+        .jitter(rng.gen_range(0..16))
+        .reorder(rng.gen_range(0..21))
+        .drop([0.0, 0.05, 0.15][rng.gen_range(0..3usize)])
+        .duplicate([0.0, 0.1, 0.3][rng.gen_range(0..3usize)]);
+    let lac_config = LacConfig::default();
+    let mut cluster = Cluster::new(
+        nodes,
+        lac_config,
+        scenario.seed ^ 0x4E70_0002,
+        link,
+        NetGacConfig::default(),
+        policy,
+    );
+    let mut rec = NullRecorder;
+    let mut now = Cycles::ZERO;
+    let mut submitted: Vec<JobId> = Vec::new();
+    let node_of = |n: u32| NodeId::new(n % nodes as u32);
+
+    let oracles = |cluster: &Cluster<Lac>| -> Result<(), String> {
+        crate::netreplay::check(cluster, lac_config)?;
+        for i in 0..cluster.nodes() {
+            let node = NodeId::new(i as u32);
+            let backend = cluster.endpoint(node).backend();
+            let oracle =
+                OracleLac::from_parts(lac_config.capacity, backend.reservations(), backend.now());
+            if let Some(t) = oracle.first_overbooked_instant() {
+                return Err(format!("{node} timeline overbooked at {t}"));
+            }
+        }
+        Ok(())
+    };
+
+    for (i, op) in scenario.ops.iter().enumerate() {
+        match *op {
+            Op::Advance { delta } => {
+                now += Cycles::new(delta);
+                cluster.run_until(now, &mut rec);
+            }
+            Op::Admit {
+                id,
+                mode,
+                cores,
+                ways,
+                bandwidth,
+                tw,
+                deadline,
+            } => {
+                let mut b = AdmissionRequest::builder(
+                    JobId::new(id),
+                    request_of(cores, ways, bandwidth),
+                    Cycles::new(tw),
+                )
+                .mode(mode);
+                if let Some(td) = deadline {
+                    b = b.deadline(Cycles::new(td));
+                }
+                submitted.push(JobId::new(id));
+                let at = cluster.now();
+                cluster.gac_mut().submit(b.build(), at, &mut rec);
+                cluster.run_until(at, &mut rec);
+            }
+            Op::Cancel { id } => {
+                cluster.gac_mut().revoke(JobId::new(id));
+                let at = cluster.now();
+                cluster.run_until(at, &mut rec);
+            }
+            Op::Partition { node } => {
+                let at = cluster.now();
+                let fault = Fault::LinkPartition {
+                    node: node_of(node),
+                };
+                cluster.apply(Injection { at, fault }, &mut rec);
+            }
+            Op::Heal { node } => {
+                let at = cluster.now();
+                let fault = Fault::LinkHeal {
+                    node: node_of(node),
+                };
+                cluster.apply(Injection { at, fault }, &mut rec);
+            }
+            Op::DropNext { node, count } => {
+                let at = cluster.now();
+                let fault = Fault::MessageDrop {
+                    node: node_of(node),
+                    count,
+                };
+                cluster.apply(Injection { at, fault }, &mut rec);
+            }
+            // LAC/intake-only ops are not generated for net scenarios.
+            _ => {}
+        }
+        if let Err(e) = oracles(&cluster) {
+            return Err(diverge(scenario, i, format!("after {op:?}: {e}")));
+        }
+    }
+
+    // Heal every link and drain: a fully-connected cluster must settle
+    // every conversation, retire every placement, and complete every
+    // flagged reconciliation.
+    let end = scenario.ops.len().saturating_sub(1);
+    for n in 0..nodes {
+        let at = cluster.now();
+        let fault = Fault::LinkHeal {
+            node: NodeId::new(n as u32),
+        };
+        cluster.apply(Injection { at, fault }, &mut rec);
+    }
+    for round in 0..64 {
+        let until = cluster.now() + Cycles::new(100_000);
+        cluster.run_until(until, &mut rec);
+        let gac = cluster.gac();
+        if gac.idle() && gac.pending_reconciles() == 0 && gac.placements().is_empty() {
+            break;
+        }
+        if round == 63 {
+            return Err(diverge(
+                scenario,
+                end,
+                format!(
+                    "cluster failed to quiesce after heal: idle={} \
+                     pending_reconciles={} placements={}",
+                    gac.idle(),
+                    gac.pending_reconciles(),
+                    gac.placements().len()
+                ),
+            ));
+        }
+    }
+    if let Err(e) = oracles(&cluster) {
+        return Err(diverge(scenario, end, format!("after drain: {e}")));
+    }
+
+    // End-state accounting: every submission decided; every accepted job
+    // completed XOR revoked; every rejected job neither.
+    let gac = cluster.gac();
+    for &job in &submitted {
+        let Some((_, decision)) = gac.decisions().get(&job) else {
+            return Err(diverge(
+                scenario,
+                end,
+                format!("job {job:?} was submitted but never decided"),
+            ));
+        };
+        let completed = gac.completed().contains(&job);
+        let revoked = gac.revoked().contains(&job);
+        match decision {
+            Decision::Accepted { .. } => {
+                if !(completed ^ revoked) {
+                    return Err(diverge(
+                        scenario,
+                        end,
+                        format!(
+                            "admitted job {job:?} must be completed XOR revoked, \
+                             got completed={completed} revoked={revoked}"
+                        ),
+                    ));
+                }
+            }
+            Decision::Rejected(_) => {
+                if completed || revoked {
+                    return Err(diverge(
+                        scenario,
+                        end,
+                        format!(
+                            "rejected job {job:?} has a terminal state: \
+                             completed={completed} revoked={revoked}"
+                        ),
+                    ));
+                }
+            }
+        }
     }
     Ok(())
 }
@@ -1201,6 +1489,34 @@ mod tests {
                 panic!("{}", d.render());
             }
         }
+    }
+
+    #[test]
+    fn net_scenarios_have_no_divergences() {
+        for seed in 0..crate::cases(8) as u64 {
+            let s = Scenario::generate(ScenarioKind::Net, seed);
+            if let Err(d) = run(&s) {
+                panic!("{}", d.render());
+            }
+        }
+    }
+
+    #[test]
+    fn net_scenarios_generate_message_layer_faults() {
+        // Across a handful of seeds the generator must exercise the whole
+        // net-specific op vocabulary, or the kind tests nothing new.
+        let mut kinds = [false; 3];
+        for seed in 0..16u64 {
+            for op in &Scenario::generate(ScenarioKind::Net, seed).ops {
+                match op {
+                    Op::Partition { .. } => kinds[0] = true,
+                    Op::Heal { .. } => kinds[1] = true,
+                    Op::DropNext { .. } => kinds[2] = true,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(kinds, [true; 3], "partition/heal/drop all generated");
     }
 
     #[test]

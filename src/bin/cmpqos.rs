@@ -71,7 +71,7 @@ usage:
                [--only fig1,fig8a,...] [--inject broken-guard]
                (machine-checks every EXPERIMENTS.md shape verdict;
                 exits nonzero if any check fails)
-  cmpqos explore [--scenarios N] [--seed N] [--kind lac|intake|scheduler|gac|batch|all]
+  cmpqos explore [--scenarios N] [--seed N] [--kind lac|intake|scheduler|gac|batch|net|all]
                (differential explorer: random scenarios diffed against the
                 reference oracles; on divergence prints a shrunken
                 counterexample and a one-line repro, exits nonzero)";
@@ -317,7 +317,7 @@ fn cmd_explore(flags: &HashMap<String, String>) -> Result<(), String> {
     let kinds: Vec<ScenarioKind> = match flags.get("kind").map(String::as_str) {
         None | Some("all") => ScenarioKind::ALL.to_vec(),
         Some(k) => vec![ScenarioKind::parse(k).ok_or_else(|| {
-            format!("unknown --kind `{k}` (expected lac|intake|scheduler|gac|batch|all)")
+            format!("unknown --kind `{k}` (expected lac|intake|scheduler|gac|batch|net|all)")
         })?],
     };
     let report = explore(seed, scenarios, &kinds);

@@ -16,6 +16,7 @@ pub use cmpqos_engine as engine;
 pub use cmpqos_experiments as experiments;
 pub use cmpqos_faults as faults;
 pub use cmpqos_mem as mem;
+pub use cmpqos_net as net;
 pub use cmpqos_obs as obs;
 pub use cmpqos_recovery as recovery;
 pub use cmpqos_system as system;

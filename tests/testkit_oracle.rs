@@ -23,6 +23,7 @@ fn explorer_finds_no_divergences_in_any_scenario_kind() {
         (ScenarioKind::Intake, 12, 0xB22),
         (ScenarioKind::Scheduler, 3, 0xC33),
         (ScenarioKind::Gac, 6, 0xD44),
+        (ScenarioKind::Net, 6, 0xE55),
     ] {
         let n = cmpqos::testkit::cases(default);
         let report = scenario::explore(base_seed, n, &[kind]);
@@ -59,7 +60,13 @@ fn admitted_pair() -> (Lac, OracleLac) {
             .deadline(deadline)
             .build();
         let got = lac.admit(&req);
-        let want = oracle.admit(JobId::new(id), mode, request, Cycles::new(tw), Some(deadline));
+        let want = oracle.admit(
+            JobId::new(id),
+            mode,
+            request,
+            Cycles::new(tw),
+            Some(deadline),
+        );
         assert_eq!(got, want, "admit(job {id}) disagreed before any revocation");
     }
     (lac, oracle)
