@@ -1,0 +1,111 @@
+//! The open [`Policy`] seam and the scheduler-facing adapter.
+
+use crate::pid::{Pid, PidConfig};
+use cmpqos_core::{EpochController, EpochView, KnobUpdate};
+
+/// A closed-loop decision rule: sampled window in, knob movements out.
+///
+/// This is deliberately the same shape as
+/// [`EpochController`](cmpqos_core::EpochController), but it lives on the
+/// *adaptive* side of the seam: policies are pure decision functions that
+/// can be unit-tested, brute-force-checked and composed without a
+/// scheduler in sight, while [`AdaptiveController`] does the one-line
+/// adaptation to the scheduler's hook. Third parties add policies here
+/// (e.g. a bang-bang rule or a model-predictive controller) without
+/// touching `cmpqos-core`.
+pub trait Policy: Send {
+    /// A short stable name, for labels and experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Decides the knob movements for the epoch that just ended.
+    ///
+    /// Must be a deterministic pure function of `self` plus `view` — no
+    /// clocks, no ambient randomness — so adaptive runs stay
+    /// byte-identical across `--jobs` widths.
+    fn decide(&mut self, view: &EpochView<'_>) -> Vec<KnobUpdate>;
+}
+
+/// The do-nothing policy: the static-X baseline the experiments compare
+/// against. Never returns an update, so an adaptive run with [`Static`]
+/// differs from an un-instrumented run only by the epoch wake-ups
+/// themselves.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Static;
+
+impl Policy for Static {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn decide(&mut self, _view: &EpochView<'_>) -> Vec<KnobUpdate> {
+        Vec::new()
+    }
+}
+
+/// Adapts any [`Policy`] to the scheduler's
+/// [`EpochController`](cmpqos_core::EpochController) hook.
+pub struct AdaptiveController {
+    policy: Box<dyn Policy>,
+}
+
+impl std::fmt::Debug for AdaptiveController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveController")
+            .field("policy", &self.policy.name())
+            .finish()
+    }
+}
+
+impl AdaptiveController {
+    /// Wraps an arbitrary policy.
+    #[must_use]
+    pub fn new(policy: Box<dyn Policy>) -> Self {
+        Self { policy }
+    }
+
+    /// The PID policy with the given gains.
+    #[must_use]
+    pub fn pid(config: PidConfig) -> Self {
+        Self::new(Box::new(Pid::new(config)))
+    }
+
+    /// The never-intervening baseline.
+    #[must_use]
+    pub fn baseline() -> Self {
+        Self::new(Box::new(Static))
+    }
+}
+
+impl EpochController for AdaptiveController {
+    fn name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    fn epoch(&mut self, view: &EpochView<'_>) -> Vec<KnobUpdate> {
+        self.policy.decide(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpqos_types::Cycles;
+
+    #[test]
+    fn static_policy_never_moves_a_knob() {
+        let mut c = AdaptiveController::baseline();
+        assert_eq!(c.name(), "static");
+        let view = EpochView {
+            now: Cycles::new(1),
+            samples: &[],
+            floating_cores: &[],
+        };
+        assert!(c.epoch(&view).is_empty());
+    }
+
+    #[test]
+    fn pid_adapter_reports_its_policy_name() {
+        let c = AdaptiveController::pid(PidConfig::default());
+        assert_eq!(EpochController::name(&c), "pid");
+    }
+}

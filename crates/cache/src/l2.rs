@@ -418,6 +418,29 @@ impl SharedL2 {
         self.set_counts[set as usize * self.num_cores + core.as_usize()]
     }
 
+    /// Fraction of the cache's *usable* lines owned by `core`, in integer
+    /// milli-percent (`100_000` = the whole unmasked cache). Masked
+    /// (faulty) ways are excluded from the denominator, so the metric
+    /// stays comparable across fault injections. Zero on a cache whose
+    /// every way is masked.
+    ///
+    /// This is the occupancy currency of the adaptive control plane: the
+    /// same milli-unit integer vocabulary as CPI/MPKI samples, exact and
+    /// platform-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn occupancy_milli_pct(&self, core: CoreId) -> u64 {
+        let usable =
+            u64::from(self.effective_associativity()) * u64::from(self.config.geometry().sets());
+        if usable == 0 {
+            return 0;
+        }
+        self.occupancy(core).saturating_mul(100_000) / usable
+    }
+
     /// Performs one access by `core` at byte address `addr`.
     ///
     /// # Panics
@@ -656,6 +679,20 @@ mod tests {
         assert_eq!(l2.set_occupancy(C0, 0), 2);
         assert_eq!(l2.set_occupancy(C1, 0), 1);
         assert_eq!(l2.occupancy(C0), 2);
+    }
+
+    #[test]
+    fn occupancy_milli_pct_is_exact_and_fault_aware() {
+        let mut l2 = tiny(PartitionPolicy::PerSet);
+        l2.set_targets(&[Ways::new(2), Ways::new(2)]).unwrap();
+        assert_eq!(l2.occupancy_milli_pct(C0), 0);
+        // 2 blocks of 16 usable lines = 12.5% = 12_500 milli-pct.
+        l2.access(C0, addr(0, 0), false);
+        l2.access(C0, addr(0, 1), false);
+        assert_eq!(l2.occupancy_milli_pct(C0), 12_500);
+        // Masking a way shrinks the denominator to 12 lines: 2/12 ≈ 16.666%.
+        l2.mask_way(3).unwrap();
+        assert_eq!(l2.occupancy_milli_pct(C0), 2 * 100_000 / 12);
     }
 
     #[test]

@@ -16,8 +16,8 @@
 //! probed window instead of re-scanning the whole table, while every
 //! decision stays bit-identical to the brute-force scan (the testkit's
 //! `OracleLac` is the referee). Requests arrive as typed
-//! [`AdmissionRequest`] values; the old positional `admit_*` family
-//! survives one release as deprecated wrappers.
+//! [`AdmissionRequest`] values; the old positional `admit_*` wrappers
+//! served their one deprecation release and are gone.
 
 use crate::modes::ExecutionMode;
 use crate::occupancy::ReservationTable;
@@ -516,7 +516,7 @@ impl Lac {
         }
     }
 
-    /// Latest-slot admission (the old positional `admit_latest`): reserve
+    /// Latest-slot admission ([`Placement::LatestFeasible`]): reserve
     /// `[td − tw, td)`, falling back to the earliest feasible slot when
     /// the latest is taken. Always admits as `Strict`.
     fn admit_latest_at(
@@ -561,67 +561,6 @@ impl Lac {
                 Decision::Rejected(RejectReason::NoCapacityBeforeDeadline)
             }
         }
-    }
-
-    /// Positional FCFS admission, kept one release for migration.
-    #[deprecated(note = "build an `AdmissionRequest` and call `Lac::admit`")]
-    pub fn admit_args(
-        &mut self,
-        id: JobId,
-        mode: ExecutionMode,
-        request: ResourceRequest,
-        tw: Cycles,
-        deadline: Option<Cycles>,
-    ) -> Decision {
-        self.admit_earliest(id, mode, request, tw, deadline)
-    }
-
-    /// Positional latest-slot admission, kept one release for migration.
-    #[deprecated(
-        note = "build an `AdmissionRequest` with `.deadline(td).latest_feasible()` and call `Lac::admit`"
-    )]
-    pub fn admit_latest(
-        &mut self,
-        id: JobId,
-        request: ResourceRequest,
-        tw: Cycles,
-        deadline: Cycles,
-    ) -> Decision {
-        self.admit_latest_at(id, request, tw, deadline)
-    }
-
-    /// Positional recorded admission, kept one release for migration.
-    #[deprecated(note = "build an `AdmissionRequest` and call `Lac::admit_with`")]
-    pub fn admit_recorded(
-        &mut self,
-        id: JobId,
-        mode: ExecutionMode,
-        request: ResourceRequest,
-        tw: Cycles,
-        deadline: Option<Cycles>,
-        recorder: &mut dyn cmpqos_obs::Recorder,
-    ) -> Decision {
-        let decision = self.admit_earliest(id, mode, request, tw, deadline);
-        self.emit_decision(id, decision, recorder);
-        decision
-    }
-
-    /// Positional recorded latest-slot admission, kept one release for
-    /// migration.
-    #[deprecated(
-        note = "build an `AdmissionRequest` with `.deadline(td).latest_feasible()` and call `Lac::admit_with`"
-    )]
-    pub fn admit_latest_recorded(
-        &mut self,
-        id: JobId,
-        request: ResourceRequest,
-        tw: Cycles,
-        deadline: Cycles,
-        recorder: &mut dyn cmpqos_obs::Recorder,
-    ) -> Decision {
-        let decision = self.admit_latest_at(id, request, tw, deadline);
-        self.emit_decision(id, decision, recorder);
-        decision
     }
 
     fn emit_decision(
@@ -1192,70 +1131,6 @@ mod tests {
             b.admit(&paper_req(90, 100, 2_000))
         );
         assert_eq!(a, b);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_positional_wrappers_still_decide_identically() {
-        let mut old_api = lac();
-        let mut new_api = lac();
-        let d_old = old_api.admit_args(
-            JobId::new(0),
-            ExecutionMode::Strict,
-            ResourceRequest::paper_job(),
-            Cycles::new(100),
-            Some(Cycles::new(1_000)),
-        );
-        let d_new = new_api.admit(&paper_req(0, 100, 1_000));
-        assert_eq!(d_old, d_new);
-        let d_old = old_api.admit_latest(
-            JobId::new(1),
-            ResourceRequest::paper_job(),
-            Cycles::new(100),
-            Cycles::new(500),
-        );
-        let d_new = new_api.admit(
-            &AdmissionRequest::builder(
-                JobId::new(1),
-                ResourceRequest::paper_job(),
-                Cycles::new(100),
-            )
-            .deadline(Cycles::new(500))
-            .latest_feasible()
-            .build(),
-        );
-        assert_eq!(d_old, d_new);
-        let mut rec = cmpqos_obs::RingBufferRecorder::new(8);
-        let d_old = old_api.admit_recorded(
-            JobId::new(2),
-            ExecutionMode::Strict,
-            ResourceRequest::paper_job(),
-            Cycles::new(100),
-            Some(Cycles::new(2_000)),
-            &mut rec,
-        );
-        let d_new = new_api.admit_with(&paper_req(2, 100, 2_000), &mut rec);
-        assert_eq!(d_old, d_new);
-        let d_old = old_api.admit_latest_recorded(
-            JobId::new(3),
-            ResourceRequest::paper_job(),
-            Cycles::new(50),
-            Cycles::new(3_000),
-            &mut rec,
-        );
-        let d_new = new_api.admit_with(
-            &AdmissionRequest::builder(
-                JobId::new(3),
-                ResourceRequest::paper_job(),
-                Cycles::new(50),
-            )
-            .deadline(Cycles::new(3_000))
-            .latest_feasible()
-            .build(),
-            &mut rec,
-        );
-        assert_eq!(d_old, d_new);
-        assert_eq!(old_api, new_api);
     }
 
     // --- every RejectReason path, with the recorded variants ------------

@@ -19,6 +19,10 @@
 //!   controller that removes one way per interval from an `Elastic(X)` job
 //!   and donates it to Opportunistic jobs, cancelling when the cumulative
 //!   L2 miss increase reaches `X%` (Section 4).
+//! * **The epoch hook** ([`epoch`]) — per-job SLO declarations
+//!   ([`SloSpec`]) and the controller seam ([`EpochController`]) that lets
+//!   the `cmpqos-adapt` crate retune stealing slack, steal cadence and
+//!   per-core DVFS speed from delivered CPI/miss-rate samples.
 //! * **The orchestrator** ([`scheduler`]) — glues the above to a
 //!   [`cmpqos_system::CmpNode`]: spawns accepted jobs at their reserved
 //!   start times, maintains partition targets, drives stealing and
@@ -49,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod epoch;
 pub mod gac;
 pub mod intake;
 pub mod lac;
@@ -60,6 +65,7 @@ pub mod scheduler;
 pub mod stealing;
 pub mod target;
 
+pub use epoch::{EpochController, EpochSample, EpochView, KnobUpdate, SloSpec};
 pub use gac::{
     FaultReport, GacConfig, GacConfigBuilder, GacError, GacState, GlobalAdmissionController,
     NodeHealth, NodeSnapshot, ProbeOutcome, ProbePolicy,

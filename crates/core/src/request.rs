@@ -13,6 +13,7 @@
 //! capacity/usage/fit questions, which is exactly what makes them
 //! differentially testable.
 
+use crate::epoch::SloSpec;
 use crate::modes::ExecutionMode;
 use crate::target::ResourceRequest;
 use cmpqos_types::{Cycles, JobId, SourceId};
@@ -72,6 +73,11 @@ pub struct AdmissionRequest {
     pub deadline: Option<Cycles>,
     /// Earliest-feasible (default) or latest-feasible slot placement.
     pub placement: Placement,
+    /// Delivered-performance objective, sampled by the adaptive control
+    /// plane each epoch. Admission itself never tests it (RUM targets
+    /// stay the only admission currency); it is carried so schedulers can
+    /// hand it to an installed `EpochController`.
+    pub slo: Option<SloSpec>,
 }
 
 impl AdmissionRequest {
@@ -89,6 +95,7 @@ impl AdmissionRequest {
                 tw,
                 deadline: None,
                 placement: Placement::Earliest,
+                slo: None,
             },
         }
     }
@@ -141,6 +148,14 @@ impl AdmissionRequestBuilder {
     #[must_use]
     pub fn latest_feasible(mut self) -> Self {
         self.req.placement = Placement::LatestFeasible;
+        self
+    }
+
+    /// Declares a delivered-performance objective for the adaptive
+    /// control plane to hold.
+    #[must_use]
+    pub fn slo(mut self, slo: SloSpec) -> Self {
+        self.req.slo = Some(slo);
         self
     }
 

@@ -10,6 +10,7 @@
 //! enabled) Strict jobs with deadline slack are automatically downgraded to
 //! run opportunistically against a late fallback reservation (Section 3.4).
 
+use crate::epoch::{EpochController, EpochSample, EpochView, KnobUpdate, SloSpec};
 use crate::lac::{Decision, Lac, LacConfig, Revocation, RevocationAction};
 use crate::modes::{auto_downgrade_plan, ExecutionMode};
 use crate::request::AdmissionRequest;
@@ -17,7 +18,7 @@ use crate::stealing::{StealingAction, StealingConfig, StealingController};
 use crate::target::ResourceRequest;
 use cmpqos_cache::WayMaskError;
 use cmpqos_cpu::PerfCounters;
-use cmpqos_obs::{Event, FaultKind, NullRecorder, Recorder};
+use cmpqos_obs::{Event, FaultKind, Knob, NullRecorder, Recorder};
 use cmpqos_system::{CmpNode, Placement, SystemConfig, TaskSpec};
 use cmpqos_trace::TraceSource;
 use cmpqos_types::{CoreId, Cycles, Instructions, JobId, NodeId, Percent, Ways};
@@ -47,6 +48,9 @@ pub struct QosJob {
     pub max_wall_clock: Cycles,
     /// Absolute deadline (`td`), if any.
     pub deadline: Option<Cycles>,
+    /// Delivered-performance objective for the adaptive control plane,
+    /// if any. Admission never tests it.
+    pub slo: Option<SloSpec>,
 }
 
 impl QosJob {
@@ -79,6 +83,7 @@ impl QosJob {
                 work: Instructions::new(0),
                 max_wall_clock: Cycles::ZERO,
                 deadline: None,
+                slo: None,
             },
         }
     }
@@ -116,6 +121,14 @@ impl QosJobBuilder {
     #[must_use]
     pub fn no_deadline(mut self) -> Self {
         self.job.deadline = None;
+        self
+    }
+
+    /// Declares a delivered-performance objective for the adaptive
+    /// control plane to hold.
+    #[must_use]
+    pub fn slo(mut self, slo: SloSpec) -> Self {
+        self.job.slo = Some(slo);
         self
     }
 
@@ -388,6 +401,16 @@ pub struct QosScheduler {
     config: SchedulerConfig,
     jobs: BTreeMap<JobId, Managed>,
     recorder: Box<dyn Recorder>,
+    epoch: Option<EpochHook>,
+}
+
+/// The installed closed-loop controller plus its sampling bookkeeping.
+struct EpochHook {
+    controller: Box<dyn EpochController>,
+    epoch_len: Cycles,
+    next_epoch: Cycles,
+    /// Lifetime counters at the previous boundary, for window deltas.
+    last_perf: BTreeMap<JobId, PerfCounters>,
 }
 
 impl fmt::Debug for QosScheduler {
@@ -398,6 +421,10 @@ impl fmt::Debug for QosScheduler {
             .field("config", &self.config)
             .field("jobs", &self.jobs)
             .field("recording", &self.recorder.enabled())
+            .field(
+                "controller",
+                &self.epoch.as_ref().map(|h| h.controller.name()),
+            )
             .finish()
     }
 }
@@ -431,7 +458,36 @@ impl QosScheduler {
             config,
             jobs: BTreeMap::new(),
             recorder,
+            epoch: None,
         }
+    }
+
+    /// Installs a closed-loop [`EpochController`], sampled every
+    /// `epoch_len` cycles starting one epoch from now. Returns the
+    /// previously installed controller, if any.
+    ///
+    /// Each boundary the scheduler samples every live job's windowed
+    /// delivered performance, emits `SloViolated` for jobs over their
+    /// [`SloSpec`], hands the batch to the controller, and applies the
+    /// knob movements it returns — emitting `KnobChanged` only when an
+    /// applied value actually differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_len` is zero.
+    pub fn set_epoch_controller(
+        &mut self,
+        controller: Box<dyn EpochController>,
+        epoch_len: Cycles,
+    ) -> Option<Box<dyn EpochController>> {
+        assert!(epoch_len > Cycles::ZERO, "epoch length must be positive");
+        let hook = EpochHook {
+            controller,
+            epoch_len,
+            next_epoch: self.node.now() + epoch_len,
+            last_perf: BTreeMap::new(),
+        };
+        self.epoch.replace(hook).map(|h| h.controller)
     }
 
     /// Replaces the event sink, returning the previous one.
@@ -504,16 +560,21 @@ impl QosScheduler {
 
         let decision = if auto {
             let td = job.deadline.expect("auto requires a deadline");
-            let req = AdmissionRequest::builder(id, job.request, job.max_wall_clock)
+            let mut b = AdmissionRequest::builder(id, job.request, job.max_wall_clock)
                 .deadline(td)
-                .latest_feasible()
-                .build();
-            self.lac.admit_with(&req, self.recorder.as_mut())
+                .latest_feasible();
+            if let Some(slo) = job.slo {
+                b = b.slo(slo);
+            }
+            self.lac.admit_with(&b.build(), self.recorder.as_mut())
         } else {
             let mut b =
                 AdmissionRequest::builder(id, job.request, job.max_wall_clock).mode(job.mode);
             if let Some(td) = job.deadline {
                 b = b.deadline(td);
+            }
+            if let Some(slo) = job.slo {
+                b = b.slo(slo);
             }
             self.lac.admit_with(&b.build(), self.recorder.as_mut())
         };
@@ -640,6 +701,9 @@ impl QosScheduler {
                 consider(sb);
             }
         }
+        if let Some(hook) = &self.epoch {
+            consider(hook.next_epoch);
+        }
         next
     }
 
@@ -650,6 +714,7 @@ impl QosScheduler {
         self.process_switch_backs();
         self.try_start_reserved();
         self.drive_stealing();
+        self.drive_epoch();
     }
 
     fn process_completions(&mut self) {
@@ -879,6 +944,138 @@ impl QosScheduler {
         }
     }
 
+    /// Samples the epoch window and lets the installed controller retune
+    /// the actuators. No-op without a controller or before the boundary.
+    fn drive_epoch(&mut self) {
+        let now = self.node.now();
+        let Some(hook) = self.epoch.as_mut() else {
+            return;
+        };
+        if now < hook.next_epoch {
+            return;
+        }
+        // Advance the boundary first (catching up if a long slice crossed
+        // several), so a controller panic can't wedge the cadence.
+        while hook.next_epoch <= now {
+            hook.next_epoch += hook.epoch_len;
+        }
+        let cores = self.node.config().num_cores as u32;
+        let mut pinned: BTreeMap<JobId, CoreId> = BTreeMap::new();
+        let mut floating_cores: Vec<CoreId> = Vec::new();
+        for i in 0..cores {
+            let core = CoreId::new(i);
+            match self.node.pinned_on(core) {
+                Some(id) => {
+                    pinned.insert(id, core);
+                }
+                None => floating_cores.push(core),
+            }
+        }
+        // One window delta per live job, in job-id order (deterministic).
+        let mut samples = Vec::new();
+        for (&id, m) in &self.jobs {
+            if !matches!(
+                m.state,
+                JobState::RunningReserved | JobState::RunningOpportunistic
+            ) {
+                continue;
+            }
+            let Some(perf) = self.node.perf(id).copied() else {
+                continue;
+            };
+            let prev = hook.last_perf.insert(id, perf).unwrap_or_default();
+            let delta = perf.delta_since(&prev);
+            samples.push(EpochSample {
+                job: id,
+                core: pinned.get(&id).copied(),
+                mode: m.job.mode,
+                slo: m.job.slo,
+                instructions: delta.instructions(),
+                cycles: delta.cycles(),
+                l2_misses: delta.l2_misses(),
+            });
+        }
+        for s in &samples {
+            if s.violates_slo() {
+                self.recorder.record(
+                    now,
+                    Event::SloViolated {
+                        job: s.job,
+                        cpi_milli: s.cpi_milli().unwrap_or(0),
+                        target_milli: s.slo.map_or(u64::MAX, |t| t.max_cpi_milli),
+                    },
+                );
+            }
+        }
+        let view = EpochView {
+            now,
+            samples: &samples,
+            floating_cores: &floating_cores,
+        };
+        let updates = hook.controller.epoch(&view);
+        for u in updates {
+            match u {
+                KnobUpdate::StealSlack { job, milli_pct } => {
+                    let Some(m) = self.jobs.get_mut(&job) else {
+                        continue;
+                    };
+                    let Some(ctl) = m.stealing.as_mut() else {
+                        continue;
+                    };
+                    let old = ctl.set_slack(Percent::new(milli_pct as f64 / 1000.0));
+                    let old_milli = (old.value() * 1000.0).round() as i64;
+                    let new_milli = i64::try_from(milli_pct).unwrap_or(i64::MAX);
+                    if old_milli != new_milli {
+                        self.recorder.record(
+                            now,
+                            Event::KnobChanged {
+                                knob: Knob::StealSlack { job },
+                                old: old_milli,
+                                new: new_milli,
+                            },
+                        );
+                    }
+                }
+                KnobUpdate::StealInterval { job, interval } => {
+                    let Some(m) = self.jobs.get_mut(&job) else {
+                        continue;
+                    };
+                    let Some(ctl) = m.stealing.as_mut() else {
+                        continue;
+                    };
+                    let old = ctl.set_interval(interval);
+                    if old != interval {
+                        self.recorder.record(
+                            now,
+                            Event::KnobChanged {
+                                knob: Knob::StealInterval { job },
+                                old: i64::try_from(old.get()).unwrap_or(i64::MAX),
+                                new: i64::try_from(interval.get()).unwrap_or(i64::MAX),
+                            },
+                        );
+                    }
+                }
+                KnobUpdate::CoreSpeed { core, percent } => {
+                    if core.as_usize() >= cores as usize {
+                        continue;
+                    }
+                    let old = self.node.set_core_speed(core, percent);
+                    let new = self.node.core_speed(core);
+                    if old != new {
+                        self.recorder.record(
+                            now,
+                            Event::KnobChanged {
+                                knob: Knob::CoreSpeed { core },
+                                old: i64::from(old),
+                                new: i64::from(new),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     // ----- fault injection ------------------------------------------------
 
     /// Injects a permanently faulty L2 way (e.g. flagged by in-field BIST):
@@ -1063,6 +1260,7 @@ mod tests {
             work: Instructions::new(work),
             max_wall_clock: Cycles::new(tw),
             deadline: td.map(Cycles::new),
+            slo: None,
         }
     }
 
@@ -1399,5 +1597,131 @@ mod tests {
             .iter()
             .any(|(_, e)| *e == JobEvent::ReservationRevoked));
         assert!(s.is_idle(), "no job may linger after revocation");
+    }
+
+    // ----- the epoch hook -------------------------------------------------
+
+    use std::sync::{Arc, Mutex};
+
+    /// Replays the same canned knob updates every epoch and records how
+    /// many samples each call saw.
+    struct CannedController {
+        calls: Arc<Mutex<Vec<usize>>>,
+        updates: Vec<KnobUpdate>,
+    }
+
+    impl EpochController for CannedController {
+        fn name(&self) -> &'static str {
+            "canned"
+        }
+        fn epoch(&mut self, view: &EpochView<'_>) -> Vec<KnobUpdate> {
+            self.calls.lock().unwrap().push(view.samples.len());
+            self.updates.clone()
+        }
+    }
+
+    fn recording_sched() -> QosScheduler {
+        QosScheduler::with_recorder(
+            SystemConfig::paper_scaled(K),
+            SchedulerConfig::default(),
+            Box::new(cmpqos_obs::RingBufferRecorder::new(4096)),
+        )
+    }
+
+    fn counters(s: &mut QosScheduler) -> cmpqos_obs::Counters {
+        let rec = s.take_recorder();
+        rec.as_any()
+            .and_then(|a| a.downcast_ref::<cmpqos_obs::RingBufferRecorder>())
+            .expect("ring buffer recorder")
+            .counters()
+            .clone()
+    }
+
+    #[test]
+    fn epoch_hook_samples_live_jobs_and_emits_slo_violations() {
+        let mut s = recording_sched();
+        let calls = Arc::new(Mutex::new(Vec::new()));
+        s.set_epoch_controller(
+            Box::new(CannedController {
+                calls: Arc::clone(&calls),
+                updates: Vec::new(),
+            }),
+            Cycles::new(50_000),
+        );
+        // gobmk runs at CPI ~3.5; a 0.5-CPI ceiling is violated every
+        // busy window.
+        let mut j = job(0, ExecutionMode::Strict, WORK, TW, None);
+        j.slo = Some(SloSpec::cpi(0.5));
+        assert!(s.submit(j, source(0, "gobmk")).is_accepted());
+        s.run_to_idle(Cycles::new(10_000_000_000));
+        let calls = calls.lock().unwrap();
+        assert!(!calls.is_empty(), "controller must be invoked at epochs");
+        assert!(
+            calls.contains(&1),
+            "some epoch must sample the one live job: {calls:?}"
+        );
+        let c = counters(&mut s);
+        assert!(c.slo_violations > 0, "tight SLO must register violations");
+        assert_eq!(c.knob_changes, 0, "no updates were requested");
+    }
+
+    #[test]
+    fn epoch_knob_updates_apply_and_emit_only_on_change() {
+        let mut s = recording_sched();
+        let calls = Arc::new(Mutex::new(Vec::new()));
+        // The same two updates every epoch: only the first application of
+        // each may emit KnobChanged (the values stop changing after that).
+        s.set_epoch_controller(
+            Box::new(CannedController {
+                calls: Arc::clone(&calls),
+                updates: vec![
+                    KnobUpdate::CoreSpeed {
+                        core: CoreId::new(1),
+                        percent: 50,
+                    },
+                    KnobUpdate::StealSlack {
+                        job: JobId::new(0),
+                        milli_pct: 10_000,
+                    },
+                ],
+            }),
+            Cycles::new(50_000),
+        );
+        let j = job(
+            0,
+            ExecutionMode::Elastic(Percent::new(20.0)),
+            WORK,
+            TW,
+            None,
+        );
+        assert!(s.submit(j, source(0, "gobmk")).is_accepted());
+        s.run_to_idle(Cycles::new(10_000_000_000));
+        assert_eq!(s.node().core_speed(CoreId::new(1)), 50);
+        let ctl = s.stealing_state(JobId::new(0));
+        if let Some(ctl) = ctl {
+            assert!((ctl.slack().value() - 10.0).abs() < 1e-9);
+        }
+        let epochs = calls.lock().unwrap().len();
+        assert!(epochs > 1, "the run must span several epochs: {epochs}");
+        let c = counters(&mut s);
+        assert_eq!(
+            c.knob_changes, 2,
+            "each knob changes exactly once despite {epochs} identical requests"
+        );
+    }
+
+    #[test]
+    fn installing_a_controller_returns_the_previous_one() {
+        let mut s = sched(false);
+        let calls = Arc::new(Mutex::new(Vec::new()));
+        let mk = || {
+            Box::new(CannedController {
+                calls: Arc::clone(&calls),
+                updates: Vec::new(),
+            })
+        };
+        assert!(s.set_epoch_controller(mk(), Cycles::new(1000)).is_none());
+        let prev = s.set_epoch_controller(mk(), Cycles::new(1000));
+        assert_eq!(prev.expect("first controller returned").name(), "canned");
     }
 }

@@ -121,7 +121,7 @@ pub struct StealingController {
     max_stolen: Ways,
     cancelled: bool,
     intervals_seen: u64,
-    last_boundary: u64,
+    last_fire_retired: u64,
 }
 
 impl StealingController {
@@ -137,7 +137,7 @@ impl StealingController {
             max_stolen: Ways::ZERO,
             cancelled: false,
             intervals_seen: 0,
-            last_boundary: 0,
+            last_fire_retired: 0,
         }
     }
 
@@ -145,6 +145,32 @@ impl StealingController {
     #[must_use]
     pub fn slack(&self) -> Percent {
         self.slack
+    }
+
+    /// The repartitioning interval currently in force.
+    #[must_use]
+    pub fn interval(&self) -> Instructions {
+        self.config.interval
+    }
+
+    /// Retunes the guard's slack threshold in place, returning the
+    /// previous value. This is the adaptive control plane's "stealing
+    /// aggressiveness" actuator: a lower threshold makes the guard trip
+    /// (and return stolen ways) sooner; setting it to zero makes the next
+    /// [`StealingController::decide`] return everything. Raising it back
+    /// up un-does nothing retroactively — a cancelled controller stays
+    /// cancelled.
+    pub fn set_slack(&mut self, slack: Percent) -> Percent {
+        std::mem::replace(&mut self.slack, slack)
+    }
+
+    /// Retunes the repartitioning interval in place, returning the
+    /// previous value. A longer interval slows the steal cadence without
+    /// touching the guard. Boundary detection keys on
+    /// `retired / interval`, so stretching the interval naturally pauses
+    /// the cadence until the job retires into the new, coarser grid.
+    pub fn set_interval(&mut self, interval: Instructions) -> Instructions {
+        std::mem::replace(&mut self.config.interval, interval)
     }
 
     /// The original allocation.
@@ -189,9 +215,13 @@ impl StealingController {
     /// instructions) has crossed into a new repartitioning interval since
     /// the last call that returned `true`.
     pub fn interval_due(&mut self, retired: Instructions) -> bool {
-        let boundary = retired.get() / self.config.interval.get().max(1);
-        if boundary > self.last_boundary {
-            self.last_boundary = boundary;
+        // The grid is recomputed from the retired count at the last fire so
+        // that a retuned interval re-grids from where the job actually is;
+        // keying on a stored grid index would leave the boundary stranded in
+        // the old grid's units after `set_interval` stretches the cadence.
+        let interval = self.config.interval.get().max(1);
+        if retired.get() / interval > self.last_fire_retired / interval {
+            self.last_fire_retired = retired.get();
             true
         } else {
             false
@@ -215,7 +245,15 @@ impl StealingController {
             // inflicted. The only allocation consistent with X = 0 is to
             // never start stealing (and never emit a stealing event), which
             // also makes an X = 0 run byte-identical to one with stealing
-            // disabled.
+            // disabled. When the adaptive control plane *cuts* a running
+            // donor's slack to zero, though, ways may already be out — the
+            // only X = 0-consistent state is to take them all back.
+            if self.stolen > Ways::ZERO {
+                self.cancelled = true;
+                let returned = self.stolen;
+                self.stolen = Ways::ZERO;
+                return StealingAction::Cancel { returned };
+            }
             return StealingAction::Hold;
         }
         if monitor.exceeded(self.slack) {
@@ -396,6 +434,32 @@ mod tests {
     }
 
     #[test]
+    fn retuned_interval_regrids_from_the_current_position() {
+        let mut ctl = StealingController::new(
+            Percent::new(5.0),
+            Ways::new(7),
+            StealingConfig {
+                interval: Instructions::new(1000),
+                ..StealingConfig::default()
+            },
+        );
+        // Fire a few fine-grained boundaries first.
+        assert!(ctl.interval_due(Instructions::new(1000)));
+        assert!(ctl.interval_due(Instructions::new(2000)));
+        assert!(ctl.interval_due(Instructions::new(30_000)));
+        // Stretch the cadence. The next boundary must be one *new*-sized
+        // interval ahead of where the job already is, not a translation of
+        // the old grid index (30 × 5000 = 150,000 would strand the cadence
+        // past the end of most jobs).
+        ctl.set_interval(Instructions::new(5000));
+        assert!(!ctl.interval_due(Instructions::new(31_000)));
+        assert!(ctl.interval_due(Instructions::new(35_000)));
+        // Shrinking re-grids the same way.
+        ctl.set_interval(Instructions::new(100));
+        assert!(ctl.interval_due(Instructions::new(35_150)));
+    }
+
+    #[test]
     fn builder_overrides_fields() {
         let cfg = StealingConfig::builder()
             .interval(Instructions::new(1000))
@@ -450,6 +514,48 @@ mod tests {
             }
         );
         assert_eq!(rec.counters().guard_trips, 1);
+    }
+
+    #[test]
+    fn slack_cut_to_zero_returns_stolen_ways() {
+        let mut ctl =
+            StealingController::new(Percent::new(20.0), Ways::new(7), StealingConfig::default());
+        let quiet = quiet_monitor();
+        for _ in 0..2 {
+            assert_eq!(ctl.decide(&quiet, 0.0), StealingAction::StealOne);
+        }
+        assert_eq!(ctl.set_slack(Percent::ZERO), Percent::new(20.0));
+        assert_eq!(
+            ctl.decide(&quiet, 0.0),
+            StealingAction::Cancel {
+                returned: Ways::new(2)
+            }
+        );
+        assert!(ctl.is_cancelled());
+        assert_eq!(ctl.current_ways(), Ways::new(7));
+    }
+
+    #[test]
+    fn interval_stretch_pauses_the_cadence() {
+        let mut ctl = StealingController::new(
+            Percent::new(5.0),
+            Ways::new(7),
+            StealingConfig {
+                interval: Instructions::new(1000),
+                ..StealingConfig::default()
+            },
+        );
+        assert!(ctl.interval_due(Instructions::new(1000)));
+        assert_eq!(
+            ctl.set_interval(Instructions::new(4000)),
+            Instructions::new(1000)
+        );
+        assert_eq!(ctl.interval(), Instructions::new(4000));
+        // 2000 retired is boundary 0 of the coarser grid: no fire until the
+        // job retires past the next coarse boundary.
+        assert!(!ctl.interval_due(Instructions::new(2000)));
+        assert!(!ctl.interval_due(Instructions::new(3999)));
+        assert!(ctl.interval_due(Instructions::new(8000)));
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   counts and the additive stall breakdown.
 //! * [`CpiModel`] — the closed-form model itself, used by analysis code and
 //!   to validate the simulator's additivity.
+//! * [`Throttle`] — a DVFS-style per-core frequency scaler (the adaptive
+//!   control plane's third actuator), exact integer arithmetic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,7 +25,9 @@
 pub mod context;
 pub mod model;
 pub mod perf;
+pub mod throttle;
 
 pub use context::{ExecutionContext, MemOutcome};
 pub use model::CpiModel;
 pub use perf::PerfCounters;
+pub use throttle::Throttle;

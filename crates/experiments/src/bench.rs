@@ -219,6 +219,13 @@ fn timed_experiments(params: &ExperimentParams) -> Vec<Timed> {
                 let _ = crate::overload::run(p);
             }),
         },
+        Timed {
+            name: "slo_adaptive_grid",
+            cells: crate::slo::MIXES.len() * crate::slo::ARMS.len(),
+            run: Box::new(|p| {
+                let _ = crate::slo::run(p);
+            }),
+        },
     ]
 }
 
@@ -382,6 +389,45 @@ fn component_benches(params: &ExperimentParams) -> Vec<ComponentBench> {
             cluster.run_until(at + Cycles::new(5_000), &mut rec);
             assert!(cluster.gac().idle(), "round-trip did not settle");
             job += 1;
+        });
+    }
+
+    // The adaptive control law's hot path: one full epoch decision per
+    // iteration — four sampled jobs (two Elastic donors with SLOs)
+    // stepped through the integer PID plus the floating-core throttle
+    // fan-out. The tick must stay far below the microsecond bar so the
+    // epoch hook is invisible next to simulating an epoch's work.
+    {
+        use cmpqos_adapt::{Pid, PidConfig, Policy};
+        use cmpqos_core::{EpochSample, EpochView, ExecutionMode, SloSpec};
+        use cmpqos_types::{CoreId, Cycles, Instructions, JobId, Percent};
+        let mut pid = Pid::new(PidConfig::default());
+        let samples: Vec<EpochSample> = (0..4u32)
+            .map(|n| EpochSample {
+                job: JobId::new(n),
+                core: Some(CoreId::new(n)),
+                mode: if n % 2 == 0 {
+                    ExecutionMode::Elastic(Percent::new(20.0))
+                } else {
+                    ExecutionMode::Opportunistic
+                },
+                slo: (n % 2 == 0).then(|| SloSpec::cpi(2.5)),
+                instructions: Instructions::new(1000),
+                cycles: Cycles::new(2_600 + u64::from(n) * 700),
+                l2_misses: 12,
+            })
+            .collect();
+        let floating = [CoreId::new(4), CoreId::new(5)];
+        let mut epoch_no = 0u64;
+        timed("pid_tick", 100_000, &mut || {
+            let view = EpochView {
+                now: Cycles::new(epoch_no * 10_000),
+                samples: &samples,
+                floating_cores: &floating,
+            };
+            let updates = pid.decide(&view);
+            assert!(!updates.is_empty());
+            epoch_no += 1;
         });
     }
 

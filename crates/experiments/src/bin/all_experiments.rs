@@ -56,6 +56,10 @@ fn main() {
         let rows = overload::run(&params);
         overload::print(&rows, &params);
     });
+    timed(&mut times, "slo (adaptive QoS)", || {
+        let rows = slo::run(&params);
+        slo::print(&rows, &params);
+    });
     timed(&mut times, "ablations", || {
         ablation::print(&params);
     });

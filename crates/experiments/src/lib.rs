@@ -36,6 +36,7 @@ pub mod lac_overhead;
 pub mod output;
 pub mod overload;
 pub mod params;
+pub mod slo;
 pub mod table1;
 pub mod variance;
 

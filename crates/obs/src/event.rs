@@ -91,6 +91,29 @@ pub enum Health {
     Dead,
 }
 
+/// A tunable actuator of the adaptive control plane (`cmpqos-adapt`), as
+/// identified in [`Event::KnobChanged`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum Knob {
+    /// An Elastic donor's effective stealing slack, in milli-percent.
+    StealSlack {
+        /// The donor job.
+        job: JobId,
+    },
+    /// An Elastic donor's repartitioning interval, in instructions.
+    StealInterval {
+        /// The donor job.
+        job: JobId,
+    },
+    /// A core's DVFS-style speed, in percent of full frequency.
+    CoreSpeed {
+        /// The throttled core.
+        core: CoreId,
+    },
+}
+
 /// One observable moment in the life of the QoS framework.
 ///
 /// Serialized (externally tagged) this is the JSONL schema the experiment
@@ -324,6 +347,26 @@ pub enum Event {
         /// the node no longer held).
         placements_repaired: u64,
     },
+    /// An epoch sample found a job's delivered CPI above its SLO target.
+    SloViolated {
+        /// The violating job.
+        job: JobId,
+        /// Delivered CPI over the sampled epoch, in milli-CPI.
+        cpi_milli: u64,
+        /// The job's SLO target, in milli-CPI.
+        target_milli: u64,
+    },
+    /// The adaptive control plane moved an actuator to a new value.
+    /// Emitted only when the value actually changes — a controller holding
+    /// every knob at baseline is invisible in the event stream.
+    KnobChanged {
+        /// Which actuator moved.
+        knob: Knob,
+        /// Its previous value.
+        old: i64,
+        /// Its new value.
+        new: i64,
+    },
 }
 
 impl Event {
@@ -347,8 +390,10 @@ impl Event {
             | Event::Placed { job, .. }
             | Event::Migrated { job, .. }
             | Event::ReservationRevoked { job, .. }
-            | Event::DowngradedUnderFault { job, .. } => Some(job),
+            | Event::DowngradedUnderFault { job, .. }
+            | Event::SloViolated { job, .. } => Some(job),
             Event::RunStarted { .. }
+            | Event::KnobChanged { .. }
             | Event::PartitionChanged { .. }
             | Event::FaultInjected { .. }
             | Event::NodeHealthChanged { .. }
@@ -394,6 +439,8 @@ impl Event {
             Event::LinkHealed { .. } => EventKind::LinkHealed,
             Event::MessageDropped { .. } => EventKind::MessageDropped,
             Event::Reconciled { .. } => EventKind::Reconciled,
+            Event::SloViolated { .. } => EventKind::SloViolated,
+            Event::KnobChanged { .. } => EventKind::KnobChanged,
         }
     }
 }
@@ -459,11 +506,15 @@ pub enum EventKind {
     MessageDropped,
     /// See [`Event::Reconciled`].
     Reconciled,
+    /// See [`Event::SloViolated`].
+    SloViolated,
+    /// See [`Event::KnobChanged`].
+    KnobChanged,
 }
 
 impl EventKind {
     /// Every kind, in declaration order.
-    pub const ALL: [EventKind; 28] = [
+    pub const ALL: [EventKind; 30] = [
         EventKind::RunStarted,
         EventKind::Submitted,
         EventKind::Admitted,
@@ -492,6 +543,8 @@ impl EventKind {
         EventKind::LinkHealed,
         EventKind::MessageDropped,
         EventKind::Reconciled,
+        EventKind::SloViolated,
+        EventKind::KnobChanged,
     ];
 }
 
@@ -567,7 +620,48 @@ mod tests {
         assert_eq!(e.kind(), EventKind::Started);
         let p = Event::PartitionChanged { targets: vec![] };
         assert_eq!(p.job(), None);
-        assert_eq!(EventKind::ALL.len(), 28);
+        assert_eq!(EventKind::ALL.len(), 30);
+    }
+
+    #[test]
+    fn adapt_events_round_trip_and_extract_jobs() {
+        let records = vec![
+            Record {
+                at: Cycles::new(50_000),
+                event: Event::SloViolated {
+                    job: JobId::new(3),
+                    cpi_milli: 2_710,
+                    target_milli: 2_600,
+                },
+            },
+            Record {
+                at: Cycles::new(50_000),
+                event: Event::KnobChanged {
+                    knob: Knob::StealSlack { job: JobId::new(3) },
+                    old: 20_000,
+                    new: 10_000,
+                },
+            },
+            Record {
+                at: Cycles::new(50_000),
+                event: Event::KnobChanged {
+                    knob: Knob::CoreSpeed {
+                        core: CoreId::new(2),
+                    },
+                    old: 100,
+                    new: 75,
+                },
+            },
+        ];
+        for r in &records {
+            let line = serde_json::to_string(r).unwrap();
+            let back: Record = serde_json::from_str(&line).unwrap();
+            assert_eq!(&back, r);
+        }
+        assert_eq!(records[0].event.job(), Some(JobId::new(3)));
+        assert_eq!(records[0].event.kind(), EventKind::SloViolated);
+        assert_eq!(records[1].event.job(), None);
+        assert_eq!(records[2].event.kind(), EventKind::KnobChanged);
     }
 
     #[test]

@@ -27,7 +27,7 @@ mod event;
 mod recorder;
 mod timeline;
 
-pub use event::{Event, EventKind, FaultKind, Health, Mode, Record, RejectCause};
+pub use event::{Event, EventKind, FaultKind, Health, Knob, Mode, Record, RejectCause};
 pub use recorder::{
     merge_shards, Counters, JsonlRecorder, NullRecorder, Recorder, RingBufferRecorder,
     ShardRecorder,

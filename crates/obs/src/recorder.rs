@@ -154,6 +154,10 @@ pub struct Counters {
     pub messages_dropped: u64,
     /// Rejoin reconciliations completed.
     pub reconciled: u64,
+    /// Epoch samples above an SLO target.
+    pub slo_violations: u64,
+    /// Adaptive-control actuator moves.
+    pub knob_changes: u64,
 }
 
 impl Counters {
@@ -194,6 +198,8 @@ impl Counters {
             EventKind::LinkHealed => self.links_healed,
             EventKind::MessageDropped => self.messages_dropped,
             EventKind::Reconciled => self.reconciled,
+            EventKind::SloViolated => self.slo_violations,
+            EventKind::KnobChanged => self.knob_changes,
         }
     }
 
@@ -233,6 +239,8 @@ impl Counters {
             EventKind::LinkHealed => &mut self.links_healed,
             EventKind::MessageDropped => &mut self.messages_dropped,
             EventKind::Reconciled => &mut self.reconciled,
+            EventKind::SloViolated => &mut self.slo_violations,
+            EventKind::KnobChanged => &mut self.knob_changes,
         }
     }
 }

@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 
 use cmpqos_types::{Cycles, JobId, NodeId, Ways};
 
-use crate::event::{Event, FaultKind, Health, Mode, Record, RejectCause};
+use crate::event::{Event, FaultKind, Health, Knob, Mode, Record, RejectCause};
 
 /// A span of a job's lifetime spent in one execution mode.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +55,8 @@ pub struct JobTimeline {
     pub probe_backoffs: u64,
     /// Elastic downgrades that absorbed a capacity loss: `(at, node, ways_cut)`.
     pub fault_downgrades: Vec<(Cycles, NodeId, Ways)>,
+    /// Epoch samples that found this job above its SLO target.
+    pub slo_violations: u64,
 }
 
 impl JobTimeline {
@@ -96,6 +98,7 @@ pub struct Timeline {
     link_changes: Vec<(Cycles, NodeId, bool)>,
     reconciles: Vec<(Cycles, NodeId, u64, u64)>,
     messages_dropped: u64,
+    knob_changes: Vec<(Cycles, Knob, i64, i64)>,
 }
 
 impl Timeline {
@@ -228,6 +231,13 @@ impl Timeline {
         self.messages_dropped
     }
 
+    /// Adaptive-control actuator moves, in stream order: `(at, knob, old,
+    /// new)`.
+    #[must_use]
+    pub fn knob_changes(&self) -> &[(Cycles, Knob, i64, i64)] {
+        &self.knob_changes
+    }
+
     fn apply(&mut self, r: &Record) {
         let at = r.at;
         match &r.event {
@@ -278,6 +288,9 @@ impl Timeline {
             } => {
                 self.reconciles
                     .push((at, *node, *orphans_revoked, *placements_repaired));
+            }
+            Event::KnobChanged { knob, old, new } => {
+                self.knob_changes.push((at, *knob, *old, *new));
             }
             event => {
                 let Some(id) = event.job() else { return };
@@ -330,7 +343,9 @@ impl Timeline {
                     Event::DowngradedUnderFault { node, ways_cut, .. } => {
                         job.fault_downgrades.push((at, *node, *ways_cut));
                     }
+                    Event::SloViolated { .. } => job.slo_violations += 1,
                     Event::RunStarted { .. }
+                    | Event::KnobChanged { .. }
                     | Event::PartitionChanged { .. }
                     | Event::FaultInjected { .. }
                     | Event::NodeHealthChanged { .. }

@@ -276,61 +276,6 @@ impl JournaledLac {
         decisions
     }
 
-    /// Positional journaled admission, kept one release for migration.
-    #[deprecated(note = "build an `AdmissionRequest` and call `JournaledLac::admit`")]
-    pub fn admit_args(
-        &mut self,
-        id: JobId,
-        mode: ExecutionMode,
-        request: ResourceRequest,
-        tw: Cycles,
-        deadline: Option<Cycles>,
-    ) -> Decision {
-        let mut b = AdmissionRequest::builder(id, request, tw).mode(mode);
-        if let Some(td) = deadline {
-            b = b.deadline(td);
-        }
-        self.admit(&b.build())
-    }
-
-    /// Positional journaled recorded admission, kept one release for
-    /// migration.
-    #[deprecated(note = "build an `AdmissionRequest` and call `JournaledLac::admit_with`")]
-    pub fn admit_recorded(
-        &mut self,
-        id: JobId,
-        mode: ExecutionMode,
-        request: ResourceRequest,
-        tw: Cycles,
-        deadline: Option<Cycles>,
-        recorder: &mut dyn cmpqos_obs::Recorder,
-    ) -> Decision {
-        let mut b = AdmissionRequest::builder(id, request, tw).mode(mode);
-        if let Some(td) = deadline {
-            b = b.deadline(td);
-        }
-        self.admit_with(&b.build(), recorder)
-    }
-
-    /// Positional journaled latest-slot admission, kept one release for
-    /// migration.
-    #[deprecated(
-        note = "build an `AdmissionRequest` with `.deadline(td).latest_feasible()` and call `JournaledLac::admit`"
-    )]
-    pub fn admit_latest(
-        &mut self,
-        id: JobId,
-        request: ResourceRequest,
-        tw: Cycles,
-        deadline: Cycles,
-    ) -> Decision {
-        let req = AdmissionRequest::builder(id, request, tw)
-            .deadline(deadline)
-            .latest_feasible()
-            .build();
-        self.admit(&req)
-    }
-
     /// Journaled [`Lac::readmit`].
     pub fn readmit(&mut self, r: &Reservation) -> Decision {
         self.log(LacOp::Readmit(*r));

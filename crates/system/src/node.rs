@@ -4,7 +4,7 @@ use crate::config::{SystemConfig, SystemConfigError};
 use crate::task::{Placement, SpawnError, Task, TaskCompletion, TaskSpec};
 use cmpqos_cache::l2::{Eviction, PartitionError, WayMaskError};
 use cmpqos_cache::{DuplicateTagMonitor, L1Cache, SharedL2, VictimClass};
-use cmpqos_cpu::{MemOutcome, PerfCounters};
+use cmpqos_cpu::{MemOutcome, PerfCounters, Throttle};
 use cmpqos_mem::{BandwidthRegulator, BusMonitor, MemoryChannel, Priority};
 use cmpqos_trace::Access;
 use cmpqos_types::{CoreId, Cycles, JobId, Ways};
@@ -20,6 +20,8 @@ struct CoreState {
     last_task: Option<JobId>,
     next_free: Cycles,
     quantum_end: Cycles,
+    /// DVFS-style frequency scaler; identity at full speed.
+    throttle: Throttle,
 }
 
 impl CoreState {
@@ -30,6 +32,7 @@ impl CoreState {
             last_task: None,
             next_free: Cycles::ZERO,
             quantum_end: Cycles::ZERO,
+            throttle: Throttle::full(),
         }
     }
 }
@@ -340,6 +343,29 @@ impl CmpNode {
         self.regulator.share(core.as_usize())
     }
 
+    /// Sets `core`'s DVFS-style speed (percent of full frequency, clamped
+    /// to `[cmpqos_cpu::throttle::MIN_SPEED_PCT, 100]`), returning the
+    /// previous speed. Core-domain cycles — compute time and L2-hit stalls
+    /// — stretch by `100/percent`; off-chip memory stalls are unaffected
+    /// (DRAM does not slow down when a core does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn set_core_speed(&mut self, core: CoreId, percent: u8) -> u8 {
+        self.cores[core.as_usize()].throttle.set_speed(percent)
+    }
+
+    /// The current DVFS-style speed of `core`, in percent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn core_speed(&self, core: CoreId) -> u8 {
+        self.cores[core.as_usize()].throttle.speed()
+    }
+
     /// Memory-bus utilization over the last completed window.
     #[must_use]
     pub fn bus_utilization(&mut self) -> f64 {
@@ -502,7 +528,9 @@ impl CmpNode {
         let when = self.cores[core].next_free;
         let task = self.tasks.get_mut(&id).expect("current task is live");
         let priority = task.priority;
-        let (base, access) = task.ctx.issue();
+        let (raw_base, access) = task.ctx.issue();
+        // DVFS throttle: compute cycles stretch in the core's clock domain.
+        let base = self.cores[core].throttle.scale(raw_base);
         let cost = match access {
             Some(acc) => {
                 let outcome = self.hierarchy_access(core, id, acc, when + base, priority);
@@ -565,7 +593,11 @@ impl CmpNode {
         let l2_out = self.l2.access(core_id, access.addr(), false);
         self.feed_monitor(id, l2_out.set, access.addr(), l2_out.hit);
         if l2_out.hit {
-            return MemOutcome::L2Hit { stall: t2 };
+            // The L2 hit stall sits in the core's clock domain, so it
+            // stretches under the DVFS throttle; the miss path below is
+            // paced by the (unthrottled) off-chip channel instead.
+            let stall = self.cores[core].throttle.scale(t2);
+            return MemOutcome::L2Hit { stall };
         }
         if let Some(ev) = l2_out.eviction {
             if ev.dirty {
@@ -874,6 +906,38 @@ mod tests {
         assert!(
             slow_cpi > fast_cpi * 1.15,
             "bzip2 CPI should react to capacity: {slow_cpi:.2} vs {fast_cpi:.2}"
+        );
+    }
+
+    /// Runs a scaled gobmk pinned to core 0 at the given speed; returns CPI.
+    fn throttled_gobmk_cpi(speed: u8) -> f64 {
+        const K: u64 = 16;
+        let mut node = CmpNode::new(SystemConfig::paper_scaled(K));
+        assert_eq!(node.core_speed(CoreId::new(0)), 100);
+        let old = node.set_core_speed(CoreId::new(0), speed);
+        assert_eq!(old, 100);
+        let profile = spec::scaled("gobmk", K).unwrap();
+        node.spawn(TaskSpec {
+            id: JobId::new(0),
+            source: Box::new(profile.instantiate(42, 0)),
+            budget: Instructions::new(100_000),
+            placement: Placement::Pinned(CoreId::new(0)),
+            reserved: true,
+        })
+        .unwrap();
+        node.run_to_completion(Cycles::new(10_000_000_000));
+        node.perf(JobId::new(0)).unwrap().cpi()
+    }
+
+    #[test]
+    fn throttled_core_runs_proportionally_slower() {
+        let full = throttled_gobmk_cpi(100);
+        let half = throttled_gobmk_cpi(50);
+        // Core-domain cycles double; memory-miss stalls don't scale, so
+        // CPI grows markedly but stays well under 2x.
+        assert!(
+            half > full * 1.3 && half < full * 2.05,
+            "half-speed CPI {half:.2} vs full {full:.2}"
         );
     }
 }

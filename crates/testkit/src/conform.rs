@@ -13,16 +13,19 @@
 //! `fig5a`, `fig5b`, `fig6`, `fig7`, `fig8a`, `fig8b`, `fig9a`, `fig9b`,
 //! `lac` (§7.5) — plus `guard`, the stealing-guard contract replay
 //! ([`crate::shadow::GuardHarness`]) that the fault-injection mode below
-//! exists to break.
+//! exists to break, and `slo`, the closed-loop-beats-static dominance
+//! shape of the adaptive extension's SLO grid.
 //!
 //! [`Inject::BrokenGuard`] deliberately mis-calibrates the guard by one
 //! percentage point (controllers run at `X + 1` while the suite still
 //! asserts at `X`): the `guard` check's fine-grained probe must catch it,
-//! proving the suite can actually fail.
+//! proving the suite can actually fail. [`Inject::StuckKnob`] freezes the
+//! `pid` arm's knobs at the static operating point; the `slo` check's
+//! strict-dominance assertion must catch *that*.
 
 use crate::shadow::{off_by_one_probe, GuardHarness, GuardHarnessConfig};
 use cmpqos_experiments::{
-    fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, lac_overhead, table1, ExperimentParams,
+    fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, lac_overhead, slo, table1, ExperimentParams,
 };
 use cmpqos_trace::spec::SensitivityClass;
 use cmpqos_types::Ways;
@@ -42,6 +45,11 @@ pub enum Inject {
     /// guaranteed to catch it; the shifted `fig8a` sweep shows the
     /// system-level drift.
     BrokenGuard,
+    /// Freeze the `pid` arm's knobs at the static operating point — the
+    /// controller silently degenerates into the never-intervening
+    /// baseline, the failure mode of a mis-wired actuator. The `slo`
+    /// check's strict-dominance assertion must catch it.
+    StuckKnob,
 }
 
 /// One check's outcome.
@@ -93,9 +101,9 @@ impl ConformReport {
 }
 
 /// All check ids, in `EXPERIMENTS.md` table order.
-pub const CHECKS: [&str; 14] = [
+pub const CHECKS: [&str; 15] = [
     "fig1", "fig3", "fig4", "table1", "fig5a", "fig5b", "fig6", "fig7", "fig8a", "fig8b", "fig9a",
-    "fig9b", "lac", "guard",
+    "fig9b", "lac", "guard", "slo",
 ];
 
 fn approx_monotone_nondecreasing(xs: &[f64], tolerance: f64) -> bool {
@@ -379,10 +387,10 @@ pub fn run(params: &ExperimentParams, only: &[String], inject: Inject) -> Confor
 
     let fig8_result = (want("fig8a") || want("fig8b")).then(|| {
         let slacks: Vec<f64> = match inject {
-            Inject::None => fig8::SLACKS.to_vec(),
             // The off-by-one: controllers get X + 1 while the assertions
             // below still hold them to X.
             Inject::BrokenGuard => fig8::SLACKS.iter().map(|x| x + 1.0).collect(),
+            _ => fig8::SLACKS.to_vec(),
         };
         fig8::run_bench(params, "bzip2", &slacks)
     });
@@ -538,8 +546,8 @@ pub fn run(params: &ExperimentParams, only: &[String], inject: Inject) -> Confor
 
     if want("guard") {
         let bias = match inject {
-            Inject::None => 0.0,
             Inject::BrokenGuard => 1.0,
+            _ => 0.0,
         };
         let config = GuardHarnessConfig {
             original_ways: Ways::new(7),
@@ -574,6 +582,39 @@ pub fn run(params: &ExperimentParams, only: &[String], inject: Inject) -> Confor
         );
     }
 
+    if want("slo") {
+        let rows = slo::run_with(params, matches!(inject, Inject::StuckKnob));
+        let mut ok = true;
+        let mut notes = Vec::new();
+        for mix in &slo::MIXES {
+            let by_arm = |arm: &str| rows.iter().find(|r| r.mix == mix.name && r.arm == arm);
+            match (by_arm("static-20"), by_arm("pid")) {
+                (Some(s20), Some(pid)) => {
+                    if pid.attainment() <= s20.attainment() || pid.knob_changes == 0 {
+                        ok = false;
+                    }
+                    notes.push(format!(
+                        "{}: pid {:.0}% vs static-20 {:.0}% ({} knob moves)",
+                        mix.name,
+                        pid.attainment() * 100.0,
+                        s20.attainment() * 100.0,
+                        pid.knob_changes
+                    ));
+                }
+                _ => {
+                    ok = false;
+                    notes.push(format!("{}: grid incomplete", mix.name));
+                }
+            }
+        }
+        push(
+            "slo",
+            "the PID loop strictly beats static-20 on SLO attainment in every mix, and actually moves knobs",
+            ok,
+            notes.join("; "),
+        );
+    }
+
     ConformReport { verdicts }
 }
 
@@ -597,6 +638,20 @@ mod tests {
     fn broken_guard_injection_fails_the_guard_check() {
         let params = ExperimentParams::quick();
         let report = run(&params, &only(&["guard"]), Inject::BrokenGuard);
+        assert!(!report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn slo_check_passes_quickly() {
+        let params = ExperimentParams::quick();
+        let report = run(&params, &only(&["slo"]), Inject::None);
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn stuck_knob_injection_fails_the_slo_check() {
+        let params = ExperimentParams::quick();
+        let report = run(&params, &only(&["slo"]), Inject::StuckKnob);
         assert!(!report.passed(), "{}", report.render());
     }
 

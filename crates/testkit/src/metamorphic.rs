@@ -19,10 +19,17 @@
 //!    tolerates no slowdown, so a run with stealing enabled and `X = 0`
 //!    must be *byte-identical* (event stream and per-job outcomes) to the
 //!    same run with stealing disabled.
+//! 4. **Loose SLOs make the PID invisible** — when every sampled job's
+//!    [`SloSpec`] is unbounded, no target is ever missed, the controller
+//!    never leaves level 0, and its level-0 knob values equal the
+//!    scheduler's own baselines — so a run under the PID controller must
+//!    be *byte-identical* to the same run under the never-intervening
+//!    [`AdaptiveController::baseline`].
 
+use cmpqos_adapt::{AdaptiveController, PidConfig};
 use cmpqos_core::{
     AdmissionRequest, Decision, ExecutionMode, JobReport, Lac, LacConfig, QosJob, QosScheduler,
-    ResourceRequest, SchedulerConfig,
+    ResourceRequest, SchedulerConfig, SloSpec,
 };
 use cmpqos_obs::ShardRecorder;
 use cmpqos_system::SystemConfig;
@@ -242,6 +249,112 @@ fn zero_slack_run(seed: u64, stealing_enabled: bool) -> (Vec<String>, Vec<JobRep
     (lines, reports)
 }
 
+fn loose_slo_run(seed: u64, adaptive: bool) -> (Vec<String>, Vec<JobReport>) {
+    const K: u64 = 16;
+    const WORK: u64 = 20_000;
+    let mut cal = Calibrator::new(K, Instructions::new(WORK));
+    let config = SchedulerConfig::builder().stealing_enabled(true).build();
+    let mut scheduler = QosScheduler::with_recorder(
+        SystemConfig::paper_scaled(K),
+        config,
+        Box::new(ShardRecorder::new()),
+    );
+    let controller = if adaptive {
+        AdaptiveController::pid(PidConfig::default())
+    } else {
+        AdaptiveController::baseline()
+    };
+    scheduler.set_epoch_controller(Box::new(controller), Cycles::new(10_000));
+    // An Elastic donor whose SLO can never be missed, plus a Strict anchor
+    // and Opportunistic ballast — the same shape the PID actually manages,
+    // minus any reason to intervene.
+    let mix: [(&str, ExecutionMode); 4] = [
+        ("bzip2", ExecutionMode::Strict),
+        ("gobmk", ExecutionMode::Elastic(Percent::new(20.0))),
+        ("hmmer", ExecutionMode::Opportunistic),
+        ("bzip2", ExecutionMode::Opportunistic),
+    ];
+    let mut ids = Vec::new();
+    for (n, (bench, mode)) in mix.iter().enumerate() {
+        let tw = cal.tw(bench);
+        let id = JobId::new(n as u32);
+        let mut builder = QosJob::with_mode(id, *mode, ResourceRequest::paper_job())
+            .work(Instructions::new(WORK))
+            .max_wall_clock(tw)
+            .slo(SloSpec::unbounded());
+        builder = if mode.reserves_resources() {
+            builder.deadline(scheduler.now() + tw.scale(3.0))
+        } else {
+            builder.no_deadline()
+        };
+        let source = spec::scaled(bench, K)
+            .expect("built-in benchmark")
+            .instantiate(seed ^ (n as u64), 0);
+        let _ = scheduler.submit(builder.build(), Box::new(source));
+        ids.push(id);
+        let skip = scheduler.now() + tw.scale(0.2);
+        scheduler.run_until(skip);
+    }
+    scheduler.run_to_idle(Cycles::new(u64::MAX / 4));
+    let recorder = scheduler.take_recorder();
+    let shard = recorder
+        .as_any()
+        .and_then(|any| any.downcast_ref::<ShardRecorder>())
+        .expect("scheduler hands back the shard it was given");
+    let lines = shard
+        .records()
+        .iter()
+        .map(|r| serde_json::to_string(r).expect("records serialize"))
+        .collect();
+    let reports = ids.iter().filter_map(|&id| scheduler.report(id)).collect();
+    (lines, reports)
+}
+
+/// Relation 4: with every job's [`SloSpec`] unbounded, a run under the
+/// PID controller is byte-identical — event stream and per-job outcomes —
+/// to the same run under the never-intervening baseline controller.
+///
+/// # Errors
+///
+/// Returns the first differing event line or job outcome.
+pub fn loose_slo_adaptive_matches_static(seed: u64) -> Result<(), String> {
+    let (events_pid, reports_pid) = loose_slo_run(seed, true);
+    let (events_base, reports_base) = loose_slo_run(seed, false);
+    if events_pid.len() != events_base.len() {
+        return Err(format!(
+            "seed {seed}: event counts differ: {} under pid vs {} under static",
+            events_pid.len(),
+            events_base.len()
+        ));
+    }
+    for (i, (a, b)) in events_pid.iter().zip(&events_base).enumerate() {
+        if a != b {
+            return Err(format!(
+                "seed {seed}: event {i} differs:\n  pid:    {a}\n  static: {b}"
+            ));
+        }
+    }
+    for (a, b) in reports_pid.iter().zip(&reports_base) {
+        if report_key(a) != report_key(b) {
+            return Err(format!(
+                "seed {seed}: job {:?} outcome differs: {:?} vs {:?}",
+                a.job.id,
+                report_key(a),
+                report_key(b)
+            ));
+        }
+    }
+    // A loose-SLO PID run must contain no knob movement at all.
+    for line in &events_pid {
+        if line.contains("KnobChanged") {
+            return Err(format!(
+                "seed {seed}: PID moved a knob despite unbounded SLOs: {line}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Relation 3: a run whose only Elastic donor has `X = 0` is
 /// byte-identical — event stream and per-job outcomes — to the same run
 /// with stealing disabled.
@@ -314,6 +427,13 @@ mod tests {
     fn zero_slack_stealing_is_byte_identical_to_disabled() {
         for seed in 1..=cases(2) as u64 {
             zero_slack_stealing_matches_disabled(seed).unwrap();
+        }
+    }
+
+    #[test]
+    fn loose_slo_pid_is_byte_identical_to_the_static_baseline() {
+        for seed in 1..=cases(2) as u64 {
+            loose_slo_adaptive_matches_static(seed).unwrap();
         }
     }
 }

@@ -15,7 +15,13 @@
 //! [`OracleIntake`] mirrors the O(1) overload layer (deadline slack, token
 //! buckets, circuit breaker, bounded queue) so intake sheds can be diffed
 //! decision by decision as well.
+//!
+//! [`OraclePid`] re-derives the adaptive control plane's
+//! [`cmpqos_adapt::pid_step`] law in exact `i128` arithmetic, so the
+//! production controller's saturating-`i64` implementation can be diffed
+//! state field by state field over seed-derived error streams.
 
+use cmpqos_adapt::PidConfig;
 use cmpqos_core::intake::AdmissionRequest;
 use cmpqos_core::{
     Decision, ExecutionMode, Feasibility, Lac, Placement, RejectReason, Reservation,
@@ -318,9 +324,9 @@ impl OracleLac {
         }
     }
 
-    /// Brute-force mirror of [`Lac::admit_latest`] (Section 3.4: the
-    /// auto-downgrade fallback reserves the latest slot `[td − tw, td)`,
-    /// falling back to the earliest feasible one).
+    /// Brute-force mirror of the [`Lac`]'s latest-feasible placement
+    /// (Section 3.4: the auto-downgrade fallback reserves the latest slot
+    /// `[td − tw, td)`, falling back to the earliest feasible one).
     pub fn admit_latest(
         &mut self,
         id: JobId,
@@ -491,6 +497,78 @@ impl Feasibility for OracleLac {
         latest_start: Cycles,
     ) -> Option<Cycles> {
         self.earliest_start(request, duration, not_before, latest_start)
+    }
+}
+
+/// An exact-arithmetic mirror of the adaptive control law
+/// ([`cmpqos_adapt::pid_step`]).
+///
+/// The production step works in saturating `i64`; the oracle computes the
+/// same law in `i128`, where none of the intermediate products can
+/// overflow. In the **non-saturating regime** — `|error| ≤ ~10^9` with
+/// gains `≤ ~10^4` and `integral_bound ≤ ~10^6`, comfortably covering
+/// every error a milli-CPI sample can produce — the two are provably
+/// identical, so any disagreement over a generated stream is a production
+/// bug, never a modelling gap. (At inputs extreme enough to saturate an
+/// `i64` product the implementations legitimately diverge; the
+/// differential generator stays inside the regime.)
+#[derive(Debug, Clone)]
+pub struct OraclePid {
+    config: PidConfig,
+    integral: i128,
+    prev_error: i128,
+    level: u32,
+}
+
+impl OraclePid {
+    /// A fresh oracle for the given gains, state all zero — the mirror of
+    /// `PidState::default()`.
+    #[must_use]
+    pub fn new(config: PidConfig) -> Self {
+        Self {
+            config,
+            integral: 0,
+            prev_error: 0,
+            level: 0,
+        }
+    }
+
+    /// The oracle's accumulated (clamped) error.
+    #[must_use]
+    pub fn integral(&self) -> i128 {
+        self.integral
+    }
+
+    /// The oracle's previous error.
+    #[must_use]
+    pub fn prev_error(&self) -> i128 {
+        self.prev_error
+    }
+
+    /// The oracle's current intervention level.
+    #[must_use]
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// One exact control step; returns the new intervention level.
+    pub fn step(&mut self, error_milli: i64) -> u32 {
+        let e = i128::from(error_milli);
+        if e.abs() <= i128::from(self.config.deadband_milli) {
+            return self.level;
+        }
+        let bound = i128::from(self.config.integral_bound);
+        self.integral = (self.integral + e).clamp(-bound, bound);
+        let derivative = e - self.prev_error;
+        self.prev_error = e;
+        let u = i128::from(self.config.kp_milli) * e
+            + i128::from(self.config.ki_milli) * self.integral
+            + i128::from(self.config.kd_milli) * derivative;
+        let scale = i128::from(self.config.output_scale.max(1));
+        self.level = u
+            .div_euclid(scale)
+            .clamp(0, i128::from(self.config.max_level)) as u32;
+        self.level
     }
 }
 
@@ -700,6 +778,20 @@ mod tests {
                 Cycles::new(s),
                 Cycles::new(s + 61),
             );
+        }
+    }
+
+    #[test]
+    fn pid_oracle_mirrors_the_production_step_on_a_hand_stream() {
+        use cmpqos_adapt::{pid_step, PidConfig, PidState};
+        let config = PidConfig::default();
+        let mut st = PidState::default();
+        let mut o = OraclePid::new(config);
+        for e in [600, 600, -100, 40, -600, 2_000, -2_000, 0, 51, -51, 10_000] {
+            assert_eq!(pid_step(&config, &mut st, e), o.step(e), "error {e}");
+            assert_eq!(i128::from(st.integral), o.integral());
+            assert_eq!(i128::from(st.prev_error), o.prev_error());
+            assert_eq!(st.level, o.level());
         }
     }
 

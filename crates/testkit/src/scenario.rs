@@ -20,6 +20,11 @@
 //!   must be reproducible from the accepting node's pre-probe state, every
 //!   reject confirmed against each live node, and no node's timeline may
 //!   ever be overbooked.
+//! * [`ScenarioKind::Adapt`] — the adaptive control law: seed-derived
+//!   gains and error streams stepped through the production
+//!   `cmpqos_adapt::pid_step` and the exact-`i128` [`OraclePid`] in
+//!   lockstep, with level, integral, and previous error compared after
+//!   every step.
 //!
 //! On divergence the runner reports a [`Divergence`] whose
 //! [`Divergence::repro`] is a one-line `cmpqos explore` invocation;
@@ -63,6 +68,9 @@ pub enum ScenarioKind {
     /// replay oracle ([`crate::netreplay`]) plus the
     /// completed-XOR-revoked and no-overbooking invariants.
     Net,
+    /// Adaptive control law: production `pid_step` vs the exact-`i128`
+    /// [`OraclePid`] over seed-derived gains and error streams.
+    Adapt,
 }
 
 impl ScenarioKind {
@@ -76,6 +84,7 @@ impl ScenarioKind {
             ScenarioKind::Gac => "gac",
             ScenarioKind::Batch => "batch",
             ScenarioKind::Net => "net",
+            ScenarioKind::Adapt => "adapt",
         }
     }
 
@@ -89,18 +98,20 @@ impl ScenarioKind {
             "gac" => Some(ScenarioKind::Gac),
             "batch" => Some(ScenarioKind::Batch),
             "net" => Some(ScenarioKind::Net),
+            "adapt" => Some(ScenarioKind::Adapt),
             _ => None,
         }
     }
 
     /// All kinds, in explorer rotation order.
-    pub const ALL: [ScenarioKind; 6] = [
+    pub const ALL: [ScenarioKind; 7] = [
         ScenarioKind::Lac,
         ScenarioKind::Intake,
         ScenarioKind::Scheduler,
         ScenarioKind::Gac,
         ScenarioKind::Batch,
         ScenarioKind::Net,
+        ScenarioKind::Adapt,
     ];
 }
 
@@ -465,6 +476,7 @@ pub fn run(scenario: &Scenario) -> Result<(), Divergence> {
         ScenarioKind::Gac => run_gac(scenario.seed),
         ScenarioKind::Batch => run_batch(scenario),
         ScenarioKind::Net => run_net(scenario),
+        ScenarioKind::Adapt => run_adapt(scenario.seed),
     }
 }
 
@@ -1380,6 +1392,76 @@ pub fn run_gac(seed: u64) -> Result<(), Divergence> {
     Ok(())
 }
 
+/// Whole-run differential for the adaptive control law: a seed-derived
+/// [`PidConfig`] and error stream stepped through the production
+/// [`pid_step`] and the exact-`i128` [`OraclePid`] in lockstep.
+///
+/// Gains, bounds, and errors are drawn from the regime where the
+/// production `i64` saturating arithmetic provably cannot saturate (see
+/// the [`OraclePid`] contract), so any disagreement in level, integral,
+/// or previous error after a step is a real control-law bug.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] between the two implementations.
+pub fn run_adapt(seed: u64) -> Result<(), Divergence> {
+    use cmpqos_adapt::{pid_step, PidConfig, PidState};
+
+    use crate::oracle::OraclePid;
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xADA7_0000);
+    let config = PidConfig {
+        kp_milli: rng.gen_range(0..5_000),
+        ki_milli: rng.gen_range(0..1_000),
+        kd_milli: rng.gen_range(0..1_000),
+        integral_bound: rng.gen_range(1..100_000),
+        deadband_milli: rng.gen_range(0..500),
+        max_level: rng.gen_range(1..9),
+        output_scale: rng.gen_range(1..1_000_000),
+        ..PidConfig::default()
+    };
+    let mut state = PidState::default();
+    let mut oracle = OraclePid::new(config);
+    let steps = rng.gen_range(64..257);
+    for i in 0..steps {
+        // Mostly small errors around the deadband, with occasional huge
+        // spikes to exercise the integral clamp and output saturation.
+        let error_milli = if rng.gen_bool(0.1) {
+            if rng.gen_bool(0.5) {
+                1_000_000_000
+            } else {
+                -1_000_000_000
+            }
+        } else {
+            rng.gen_range(-5_000..5_000)
+        };
+        let level = pid_step(&config, &mut state, error_milli);
+        let oracle_level = oracle.step(error_milli);
+        if level != oracle_level
+            || i128::from(state.integral) != oracle.integral()
+            || i128::from(state.prev_error) != oracle.prev_error()
+            || state.level != oracle.level()
+        {
+            return Err(Divergence {
+                seed,
+                kind: ScenarioKind::Adapt,
+                op_index: i,
+                detail: format!(
+                    "step {i} error {error_milli}: production (level {level}, \
+                     integral {}, prev {}) vs oracle (level {oracle_level}, \
+                     integral {}, prev {}) under {config:?}",
+                    state.integral,
+                    state.prev_error,
+                    oracle.integral(),
+                    oracle.prev_error(),
+                ),
+                ops: Vec::new(),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Delta-debugs a failing op-list scenario to a locally minimal one:
 /// repeatedly drops single ops while `fails` still holds.
 ///
@@ -1496,6 +1578,15 @@ mod tests {
         for seed in 0..crate::cases(8) as u64 {
             let s = Scenario::generate(ScenarioKind::Net, seed);
             if let Err(d) = run(&s) {
+                panic!("{}", d.render());
+            }
+        }
+    }
+
+    #[test]
+    fn adapt_scenarios_have_no_divergences() {
+        for seed in 0..crate::cases(24) as u64 {
+            if let Err(d) = run_adapt(seed) {
                 panic!("{}", d.render());
             }
         }

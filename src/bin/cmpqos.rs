@@ -68,10 +68,10 @@ usage:
                (rebuilds admission state from a write-ahead reservation
                 journal, tolerating a torn or corrupted tail)
   cmpqos conform [--scale N] [--work N] [--seed N] [--jobs N]
-               [--only fig1,fig8a,...] [--inject broken-guard]
+               [--only fig1,fig8a,...] [--inject broken-guard|stuck-knob]
                (machine-checks every EXPERIMENTS.md shape verdict;
                 exits nonzero if any check fails)
-  cmpqos explore [--scenarios N] [--seed N] [--kind lac|intake|scheduler|gac|batch|net|all]
+  cmpqos explore [--scenarios N] [--seed N] [--kind lac|intake|scheduler|gac|batch|net|adapt|all]
                (differential explorer: random scenarios diffed against the
                 reference oracles; on divergence prints a shrunken
                 counterexample and a one-line repro, exits nonzero)";
@@ -287,9 +287,10 @@ fn cmd_conform(flags: &HashMap<String, String>) -> Result<(), String> {
     let inject = match flags.get("inject").map(String::as_str) {
         None => Inject::None,
         Some("broken-guard") => Inject::BrokenGuard,
+        Some("stuck-knob") => Inject::StuckKnob,
         Some(other) => {
             return Err(format!(
-                "unknown --inject `{other}` (expected broken-guard)"
+                "unknown --inject `{other}` (expected broken-guard or stuck-knob)"
             ))
         }
     };
@@ -317,7 +318,7 @@ fn cmd_explore(flags: &HashMap<String, String>) -> Result<(), String> {
     let kinds: Vec<ScenarioKind> = match flags.get("kind").map(String::as_str) {
         None | Some("all") => ScenarioKind::ALL.to_vec(),
         Some(k) => vec![ScenarioKind::parse(k).ok_or_else(|| {
-            format!("unknown --kind `{k}` (expected lac|intake|scheduler|gac|batch|net|all)")
+            format!("unknown --kind `{k}` (expected lac|intake|scheduler|gac|batch|net|adapt|all)")
         })?],
     };
     let report = explore(seed, scenarios, &kinds);

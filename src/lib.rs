@@ -9,6 +9,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use cmpqos_adapt as adapt;
 pub use cmpqos_cache as cache;
 pub use cmpqos_core as qos;
 pub use cmpqos_cpu as cpu;

@@ -1,7 +1,8 @@
 //! The executable conformance suite as a library: cheap `--only` subsets
-//! at quick parameters, plus the broken-guard injection that the suite
-//! must catch. The full 14-check run at standard parameters is exercised
-//! by CI's `conform-smoke` job (`cmpqos conform --seed 1`).
+//! at quick parameters, plus the broken-guard and stuck-knob injections
+//! that the suite must catch. The full 15-check run at standard
+//! parameters is exercised by CI's `conform-smoke` job
+//! (`cmpqos conform --seed 1`).
 
 use cmpqos::experiments::ExperimentParams;
 use cmpqos::testkit::conform::{self, Inject, CHECKS};
@@ -33,6 +34,20 @@ fn broken_guard_injection_fails_the_suite() {
     );
 }
 
+/// The stuck-knob injection must fail the `slo` check: a PID whose
+/// actuators are frozen at the static operating point cannot claim the
+/// closed-loop dominance shape.
+#[test]
+fn stuck_knob_injection_fails_the_slo_check() {
+    let params = ExperimentParams::quick();
+    let report = conform::run(&params, &only(&["slo"]), Inject::StuckKnob);
+    assert!(
+        !report.passed(),
+        "stuck knobs conformed:\n{}",
+        report.render()
+    );
+}
+
 /// A typo'd `--only` id is a failed verdict, not a silent no-op: the
 /// suite never reports success for checks it did not run.
 #[test]
@@ -46,7 +61,7 @@ fn unknown_check_id_fails_rather_than_skips() {
 /// produces (one verdict per `EXPERIMENTS.md` row).
 #[test]
 fn check_list_is_complete_and_duplicate_free() {
-    assert_eq!(CHECKS.len(), 14);
+    assert_eq!(CHECKS.len(), 15);
     let mut sorted: Vec<_> = CHECKS.to_vec();
     sorted.sort_unstable();
     sorted.dedup();

@@ -39,3 +39,15 @@ fn stealing_at_zero_slack_is_byte_identical_to_disabled() {
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }
+
+/// A full adaptive run whose every SLO is unbounded produces a
+/// byte-identical event stream and identical job reports to the same run
+/// under the never-intervening baseline controller: a PID with nothing
+/// to correct must be invisible.
+#[test]
+fn adaptive_control_with_loose_slos_is_byte_identical_to_static() {
+    for seed in 0..cases(2) as u64 {
+        metamorphic::loose_slo_adaptive_matches_static(0xADA7 + seed)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
