@@ -81,6 +81,27 @@ impl From<NodeHealth> for cmpqos_obs::Health {
     }
 }
 
+/// A node's lifecycle membership state, orthogonal to [`NodeHealth`]:
+/// health tracks whether the node *answers*, membership tracks whether it
+/// *belongs*. Only `Live` nodes take new placements; the table is
+/// append-only (a departed node's index is never reused), so `NodeId`s in
+/// journals and event streams stay stable across churn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum MemberState {
+    /// Mid-handshake (announced or restarting, not yet reconciled); takes
+    /// no new placements.
+    Joining,
+    /// Full member: probed, placed on, and heartbeated.
+    #[default]
+    Live,
+    /// Graceful shutdown underway: no new placements while existing
+    /// reservations migrate off.
+    Draining,
+    /// Departed for good; skipped by every probe, heartbeat, and sweep.
+    Left,
+}
+
 /// One probe's outcome, as seen by the GAC's retry loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ProbeOutcome {
@@ -126,6 +147,14 @@ pub struct GacConfig {
     /// reservations would double-book them. `Cycles::ZERO` restores the
     /// legacy pure-loss-count behavior.
     pub dead_timeout: Cycles,
+    /// Lifetime of a placement lease. Each heartbeat
+    /// ([`GlobalAdmissionController::heartbeat_all`]) renews the node's
+    /// leases to `heartbeat time + lease_ttl`; a lease that then goes
+    /// unrenewed for `lease_ttl + dead_timeout` (the same
+    /// unreachable-vs-dead grace as the health machine) expires and its
+    /// reservation is revoked and re-placed like an evacuation.
+    /// `Cycles::ZERO` (the default) disables leasing entirely.
+    pub lease_ttl: Cycles,
 }
 
 impl Default for GacConfig {
@@ -137,6 +166,7 @@ impl Default for GacConfig {
             suspect_after: 2,
             dead_after: 4,
             dead_timeout: Cycles::new(30_000),
+            lease_ttl: Cycles::ZERO,
         }
     }
 }
@@ -212,6 +242,13 @@ impl GacConfigBuilder {
         self
     }
 
+    /// Sets the placement-lease lifetime (`Cycles::ZERO` disables leasing).
+    #[must_use]
+    pub fn lease_ttl(mut self, ttl: Cycles) -> Self {
+        self.config.lease_ttl = ttl;
+        self
+    }
+
     /// Finishes the configuration.
     #[must_use]
     pub fn build(self) -> GacConfig {
@@ -258,6 +295,8 @@ struct NodeState {
     pending_losses: u32,
     last_heard: Cycles,
     partitioned: bool,
+    member: MemberState,
+    lease_frozen: bool,
 }
 
 /// A serializable snapshot of one node as the GAC sees it.
@@ -276,6 +315,12 @@ pub struct NodeSnapshot {
     pub last_heard: Cycles,
     /// Whether the GAC ↔ node link is currently severed.
     pub partitioned: bool,
+    /// The node's membership lifecycle state (defaults to `Live` when
+    /// deserializing pre-membership journals).
+    pub member: MemberState,
+    /// Whether lease renewals to this node are suppressed (the
+    /// `LeaseFreeze` fault; heartbeats still count as proof of life).
+    pub lease_frozen: bool,
 }
 
 /// A complete, serializable snapshot of a [`GlobalAdmissionController`].
@@ -297,6 +342,13 @@ pub struct GacState {
     pub submissions: u64,
     /// The placement table (admitted, not yet completed).
     pub placements: Vec<(JobId, NodeId)>,
+    /// Per-job lease: the placement node and the expiry cycle (empty when
+    /// leasing is disabled; defaults to empty when deserializing
+    /// pre-membership journals).
+    pub leases: Vec<(JobId, NodeId, Cycles)>,
+    /// The LAC configuration nodes were built with, so joined nodes get
+    /// identical capacity (defaults for pre-membership journals).
+    pub lac_config: LacConfig,
     /// The GAC's clock.
     pub now: Cycles,
 }
@@ -328,6 +380,8 @@ pub struct GlobalAdmissionController {
     config: GacConfig,
     submissions: u64,
     placements: Vec<(JobId, NodeId)>,
+    leases: Vec<(JobId, NodeId, Cycles)>,
+    lac_config: LacConfig,
     now: Cycles,
 }
 
@@ -350,12 +404,16 @@ impl GlobalAdmissionController {
                     pending_losses: 0,
                     last_heard: Cycles::ZERO,
                     partitioned: false,
+                    member: MemberState::Live,
+                    lease_frozen: false,
                 })
                 .collect(),
             policy,
             config: GacConfig::default(),
             submissions: 0,
             placements: Vec::new(),
+            leases: Vec::new(),
+            lac_config: config,
             now: Cycles::ZERO,
         })
     }
@@ -401,12 +459,16 @@ impl GlobalAdmissionController {
                     pending_losses: n.pending_losses,
                     last_heard: n.last_heard,
                     partitioned: n.partitioned,
+                    member: n.member,
+                    lease_frozen: n.lease_frozen,
                 })
                 .collect(),
             policy: self.policy,
             config: self.config,
             submissions: self.submissions,
             placements: self.placements.clone(),
+            leases: self.leases.clone(),
+            lac_config: self.lac_config,
             now: self.now,
         }
     }
@@ -427,29 +489,53 @@ impl GlobalAdmissionController {
                     pending_losses: n.pending_losses,
                     last_heard: n.last_heard,
                     partitioned: n.partitioned,
+                    member: n.member,
+                    lease_frozen: n.lease_frozen,
                 })
                 .collect(),
             policy: state.policy,
             config: state.config,
             submissions: state.submissions,
             placements: state.placements,
+            leases: state.leases,
+            lac_config: state.lac_config,
             now: state.now,
         }
     }
 
-    /// Number of nodes (of any health).
+    /// Size of the membership table — every node ever admitted, in any
+    /// state (the table is append-only, so this never shrinks).
     #[must_use]
     pub fn nodes(&self) -> usize {
         self.nodes.len()
     }
 
-    /// Number of nodes still probed (not dead).
+    /// Number of nodes still probed: `Live` members that are not dead.
+    /// Draining and departed nodes no longer take placements, so they do
+    /// not count even while their link is healthy.
     #[must_use]
     pub fn live_nodes(&self) -> usize {
         self.nodes
             .iter()
-            .filter(|n| n.health != NodeHealth::Dead)
+            .filter(|n| n.member == MemberState::Live && n.health != NodeHealth::Dead)
             .count()
+    }
+
+    /// One node's membership lifecycle state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn member_state(&self, node: NodeId) -> MemberState {
+        self.nodes[node.as_usize()].member
+    }
+
+    /// The lease table: each placed job's node and current expiry cycle.
+    /// Empty when leasing is disabled ([`GacConfig::lease_ttl`] of zero).
+    #[must_use]
+    pub fn leases(&self) -> &[(JobId, NodeId, Cycles)] {
+        &self.leases
     }
 
     /// Access to one node's LAC.
@@ -477,9 +563,23 @@ impl GlobalAdmissionController {
     /// they are removed from [`GlobalAdmissionController::placements`] and
     /// returned, so the placement table cannot grow without bound.
     pub fn advance(&mut self, now: Cycles) -> Vec<(JobId, NodeId)> {
+        self.advance_recorded(now, &mut NullRecorder)
+    }
+
+    /// [`GlobalAdmissionController::advance`], additionally emitting lease
+    /// expirations (and the migrations/revocations they trigger) to
+    /// `recorder`.
+    pub fn advance_recorded(
+        &mut self,
+        now: Cycles,
+        recorder: &mut dyn Recorder,
+    ) -> Vec<(JobId, NodeId)> {
         self.now = self.now.max(now);
         let mut completed = Vec::new();
         for (i, node) in self.nodes.iter_mut().enumerate() {
+            if node.member == MemberState::Left {
+                continue;
+            }
             let id = NodeId::new(i as u32);
             for r in node.lac.reservations() {
                 if r.end <= now {
@@ -505,7 +605,277 @@ impl GlobalAdmissionController {
         }
         self.placements
             .retain(|(job, _)| !completed.iter().any(|(done, _)| done == job));
+        self.leases
+            .retain(|(job, _, _)| !completed.iter().any(|(done, _)| done == job));
+        self.expire_leases(recorder);
         completed
+    }
+
+    /// Revokes and re-places every job whose lease has gone unrenewed past
+    /// the grace window: expiry at `lease + dead_timeout`, the same
+    /// hysteresis that separates *unreachable* from *dead* in the health
+    /// machine, so a short partition stalls renewals without losing the
+    /// placement.
+    fn expire_leases(&mut self, recorder: &mut dyn Recorder) {
+        if self.config.lease_ttl == Cycles::ZERO {
+            return;
+        }
+        let grace = self.config.dead_timeout;
+        let expired: Vec<JobId> = self
+            .leases
+            .iter()
+            .filter(|&&(_, _, until)| self.now > until + grace)
+            .map(|&(job, _, _)| job)
+            .collect();
+        for job in expired {
+            self.drop_lease(job);
+            let Some(node) = self.placement(job) else {
+                continue;
+            };
+            if recorder.enabled() {
+                recorder.record(self.now, Event::LeaseExpired { job, node });
+            }
+            let i = node.as_usize();
+            let held = self.nodes[i]
+                .lac
+                .reservations()
+                .iter()
+                .find(|r| r.id == job)
+                .cloned();
+            match held {
+                Some(r) => {
+                    // Revoke + re-place exactly like an evacuation. The
+                    // cancel is a control-plane order: if the node is truly
+                    // unreachable it re-learns the revocation on rejoin
+                    // (restart reconciliation); in-process it is immediate.
+                    self.nodes[i].lac.cancel(r.id);
+                    let mut report = FaultReport::default();
+                    self.relocate(r, node, recorder, &mut report);
+                }
+                None => {
+                    self.placements.retain(|&(j, _)| j != job);
+                }
+            }
+        }
+    }
+
+    /// Drains one heartbeat round over every reachable member, renewing
+    /// its placement leases to `at + lease_ttl` and counting as proof of
+    /// life for the health machine. Dead, partitioned, and departed nodes
+    /// miss the round; a lease-frozen node answers (health recovers) but
+    /// its renewals are dropped — the `LeaseFreeze` fault. A no-op while
+    /// leasing is disabled.
+    pub fn heartbeat_all(&mut self, at: Cycles, recorder: &mut dyn Recorder) {
+        if self.config.lease_ttl == Cycles::ZERO {
+            return;
+        }
+        self.now = self.now.max(at);
+        // Pass 1 — proof of life and renewal eligibility, O(nodes).
+        let mut renewing = vec![false; self.nodes.len()];
+        for (i, slot) in renewing.iter_mut().enumerate() {
+            let n = &self.nodes[i];
+            if !matches!(n.member, MemberState::Live | MemberState::Draining)
+                || n.health == NodeHealth::Dead
+                || n.partitioned
+            {
+                continue;
+            }
+            self.nodes[i].consecutive_losses = 0;
+            self.nodes[i].last_heard = self.nodes[i].last_heard.max(at);
+            if self.nodes[i].health == NodeHealth::Suspect {
+                self.set_health(i, NodeHealth::Healthy, recorder);
+            }
+            *slot = !self.nodes[i].lease_frozen;
+        }
+        // Pass 2 — renew in one sweep over the lease table, O(leases);
+        // each lease carries its placement node, so no per-node join with
+        // the placement table is needed.
+        let until = at + self.config.lease_ttl;
+        let mut renewed = vec![0u64; self.nodes.len()];
+        for lease in &mut self.leases {
+            let i = lease.1.as_usize();
+            if renewing[i] {
+                lease.2 = until;
+                renewed[i] += 1;
+            }
+        }
+        if recorder.enabled() {
+            for (i, &leases) in renewed.iter().enumerate() {
+                if leases > 0 {
+                    recorder.record(
+                        at,
+                        Event::LeaseRenewed {
+                            node: NodeId::new(i as u32),
+                            leases,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Grants (or renews) job `job`'s lease on `node`, ending at
+    /// `at + lease_ttl`.
+    fn grant_lease(&mut self, job: JobId, node: NodeId, at: Cycles) {
+        if self.config.lease_ttl == Cycles::ZERO {
+            return;
+        }
+        let until = at + self.config.lease_ttl;
+        match self.leases.iter_mut().find(|(j, _, _)| *j == job) {
+            Some(lease) => {
+                lease.1 = node;
+                lease.2 = until;
+            }
+            None => self.leases.push((job, node, until)),
+        }
+    }
+
+    fn drop_lease(&mut self, job: JobId) {
+        self.leases.retain(|&(j, _, _)| j != job);
+    }
+
+    /// Admits a brand-new node to the membership table with the same LAC
+    /// configuration as the founding nodes. The in-process handshake is
+    /// synchronous, so the node enters `Live` immediately and its id is
+    /// the next unused index (membership is append-only).
+    pub fn join_node(&mut self, at: Cycles, recorder: &mut dyn Recorder) -> NodeId {
+        self.now = self.now.max(at);
+        let node = NodeId::new(self.nodes.len() as u32);
+        let mut lac = Lac::new(self.lac_config);
+        lac.advance(self.now);
+        self.nodes.push(NodeState {
+            lac,
+            health: NodeHealth::Healthy,
+            consecutive_losses: 0,
+            pending_losses: 0,
+            last_heard: self.now,
+            partitioned: false,
+            member: MemberState::Live,
+            lease_frozen: false,
+        });
+        if recorder.enabled() {
+            recorder.record(self.now, Event::NodeJoined { node });
+        }
+        node
+    }
+
+    /// Gracefully drains `node`: it stops taking new placements, every
+    /// reservation it still holds migrates to a survivor (or is revoked
+    /// with a reason when none fits), and only then does the node
+    /// transition `Left`. A second drain of the same node — or of one
+    /// mid-handshake — is a no-op, so rolling-restart scripts are
+    /// idempotent.
+    pub fn drain_node(
+        &mut self,
+        node: NodeId,
+        at: Cycles,
+        recorder: &mut dyn Recorder,
+    ) -> FaultReport {
+        let mut report = FaultReport::default();
+        let i = node.as_usize();
+        if i >= self.nodes.len() || self.nodes[i].member != MemberState::Live {
+            return report;
+        }
+        self.now = self.now.max(at);
+        // Draining first: probe_order skips the node from here on, so
+        // nothing lands on it while its reservations move off (and the
+        // relocation loop below cannot pick it as its own target).
+        self.nodes[i].member = MemberState::Draining;
+        self.evacuate(i, recorder, &mut report);
+        self.nodes[i].member = MemberState::Left;
+        if recorder.enabled() {
+            recorder.record(self.now, Event::NodeDrained { node });
+        }
+        report
+    }
+
+    /// Restarts `node`: its link state and health reset, and its
+    /// journal-recovered reservation table is reconciled against the GAC's
+    /// placement view *before* the node re-enters `Live` — orphaned
+    /// reservations (held by the node but placed elsewhere, or nowhere, by
+    /// the GAC) are cancelled; placements the node no longer holds are
+    /// revoked with a reason. Restarting a departed node is a no-op.
+    pub fn restart_node(
+        &mut self,
+        node: NodeId,
+        at: Cycles,
+        recorder: &mut dyn Recorder,
+    ) -> FaultReport {
+        let mut report = FaultReport::default();
+        let i = node.as_usize();
+        if i >= self.nodes.len() || self.nodes[i].member == MemberState::Left {
+            return report;
+        }
+        self.now = self.now.max(at);
+        self.nodes[i].member = MemberState::Joining;
+        self.nodes[i].health = NodeHealth::Healthy;
+        self.nodes[i].consecutive_losses = 0;
+        self.nodes[i].pending_losses = 0;
+        self.nodes[i].partitioned = false;
+        self.nodes[i].last_heard = self.now;
+        self.nodes[i].lease_frozen = false;
+        let held: Vec<JobId> = self.nodes[i]
+            .lac
+            .reservations()
+            .iter()
+            .map(|r| r.id)
+            .collect();
+        let mut orphans_revoked = 0u64;
+        for job in &held {
+            if self.placement(*job) != Some(node) {
+                self.nodes[i].lac.cancel(*job);
+                orphans_revoked += 1;
+            }
+        }
+        // A placement the restarted node no longer holds was lost with its
+        // pre-journal state; the reservation's window is gone too, so it
+        // cannot be readmitted — revoke it with a reason.
+        let lost: Vec<JobId> = self
+            .placements
+            .iter()
+            .filter(|&&(job, on)| on == node && !held.contains(&job))
+            .map(|&(job, _)| job)
+            .collect();
+        let placements_repaired = lost.len() as u64;
+        for job in lost {
+            self.placements.retain(|&(j, _)| j != job);
+            self.drop_lease(job);
+            report.revoked.push(job);
+            if recorder.enabled() {
+                recorder.record(
+                    self.now,
+                    Event::ReservationRevoked {
+                        job,
+                        node,
+                        cause: RejectReason::CapacityRevoked.into(),
+                    },
+                );
+            }
+        }
+        if recorder.enabled() {
+            recorder.record(
+                self.now,
+                Event::Reconciled {
+                    node,
+                    orphans_revoked,
+                    placements_repaired,
+                },
+            );
+        }
+        self.nodes[i].member = MemberState::Live;
+        if recorder.enabled() {
+            recorder.record(self.now, Event::NodeJoined { node });
+        }
+        // Surviving leases restart their clock: the node just proved it is
+        // alive, and punishing it for pre-restart silence would expire a
+        // reservation it verifiably still holds.
+        for job in held {
+            if self.placement(job) == Some(node) {
+                let granted = self.now;
+                self.grant_lease(job, node, granted);
+            }
+        }
+        report
     }
 
     /// Releases job `id`'s reservation (early completion) and drops its
@@ -514,6 +884,7 @@ impl GlobalAdmissionController {
         if let Some(pos) = self.placements.iter().position(|(job, _)| *job == id) {
             let (_, node) = self.placements.remove(pos);
             self.nodes[node.as_usize()].lac.release(id, at);
+            self.drop_lease(id);
         }
     }
 
@@ -594,8 +965,10 @@ impl GlobalAdmissionController {
                 ProbeOutcome::Accepted { start } => {
                     let node = NodeId::new(i as u32);
                     self.placements.push((id, node));
+                    let granted = self.stamp(i);
+                    self.grant_lease(id, node, granted);
                     if recorder.enabled() {
-                        recorder.record(self.stamp(i), Event::Placed { job: id, node });
+                        recorder.record(granted, Event::Placed { job: id, node });
                     }
                     return (Some(node), Decision::Accepted { start });
                 }
@@ -644,14 +1017,27 @@ impl GlobalAdmissionController {
     /// * Node faults mark the node [`NodeHealth::Dead`] and evacuate every
     ///   reservation the same way.
     /// * Probe losses queue up and consume future probes to that node.
+    /// * Churn faults delegate to [`GlobalAdmissionController::join_node`],
+    ///   [`GlobalAdmissionController::restart_node`], and
+    ///   [`GlobalAdmissionController::drain_node`]; `LeaseFreeze` stops
+    ///   renewing the node's leases until it restarts.
     ///
-    /// Injections naming a node outside the server are ignored.
+    /// Injections naming a node outside the server are ignored — except
+    /// `NodeJoin`, which is valid *only* for the next unused index.
     pub fn inject(&mut self, injection: Injection, recorder: &mut dyn Recorder) -> FaultReport {
         let mut report = FaultReport::default();
         let at = injection.at;
         self.now = self.now.max(at);
         let i = injection.fault.node().as_usize();
-        if i >= self.nodes.len() {
+        // Membership is append-only: a join is valid only when it names the
+        // next unused index, so journal replay reconstructs the identical
+        // table. Every other fault must name an existing node.
+        let valid = if matches!(injection.fault, Fault::NodeJoin { .. }) {
+            i == self.nodes.len()
+        } else {
+            i < self.nodes.len()
+        };
+        if !valid {
             return report;
         }
         if recorder.enabled() {
@@ -711,6 +1097,18 @@ impl GlobalAdmissionController {
                 // indistinguishable from a lost probe.
                 self.nodes[i].pending_losses += count;
             }
+            Fault::NodeJoin { .. } => {
+                let _ = self.join_node(at, recorder);
+            }
+            Fault::NodeRestart { node } => {
+                report.merge(self.restart_node(node, at, recorder));
+            }
+            Fault::NodeDrain { node } => {
+                report.merge(self.drain_node(node, at, recorder));
+            }
+            Fault::LeaseFreeze { .. } => {
+                self.nodes[i].lease_frozen = true;
+            }
         }
         report
     }
@@ -751,11 +1149,15 @@ impl GlobalAdmissionController {
         self.submissions
     }
 
-    /// Probe order: live nodes only, healthy before suspect, the policy's
-    /// order within each health class.
+    /// Probe order: live members only (Joining, Draining, and Left nodes
+    /// take no new placements), healthy before suspect, the policy's order
+    /// within each health class.
     fn probe_order(&self) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].health != NodeHealth::Dead)
+            .filter(|&i| {
+                self.nodes[i].member == MemberState::Live
+                    && self.nodes[i].health != NodeHealth::Dead
+            })
             .collect();
         if self.policy == ProbePolicy::LeastLoaded {
             order.sort_by_key(|&i| self.nodes[i].lac.reservation_count());
@@ -950,6 +1352,8 @@ impl GlobalAdmissionController {
                         p.1 = to;
                     }
                 }
+                let granted = self.stamp(i);
+                self.grant_lease(r.id, to, granted);
                 report.migrated.push((r.id, from, to));
                 if recorder.enabled() {
                     recorder.record(
@@ -966,6 +1370,7 @@ impl GlobalAdmissionController {
         }
         report.revoked.push(r.id);
         self.placements.retain(|(id, _)| *id != r.id);
+        self.drop_lease(r.id);
         if recorder.enabled() {
             recorder.record(
                 self.now,
@@ -1425,6 +1830,204 @@ mod tests {
             .map(|r| r.request.cache_ways().get())
             .sum();
         assert_eq!(total, 15, "8 kept + 7 downgraded fits 15 ways");
+    }
+
+    #[test]
+    fn joined_node_takes_placements_and_draining_stops_them() {
+        let mut gac =
+            GlobalAdmissionController::new(1, LacConfig::default(), ProbePolicy::FirstFit);
+        let mut rec = RingBufferRecorder::new(64);
+        assert_eq!(gac.nodes(), 1);
+        let joined = gac.join_node(Cycles::ZERO, &mut rec);
+        assert_eq!(joined, NodeId::new(1));
+        assert_eq!(gac.nodes(), 2);
+        assert_eq!(gac.live_nodes(), 2);
+        assert_eq!(gac.member_state(joined), MemberState::Live);
+        assert_eq!(rec.counters().nodes_joined, 1);
+        // Two paper jobs land on node 0 (FirstFit); draining it migrates
+        // both onto the joined node (2 x 7 = 14 <= 16 ways) and departs —
+        // no admitted job is lost.
+        let _ = submit_strict(&mut gac, 0);
+        let _ = submit_strict(&mut gac, 1);
+        let report = gac.drain_node(NodeId::new(0), Cycles::ZERO, &mut rec);
+        assert_eq!(report.migrated.len(), 2);
+        assert!(report.revoked.is_empty());
+        assert_eq!(gac.member_state(NodeId::new(0)), MemberState::Left);
+        assert_eq!(gac.live_nodes(), 1);
+        assert_eq!(rec.counters().nodes_drained, 1);
+        for (job, node) in gac.placements() {
+            assert_eq!(*node, joined, "{job:?} moved off the drained node");
+        }
+        // A departed node takes nothing, and a second drain is a no-op.
+        assert!(gac
+            .drain_node(NodeId::new(0), Cycles::ZERO, &mut rec)
+            .is_quiet());
+        assert_eq!(rec.counters().nodes_drained, 1);
+    }
+
+    #[test]
+    fn restart_reconciles_the_node_before_it_reenters_live() {
+        let mut gac =
+            GlobalAdmissionController::new(2, LacConfig::default(), ProbePolicy::FirstFit);
+        let mut rec = RingBufferRecorder::new(64);
+        let _ = submit_strict(&mut gac, 0);
+        assert_eq!(gac.placement(JobId::new(0)), Some(NodeId::new(0)));
+        // A clean restart: the journal-recovered table matches the GAC's
+        // placement view, so nothing is revoked and the job survives.
+        let report = gac.restart_node(NodeId::new(0), Cycles::ZERO, &mut rec);
+        assert!(report.is_quiet());
+        assert_eq!(gac.member_state(NodeId::new(0)), MemberState::Live);
+        assert_eq!(gac.placement(JobId::new(0)), Some(NodeId::new(0)));
+        assert_eq!(rec.counters().reconciled, 1);
+        assert_eq!(rec.counters().nodes_joined, 1);
+        // Restarting a departed node is a no-op.
+        let _ = gac.drain_node(NodeId::new(0), Cycles::ZERO, &mut rec);
+        assert!(gac
+            .restart_node(NodeId::new(0), Cycles::ZERO, &mut rec)
+            .is_quiet());
+        assert_eq!(gac.member_state(NodeId::new(0)), MemberState::Left);
+    }
+
+    #[test]
+    fn unrenewed_lease_expires_after_grace_and_the_job_migrates() {
+        let mut gac =
+            GlobalAdmissionController::new(2, LacConfig::default(), ProbePolicy::FirstFit)
+                .with_gac_config(
+                    GacConfig::builder()
+                        .lease_ttl(Cycles::new(1_000))
+                        .dead_timeout(Cycles::new(2_000))
+                        .build(),
+                );
+        let mut rec = RingBufferRecorder::new(64);
+        let (node, d) = gac.submit_recorded(
+            JobId::new(0),
+            ExecutionMode::Strict,
+            ResourceRequest::paper_job(),
+            Cycles::new(100_000),
+            None,
+            &mut rec,
+        );
+        assert!(d.is_accepted());
+        assert_eq!(node, Some(NodeId::new(0)));
+        assert_eq!(gac.leases().len(), 1);
+        // Heartbeats reach node 0 until its link is severed; renewals then
+        // stop and the lease runs out ttl + grace later.
+        gac.heartbeat_all(Cycles::new(500), &mut rec);
+        assert_eq!(rec.counters().leases_renewed, 1);
+        gac.inject(
+            FaultPlan::new()
+                .link_partition(Cycles::new(600), NodeId::new(0))
+                .build()
+                .injections()[0],
+            &mut rec,
+        );
+        gac.heartbeat_all(Cycles::new(1_000), &mut rec);
+        assert_eq!(rec.counters().leases_renewed, 1, "partitioned: no renewal");
+        // Within ttl + grace the placement survives (unreachable ≠ dead) …
+        let _ = gac.advance_recorded(Cycles::new(3_000), &mut rec);
+        assert_eq!(gac.placement(JobId::new(0)), Some(NodeId::new(0)));
+        // … but past it the lease expires and the job re-places, exactly
+        // like an evacuation.
+        let _ = gac.advance_recorded(Cycles::new(4_000), &mut rec);
+        assert_eq!(rec.counters().leases_expired, 1);
+        assert_eq!(gac.placement(JobId::new(0)), Some(NodeId::new(1)));
+        assert_eq!(rec.counters().migrated, 1);
+        assert_eq!(
+            gac.leases().len(),
+            1,
+            "the migrated job holds a fresh lease"
+        );
+    }
+
+    #[test]
+    fn heartbeats_keep_leases_alive_and_freeze_forces_expiry() {
+        let mut gac =
+            GlobalAdmissionController::new(1, LacConfig::default(), ProbePolicy::FirstFit)
+                .with_gac_config(
+                    GacConfig::builder()
+                        .lease_ttl(Cycles::new(1_000))
+                        .dead_timeout(Cycles::new(2_000))
+                        .build(),
+                );
+        let mut rec = RingBufferRecorder::new(128);
+        let (_, d) = gac.submit_recorded(
+            JobId::new(0),
+            ExecutionMode::Strict,
+            ResourceRequest::paper_job(),
+            Cycles::new(100_000),
+            None,
+            &mut rec,
+        );
+        assert!(d.is_accepted());
+        // Renewed every 500 cycles, the lease never nears expiry even far
+        // past its original ttl.
+        for t in (500..=10_000).step_by(500) {
+            gac.heartbeat_all(Cycles::new(t), &mut rec);
+            let _ = gac.advance_recorded(Cycles::new(t), &mut rec);
+        }
+        assert_eq!(rec.counters().leases_expired, 0);
+        assert_eq!(gac.placement(JobId::new(0)), Some(NodeId::new(0)));
+        // Freeze renewals: heartbeats still arrive (health stays Healthy)
+        // but the lease dies ttl + grace later — on a one-node server the
+        // job is revoked, never silently lost.
+        gac.inject(
+            FaultPlan::new()
+                .lease_freeze(Cycles::new(10_000), NodeId::new(0))
+                .build()
+                .injections()[0],
+            &mut rec,
+        );
+        for t in (10_500..=14_000).step_by(500) {
+            gac.heartbeat_all(Cycles::new(t), &mut rec);
+            let _ = gac.advance_recorded(Cycles::new(t), &mut rec);
+        }
+        assert_eq!(rec.counters().leases_expired, 1);
+        assert_eq!(gac.node_health(NodeId::new(0)), NodeHealth::Healthy);
+        assert_eq!(rec.counters().reservations_revoked, 1);
+        assert!(gac.placements().is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trips_membership_and_leases() {
+        let mut gac =
+            GlobalAdmissionController::new(2, LacConfig::default(), ProbePolicy::FirstFit)
+                .with_gac_config(GacConfig::builder().lease_ttl(Cycles::new(5_000)).build());
+        let mut rec = RingBufferRecorder::new(64);
+        let _ = submit_strict(&mut gac, 0);
+        let joined = gac.join_node(Cycles::new(10), &mut rec);
+        let _ = gac.drain_node(NodeId::new(0), Cycles::new(20), &mut rec);
+        let restored = GlobalAdmissionController::restore(gac.snapshot());
+        assert_eq!(restored, gac);
+        assert_eq!(restored.member_state(NodeId::new(0)), MemberState::Left);
+        assert_eq!(restored.member_state(joined), MemberState::Live);
+        assert_eq!(restored.leases(), gac.leases());
+        assert!(!restored.leases().is_empty());
+    }
+
+    #[test]
+    fn injected_join_is_valid_only_for_the_next_index() {
+        let mut gac =
+            GlobalAdmissionController::new(1, LacConfig::default(), ProbePolicy::FirstFit);
+        let mut rec = RingBufferRecorder::new(16);
+        // Joining index 5 on a 1-node table is ignored (append-only).
+        let _ = gac.inject(
+            FaultPlan::new()
+                .node_join(Cycles::ZERO, NodeId::new(5))
+                .build()
+                .injections()[0],
+            &mut rec,
+        );
+        assert_eq!(gac.nodes(), 1);
+        // Joining the next index works.
+        let _ = gac.inject(
+            FaultPlan::new()
+                .node_join(Cycles::ZERO, NodeId::new(1))
+                .build()
+                .injections()[0],
+            &mut rec,
+        );
+        assert_eq!(gac.nodes(), 2);
+        assert_eq!(gac.live_nodes(), 2);
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub mod target;
 pub use epoch::{EpochController, EpochSample, EpochView, KnobUpdate, SloSpec};
 pub use gac::{
     FaultReport, GacConfig, GacConfigBuilder, GacError, GacState, GlobalAdmissionController,
-    NodeHealth, NodeSnapshot, ProbeOutcome, ProbePolicy,
+    MemberState, NodeHealth, NodeSnapshot, ProbeOutcome, ProbePolicy,
 };
 pub use intake::{
     AdmissionIntake, DrainedDecision, IntakeConfig, IntakeConfigBuilder, IntakeOutcome, IntakeStats,

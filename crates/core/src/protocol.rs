@@ -40,7 +40,7 @@
 //!   event-to-event so a run is a deterministic function of
 //!   `(seed, submissions, faults)`.
 
-use crate::gac::{GacConfig, NodeHealth, ProbePolicy};
+use crate::gac::{GacConfig, MemberState, NodeHealth, ProbePolicy};
 use crate::lac::{Decision, Lac, RejectReason, Reservation};
 use crate::request::AdmissionRequest;
 use cmpqos_faults::{Fault, Injection};
@@ -116,15 +116,29 @@ pub enum RequestBody {
         /// The GAC's view of this node's placements.
         placed: Vec<JobId>,
     },
+    /// Per-node liveness beacon; the ack renews every lease the GAC
+    /// holds for this node's placements.
+    Heartbeat,
+    /// Join announce: the opening of a new node's membership handshake
+    /// (the epoch travels in the frame header like every request).
+    Join,
+    /// Drain request: release every reservation so the node can leave
+    /// gracefully. Idempotent — a retransmitted drain releases nothing
+    /// further and re-acks.
+    Drain,
 }
 
 impl RequestBody {
     /// Whether giving up on this conversation can leave the node's table
     /// out of sync with the GAC's (and therefore requires reconciliation
-    /// on the next successful contact).
+    /// on the next successful contact). Summary, heartbeat, and join are
+    /// side-effect free; a drain mutates the node's table.
     #[must_use]
     pub fn needs_reconcile_on_give_up(&self) -> bool {
-        !matches!(self, RequestBody::Summary)
+        !matches!(
+            self,
+            RequestBody::Summary | RequestBody::Heartbeat | RequestBody::Join
+        )
     }
 }
 
@@ -156,6 +170,26 @@ pub enum ReplyBody {
         held: Vec<JobId>,
         /// The node's clock, so the GAC can tell "completed naturally"
         /// from "lost" for placements the node no longer holds.
+        now: Cycles,
+    },
+    /// The heartbeat answer.
+    HeartbeatAck {
+        /// Reservations currently held.
+        held: u32,
+        /// The node's clock.
+        now: Cycles,
+    },
+    /// The join handshake completed on the node side.
+    JoinAck {
+        /// The node's clock.
+        now: Cycles,
+    },
+    /// The drain was applied.
+    DrainAck {
+        /// Reservations the node released (empty on a retransmission).
+        released: Vec<JobId>,
+        /// The node's clock, so the GAC can tell which released
+        /// reservations had already run to completion.
         now: Cycles,
     },
 }
@@ -235,6 +269,21 @@ impl<B: LacBackend> LacEndpoint<B> {
     #[must_use]
     pub fn backend(&self) -> &B {
         &self.backend
+    }
+
+    /// Restarts the endpoint process: every piece of protocol state —
+    /// epoch, expected sequence, buffered frames, reply cache, counters —
+    /// is gone, but the backend (the journal-recovered reservation table)
+    /// survives. The GAC bumps its epoch on restart, so the first frame
+    /// the fresh endpoint sees resynchronizes it.
+    pub fn reset(&mut self) {
+        self.epoch = 0;
+        self.next_seq = 0;
+        self.pending.clear();
+        self.replies.clear();
+        self.processed = 0;
+        self.duplicates = 0;
+        self.stale = 0;
     }
 
     /// Requests executed exactly once.
@@ -349,6 +398,24 @@ impl<B: LacBackend> LacEndpoint<B> {
                     now: self.backend.now(),
                 }
             }
+            RequestBody::Heartbeat => ReplyBody::HeartbeatAck {
+                held: u32::try_from(self.backend.reservations().len()).unwrap_or(u32::MAX),
+                now: self.backend.now(),
+            },
+            RequestBody::Join => ReplyBody::JoinAck {
+                now: self.backend.now(),
+            },
+            RequestBody::Drain => {
+                let released: Vec<JobId> =
+                    self.backend.reservations().iter().map(|r| r.id).collect();
+                for &job in &released {
+                    self.backend.cancel(job);
+                }
+                ReplyBody::DrainAck {
+                    released,
+                    now: self.backend.now(),
+                }
+            }
         };
         NetReply {
             seq: req.seq,
@@ -370,6 +437,16 @@ pub struct NetGacConfig {
     /// How long a parked task (failed revoke/reconcile/ping) waits
     /// before its next try.
     pub retry_interval: Cycles,
+    /// Heartbeat period: every `heartbeat_every` cycles the GAC opens a
+    /// heartbeat conversation with each reachable member. `Cycles::ZERO`
+    /// (the default) disables heartbeats — existing cycle-precise runs
+    /// are unperturbed.
+    pub heartbeat_every: Cycles,
+    /// Lease lifetime granted on each placement and renewed by every
+    /// heartbeat ack; expiry (after a further
+    /// [`GacConfig::dead_timeout`] grace) revokes and re-places the job
+    /// like an evacuation. `Cycles::ZERO` (the default) disables leasing.
+    pub lease_ttl: Cycles,
 }
 
 impl Default for NetGacConfig {
@@ -378,6 +455,8 @@ impl Default for NetGacConfig {
             gac: GacConfig::default(),
             rto: Cycles::new(100),
             retry_interval: Cycles::new(500),
+            heartbeat_every: Cycles::ZERO,
+            lease_ttl: Cycles::ZERO,
         }
     }
 }
@@ -386,6 +465,7 @@ impl Default for NetGacConfig {
 #[derive(Debug, Clone)]
 struct NetNode {
     health: NodeHealth,
+    member: MemberState,
     consecutive_losses: u32,
     last_heard: Cycles,
     epoch: u64,
@@ -393,12 +473,18 @@ struct NetNode {
     needs_reconcile: bool,
     reconcile_queued: bool,
     ping_queued: bool,
+    heartbeat_queued: bool,
+    lease_frozen: bool,
+    /// Readmits still in flight for a graceful drain; the node leaves
+    /// only when this reaches zero.
+    drain_pending: u32,
 }
 
 impl NetNode {
     fn new() -> Self {
         Self {
             health: NodeHealth::Healthy,
+            member: MemberState::Live,
             consecutive_losses: 0,
             last_heard: Cycles::ZERO,
             epoch: 0,
@@ -406,6 +492,9 @@ impl NetNode {
             needs_reconcile: false,
             reconcile_queued: false,
             ping_queued: false,
+            heartbeat_queued: false,
+            lease_frozen: false,
+            drain_pending: 0,
         }
     }
 }
@@ -436,6 +525,15 @@ enum Task {
         node: NodeId,
     },
     Ping {
+        node: NodeId,
+    },
+    Heartbeat {
+        node: NodeId,
+    },
+    Join {
+        node: NodeId,
+    },
+    Drain {
         node: NodeId,
     },
 }
@@ -489,6 +587,8 @@ pub struct NetGac {
     parked: Vec<(Cycles, u64, Task)>,
     park_counter: u64,
     current: Option<Conversation>,
+    leases: BTreeMap<JobId, Cycles>,
+    next_heartbeat: Cycles,
     stats: NetGacStats,
     now: Cycles,
 }
@@ -509,6 +609,8 @@ impl NetGac {
             parked: Vec::new(),
             park_counter: 0,
             current: None,
+            leases: BTreeMap::new(),
+            next_heartbeat: config.heartbeat_every,
             stats: NetGacStats::default(),
             now: Cycles::ZERO,
         }
@@ -544,6 +646,99 @@ impl NetGac {
     #[must_use]
     pub fn node_health(&self, node: NodeId) -> NodeHealth {
         self.nodes[node.as_usize()].health
+    }
+
+    /// One node's membership lifecycle state.
+    #[must_use]
+    pub fn member_state(&self, node: NodeId) -> MemberState {
+        self.nodes[node.as_usize()].member
+    }
+
+    /// The lease table: each placed job's current expiry cycle (empty
+    /// while leasing is disabled).
+    #[must_use]
+    pub fn leases(&self) -> &BTreeMap<JobId, Cycles> {
+        &self.leases
+    }
+
+    /// Stops renewing `node`'s leases (the `LeaseFreeze` fault) until the
+    /// node restarts. Its heartbeats still count as proof of life, so the
+    /// failure detector sees nothing wrong — only the leases notice.
+    pub fn freeze_leases(&mut self, node: NodeId) {
+        if node.as_usize() < self.nodes.len() {
+            self.nodes[node.as_usize()].lease_frozen = true;
+        }
+    }
+
+    /// Adds a brand-new node to the membership table as `Joining` and
+    /// queues its join-announce handshake; the node enters `Live` (and
+    /// becomes placeable) when the ack arrives. Returns the node's id —
+    /// the next unused index, since membership is append-only.
+    pub fn join_node(&mut self, now: Cycles) -> NodeId {
+        self.now = self.now.max(now);
+        let node = NodeId::new(u32::try_from(self.nodes.len()).expect("node count fits u32"));
+        let mut n = NetNode::new();
+        n.member = MemberState::Joining;
+        n.last_heard = self.now;
+        self.nodes.push(n);
+        self.tasks.push_back(Task::Join { node });
+        node
+    }
+
+    /// Begins a graceful drain of `node`: it takes no further placements,
+    /// and once the drain-request/ack releases its reservations they are
+    /// re-placed on survivors; the node transitions `Left` only when the
+    /// last of those readmits resolves. A no-op unless the node is `Live`.
+    pub fn drain_node(&mut self, node: NodeId, now: Cycles) {
+        self.now = self.now.max(now);
+        let i = node.as_usize();
+        if i >= self.nodes.len()
+            || self.nodes[i].member != MemberState::Live
+            || self.nodes[i].health == NodeHealth::Dead
+        {
+            // A dead node cannot ack a drain-request; its placements are
+            // evacuation's business, not a graceful departure's.
+            return;
+        }
+        self.nodes[i].member = MemberState::Draining;
+        self.tasks.push_back(Task::Drain { node });
+    }
+
+    /// Restarts `node`'s process: the GAC bumps the node's epoch (so the
+    /// freshly-reset endpoint resynchronizes on first contact, and every
+    /// straggler from before the restart is stale), resets its link
+    /// state, and sends the node back through reconciliation as
+    /// `Joining` — it re-enters `Live` only after its journal-recovered
+    /// table has been diffed against the GAC's placement view. A no-op on
+    /// a departed node.
+    pub fn restart_node(&mut self, node: NodeId, now: Cycles, recorder: &mut dyn Recorder) {
+        self.now = self.now.max(now);
+        let i = node.as_usize();
+        if i >= self.nodes.len() || self.nodes[i].member == MemberState::Left {
+            return;
+        }
+        // Any open conversation with the node died with its old process.
+        if let Some(conv) = self.current.take() {
+            if conv.node == node {
+                self.fail_task(conv.task, node, recorder);
+            } else {
+                self.current = Some(conv);
+            }
+        }
+        self.nodes[i].epoch += 1;
+        self.nodes[i].consecutive_losses = 0;
+        self.nodes[i].last_heard = self.now;
+        self.nodes[i].lease_frozen = false;
+        self.nodes[i].ping_queued = false;
+        self.nodes[i].heartbeat_queued = false;
+        self.nodes[i].drain_pending = 0;
+        self.set_health(i, NodeHealth::Healthy, recorder);
+        self.nodes[i].member = MemberState::Joining;
+        self.nodes[i].needs_reconcile = true;
+        if !self.nodes[i].reconcile_queued {
+            self.nodes[i].reconcile_queued = true;
+            self.tasks.push_back(Task::Reconcile { node });
+        }
     }
 
     /// Number of nodes under this controller.
@@ -599,19 +794,32 @@ impl NetGac {
     }
 
     /// The next cycle at which [`NetGac::drive`] has work to do
-    /// (retransmission timeout or parked-task wake), if any.
+    /// (retransmission timeout, parked-task wake, or heartbeat round),
+    /// if any.
     #[must_use]
     pub fn next_wake(&self) -> Option<Cycles> {
         let timeout = self.current.as_ref().map(|c| c.timeout_at);
         let parked = self.parked.iter().map(|(due, _, _)| *due).min();
-        match (timeout, parked) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        let heartbeat = (self.config.heartbeat_every > Cycles::ZERO).then_some(self.next_heartbeat);
+        // `expire_leases` fires on strict `now > until + grace`, hence +1.
+        let lease = (self.config.lease_ttl > Cycles::ZERO)
+            .then(|| {
+                let grace = self.config.gac.dead_timeout;
+                self.leases
+                    .values()
+                    .map(|&until| until + grace + Cycles::new(1))
+                    .min()
+            })
+            .flatten();
+        [timeout, parked, heartbeat, lease]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
     /// Advances the GAC clock, retiring placements whose reservation
-    /// window has closed (their jobs completed on their nodes).
+    /// window has closed (their jobs completed on their nodes) and
+    /// expiring leases that have gone unrenewed past the grace window.
     pub fn advance(&mut self, now: Cycles, recorder: &mut dyn Recorder) {
         self.now = self.now.max(now);
         let done: Vec<JobId> = self
@@ -622,6 +830,7 @@ impl NetGac {
             .collect();
         for job in done {
             let (_, r) = self.placements.remove(&job).expect("collected above");
+            self.leases.remove(&job);
             self.completed.insert(job);
             if recorder.enabled() {
                 recorder.record(
@@ -632,6 +841,61 @@ impl NetGac {
                     },
                 );
             }
+        }
+        self.expire_leases(recorder);
+    }
+
+    /// Revokes and re-places every job whose lease ran out `lease_ttl +
+    /// dead_timeout` ago — the same unreachable-vs-dead hysteresis as the
+    /// health machine, so a short partition stalls renewals without
+    /// losing the placement. Deliberately *not* gated on node silence:
+    /// a lease-frozen node answers every heartbeat yet its leases still
+    /// die, which is exactly what makes the `LeaseFreeze` fault visible.
+    fn expire_leases(&mut self, recorder: &mut dyn Recorder) {
+        if self.config.lease_ttl == Cycles::ZERO {
+            return;
+        }
+        let grace = self.config.gac.dead_timeout;
+        let expired: Vec<JobId> = self
+            .leases
+            .iter()
+            .filter(|&(_, &until)| self.now > until + grace)
+            .map(|(&job, _)| job)
+            .collect();
+        for job in expired {
+            self.leases.remove(&job);
+            let Some((node, r)) = self.placements.remove(&job) else {
+                continue;
+            };
+            if r.end <= self.now {
+                // The reservation ran out before the grace did; the job
+                // completed (retirement just hadn't swept yet). Completed
+                // XOR revoked: completion wins.
+                self.completed.insert(job);
+                if recorder.enabled() {
+                    recorder.record(
+                        r.end,
+                        Event::Completed {
+                            job,
+                            met_deadline: r.deadline.is_none_or(|d| r.end <= d),
+                        },
+                    );
+                }
+                continue;
+            }
+            if recorder.enabled() {
+                recorder.record(self.now, Event::LeaseExpired { job, node });
+            }
+            // The node may still hold the reservation (we only know its
+            // renewals stopped); the next successful contact revokes the
+            // orphan, exactly like any abandoned conversation.
+            self.flag_reconcile(node);
+            self.tasks.push_back(Task::Readmit {
+                r,
+                from: node,
+                at: self.now,
+                tried: Vec::new(),
+            });
         }
     }
 
@@ -675,6 +939,13 @@ impl NetGac {
     ) -> bool {
         self.now = self.now.max(now);
         let mut sent = false;
+        self.expire_leases(recorder);
+        if self.config.heartbeat_every > Cycles::ZERO {
+            while self.now >= self.next_heartbeat {
+                self.queue_heartbeats();
+                self.next_heartbeat += self.config.heartbeat_every;
+            }
+        }
         self.unpark();
         if let Some(conv) = self.current.take() {
             if self.now >= conv.timeout_at {
@@ -714,10 +985,33 @@ impl NetGac {
         self.park_counter += 1;
     }
 
-    /// Healthy nodes in placement-probe order, per the policy.
+    /// Opens one heartbeat round: every reachable member (Live or
+    /// Draining, not Dead) gets a beacon queued, at most one in flight
+    /// per node.
+    fn queue_heartbeats(&mut self) {
+        for i in 0..self.nodes.len() {
+            let n = &self.nodes[i];
+            if !matches!(n.member, MemberState::Live | MemberState::Draining)
+                || n.health == NodeHealth::Dead
+                || n.heartbeat_queued
+            {
+                continue;
+            }
+            self.nodes[i].heartbeat_queued = true;
+            self.tasks.push_back(Task::Heartbeat {
+                node: NodeId::new(u32::try_from(i).expect("node count fits u32")),
+            });
+        }
+    }
+
+    /// Healthy Live members in placement-probe order, per the policy
+    /// (Joining, Draining, and Left nodes take no new placements).
     fn probe_order(&self) -> Vec<NodeId> {
         let mut order: Vec<usize> = (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].health == NodeHealth::Healthy)
+            .filter(|&i| {
+                self.nodes[i].member == MemberState::Live
+                    && self.nodes[i].health == NodeHealth::Healthy
+            })
             .collect();
         if self.policy == ProbePolicy::LeastLoaded {
             let mut load = vec![0usize; self.nodes.len()];
@@ -791,6 +1085,7 @@ impl NetGac {
                     )),
                     None => {
                         self.revoked.insert(r.id);
+                        self.leases.remove(&r.id);
                         if recorder.enabled() {
                             recorder.record(
                                 self.now,
@@ -801,6 +1096,7 @@ impl NetGac {
                                 },
                             );
                         }
+                        self.drain_readmit_resolved(from, recorder);
                         None
                     }
                 }
@@ -849,6 +1145,47 @@ impl NetGac {
                 }
                 let at = self.now;
                 Some(self.send_new(node, RequestBody::Summary, at, Task::Ping { node }, net))
+            }
+            Task::Heartbeat { node } => {
+                let i = node.as_usize();
+                if !matches!(
+                    self.nodes[i].member,
+                    MemberState::Live | MemberState::Draining
+                ) || self.nodes[i].health == NodeHealth::Dead
+                {
+                    self.nodes[i].heartbeat_queued = false;
+                    return None;
+                }
+                let at = self.now;
+                Some(self.send_new(
+                    node,
+                    RequestBody::Heartbeat,
+                    at,
+                    Task::Heartbeat { node },
+                    net,
+                ))
+            }
+            Task::Join { node } => {
+                let i = node.as_usize();
+                if self.nodes[i].member != MemberState::Joining
+                    || self.nodes[i].health == NodeHealth::Dead
+                {
+                    return None;
+                }
+                let at = self.now;
+                Some(self.send_new(node, RequestBody::Join, at, Task::Join { node }, net))
+            }
+            Task::Drain { node } => {
+                let i = node.as_usize();
+                if self.nodes[i].member != MemberState::Draining
+                    || self.nodes[i].health == NodeHealth::Dead
+                {
+                    // Death-while-draining: evacuation already owns the
+                    // placements (and transitioned the member Left).
+                    return None;
+                }
+                let at = self.now;
+                Some(self.send_new(node, RequestBody::Drain, at, Task::Drain { node }, net))
             }
         }
     }
@@ -972,7 +1309,9 @@ impl NetGac {
                 tried.push(node);
                 self.tasks.push_front(Task::Readmit { r, from, at, tried });
             }
-            task @ Task::Revoke { .. } => self.park(task),
+            task @ (Task::Revoke { .. } | Task::Drain { .. } | Task::Join { .. }) => {
+                self.park(task)
+            }
             Task::Reconcile { node } => {
                 self.nodes[node.as_usize()].reconcile_queued = false;
                 self.flag_reconcile(node);
@@ -980,10 +1319,49 @@ impl NetGac {
             Task::Ping { node } => {
                 self.nodes[node.as_usize()].ping_queued = false;
                 self.flag_ping(node);
+            }
+            Task::Heartbeat { node } => {
+                // The next round re-beacons; the losses were already
+                // counted by the failure detector.
+                self.nodes[node.as_usize()].heartbeat_queued = false;
             } // Recorder is threaded for symmetry with open(); nothing to
               // record on the give-up itself beyond the probe losses above.
         }
         let _ = recorder;
+    }
+
+    /// Grants (or renews) a freshly-placed job's lease.
+    fn grant_lease(&mut self, job: JobId) {
+        if self.config.lease_ttl > Cycles::ZERO {
+            self.leases.insert(job, self.now + self.config.lease_ttl);
+        }
+    }
+
+    /// The last step of a graceful drain: every reservation has moved off
+    /// (or completed), so the node departs.
+    fn finish_drain(&mut self, node: NodeId, recorder: &mut dyn Recorder) {
+        let i = node.as_usize();
+        if self.nodes[i].member != MemberState::Draining {
+            return;
+        }
+        self.nodes[i].member = MemberState::Left;
+        self.nodes[i].drain_pending = 0;
+        self.nodes[i].heartbeat_queued = false;
+        if recorder.enabled() {
+            recorder.record(self.now, Event::NodeDrained { node });
+        }
+    }
+
+    /// One of a draining node's readmits reached its terminal state
+    /// (migrated or revoked); the node leaves once the last one does.
+    fn drain_readmit_resolved(&mut self, from: NodeId, recorder: &mut dyn Recorder) {
+        let i = from.as_usize();
+        if self.nodes[i].member == MemberState::Draining && self.nodes[i].drain_pending > 0 {
+            self.nodes[i].drain_pending -= 1;
+            if self.nodes[i].drain_pending == 0 {
+                self.finish_drain(from, recorder);
+            }
+        }
     }
 
     fn flag_reconcile(&mut self, node: NodeId) {
@@ -1063,6 +1441,16 @@ impl NetGac {
         self.nodes[i].needs_reconcile = false;
         self.nodes[i].reconcile_queued = false;
         self.nodes[i].ping_queued = false;
+        self.nodes[i].heartbeat_queued = false;
+        // A node that dies mid-drain departs ungracefully: evacuation
+        // owns every placement from here, so the drain is over.
+        if self.nodes[i].member == MemberState::Draining {
+            self.nodes[i].member = MemberState::Left;
+            self.nodes[i].drain_pending = 0;
+            if recorder.enabled() {
+                recorder.record(self.now, Event::NodeDrained { node });
+            }
+        }
         // A conversation with the dead node can never complete.
         if let Some(conv) = self.current.take() {
             if conv.node == node {
@@ -1079,6 +1467,7 @@ impl NetGac {
             .collect();
         for job in stranded {
             let (_, r) = self.placements.remove(&job).expect("collected above");
+            self.leases.remove(&job);
             self.tasks.push_back(Task::Readmit {
                 r,
                 from: node,
@@ -1106,6 +1495,7 @@ impl NetGac {
                         deadline: req.deadline,
                     };
                     self.placements.insert(req.id, (conv.node, r));
+                    self.grant_lease(req.id);
                     self.decisions.insert(req.id, (Some(conv.node), *d));
                     if recorder.enabled() {
                         recorder.record(
@@ -1143,6 +1533,7 @@ impl NetGac {
                         ..r
                     };
                     self.placements.insert(r.id, (conv.node, moved));
+                    self.grant_lease(r.id);
                     if recorder.enabled() {
                         recorder.record(
                             self.now,
@@ -1153,6 +1544,7 @@ impl NetGac {
                             },
                         );
                     }
+                    self.drain_readmit_resolved(from, recorder);
                 }
                 Decision::Rejected(_) => {
                     tried.push(conv.node);
@@ -1165,6 +1557,7 @@ impl NetGac {
                 // revoked, never both.
                 if !self.completed.contains(&job) {
                     self.placements.remove(&job);
+                    self.leases.remove(&job);
                     self.revoked.insert(job);
                     if recorder.enabled() {
                         recorder.record(
@@ -1200,6 +1593,7 @@ impl NetGac {
                         continue;
                     }
                     let (_, r) = self.placements.remove(&job).expect("iterated above");
+                    self.leases.remove(&job);
                     if r.end <= *lac_now {
                         // The node ran it to completion while we were out
                         // of touch.
@@ -1236,9 +1630,108 @@ impl NetGac {
                         },
                     );
                 }
+                // A restarted node re-enters Live only now, its
+                // journal-recovered table verified against ours; its
+                // surviving leases restart their clock — it just proved
+                // it holds the reservations.
+                if self.nodes[i].member == MemberState::Joining {
+                    self.nodes[i].member = MemberState::Live;
+                    if recorder.enabled() {
+                        recorder.record(self.now, Event::NodeJoined { node });
+                    }
+                }
+                if self.config.lease_ttl > Cycles::ZERO && !self.nodes[i].lease_frozen {
+                    let until = self.now + self.config.lease_ttl;
+                    for (&job, lease) in &mut self.leases {
+                        if self.placements.get(&job).is_some_and(|(n, _)| *n == node) {
+                            *lease = until;
+                        }
+                    }
+                }
             }
             (Task::Ping { node }, ReplyBody::Summary { .. }) => {
                 self.nodes[node.as_usize()].ping_queued = false;
+            }
+            (Task::Heartbeat { node }, ReplyBody::HeartbeatAck { .. }) => {
+                let i = node.as_usize();
+                self.nodes[i].heartbeat_queued = false;
+                if self.config.lease_ttl > Cycles::ZERO && !self.nodes[i].lease_frozen {
+                    let until = self.now + self.config.lease_ttl;
+                    let mut renewed = 0u64;
+                    for (&job, lease) in &mut self.leases {
+                        if self.placements.get(&job).is_some_and(|(n, _)| *n == node) {
+                            *lease = until;
+                            renewed += 1;
+                        }
+                    }
+                    if renewed > 0 && recorder.enabled() {
+                        recorder.record(
+                            self.now,
+                            Event::LeaseRenewed {
+                                node,
+                                leases: renewed,
+                            },
+                        );
+                    }
+                }
+            }
+            (Task::Join { node }, ReplyBody::JoinAck { .. }) => {
+                let i = node.as_usize();
+                if self.nodes[i].member == MemberState::Joining {
+                    self.nodes[i].member = MemberState::Live;
+                    if recorder.enabled() {
+                        recorder.record(self.now, Event::NodeJoined { node });
+                    }
+                }
+            }
+            (
+                Task::Drain { node },
+                ReplyBody::DrainAck {
+                    now: lac_now,
+                    released: _,
+                },
+            ) => {
+                // The GAC trusts its own placement view, not the released
+                // list: a retransmitted drain re-acks with an empty list,
+                // and the set the node *thinks* it released can predate a
+                // migration the GAC already performed.
+                let i = node.as_usize();
+                let mine: Vec<JobId> = self
+                    .placements
+                    .iter()
+                    .filter(|(_, (n, _))| *n == node)
+                    .map(|(&job, _)| job)
+                    .collect();
+                let mut pending = 0u32;
+                for job in mine {
+                    let (_, r) = self.placements.remove(&job).expect("iterated above");
+                    self.leases.remove(&job);
+                    if r.end <= *lac_now {
+                        self.completed.insert(job);
+                        if recorder.enabled() {
+                            recorder.record(
+                                r.end,
+                                Event::Completed {
+                                    job,
+                                    met_deadline: r.deadline.is_none_or(|d| r.end <= d),
+                                },
+                            );
+                        }
+                    } else {
+                        pending += 1;
+                        self.tasks.push_back(Task::Readmit {
+                            r,
+                            from: node,
+                            at: self.now,
+                            tried: Vec::new(),
+                        });
+                    }
+                }
+                if pending == 0 {
+                    self.finish_drain(node, recorder);
+                } else {
+                    self.nodes[i].drain_pending = pending;
+                }
             }
             (task, _) => {
                 // A well-formed endpoint never answers a request with the
@@ -1319,6 +1812,40 @@ impl<B: LacBackend> Cluster<B> {
         self.now
     }
 
+    /// Admits a new node to the cluster. The endpoint is live on the
+    /// network immediately (addressing is by index, so no registration is
+    /// needed), but the GAC only places work on it after the join
+    /// handshake completes.
+    pub fn join_node(&mut self, backend: B, now: Cycles) -> NodeId {
+        self.now = self.now.max(now);
+        self.endpoints.push(LacEndpoint::new(backend));
+        self.gac.join_node(self.now)
+    }
+
+    /// Restarts a node: its endpoint loses all protocol state (epoch,
+    /// sequence numbers, dedup caches — the backend's reservations
+    /// survive, as journal recovery restores them), and the GAC bumps its
+    /// epoch and re-runs reconciliation before the node re-enters Live.
+    pub fn restart_node(&mut self, node: NodeId, now: Cycles, recorder: &mut dyn Recorder) {
+        if node.as_usize() >= self.endpoints.len() {
+            return;
+        }
+        self.now = self.now.max(now);
+        self.endpoints[node.as_usize()].reset();
+        self.gac.restart_node(node, self.now, recorder);
+    }
+
+    /// Starts a graceful drain of `node`. New placements stop
+    /// immediately; the node transitions to Left once every reservation
+    /// has migrated or completed.
+    pub fn drain_node(&mut self, node: NodeId, now: Cycles) {
+        if node.as_usize() >= self.endpoints.len() {
+            return;
+        }
+        self.now = self.now.max(now);
+        self.gac.drain_node(node, self.now);
+    }
+
     /// Applies one fault injection to the control plane. Link faults act
     /// on the network (the GAC cannot observe them directly — it only
     /// sees its probes go unanswered); node faults kill the node;
@@ -1366,10 +1893,25 @@ impl<B: LacBackend> Cluster<B> {
             Fault::NodeFault { .. } => {
                 self.gac.kill_node(node, at, recorder);
             }
+            Fault::NodeRestart { .. } => {
+                self.restart_node(node, at, recorder);
+            }
+            Fault::NodeDrain { .. } => {
+                self.gac.drain_node(node, at);
+            }
+            Fault::LeaseFreeze { .. } => {
+                self.gac.freeze_leases(node);
+            }
             // Way/core faults are node-local capacity events; a controller
             // crash is the recovery harness's concern. Neither is a
-            // control-plane message fault.
-            Fault::WayFault { .. } | Fault::CoreFault { .. } | Fault::ControllerCrash { .. } => {}
+            // control-plane message fault. A join needs a backend for the
+            // new endpoint, which a generic injection cannot supply — use
+            // [`Cluster::join_node`]. (The bounds check above already
+            // returns early for joins, since they name the next index.)
+            Fault::WayFault { .. }
+            | Fault::CoreFault { .. }
+            | Fault::ControllerCrash { .. }
+            | Fault::NodeJoin { .. } => {}
         }
     }
 
@@ -1484,6 +2026,20 @@ mod tests {
             Cycles::new(100_000),
         )
         .mode(ExecutionMode::Strict)
+        .build()
+    }
+
+    /// Like [`long_request`], but with a deadline tight enough that the
+    /// reservation must start (nearly) immediately — jobs cannot dodge a
+    /// full node by queueing behind its current reservations in time.
+    fn tight_request(id: u32, submit_at: Cycles) -> AdmissionRequest {
+        AdmissionRequest::builder(
+            JobId::new(id),
+            ResourceRequest::paper_job(),
+            Cycles::new(100_000),
+        )
+        .mode(ExecutionMode::Strict)
+        .deadline(submit_at + Cycles::new(101_000))
         .build()
     }
 
@@ -1741,6 +2297,179 @@ mod tests {
             "the reservation migrated over the wire"
         );
         assert_eq!(rec.counters().migrated, 1);
+    }
+
+    #[test]
+    fn join_handshake_brings_a_node_live_and_placeable() {
+        let mut cluster = quiet_cluster(1, 13, LinkConfig::default());
+        let mut rec = RingBufferRecorder::new(128);
+        // Fill node 0 (2 x 7 = 14 of 16 ways; a third concurrent paper
+        // job cannot fit, and the tight deadlines forbid queueing in time).
+        cluster
+            .gac_mut()
+            .submit(tight_request(0, Cycles::ZERO), Cycles::ZERO, &mut rec);
+        cluster
+            .gac_mut()
+            .submit(tight_request(1, Cycles::ZERO), Cycles::ZERO, &mut rec);
+        cluster.run_until(Cycles::new(1_000), &mut rec);
+        assert_eq!(cluster.gac().placements().len(), 2);
+        let joined = cluster.join_node(Lac::new(LacConfig::default()), Cycles::new(1_000));
+        assert_eq!(joined, NodeId::new(1));
+        assert_eq!(cluster.gac().member_state(joined), MemberState::Joining);
+        // The join-announce handshake completes over the wire.
+        cluster.run_until(Cycles::new(2_000), &mut rec);
+        assert_eq!(cluster.gac().member_state(joined), MemberState::Live);
+        assert_eq!(rec.counters().nodes_joined, 1);
+        // The spill that had nowhere to go now lands on the joined node.
+        cluster.gac_mut().submit(
+            tight_request(2, Cycles::new(2_000)),
+            Cycles::new(2_000),
+            &mut rec,
+        );
+        cluster.run_until(Cycles::new(3_000), &mut rec);
+        assert_eq!(
+            cluster.gac().placements().get(&JobId::new(2)).map(|p| p.0),
+            Some(joined)
+        );
+        assert!(cluster.gac().idle());
+    }
+
+    #[test]
+    fn graceful_drain_migrates_over_the_wire_then_departs() {
+        let mut cluster = quiet_cluster(2, 17, LinkConfig::default());
+        let mut rec = RingBufferRecorder::new(256);
+        cluster
+            .gac_mut()
+            .submit(long_request(0), Cycles::ZERO, &mut rec);
+        cluster
+            .gac_mut()
+            .submit(long_request(1), Cycles::ZERO, &mut rec);
+        cluster.run_until(Cycles::new(1_000), &mut rec);
+        assert_eq!(
+            cluster.gac().placements().get(&JobId::new(0)).map(|p| p.0),
+            Some(NodeId::new(0))
+        );
+        cluster.drain_node(NodeId::new(0), Cycles::new(1_000));
+        assert_eq!(
+            cluster.gac().member_state(NodeId::new(0)),
+            MemberState::Draining
+        );
+        cluster.run_until(Cycles::new(10_000), &mut rec);
+        // Both reservations moved to node 1 over the wire; only then did
+        // the drained node depart. No admitted job was lost.
+        assert_eq!(
+            cluster.gac().member_state(NodeId::new(0)),
+            MemberState::Left
+        );
+        assert_eq!(rec.counters().nodes_drained, 1);
+        for (job, (node, _)) in cluster.gac().placements() {
+            assert_eq!(*node, NodeId::new(1), "{job:?} moved off the drained node");
+        }
+        assert_eq!(cluster.gac().placements().len(), 2);
+        assert!(cluster
+            .endpoint(NodeId::new(0))
+            .backend()
+            .reservations()
+            .is_empty());
+        assert_eq!(
+            cluster
+                .endpoint(NodeId::new(1))
+                .backend()
+                .reservations()
+                .len(),
+            2
+        );
+        // A drained node is out of the placement rotation.
+        cluster
+            .gac_mut()
+            .submit(long_request(2), Cycles::new(10_000), &mut rec);
+        cluster.run_until(Cycles::new(11_000), &mut rec);
+        assert_eq!(
+            cluster.gac().placements().get(&JobId::new(2)).map(|p| p.0),
+            Some(NodeId::new(1))
+        );
+        assert!(cluster.gac().idle());
+    }
+
+    #[test]
+    fn restart_resets_the_endpoint_and_reconciles_before_reentering_live() {
+        let mut cluster = quiet_cluster(1, 19, LinkConfig::default());
+        let mut rec = RingBufferRecorder::new(256);
+        cluster
+            .gac_mut()
+            .submit(long_request(0), Cycles::ZERO, &mut rec);
+        cluster.run_until(Cycles::new(1_000), &mut rec);
+        assert!(cluster.endpoint(NodeId::new(0)).processed() > 0);
+        // The node restarts: protocol state is wiped (the journal-recovered
+        // backend keeps its reservations), and the GAC must re-handshake at
+        // a higher epoch — without the bump, the fresh endpoint would
+        // buffer the next mid-stream sequence number forever.
+        cluster.restart_node(NodeId::new(0), Cycles::new(1_000), &mut rec);
+        assert_eq!(cluster.endpoint(NodeId::new(0)).processed(), 0);
+        assert_eq!(
+            cluster.gac().member_state(NodeId::new(0)),
+            MemberState::Joining
+        );
+        cluster.run_until(Cycles::new(10_000), &mut rec);
+        // Reconciliation compared the recovered table against the GAC's
+        // placement view, found them in agreement, and re-admitted the node.
+        assert_eq!(
+            cluster.gac().member_state(NodeId::new(0)),
+            MemberState::Live
+        );
+        assert_eq!(cluster.gac().pending_reconciles(), 0);
+        assert_eq!(
+            cluster.gac().placements().get(&JobId::new(0)).map(|p| p.0),
+            Some(NodeId::new(0)),
+            "the placement survived the restart"
+        );
+        assert!(rec.counters().reconciled >= 1);
+        assert_eq!(rec.counters().nodes_joined, 1);
+        assert!(cluster.gac().idle());
+    }
+
+    #[test]
+    fn heartbeats_renew_leases_and_a_freeze_expires_them() {
+        let config = NetGacConfig {
+            gac: GacConfig::builder()
+                .dead_timeout(Cycles::new(2_000))
+                .build(),
+            heartbeat_every: Cycles::new(500),
+            lease_ttl: Cycles::new(2_000),
+            ..NetGacConfig::default()
+        };
+        let mut cluster = Cluster::new(
+            2,
+            LacConfig::default(),
+            23,
+            LinkConfig::default(),
+            config,
+            ProbePolicy::FirstFit,
+        );
+        let mut rec = RingBufferRecorder::new(512);
+        cluster
+            .gac_mut()
+            .submit(long_request(0), Cycles::ZERO, &mut rec);
+        cluster.run_until(Cycles::new(20_000), &mut rec);
+        // Heartbeat acks kept renewing the lease well past its TTL.
+        assert!(rec.counters().leases_renewed > 0);
+        assert_eq!(rec.counters().leases_expired, 0);
+        assert!(cluster.gac().leases().contains_key(&JobId::new(0)));
+        // Freeze renewals on the placed node: acks still arrive (the node
+        // stays Healthy — this is not a liveness failure), but the lease
+        // runs out TTL + grace later and the job is revoked and re-placed.
+        cluster.gac_mut().freeze_leases(NodeId::new(0));
+        cluster.run_until(Cycles::new(40_000), &mut rec);
+        assert!(rec.counters().leases_expired >= 1);
+        assert_eq!(
+            cluster.gac().node_health(NodeId::new(0)),
+            NodeHealth::Healthy
+        );
+        assert_eq!(
+            cluster.gac().placements().get(&JobId::new(0)).map(|p| p.0),
+            Some(NodeId::new(1)),
+            "the expired lease's job migrated"
+        );
     }
 
     #[test]

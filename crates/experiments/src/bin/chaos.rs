@@ -22,6 +22,15 @@
 //! `--inject drop-reconcile` sabotages the rejoin reconciliation so the
 //! run must exit nonzero.
 //!
+//! `--churn` switches to the elastic-membership cell: a 100+-node
+//! cluster over the same lossy network, churned by a seeded schedule of
+//! joins, graceful drains and restarts (`--churn-events N`) plus hard
+//! kills (`--kills N`), with every placement lease-backed by heartbeats.
+//! `--seeds a,b,c` replays it across seeds on the engine pool (`--jobs
+//! N` wide), byte-identically at any width — CI diffs exactly that —
+//! and `--inject lease-freeze` suppresses lease renewals on two nodes
+//! so the zero-expiry assert must fire.
+//!
 //! ```text
 //! cargo run --release -p cmpqos-experiments --bin chaos -- --seed 1 --events chaos.jsonl
 //! cargo run --release -p cmpqos-experiments --bin chaos -- --seeds 1,2,3,4 --jobs 4
@@ -29,6 +38,8 @@
 //! cargo run --release -p cmpqos-experiments --bin chaos -- --net --nodes 100 \
 //!     --partition 10:40@200000 --heal @350000
 //! cargo run --release -p cmpqos-experiments --bin chaos -- --net --inject drop-reconcile
+//! cargo run --release -p cmpqos-experiments --bin chaos -- --churn --nodes 104 --kills 2
+//! cargo run --release -p cmpqos-experiments --bin chaos -- --churn --inject lease-freeze
 //! ```
 use cmpqos_experiments::chaos;
 use cmpqos_obs::Timeline;
@@ -140,8 +151,77 @@ fn parse_net_params(args: &[String]) -> chaos::NetChaosParams {
     p
 }
 
+/// Builds [`chaos::ChurnParams`] from the `--churn` flag family
+/// (unknown flags are ignored, like the other parsers).
+fn parse_churn_params(args: &[String]) -> chaos::ChurnParams {
+    let mut p = chaos::ChurnParams::standard();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |key: &str| -> Option<String> {
+            if arg == key {
+                it.next().cloned()
+            } else {
+                arg.strip_prefix(key)
+                    .and_then(|rest| rest.strip_prefix('='))
+                    .map(str::to_string)
+            }
+        };
+        if let Some(v) = grab("--nodes") {
+            if let Ok(n) = v.parse() {
+                p.nodes = n;
+            }
+        } else if let Some(v) = grab("--horizon") {
+            if let Ok(n) = v.parse() {
+                p.horizon = Cycles::new(n);
+            }
+        } else if let Some(v) = grab("--seed") {
+            if let Ok(n) = v.parse() {
+                p.seed = n;
+            }
+        } else if let Some(v) = grab("--churn-events") {
+            if let Ok(n) = v.parse() {
+                p.churn_events = n;
+            }
+        } else if let Some(v) = grab("--kills") {
+            if let Ok(n) = v.parse() {
+                p.kills = n;
+            }
+        } else if let Some(v) = grab("--inject") {
+            if v.trim() == "lease-freeze" {
+                p.lease_freeze = true;
+            }
+        } else if arg == "--job-count" {
+            // `--jobs` is the engine pool width for every cell, so the
+            // churn stream length gets its own flag.
+            if let Some(n) = it.next().and_then(|v| v.parse().ok()) {
+                p.jobs = n;
+            }
+        } else if let Some(n) = arg
+            .strip_prefix("--job-count=")
+            .and_then(|v| v.parse().ok())
+        {
+            p.jobs = n;
+        }
+    }
+    p
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--churn") {
+        let params = parse_churn_params(&args);
+        let seeds = parse_seeds(&args).unwrap_or_else(|| vec![params.seed]);
+        let jobs = cmpqos_experiments::ExperimentParams::from_env()
+            .with_args(&args)
+            .jobs;
+        let outcomes = chaos::run_churn_many(&params, &seeds, jobs);
+        for (outcome, &seed) in outcomes.iter().zip(&seeds) {
+            let mut p = params.clone();
+            p.seed = seed;
+            chaos::print_churn(outcome, &p);
+        }
+        return;
+    }
     if args.iter().any(|a| a == "--net") {
         let p = parse_net_params(&args);
         let outcome = chaos::run_net(&p);

@@ -17,8 +17,8 @@
 
 use cmpqos_core::gac::FaultReport;
 use cmpqos_core::{
-    AdmissionRequest, Cluster, Decision, ExecutionMode, GlobalAdmissionController, LacConfig,
-    NetGacConfig, NetGacStats, NodeHealth, ProbePolicy, ResourceRequest,
+    AdmissionRequest, Cluster, Decision, ExecutionMode, GlobalAdmissionController, Lac, LacConfig,
+    MemberState, NetGacConfig, NetGacStats, NodeHealth, ProbePolicy, ResourceRequest,
 };
 use cmpqos_faults::{Fault, FaultPlan, FaultSchedule, Injection};
 use cmpqos_net::{LinkConfig, NetStats};
@@ -839,6 +839,395 @@ pub fn print_net(o: &NetChaosOutcome, p: &NetChaosParams) {
     );
 }
 
+// ---------------------------------------------------------------------------
+// The elastic-membership chaos cell (`chaos --churn`): join, drain,
+// restart, kill — with every placement lease-backed.
+// ---------------------------------------------------------------------------
+
+/// Knobs for one churn run.
+///
+/// The cluster starts at `nodes` LAC endpoints behind a lossy network and
+/// is then churned by a seeded schedule of joins, graceful drains, and
+/// restarts ([`cmpqos_faults::FaultPlan::seeded_churn`]), plus `kills`
+/// hard node deaths. Heartbeats renew a lease on every placement; a node
+/// that stops renewing loses its reservations to re-placement after the
+/// same unreachable-vs-dead grace the health machine uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ChurnParams {
+    /// Initial cluster size; joins grow the membership table past it.
+    pub nodes: usize,
+    /// Jobs in the arrival stream.
+    pub jobs: u32,
+    /// Nominal run length; arrivals stop at its midpoint and churn lands
+    /// in its middle half.
+    pub horizon: Cycles,
+    /// Seed for the churn schedule and every network decision.
+    pub seed: u64,
+    /// Membership operations in the seeded schedule.
+    pub churn_events: usize,
+    /// Hard (unannounced) node deaths injected mid-run.
+    pub kills: u32,
+    /// The `--inject lease-freeze` must-fail switch: mid-run, two placed
+    /// nodes keep answering heartbeats but stop having their leases
+    /// renewed, so the zero-expiry assert must catch the expiries.
+    pub lease_freeze: bool,
+}
+
+impl ChurnParams {
+    /// Default fidelity: 104 nodes, 600 jobs, 24 churn ops, 2 kills.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self {
+            nodes: 104,
+            jobs: 600,
+            horizon: Cycles::new(600_000),
+            seed: 1,
+            churn_events: 24,
+            kills: 2,
+            lease_freeze: false,
+        }
+    }
+
+    /// The full injection schedule: the seeded join/drain/restart plan,
+    /// plus `kills` node deaths across the middle of the run (node 0 is
+    /// never killed — the cluster always keeps one stable member), plus
+    /// the lease-freeze sabotage when enabled.
+    #[must_use]
+    pub fn schedule(&self) -> FaultSchedule {
+        let mut plan = FaultPlan::seeded_churn(
+            self.seed,
+            self.nodes as u32,
+            self.horizon,
+            self.churn_events,
+        );
+        for k in 0..self.kills {
+            let at = Cycles::new(self.horizon.get() * (45 + 5 * u64::from(k)) / 100);
+            plan = plan.node_fault(at, NodeId::new(1 + k));
+        }
+        if self.lease_freeze {
+            let at = Cycles::new(self.horizon.get() * 3 / 10);
+            for n in 3..5u32 {
+                plan = plan.lease_freeze(at, NodeId::new(n.min(self.nodes as u32 - 1)));
+            }
+        }
+        plan.build()
+    }
+}
+
+impl Default for ChurnParams {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Everything one churn run produced. Same seed, same outcome —
+/// byte-identical at any `--jobs` pool width, which is what the CI
+/// churn-smoke job diffs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ChurnOutcome {
+    /// Jobs submitted.
+    pub submitted: u32,
+    /// Jobs the GAC placed.
+    pub admitted: u32,
+    /// Jobs rejected at admission.
+    pub rejected: u32,
+    /// Admitted jobs whose reservations ran to completion.
+    pub completed: u32,
+    /// Admitted jobs revoked with no surviving capacity.
+    pub revoked: u32,
+    /// Admitted jobs that ended neither completed XOR revoked — must be
+    /// empty: churn may move a job (that's a migration) but never lose it.
+    pub unaccounted: Vec<JobId>,
+    /// Submitted jobs that never got a decision — must be empty.
+    pub undecided: Vec<JobId>,
+    /// Reservations moved off a dead, draining, or lease-expired node.
+    pub migrations: u64,
+    /// Join handshakes completed (fresh joins + restart rejoins).
+    pub joined: u64,
+    /// Graceful drains completed.
+    pub drained: u64,
+    /// Heartbeat lease renewals.
+    pub leases_renewed: u64,
+    /// Lease expiries — 0 unless the lease-freeze injection is live.
+    pub leases_expired: u64,
+    /// Final membership census: Live members.
+    pub live: usize,
+    /// Nodes still mid-join at the end — must be 0.
+    pub joining: usize,
+    /// Nodes still mid-drain at the end — must be 0.
+    pub draining: usize,
+    /// Departed members.
+    pub left: usize,
+    /// Final membership-table size (never shrinks; joins only add).
+    pub final_nodes: usize,
+    /// Nodes declared dead.
+    pub dead: usize,
+    /// Death transitions observed (the injected kills, and nothing else).
+    pub deaths: u64,
+    /// Nodes still flagged for reconciliation — must be 0.
+    pub pending_reconciles: usize,
+    /// Leases still outstanding after the drain.
+    pub leases_outstanding: usize,
+    /// Conversation-layer counters.
+    pub gac: NetGacStats,
+    /// Frame-layer counters.
+    pub net: NetStats,
+}
+
+/// One scheduled instant of the churn cell, in deterministic order.
+#[derive(Debug, Clone, Copy)]
+enum ChurnStep {
+    Inject(Injection),
+    Submit(u32),
+}
+
+/// Runs the churn cell.
+#[must_use]
+pub fn run_churn(params: &ChurnParams) -> ChurnOutcome {
+    let link = LinkConfig::default()
+        .base_latency(Cycles::new(10))
+        .jitter(5)
+        .reorder(10)
+        .drop(0.03)
+        .duplicate(0.05);
+    // Heartbeats every 10k cycles renew 30k-cycle leases, with the 40k
+    // dead-timeout as grace. A killed node's placements are evacuated by
+    // the health machine (~40-50k of silence) before its leases would
+    // expire (~70k), so a healthy run has zero expiries and the
+    // zero-expiry assert is a real tripwire; a lease-frozen node's
+    // placements expire (~70k) well inside their reservations
+    // (horizon/6 = 100k at standard scale), so sabotage is caught.
+    let mut config = NetGacConfig {
+        heartbeat_every: Cycles::new(10_000),
+        lease_ttl: Cycles::new(30_000),
+        ..NetGacConfig::default()
+    };
+    config.gac.dead_timeout = Cycles::new(40_000);
+    let mut cluster = Cluster::new(
+        params.nodes,
+        LacConfig::default(),
+        params.seed,
+        link,
+        config,
+        ProbePolicy::LeastLoaded,
+    );
+    let mut rec = NetRecorder::default();
+
+    let tw = Cycles::new((params.horizon.get() / 6).max(1));
+    let stagger = (params.horizon.get() / (2 * u64::from(params.jobs).max(1))).max(1);
+    let mut steps: Vec<(Cycles, u8, u32, ChurnStep)> = (0..params.jobs)
+        .map(|i| {
+            (
+                Cycles::new(u64::from(i) * stagger),
+                1,
+                i,
+                ChurnStep::Submit(i),
+            )
+        })
+        .collect();
+    for (i, &injection) in params.schedule().injections().iter().enumerate() {
+        steps.push((injection.at, 0, i as u32, ChurnStep::Inject(injection)));
+    }
+    steps.sort_by_key(|&(at, rank, idx, _)| (at, rank, idx));
+
+    for (at, _, _, step) in steps {
+        cluster.run_until(at, &mut rec);
+        match step {
+            ChurnStep::Submit(i) => {
+                let mode = if i % 2 == 0 {
+                    ExecutionMode::Strict
+                } else {
+                    ExecutionMode::Elastic(Percent::new(50.0))
+                };
+                let req =
+                    AdmissionRequest::builder(JobId::new(i), ResourceRequest::paper_job(), tw)
+                        .mode(mode)
+                        .deadline(at + tw + tw + tw)
+                        .build();
+                cluster.gac_mut().submit(req, at, &mut rec);
+            }
+            ChurnStep::Inject(injection) => match injection.fault {
+                // A join needs a backend for the new endpoint, which a
+                // plain injection cannot carry.
+                Fault::NodeJoin { node } => {
+                    let id = cluster.join_node(Lac::new(LacConfig::default()), at);
+                    debug_assert_eq!(id, node, "joins take the next unused id");
+                }
+                _ => cluster.apply(injection, &mut rec),
+            },
+        }
+    }
+
+    // Drain: every conversation settled, every placement retired or
+    // revoked, every drain and reconcile finished. Bounded so a
+    // sabotaged run terminates instead of retrying forever.
+    let chunk = Cycles::new((params.horizon.get() / 4).max(1));
+    for _ in 0..16 {
+        let gac = cluster.gac();
+        let churning = (0..cluster.nodes()).any(|i| {
+            matches!(
+                gac.member_state(NodeId::new(i as u32)),
+                MemberState::Joining | MemberState::Draining
+            )
+        });
+        if gac.idle() && gac.placements().is_empty() && gac.pending_reconciles() == 0 && !churning {
+            break;
+        }
+        let until = cluster.now() + chunk;
+        cluster.run_until(until, &mut rec);
+    }
+
+    let total_nodes = cluster.nodes();
+    let gac = cluster.gac();
+    let mut admitted = 0u32;
+    let mut rejected = 0u32;
+    let mut completed = 0u32;
+    let mut revoked = 0u32;
+    let mut unaccounted = Vec::new();
+    let mut undecided = Vec::new();
+    for i in 0..params.jobs {
+        let job = JobId::new(i);
+        match gac.decisions().get(&job) {
+            None => undecided.push(job),
+            Some((_, Decision::Accepted { .. })) => {
+                admitted += 1;
+                let done = gac.completed().contains(&job);
+                let gone = gac.revoked().contains(&job);
+                completed += u32::from(done);
+                revoked += u32::from(gone);
+                if done == gone {
+                    unaccounted.push(job);
+                }
+            }
+            Some((_, Decision::Rejected(_))) => rejected += 1,
+        }
+    }
+    let mut live = 0;
+    let mut joining = 0;
+    let mut draining = 0;
+    let mut left = 0;
+    let mut dead = 0;
+    for i in 0..total_nodes {
+        let node = NodeId::new(i as u32);
+        match gac.member_state(node) {
+            MemberState::Live => live += 1,
+            MemberState::Joining => joining += 1,
+            MemberState::Draining => draining += 1,
+            MemberState::Left => left += 1,
+        }
+        if gac.node_health(node) == NodeHealth::Dead {
+            dead += 1;
+        }
+    }
+    ChurnOutcome {
+        submitted: params.jobs,
+        admitted,
+        rejected,
+        completed,
+        revoked,
+        unaccounted,
+        undecided,
+        migrations: rec.counters.migrated,
+        joined: rec.counters.nodes_joined,
+        drained: rec.counters.nodes_drained,
+        leases_renewed: rec.counters.leases_renewed,
+        leases_expired: rec.counters.leases_expired,
+        live,
+        joining,
+        draining,
+        left,
+        final_nodes: total_nodes,
+        dead,
+        deaths: rec.deaths,
+        pending_reconciles: gac.pending_reconciles(),
+        leases_outstanding: gac.leases().len(),
+        gac: gac.stats(),
+        net: cluster.net().stats(),
+    }
+}
+
+/// Replays the churn cell across several seeds on the `cmpqos-engine`
+/// pool (`jobs` wide; `1` = serial). Outcomes come back in seed order, so
+/// the printed output is byte-identical at every pool width.
+#[must_use]
+pub fn run_churn_many(params: &ChurnParams, seeds: &[u64], jobs: usize) -> Vec<ChurnOutcome> {
+    let cells: Vec<ChurnParams> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut p = params.clone();
+            p.seed = seed;
+            p
+        })
+        .collect();
+    cmpqos_engine::Engine::new(jobs).run(cells, |_, p| run_churn(&p))
+}
+
+/// Prints the churn-cell survival table and asserts the elastic-membership
+/// invariants: every admitted job completed XOR revoked (migration being
+/// the mechanism, never the terminal state), every join and drain
+/// resolved, no loss-driven death, no pending reconciliation, and — the
+/// lease tripwire — zero expiries. The asserts make `--inject
+/// lease-freeze` exit nonzero: CI's proof that the lease check is live.
+pub fn print_churn(o: &ChurnOutcome, p: &ChurnParams) {
+    println!(
+        "== Churn: {} jobs, {} nodes + seeded churn x{} + {} kill(s), seed {} ==",
+        p.jobs, p.nodes, p.churn_events, p.kills, p.seed
+    );
+    println!(
+        "jobs: {} submitted | {} admitted | {} rejected | {} completed | {} revoked | {} migration(s)",
+        o.submitted, o.admitted, o.rejected, o.completed, o.revoked, o.migrations
+    );
+    println!(
+        "membership: {} -> {} nodes | {} live, {} joining, {} draining, {} left | \
+         {} join(s) completed, {} drain(s) completed",
+        p.nodes, o.final_nodes, o.live, o.joining, o.draining, o.left, o.joined, o.drained
+    );
+    println!(
+        "health: {} dead ({} death transition(s)) | reconciliation pending {}",
+        o.dead, o.deaths, o.pending_reconciles
+    );
+    println!(
+        "leases: {} renewed | {} expired | {} outstanding",
+        o.leases_renewed, o.leases_expired, o.leases_outstanding
+    );
+    println!(
+        "conversations: {} opened | {} retransmits | {} abandoned | {} stale replies",
+        o.gac.conversations, o.gac.retransmits, o.gac.gave_up, o.gac.stale_replies
+    );
+    println!(
+        "frames: {} sent | {} delivered | {} dropped | {} eaten by partitions | {} duplicated",
+        o.net.sent, o.net.delivered, o.net.dropped, o.net.partitioned, o.net.duplicated
+    );
+    assert!(
+        o.undecided.is_empty(),
+        "submissions without a decision: {:?}",
+        o.undecided
+    );
+    assert!(
+        o.unaccounted.is_empty(),
+        "admitted jobs not completed XOR revoked: {:?}",
+        o.unaccounted
+    );
+    assert_eq!(o.joining, 0, "a join handshake never completed");
+    assert_eq!(o.draining, 0, "a graceful drain never finished");
+    assert_eq!(
+        o.deaths,
+        u64::from(p.kills),
+        "death transitions must be exactly the injected kills"
+    );
+    assert_eq!(
+        o.pending_reconciles, 0,
+        "nodes still awaiting reconciliation after the drain"
+    );
+    assert!(o.leases_renewed > 0, "heartbeats renewed no leases");
+    assert_eq!(
+        o.leases_expired, 0,
+        "a lease expired: some placement went unrenewed past TTL + grace"
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1033,6 +1422,68 @@ mod tests {
         assert!(
             o.pending_reconciles > 0,
             "dropping every post-heal frame must leave reconciliations pending"
+        );
+    }
+
+    /// A small but real churn cell. The horizon stays large enough that
+    /// reservations (`horizon/6`) outlive a frozen lease's TTL + grace
+    /// (70k cycles), so the lease-freeze must-fail test stays honest at
+    /// this scale too.
+    fn quick_churn() -> ChurnParams {
+        let mut p = ChurnParams::standard();
+        p.nodes = 16;
+        p.jobs = 80;
+        p.horizon = Cycles::new(480_000);
+        p.seed = 7;
+        p.churn_events = 8;
+        p.kills = 1;
+        p
+    }
+
+    #[test]
+    fn a_churned_cluster_accounts_for_every_admitted_job() {
+        let p = quick_churn();
+        let o = run_churn(&p);
+        assert!(o.admitted > 0, "nothing was admitted");
+        assert!(o.undecided.is_empty(), "undecided: {:?}", o.undecided);
+        assert!(
+            o.unaccounted.is_empty(),
+            "not completed XOR revoked: {:?}",
+            o.unaccounted
+        );
+        assert_eq!(o.joining, 0, "a join handshake never completed");
+        assert_eq!(o.draining, 0, "a drain never finished");
+        assert_eq!(o.deaths, u64::from(p.kills), "only the injected kill dies");
+        assert!(o.migrations > 0, "the kill evacuated nothing");
+        assert_eq!(o.pending_reconciles, 0);
+        assert!(o.leases_renewed > 0, "heartbeats renewed no leases");
+        assert_eq!(o.leases_expired, 0, "a healthy run must expire no leases");
+        assert!(
+            o.final_nodes >= p.nodes,
+            "the membership table is append-only"
+        );
+    }
+
+    #[test]
+    fn same_seed_churn_runs_are_identical_at_any_pool_width() {
+        let p = quick_churn();
+        let first = run_churn(&p);
+        assert_eq!(first, run_churn(&p), "same seed must reproduce exactly");
+        let serial = run_churn_many(&p, &[7, 8], 1);
+        let pooled = run_churn_many(&p, &[7, 8], 4);
+        assert_eq!(serial, pooled, "pool width must not change any outcome");
+        assert_eq!(serial[0], first);
+        assert_ne!(serial[1], first, "a new seed must reshuffle the run");
+    }
+
+    #[test]
+    fn the_lease_freeze_injection_is_caught() {
+        let mut p = quick_churn();
+        p.lease_freeze = true;
+        let o = run_churn(&p);
+        assert!(
+            o.leases_expired > 0,
+            "freezing renewals must expire leases past TTL + grace"
         );
     }
 }

@@ -100,6 +100,35 @@ pub enum Fault {
         /// How many consecutive messages are lost.
         count: u32,
     },
+    /// A fresh node joins the cluster. The injection is valid only when
+    /// `node` is the next unused index (membership tables are append-only);
+    /// anything else is ignored, keeping journal replay deterministic.
+    NodeJoin {
+        /// The id the new node will get.
+        node: NodeId,
+    },
+    /// The node restarts: its protocol state (epochs, sequence numbers,
+    /// pending requests) is lost, but its journal-recovered reservation
+    /// table survives. It rejoins as `Joining` and reconciles against the
+    /// GAC's placement view before re-entering `Live`.
+    NodeRestart {
+        /// The restarting node.
+        node: NodeId,
+    },
+    /// The node is asked to drain gracefully: no new placements land on
+    /// it, its live reservations migrate to survivors, and only then does
+    /// it transition to `Left`.
+    NodeDrain {
+        /// The draining node.
+        node: NodeId,
+    },
+    /// Lease renewals toward the node are frozen: heartbeats still answer
+    /// (the node looks healthy) but its placements stop being renewed, so
+    /// their leases expire after the TTL plus the dead-timeout grace.
+    LeaseFreeze {
+        /// The node whose renewals are suppressed.
+        node: NodeId,
+    },
 }
 
 impl Fault {
@@ -114,7 +143,11 @@ impl Fault {
             | Fault::ControllerCrash { node }
             | Fault::LinkPartition { node }
             | Fault::LinkHeal { node }
-            | Fault::MessageDrop { node, .. } => node,
+            | Fault::MessageDrop { node, .. }
+            | Fault::NodeJoin { node }
+            | Fault::NodeRestart { node }
+            | Fault::NodeDrain { node }
+            | Fault::LeaseFreeze { node } => node,
         }
     }
 
@@ -131,6 +164,10 @@ impl Fault {
             Fault::LinkPartition { .. } => cmpqos_obs::FaultKind::LinkPartition,
             Fault::LinkHeal { .. } => cmpqos_obs::FaultKind::LinkHeal,
             Fault::MessageDrop { count, .. } => cmpqos_obs::FaultKind::MessageDrop { count },
+            Fault::NodeJoin { .. } => cmpqos_obs::FaultKind::NodeJoin,
+            Fault::NodeRestart { .. } => cmpqos_obs::FaultKind::NodeRestart,
+            Fault::NodeDrain { .. } => cmpqos_obs::FaultKind::NodeDrain,
+            Fault::LeaseFreeze { .. } => cmpqos_obs::FaultKind::LeaseFreeze,
         }
     }
 }
@@ -148,6 +185,10 @@ impl fmt::Display for Fault {
             Fault::MessageDrop { node, count } => {
                 write!(f, "{count} message(s) to {node} dropped")
             }
+            Fault::NodeJoin { node } => write!(f, "{node} joins"),
+            Fault::NodeRestart { node } => write!(f, "{node} restarts"),
+            Fault::NodeDrain { node } => write!(f, "{node} drains"),
+            Fault::LeaseFreeze { node } => write!(f, "lease renewals to {node} frozen"),
         }
     }
 }
@@ -360,6 +401,32 @@ impl FaultPlan {
         self.inject(at, Fault::MessageDrop { node, count })
     }
 
+    /// Joins a fresh node (which must take the next unused id) at cycle
+    /// `at`.
+    #[must_use]
+    pub fn node_join(self, at: Cycles, node: NodeId) -> Self {
+        self.inject(at, Fault::NodeJoin { node })
+    }
+
+    /// Restarts `node` (protocol state lost, reservation table recovered)
+    /// at cycle `at`.
+    #[must_use]
+    pub fn node_restart(self, at: Cycles, node: NodeId) -> Self {
+        self.inject(at, Fault::NodeRestart { node })
+    }
+
+    /// Drains `node` gracefully out of the cluster from cycle `at`.
+    #[must_use]
+    pub fn node_drain(self, at: Cycles, node: NodeId) -> Self {
+        self.inject(at, Fault::NodeDrain { node })
+    }
+
+    /// Freezes lease renewals toward `node` from cycle `at`.
+    #[must_use]
+    pub fn lease_freeze(self, at: Cycles, node: NodeId) -> Self {
+        self.inject(at, Fault::LeaseFreeze { node })
+    }
+
     /// A reproducible random *message-layer* plan: `faults` injections
     /// spread over `[horizon/4, 3·horizon/4)` across `nodes` nodes, mixing
     /// transient message drops with partition windows. Every
@@ -386,6 +453,50 @@ impl FaultPlan {
                     .link_heal(Cycles::new(heal_at), node);
             } else {
                 plan = plan.message_drop(at, node, rng.gen_range(1u32..4));
+            }
+        }
+        plan
+    }
+
+    /// A reproducible random *churn* plan: `events` membership operations
+    /// spread over `[horizon/4, 3·horizon/4)`, mixing joins, graceful
+    /// drains, and restarts. Joins always take the next unused id (starting
+    /// at `nodes`); drains and restarts strike only nodes that exist when
+    /// the op fires and that have not already been drained, and node 0 is
+    /// never touched so the cluster always keeps at least one stable
+    /// member. The same `(seed, nodes, horizon, events)` always yields the
+    /// same plan.
+    #[must_use]
+    pub fn seeded_churn(seed: u64, nodes: u32, horizon: Cycles, events: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lo = horizon.get() / 4;
+        let hi = (3 * horizon.get() / 4).max(lo + 1);
+        let mut at: Vec<Cycles> = (0..events)
+            .map(|_| Cycles::new(rng.gen_range(lo..hi)))
+            .collect();
+        at.sort_unstable();
+        let mut plan = Self::new();
+        let mut next_id = nodes.max(1);
+        let mut drained: Vec<NodeId> = Vec::new();
+        for at in at {
+            let roll = rng.gen_range(0u32..10);
+            if roll < 3 {
+                plan = plan.node_join(at, NodeId::new(next_id));
+                next_id += 1;
+            } else {
+                let candidates: Vec<u32> = (1..next_id)
+                    .filter(|&i| !drained.contains(&NodeId::new(i)))
+                    .collect();
+                let Some(&pick) = candidates.get(rng.gen_range(0..candidates.len().max(1))) else {
+                    continue;
+                };
+                let node = NodeId::new(pick);
+                if roll < 6 {
+                    drained.push(node);
+                    plan = plan.node_drain(at, node);
+                } else {
+                    plan = plan.node_restart(at, node);
+                }
             }
         }
         plan
@@ -510,6 +621,63 @@ mod tests {
         severed.sort_unstable();
         healed.sort_unstable();
         assert_eq!(severed, healed, "every partition heals");
+    }
+
+    #[test]
+    fn churn_fault_accessors_and_display() {
+        let j = Fault::NodeJoin {
+            node: NodeId::new(5),
+        };
+        assert_eq!(j.node(), NodeId::new(5));
+        assert_eq!(j.obs_kind(), cmpqos_obs::FaultKind::NodeJoin);
+        assert!(j.to_string().contains("joins"));
+        let r = Fault::NodeRestart {
+            node: NodeId::new(2),
+        };
+        assert_eq!(r.obs_kind(), cmpqos_obs::FaultKind::NodeRestart);
+        assert!(r.to_string().contains("restarts"));
+        let d = Fault::NodeDrain {
+            node: NodeId::new(1),
+        };
+        assert_eq!(d.obs_kind(), cmpqos_obs::FaultKind::NodeDrain);
+        assert!(d.to_string().contains("drains"));
+        let f = Fault::LeaseFreeze {
+            node: NodeId::new(3),
+        };
+        assert_eq!(f.obs_kind(), cmpqos_obs::FaultKind::LeaseFreeze);
+        assert!(f.to_string().contains("frozen"));
+    }
+
+    #[test]
+    fn seeded_churn_joins_take_fresh_ids_and_drains_never_repeat() {
+        let a = FaultPlan::seeded_churn(33, 4, Cycles::new(200_000), 16).build();
+        let b = FaultPlan::seeded_churn(33, 4, Cycles::new(200_000), 16).build();
+        assert_eq!(a, b, "same seed, same plan");
+        let mut next_id = 4u32;
+        let mut drained: Vec<NodeId> = Vec::new();
+        for i in a.injections() {
+            assert!(i.at >= Cycles::new(50_000) && i.at < Cycles::new(150_000));
+            match i.fault {
+                Fault::NodeJoin { node } => {
+                    assert_eq!(node, NodeId::new(next_id), "joins take the next id");
+                    next_id += 1;
+                }
+                Fault::NodeDrain { node } => {
+                    assert_ne!(node, NodeId::new(0), "node 0 is never drained");
+                    assert!(node.index() < next_id, "drain of an existing node");
+                    assert!(!drained.contains(&node), "one drain per node");
+                    drained.push(node);
+                }
+                Fault::NodeRestart { node } => {
+                    assert_ne!(node, NodeId::new(0), "node 0 is never restarted");
+                    assert!(node.index() < next_id);
+                    assert!(!drained.contains(&node), "no restart after a drain");
+                }
+                _ => panic!("non-churn fault in a churn plan: {:?}", i.fault),
+            }
+        }
+        assert!(next_id > 4, "some join was generated");
+        assert!(!drained.is_empty(), "some drain was generated");
     }
 
     #[test]

@@ -78,6 +78,20 @@ pub enum FaultKind {
         /// How many consecutive messages are lost.
         count: u32,
     },
+    /// A fresh node joined the cluster (membership `Joining → Live` after
+    /// the join-announce handshake).
+    NodeJoin,
+    /// The node restarted: its protocol state (epochs, sequence numbers)
+    /// is gone, but its journal-recovered reservation table survives. It
+    /// rejoins as `Joining` and must reconcile before re-entering `Live`.
+    NodeRestart,
+    /// The node was asked to drain gracefully: no new placements, live
+    /// reservations migrate off, then membership transitions to `Left`.
+    NodeDrain,
+    /// Lease renewals to the node are frozen: heartbeats still answer
+    /// (the node looks alive) but placed reservations stop being renewed,
+    /// so their leases eventually expire.
+    LeaseFreeze,
 }
 
 /// A node's health as tracked by the global admission controller.
@@ -347,6 +361,35 @@ pub enum Event {
         /// the node no longer held).
         placements_repaired: u64,
     },
+    /// A node finished its membership handshake and entered `Live`:
+    /// either a brand-new join or a restart whose reconciliation
+    /// completed.
+    NodeJoined {
+        /// The node now accepting placements.
+        node: NodeId,
+    },
+    /// A draining node moved its last live reservation off and
+    /// transitioned to `Left`: it holds nothing and is never probed again.
+    NodeDrained {
+        /// The node that left the cluster.
+        node: NodeId,
+    },
+    /// A placed reservation's lease ran out (no renewal within the TTL
+    /// plus the dead-timeout grace): the placement is revoked and re-placed
+    /// exactly like an evacuation.
+    LeaseExpired {
+        /// The job whose lease lapsed.
+        job: JobId,
+        /// The node that held (and may still hold) the reservation.
+        node: NodeId,
+    },
+    /// A heartbeat ack renewed every lease held on a node.
+    LeaseRenewed {
+        /// The node whose placements were renewed.
+        node: NodeId,
+        /// How many leases were extended.
+        leases: u64,
+    },
     /// An epoch sample found a job's delivered CPI above its SLO target.
     SloViolated {
         /// The violating job.
@@ -391,6 +434,7 @@ impl Event {
             | Event::Migrated { job, .. }
             | Event::ReservationRevoked { job, .. }
             | Event::DowngradedUnderFault { job, .. }
+            | Event::LeaseExpired { job, .. }
             | Event::SloViolated { job, .. } => Some(job),
             Event::RunStarted { .. }
             | Event::KnobChanged { .. }
@@ -403,7 +447,10 @@ impl Event {
             | Event::LinkPartitioned { .. }
             | Event::LinkHealed { .. }
             | Event::MessageDropped { .. }
-            | Event::Reconciled { .. } => None,
+            | Event::Reconciled { .. }
+            | Event::NodeJoined { .. }
+            | Event::NodeDrained { .. }
+            | Event::LeaseRenewed { .. } => None,
         }
     }
 
@@ -439,6 +486,10 @@ impl Event {
             Event::LinkHealed { .. } => EventKind::LinkHealed,
             Event::MessageDropped { .. } => EventKind::MessageDropped,
             Event::Reconciled { .. } => EventKind::Reconciled,
+            Event::NodeJoined { .. } => EventKind::NodeJoined,
+            Event::NodeDrained { .. } => EventKind::NodeDrained,
+            Event::LeaseExpired { .. } => EventKind::LeaseExpired,
+            Event::LeaseRenewed { .. } => EventKind::LeaseRenewed,
             Event::SloViolated { .. } => EventKind::SloViolated,
             Event::KnobChanged { .. } => EventKind::KnobChanged,
         }
@@ -506,6 +557,14 @@ pub enum EventKind {
     MessageDropped,
     /// See [`Event::Reconciled`].
     Reconciled,
+    /// See [`Event::NodeJoined`].
+    NodeJoined,
+    /// See [`Event::NodeDrained`].
+    NodeDrained,
+    /// See [`Event::LeaseExpired`].
+    LeaseExpired,
+    /// See [`Event::LeaseRenewed`].
+    LeaseRenewed,
     /// See [`Event::SloViolated`].
     SloViolated,
     /// See [`Event::KnobChanged`].
@@ -514,7 +573,7 @@ pub enum EventKind {
 
 impl EventKind {
     /// Every kind, in declaration order.
-    pub const ALL: [EventKind; 30] = [
+    pub const ALL: [EventKind; 34] = [
         EventKind::RunStarted,
         EventKind::Submitted,
         EventKind::Admitted,
@@ -543,6 +602,10 @@ impl EventKind {
         EventKind::LinkHealed,
         EventKind::MessageDropped,
         EventKind::Reconciled,
+        EventKind::NodeJoined,
+        EventKind::NodeDrained,
+        EventKind::LeaseExpired,
+        EventKind::LeaseRenewed,
         EventKind::SloViolated,
         EventKind::KnobChanged,
     ];
@@ -620,7 +683,7 @@ mod tests {
         assert_eq!(e.kind(), EventKind::Started);
         let p = Event::PartitionChanged { targets: vec![] };
         assert_eq!(p.job(), None);
-        assert_eq!(EventKind::ALL.len(), 30);
+        assert_eq!(EventKind::ALL.len(), 34);
     }
 
     #[test]
@@ -793,5 +856,75 @@ mod tests {
         }
         assert_eq!(records[1].event.kind(), EventKind::LinkPartitioned);
         assert_eq!(records[5].event.kind(), EventKind::Reconciled);
+    }
+
+    #[test]
+    fn churn_events_round_trip_and_only_lease_expiry_is_job_scoped() {
+        let records = vec![
+            Record {
+                at: Cycles::new(10),
+                event: Event::FaultInjected {
+                    node: NodeId::new(4),
+                    fault: FaultKind::NodeJoin,
+                },
+            },
+            Record {
+                at: Cycles::new(12),
+                event: Event::NodeJoined {
+                    node: NodeId::new(4),
+                },
+            },
+            Record {
+                at: Cycles::new(20),
+                event: Event::FaultInjected {
+                    node: NodeId::new(2),
+                    fault: FaultKind::NodeDrain,
+                },
+            },
+            Record {
+                at: Cycles::new(25),
+                event: Event::NodeDrained {
+                    node: NodeId::new(2),
+                },
+            },
+            Record {
+                at: Cycles::new(30),
+                event: Event::FaultInjected {
+                    node: NodeId::new(1),
+                    fault: FaultKind::LeaseFreeze,
+                },
+            },
+            Record {
+                at: Cycles::new(31),
+                event: Event::LeaseRenewed {
+                    node: NodeId::new(3),
+                    leases: 5,
+                },
+            },
+            Record {
+                at: Cycles::new(99),
+                event: Event::LeaseExpired {
+                    job: JobId::new(8),
+                    node: NodeId::new(1),
+                },
+            },
+            Record {
+                at: Cycles::new(100),
+                event: Event::FaultInjected {
+                    node: NodeId::new(0),
+                    fault: FaultKind::NodeRestart,
+                },
+            },
+        ];
+        for r in &records {
+            let line = serde_json::to_string(r).unwrap();
+            let back: Record = serde_json::from_str(&line).unwrap();
+            assert_eq!(&back, r);
+        }
+        assert_eq!(records[1].event.kind(), EventKind::NodeJoined);
+        assert_eq!(records[3].event.kind(), EventKind::NodeDrained);
+        assert_eq!(records[5].event.job(), None);
+        assert_eq!(records[6].event.job(), Some(JobId::new(8)));
+        assert_eq!(records[6].event.kind(), EventKind::LeaseExpired);
     }
 }

@@ -154,6 +154,14 @@ pub struct Counters {
     pub messages_dropped: u64,
     /// Rejoin reconciliations completed.
     pub reconciled: u64,
+    /// Nodes that entered `Live` (joins and completed restarts).
+    pub nodes_joined: u64,
+    /// Nodes that finished draining and left the cluster.
+    pub nodes_drained: u64,
+    /// Placed-reservation leases that expired unrenewed.
+    pub leases_expired: u64,
+    /// Heartbeat acks that renewed a node's leases.
+    pub leases_renewed: u64,
     /// Epoch samples above an SLO target.
     pub slo_violations: u64,
     /// Adaptive-control actuator moves.
@@ -198,6 +206,10 @@ impl Counters {
             EventKind::LinkHealed => self.links_healed,
             EventKind::MessageDropped => self.messages_dropped,
             EventKind::Reconciled => self.reconciled,
+            EventKind::NodeJoined => self.nodes_joined,
+            EventKind::NodeDrained => self.nodes_drained,
+            EventKind::LeaseExpired => self.leases_expired,
+            EventKind::LeaseRenewed => self.leases_renewed,
             EventKind::SloViolated => self.slo_violations,
             EventKind::KnobChanged => self.knob_changes,
         }
@@ -239,6 +251,10 @@ impl Counters {
             EventKind::LinkHealed => &mut self.links_healed,
             EventKind::MessageDropped => &mut self.messages_dropped,
             EventKind::Reconciled => &mut self.reconciled,
+            EventKind::NodeJoined => &mut self.nodes_joined,
+            EventKind::NodeDrained => &mut self.nodes_drained,
+            EventKind::LeaseExpired => &mut self.leases_expired,
+            EventKind::LeaseRenewed => &mut self.leases_renewed,
             EventKind::SloViolated => &mut self.slo_violations,
             EventKind::KnobChanged => &mut self.knob_changes,
         }

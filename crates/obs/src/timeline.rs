@@ -57,6 +57,8 @@ pub struct JobTimeline {
     pub fault_downgrades: Vec<(Cycles, NodeId, Ways)>,
     /// Epoch samples that found this job above its SLO target.
     pub slo_violations: u64,
+    /// Lease expirations on this job's placement: `(at, node)`.
+    pub lease_expirations: Vec<(Cycles, NodeId)>,
 }
 
 impl JobTimeline {
@@ -97,6 +99,8 @@ pub struct Timeline {
     recoveries: Vec<(Cycles, NodeId, u64, u64)>,
     link_changes: Vec<(Cycles, NodeId, bool)>,
     reconciles: Vec<(Cycles, NodeId, u64, u64)>,
+    membership_changes: Vec<(Cycles, NodeId, bool)>,
+    lease_renewals: Vec<(Cycles, NodeId, u64)>,
     messages_dropped: u64,
     knob_changes: Vec<(Cycles, Knob, i64, i64)>,
 }
@@ -225,6 +229,21 @@ impl Timeline {
         &self.reconciles
     }
 
+    /// Membership transitions, in stream order: `(at, node, joined)` —
+    /// `true` when the node entered `Live`, `false` when it drained to
+    /// `Left`.
+    #[must_use]
+    pub fn membership_changes(&self) -> &[(Cycles, NodeId, bool)] {
+        &self.membership_changes
+    }
+
+    /// Heartbeat-driven lease renewals, in stream order: `(at, node,
+    /// leases_renewed)`.
+    #[must_use]
+    pub fn lease_renewals(&self) -> &[(Cycles, NodeId, u64)] {
+        &self.lease_renewals
+    }
+
     /// Control-plane messages lost in transit over the whole run.
     #[must_use]
     pub fn messages_dropped(&self) -> u64 {
@@ -289,6 +308,15 @@ impl Timeline {
                 self.reconciles
                     .push((at, *node, *orphans_revoked, *placements_repaired));
             }
+            Event::NodeJoined { node } => {
+                self.membership_changes.push((at, *node, true));
+            }
+            Event::NodeDrained { node } => {
+                self.membership_changes.push((at, *node, false));
+            }
+            Event::LeaseRenewed { node, leases } => {
+                self.lease_renewals.push((at, *node, *leases));
+            }
             Event::KnobChanged { knob, old, new } => {
                 self.knob_changes.push((at, *knob, *old, *new));
             }
@@ -343,6 +371,9 @@ impl Timeline {
                     Event::DowngradedUnderFault { node, ways_cut, .. } => {
                         job.fault_downgrades.push((at, *node, *ways_cut));
                     }
+                    Event::LeaseExpired { node, .. } => {
+                        job.lease_expirations.push((at, *node));
+                    }
                     Event::SloViolated { .. } => job.slo_violations += 1,
                     Event::RunStarted { .. }
                     | Event::KnobChanged { .. }
@@ -355,7 +386,10 @@ impl Timeline {
                     | Event::LinkPartitioned { .. }
                     | Event::LinkHealed { .. }
                     | Event::MessageDropped { .. }
-                    | Event::Reconciled { .. } => {}
+                    | Event::Reconciled { .. }
+                    | Event::NodeJoined { .. }
+                    | Event::NodeDrained { .. }
+                    | Event::LeaseRenewed { .. } => {}
                 }
             }
         }
@@ -479,6 +513,53 @@ mod tests {
         assert_eq!(runs[1].label(), Some("b"));
         assert_eq!(runs[1].job_count(), 1);
         assert!(runs[1].job(JobId::new(1)).unwrap().completed.is_some());
+    }
+
+    #[test]
+    fn membership_and_lease_events_land_in_the_timeline() {
+        let j = JobId::new(9);
+        let records = vec![
+            rec(
+                10,
+                Event::NodeJoined {
+                    node: NodeId::new(4),
+                },
+            ),
+            rec(
+                20,
+                Event::LeaseRenewed {
+                    node: NodeId::new(4),
+                    leases: 3,
+                },
+            ),
+            rec(
+                30,
+                Event::LeaseExpired {
+                    job: j,
+                    node: NodeId::new(4),
+                },
+            ),
+            rec(
+                40,
+                Event::NodeDrained {
+                    node: NodeId::new(4),
+                },
+            ),
+        ];
+        let t = Timeline::from_records(&records);
+        assert_eq!(
+            t.membership_changes(),
+            &[
+                (Cycles::new(10), NodeId::new(4), true),
+                (Cycles::new(40), NodeId::new(4), false),
+            ]
+        );
+        assert_eq!(t.lease_renewals(), &[(Cycles::new(20), NodeId::new(4), 3)]);
+        let job = t.job(j).unwrap();
+        assert_eq!(
+            job.lease_expirations,
+            vec![(Cycles::new(30), NodeId::new(4))]
+        );
     }
 
     #[test]

@@ -47,6 +47,13 @@ pub enum GacOp {
     },
     /// [`GlobalAdmissionController::inject`].
     Inject(Injection),
+    /// [`GlobalAdmissionController::heartbeat_all`]. Journaled so replay
+    /// renews leases on exactly the cycles the original did — otherwise a
+    /// recovered controller would spuriously expire every lease.
+    Heartbeat {
+        /// The heartbeat timestamp.
+        at: Cycles,
+    },
 }
 
 /// A [`GlobalAdmissionController`] whose every state-changing operation is
@@ -164,6 +171,7 @@ impl JournaledGac {
             GacOp::Inject(injection) => {
                 let _ = gac.inject(*injection, &mut NullRecorder);
             }
+            GacOp::Heartbeat { at } => gac.heartbeat_all(*at, &mut NullRecorder),
         }
     }
 
@@ -235,6 +243,13 @@ impl JournaledGac {
     pub fn complete(&mut self, id: JobId, at: Cycles) {
         self.log(GacOp::Complete { id, at });
         self.gac.complete(id, at);
+        self.maybe_compact();
+    }
+
+    /// Journaled [`GlobalAdmissionController::heartbeat_all`].
+    pub fn heartbeat_all(&mut self, at: Cycles, recorder: &mut dyn Recorder) {
+        self.log(GacOp::Heartbeat { at });
+        self.gac.heartbeat_all(at, recorder);
         self.maybe_compact();
     }
 
@@ -337,6 +352,49 @@ mod tests {
         let (recovered, report) = JournaledGac::recover(&corrupt, 64);
         assert!(report.lost >= 1);
         assert!(recovered.gac().submissions() <= original.gac().submissions());
+    }
+
+    #[test]
+    fn recovery_carries_membership_and_leases_through_churn() {
+        use cmpqos_core::{GacConfig, MemberState};
+        let gac = GlobalAdmissionController::new(2, LacConfig::default(), ProbePolicy::FirstFit)
+            .with_gac_config(
+                GacConfig::builder()
+                    .lease_ttl(Cycles::new(5_000))
+                    .dead_timeout(Cycles::new(10_000))
+                    .build(),
+            );
+        let mut j = JournaledGac::new(gac, 64);
+        for i in 0..4u32 {
+            let _ = j.submit(
+                JobId::new(i),
+                ExecutionMode::Strict,
+                ResourceRequest::paper_job(),
+                Cycles::new(100_000),
+                None,
+            );
+        }
+        // A full churn cycle, every op journaled: join, heartbeat, drain,
+        // restart, freeze.
+        let mut schedule = FaultPlan::new()
+            .node_join(Cycles::new(100), NodeId::new(2))
+            .node_drain(Cycles::new(200), NodeId::new(0))
+            .node_restart(Cycles::new(300), NodeId::new(1))
+            .lease_freeze(Cycles::new(400), NodeId::new(2))
+            .build();
+        let _ = j.inject_due(&mut schedule, Cycles::new(500), &mut NullRecorder);
+        j.heartbeat_all(Cycles::new(600), &mut NullRecorder);
+        let _ = j.advance(Cycles::new(700));
+        assert_eq!(j.gac().member_state(NodeId::new(0)), MemberState::Left);
+        assert!(!j.gac().leases().is_empty());
+        let (recovered, report) = JournaledGac::recover(&j.to_jsonl(), 64);
+        assert_eq!(report.lost, 0);
+        assert_eq!(recovered.gac(), j.gac());
+        assert_eq!(
+            recovered.gac().member_state(NodeId::new(0)),
+            MemberState::Left
+        );
+        assert_eq!(recovered.gac().leases(), j.gac().leases());
     }
 
     #[test]

@@ -13,22 +13,28 @@
 //! `fig5a`, `fig5b`, `fig6`, `fig7`, `fig8a`, `fig8b`, `fig9a`, `fig9b`,
 //! `lac` (§7.5) — plus `guard`, the stealing-guard contract replay
 //! ([`crate::shadow::GuardHarness`]) that the fault-injection mode below
-//! exists to break, and `slo`, the closed-loop-beats-static dominance
-//! shape of the adaptive extension's SLO grid.
+//! exists to break, `slo`, the closed-loop-beats-static dominance shape
+//! of the adaptive extension's SLO grid, and `churn`, the
+//! elastic-membership survival contract (every admitted job completed
+//! XOR revoked across joins, drains, restarts and kills, with zero lease
+//! expiries on a healthy run).
 //!
 //! [`Inject::BrokenGuard`] deliberately mis-calibrates the guard by one
 //! percentage point (controllers run at `X + 1` while the suite still
 //! asserts at `X`): the `guard` check's fine-grained probe must catch it,
 //! proving the suite can actually fail. [`Inject::StuckKnob`] freezes the
 //! `pid` arm's knobs at the static operating point; the `slo` check's
-//! strict-dominance assertion must catch *that*.
+//! strict-dominance assertion must catch *that*. [`Inject::FrozenLease`]
+//! suppresses heartbeat lease renewal on two churn-cell nodes; the
+//! `churn` check's zero-expiry assertion must catch *that*.
 
 use crate::shadow::{off_by_one_probe, GuardHarness, GuardHarnessConfig};
 use cmpqos_experiments::{
-    fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, lac_overhead, slo, table1, ExperimentParams,
+    chaos, fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, lac_overhead, slo, table1,
+    ExperimentParams,
 };
 use cmpqos_trace::spec::SensitivityClass;
-use cmpqos_types::Ways;
+use cmpqos_types::{Cycles, Ways};
 use cmpqos_workloads::metrics::{normalized_throughput, paper_hit_rate, wall_clock_by_mode};
 use cmpqos_workloads::Configuration;
 
@@ -50,6 +56,11 @@ pub enum Inject {
     /// baseline, the failure mode of a mis-wired actuator. The `slo`
     /// check's strict-dominance assertion must catch it.
     StuckKnob,
+    /// Freeze lease renewal on two of the churn cell's nodes — heartbeats
+    /// still arrive (the nodes look alive) but their leases silently run
+    /// out, the failure mode of a renewal path wired around the lease
+    /// table. The `churn` check's zero-expiry assertion must catch it.
+    FrozenLease,
 }
 
 /// One check's outcome.
@@ -101,9 +112,9 @@ impl ConformReport {
 }
 
 /// All check ids, in `EXPERIMENTS.md` table order.
-pub const CHECKS: [&str; 15] = [
+pub const CHECKS: [&str; 16] = [
     "fig1", "fig3", "fig4", "table1", "fig5a", "fig5b", "fig6", "fig7", "fig8a", "fig8b", "fig9a",
-    "fig9b", "lac", "guard", "slo",
+    "fig9b", "lac", "guard", "slo", "churn",
 ];
 
 fn approx_monotone_nondecreasing(xs: &[f64], tolerance: f64) -> bool {
@@ -615,6 +626,54 @@ pub fn run(params: &ExperimentParams, only: &[String], inject: Inject) -> Confor
         );
     }
 
+    if want("churn") {
+        // The elastic-membership survival contract at two fidelities: the
+        // full 100+-node cell at standard work, a 24-node cell when the
+        // params ask for quick turnaround. Both keep the reservation
+        // window longer than lease TTL + grace, so a frozen lease cannot
+        // hide behind job completion.
+        let mut p = chaos::ChurnParams::standard();
+        p.seed = params.seed;
+        if params.work.get() < 400_000 {
+            p.nodes = 24;
+            p.jobs = 120;
+            p.horizon = Cycles::new(480_000);
+            p.churn_events = 10;
+            p.kills = 1;
+        }
+        p.lease_freeze = matches!(inject, Inject::FrozenLease);
+        let o = chaos::run_churn(&p);
+        let accounted = o.undecided.is_empty() && o.unaccounted.is_empty();
+        let settled = o.joining == 0 && o.draining == 0 && o.pending_reconciles == 0;
+        let leases_ok = o.leases_renewed > 0 && o.leases_expired == 0;
+        let ok = accounted
+            && settled
+            && leases_ok
+            && o.deaths == u64::from(p.kills)
+            && o.final_nodes >= p.nodes;
+        push(
+            "churn",
+            "every admitted job survives node churn (completed XOR revoked), and no healthy lease expires",
+            ok,
+            format!(
+                "{} nodes -> {} ({} joined, {} drained, {} dead), {}/{} admitted jobs completed, \
+                 {} revoked, {} migrations, leases {} renewed / {} expired, unaccounted {:?}",
+                p.nodes,
+                o.final_nodes,
+                o.joined,
+                o.drained,
+                o.dead,
+                o.completed,
+                o.admitted,
+                o.revoked,
+                o.migrations,
+                o.leases_renewed,
+                o.leases_expired,
+                o.unaccounted
+            ),
+        );
+    }
+
     ConformReport { verdicts }
 }
 
@@ -652,6 +711,20 @@ mod tests {
     fn stuck_knob_injection_fails_the_slo_check() {
         let params = ExperimentParams::quick();
         let report = run(&params, &only(&["slo"]), Inject::StuckKnob);
+        assert!(!report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn churn_check_passes_quickly() {
+        let params = ExperimentParams::quick();
+        let report = run(&params, &only(&["churn"]), Inject::None);
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn frozen_lease_injection_fails_the_churn_check() {
+        let params = ExperimentParams::quick();
+        let report = run(&params, &only(&["churn"]), Inject::FrozenLease);
         assert!(!report.passed(), "{}", report.render());
     }
 

@@ -20,21 +20,54 @@
 
 use cmpqos_core::{Cluster, Lac, LacConfig, LacEndpoint, Wire};
 use cmpqos_net::{Addr, Envelope};
-use cmpqos_types::NodeId;
+use cmpqos_types::{Cycles, NodeId};
 
 /// Replays the request frames of a delivered-message log through fresh
 /// endpoints, one per node, in delivery order. Replies the replayed
 /// endpoints would have sent are discarded — only node state matters.
 #[must_use]
 pub fn replay(log: &[Envelope<Wire>], nodes: usize, config: LacConfig) -> Vec<LacEndpoint<Lac>> {
+    replay_with_restarts(log, nodes, config, &[])
+}
+
+/// [`replay`] for runs with node restarts. A restart wipes the live
+/// endpoint's protocol state (sequence numbers, reply cache, epoch) while
+/// its journal-recovered backend survives — so the oracle endpoint is
+/// [`LacEndpoint::reset`] at the same point in delivery order: after
+/// every frame delivered at or before the restart cycle, before the
+/// first delivered strictly after it. `restarts` must be in cycle order
+/// (the order they were applied to the live cluster).
+#[must_use]
+pub fn replay_with_restarts(
+    log: &[Envelope<Wire>],
+    nodes: usize,
+    config: LacConfig,
+    restarts: &[(Cycles, NodeId)],
+) -> Vec<LacEndpoint<Lac>> {
     let mut endpoints: Vec<LacEndpoint<Lac>> = (0..nodes)
         .map(|_| LacEndpoint::new(Lac::new(config)))
         .collect();
+    let mut pending = restarts.iter().peekable();
     for env in log {
+        while let Some(&&(at, node)) = pending.peek() {
+            if at < env.deliver_at {
+                if let Some(endpoint) = endpoints.get_mut(node.as_usize()) {
+                    endpoint.reset();
+                }
+                pending.next();
+            } else {
+                break;
+            }
+        }
         if let (Addr::Node(node), Wire::Request(req)) = (env.to, &env.msg) {
             if let Some(endpoint) = endpoints.get_mut(node.as_usize()) {
                 let _ = endpoint.handle(req.clone());
             }
+        }
+    }
+    for &(_, node) in pending {
+        if let Some(endpoint) = endpoints.get_mut(node.as_usize()) {
+            endpoint.reset();
         }
     }
     endpoints
@@ -49,8 +82,22 @@ pub fn replay(log: &[Envelope<Wire>], nodes: usize, config: LacConfig) -> Vec<La
 /// Returns a description of the first node whose replayed state diverges
 /// from its live state.
 pub fn check(cluster: &Cluster<Lac>, config: LacConfig) -> Result<(), String> {
+    check_with_restarts(cluster, config, &[])
+}
+
+/// [`check`] for runs with node restarts (see [`replay_with_restarts`]).
+///
+/// # Errors
+///
+/// Returns a description of the first node whose replayed state diverges
+/// from its live state.
+pub fn check_with_restarts(
+    cluster: &Cluster<Lac>,
+    config: LacConfig,
+    restarts: &[(Cycles, NodeId)],
+) -> Result<(), String> {
     let nodes = cluster.nodes();
-    let replayed = replay(cluster.net().delivered_log(), nodes, config);
+    let replayed = replay_with_restarts(cluster.net().delivered_log(), nodes, config, restarts);
     for (i, oracle) in replayed.iter().enumerate() {
         let node = NodeId::new(u32::try_from(i).map_err(|_| "node count overflows u32")?);
         let live = cluster.endpoint(node);

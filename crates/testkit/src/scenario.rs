@@ -56,7 +56,8 @@ pub enum ScenarioKind {
     Intake,
     /// Whole-scheduler runs with per-submit decision prediction.
     Scheduler,
-    /// Multi-node GAC runs with fault injection between submissions.
+    /// Multi-node GAC runs with fault injection and membership churn
+    /// (joins, graceful drains, restarts) between submissions.
     Gac,
     /// Batched admission: runs of consecutive requests go through
     /// `admit_batch` and must decide identically to one-at-a-time
@@ -64,8 +65,9 @@ pub enum ScenarioKind {
     Batch,
     /// Message-layer control plane: a [`cmpqos_core::Cluster`] driven over
     /// a seeded lossy/duplicating/reordering network with partitions,
-    /// heals, and forced drops, checked against the delivered-message-log
-    /// replay oracle ([`crate::netreplay`]) plus the
+    /// heals, forced drops, and membership churn (joins, graceful drains,
+    /// restarts), checked against the delivered-message-log replay oracle
+    /// ([`crate::netreplay`], restart-aware) plus the
     /// completed-XOR-revoked and no-overbooking invariants.
     Net,
     /// Adaptive control law: production `pid_step` vs the exact-`i128`
@@ -210,6 +212,21 @@ pub enum Op {
         /// Frames to lose.
         count: u32,
     },
+    /// A brand-new node joins the cluster (net scenarios only; it gets
+    /// the next unused id — membership is append-only).
+    Join,
+    /// Gracefully drain a node: placements migrate off it, then it
+    /// leaves (the runner maps `node` onto the current node count).
+    DrainNode {
+        /// The node to drain.
+        node: u32,
+    },
+    /// Restart a node: protocol state is lost, the journal-recovered
+    /// reservation table reconciles before the node re-enters `Live`.
+    RestartNode {
+        /// The node to restart.
+        node: u32,
+    },
 }
 
 /// A seed-derived operation list for one differential run.
@@ -315,11 +332,12 @@ impl Scenario {
                         Op::Advance { delta }
                     }
                 },
-                // Submission-heavy with the full message-layer fault mix;
-                // Advance deltas are large relative to the RTO (100) and
-                // retry interval (500) so conversations actually time out,
-                // give up, and reconcile inside one scenario.
-                ScenarioKind::Net => match rng.gen_range(0..12u32) {
+                // Submission-heavy with the full message-layer fault mix
+                // plus membership churn; Advance deltas are large relative
+                // to the RTO (100) and retry interval (500) so
+                // conversations actually time out, give up, and reconcile
+                // inside one scenario.
+                ScenarioKind::Net => match rng.gen_range(0..15u32) {
                     0..=4 => {
                         let id = next_id;
                         next_id += 1;
@@ -349,6 +367,13 @@ impl Scenario {
                     8 => Op::DropNext {
                         node: rng.gen_range(0..4),
                         count: rng.gen_range(1..6),
+                    },
+                    9 => Op::Join,
+                    10 => Op::DrainNode {
+                        node: rng.gen_range(0..6),
+                    },
+                    11 => Op::RestartNode {
+                        node: rng.gen_range(0..6),
                     },
                     _ => {
                         let delta = rng.gen_range(0..3001u64);
@@ -638,7 +663,10 @@ pub fn run_lac(scenario: &Scenario) -> Result<(), Divergence> {
             | Op::Drain
             | Op::Partition { .. }
             | Op::Heal { .. }
-            | Op::DropNext { .. } => {}
+            | Op::DropNext { .. }
+            | Op::Join
+            | Op::DrainNode { .. }
+            | Op::RestartNode { .. } => {}
         }
 
         if let Err(e) = oracle.table_matches(jl.lac()) {
@@ -774,7 +802,10 @@ pub fn run_batch(scenario: &Scenario) -> Result<(), Divergence> {
             | Op::Drain
             | Op::Partition { .. }
             | Op::Heal { .. }
-            | Op::DropNext { .. } => {}
+            | Op::DropNext { .. }
+            | Op::Join
+            | Op::DrainNode { .. }
+            | Op::RestartNode { .. } => {}
         }
 
         if jl.lac() != &seq {
@@ -871,10 +902,11 @@ pub fn run_net(scenario: &Scenario) -> Result<(), Divergence> {
     let mut rec = NullRecorder;
     let mut now = Cycles::ZERO;
     let mut submitted: Vec<JobId> = Vec::new();
+    let mut restarts: Vec<(Cycles, NodeId)> = Vec::new();
     let node_of = |n: u32| NodeId::new(n % nodes as u32);
 
-    let oracles = |cluster: &Cluster<Lac>| -> Result<(), String> {
-        crate::netreplay::check(cluster, lac_config)?;
+    let oracles = |cluster: &Cluster<Lac>, restarts: &[(Cycles, NodeId)]| -> Result<(), String> {
+        crate::netreplay::check_with_restarts(cluster, lac_config, restarts)?;
         for i in 0..cluster.nodes() {
             let node = NodeId::new(i as u32);
             let backend = cluster.endpoint(node).backend();
@@ -943,10 +975,25 @@ pub fn run_net(scenario: &Scenario) -> Result<(), Divergence> {
                 };
                 cluster.apply(Injection { at, fault }, &mut rec);
             }
+            Op::Join => {
+                let at = cluster.now();
+                let _ = cluster.join_node(Lac::new(lac_config), at);
+            }
+            Op::DrainNode { node } => {
+                let n = NodeId::new(node % cluster.nodes() as u32);
+                let at = cluster.now();
+                cluster.drain_node(n, at);
+            }
+            Op::RestartNode { node } => {
+                let n = NodeId::new(node % cluster.nodes() as u32);
+                let at = cluster.now();
+                cluster.restart_node(n, at, &mut rec);
+                restarts.push((at, n));
+            }
             // LAC/intake-only ops are not generated for net scenarios.
             _ => {}
         }
-        if let Err(e) = oracles(&cluster) {
+        if let Err(e) = oracles(&cluster, &restarts) {
             return Err(diverge(scenario, i, format!("after {op:?}: {e}")));
         }
     }
@@ -966,7 +1013,13 @@ pub fn run_net(scenario: &Scenario) -> Result<(), Divergence> {
         let until = cluster.now() + Cycles::new(100_000);
         cluster.run_until(until, &mut rec);
         let gac = cluster.gac();
-        if gac.idle() && gac.pending_reconciles() == 0 && gac.placements().is_empty() {
+        let churning = (0..cluster.nodes()).any(|n| {
+            matches!(
+                gac.member_state(NodeId::new(n as u32)),
+                cmpqos_core::MemberState::Joining | cmpqos_core::MemberState::Draining
+            )
+        });
+        if gac.idle() && gac.pending_reconciles() == 0 && gac.placements().is_empty() && !churning {
             break;
         }
         if round == 63 {
@@ -975,7 +1028,7 @@ pub fn run_net(scenario: &Scenario) -> Result<(), Divergence> {
                 end,
                 format!(
                     "cluster failed to quiesce after heal: idle={} \
-                     pending_reconciles={} placements={}",
+                     pending_reconciles={} placements={} churning={churning}",
                     gac.idle(),
                     gac.pending_reconciles(),
                     gac.placements().len()
@@ -983,7 +1036,7 @@ pub fn run_net(scenario: &Scenario) -> Result<(), Divergence> {
             ));
         }
     }
-    if let Err(e) = oracles(&cluster) {
+    if let Err(e) = oracles(&cluster, &restarts) {
         return Err(diverge(scenario, end, format!("after drain: {e}")));
     }
 
@@ -1298,6 +1351,24 @@ pub fn run_gac(seed: u64) -> Result<(), Divergence> {
             let _ = gac.inject(Injection { at: now, fault }, &mut rec);
         }
 
+        // Membership churn between submissions: joins grow the table,
+        // drains and restarts exercise the migrate/reconcile paths. Node 0
+        // is never drained, so the cluster keeps at least one member.
+        if rng.gen_bool(0.25) {
+            let node = NodeId::new(rng.gen_range(0..gac.nodes() as u32));
+            match rng.gen_range(0..3u32) {
+                0 => {
+                    let _ = gac.join_node(now, &mut rec);
+                }
+                1 if node.as_usize() != 0 => {
+                    let _ = gac.drain_node(node, now, &mut rec);
+                }
+                _ => {
+                    let _ = gac.restart_node(node, now, &mut rec);
+                }
+            }
+        }
+
         let pre = gac.snapshot();
         let id = JobId::new(n);
         let mode = gen_mode(&mut rng);
@@ -1334,7 +1405,12 @@ pub fn run_gac(seed: u64) -> Result<(), Divergence> {
             }
             (None, Decision::Rejected(_)) => {
                 for (i, snap) in pre.nodes.iter().enumerate() {
-                    if snap.health == cmpqos_core::NodeHealth::Dead {
+                    // Only Live, non-dead members are probed; a
+                    // joining/draining/departed node's spare capacity does
+                    // not make a reject wrong.
+                    if snap.health == cmpqos_core::NodeHealth::Dead
+                        || snap.member != cmpqos_core::MemberState::Live
+                    {
                         continue;
                     }
                     let mut oracle = OracleLac::from_parts(
@@ -1596,18 +1672,24 @@ mod tests {
     fn net_scenarios_generate_message_layer_faults() {
         // Across a handful of seeds the generator must exercise the whole
         // net-specific op vocabulary, or the kind tests nothing new.
-        let mut kinds = [false; 3];
-        for seed in 0..16u64 {
+        let mut kinds = [false; 6];
+        for seed in 0..48u64 {
             for op in &Scenario::generate(ScenarioKind::Net, seed).ops {
                 match op {
                     Op::Partition { .. } => kinds[0] = true,
                     Op::Heal { .. } => kinds[1] = true,
                     Op::DropNext { .. } => kinds[2] = true,
+                    Op::Join => kinds[3] = true,
+                    Op::DrainNode { .. } => kinds[4] = true,
+                    Op::RestartNode { .. } => kinds[5] = true,
                     _ => {}
                 }
             }
         }
-        assert_eq!(kinds, [true; 3], "partition/heal/drop all generated");
+        assert_eq!(
+            kinds, [true; 6],
+            "partition/heal/drop/join/drain/restart all generated"
+        );
     }
 
     #[test]

@@ -68,7 +68,7 @@ usage:
                (rebuilds admission state from a write-ahead reservation
                 journal, tolerating a torn or corrupted tail)
   cmpqos conform [--scale N] [--work N] [--seed N] [--jobs N]
-               [--only fig1,fig8a,...] [--inject broken-guard|stuck-knob]
+               [--only fig1,fig8a,...] [--inject broken-guard|stuck-knob|frozen-lease]
                (machine-checks every EXPERIMENTS.md shape verdict;
                 exits nonzero if any check fails)
   cmpqos explore [--scenarios N] [--seed N] [--kind lac|intake|scheduler|gac|batch|net|adapt|all]
@@ -288,9 +288,10 @@ fn cmd_conform(flags: &HashMap<String, String>) -> Result<(), String> {
         None => Inject::None,
         Some("broken-guard") => Inject::BrokenGuard,
         Some("stuck-knob") => Inject::StuckKnob,
+        Some("frozen-lease") => Inject::FrozenLease,
         Some(other) => {
             return Err(format!(
-                "unknown --inject `{other}` (expected broken-guard or stuck-knob)"
+                "unknown --inject `{other}` (expected broken-guard, stuck-knob or frozen-lease)"
             ))
         }
     };

@@ -1,0 +1,207 @@
+//! Elastic-membership properties: lease-backed reservations under node
+//! churn (joins, graceful drains, restarts, kills).
+//!
+//! Three properties:
+//!
+//! 1. **No job is ever lost to churn.** Under any seeded schedule of
+//!    joins, drains, restarts, and hard kills over a lossy network, every
+//!    admitted job ends completed XOR revoked (migration is the
+//!    mechanism, never a terminal state), every submission gets a
+//!    decision, and every join and drain resolves.
+//! 2. **A lossless link never expires a lease.** Heartbeats renew every
+//!    placement's lease; when no frame is ever dropped, no renewal can go
+//!    missing long enough to cross TTL + grace — churn included.
+//! 3. **Drain-then-rejoin is invisible on a quiet cluster.** Draining an
+//!    empty node and admitting a same-shaped replacement leaves the
+//!    admission behavior byte-identical to never having churned: the
+//!    decision stream for any subsequent job mix matches exactly.
+
+use cmpqos::experiments::chaos::{run_churn, ChurnParams};
+use cmpqos::faults::{Fault, FaultPlan};
+use cmpqos::net::LinkConfig;
+use cmpqos::obs::{NullRecorder, RingBufferRecorder};
+use cmpqos::qos::{
+    AdmissionRequest, Cluster, ExecutionMode, GlobalAdmissionController, Lac, LacConfig,
+    NetGacConfig, ProbePolicy, ResourceRequest,
+};
+use cmpqos::types::{Cycles, JobId, NodeId, Percent};
+use proptest::prelude::*;
+
+/// A lossless-link churn run: heartbeat-leased placements on a small
+/// cluster with a seeded join/drain/restart schedule, no drops, no kills.
+/// Returns the `LeaseExpired` and `LeaseRenewed` counts.
+fn lossless_churn(
+    seed: u64,
+    nodes: usize,
+    churn_events: usize,
+    base: u64,
+    jitter: u64,
+    dup_pct: u32,
+) -> (u64, u64) {
+    const HORIZON: u64 = 60_000;
+    let link = LinkConfig::default()
+        .base_latency(Cycles::new(base))
+        .jitter(jitter)
+        .reorder(10)
+        .duplicate(f64::from(dup_pct) / 100.0);
+    let mut config = NetGacConfig {
+        heartbeat_every: Cycles::new(1_000),
+        lease_ttl: Cycles::new(5_000),
+        ..NetGacConfig::default()
+    };
+    config.gac.dead_timeout = Cycles::new(5_000);
+    let mut cluster = Cluster::new(
+        nodes,
+        LacConfig::default(),
+        seed,
+        link,
+        config,
+        ProbePolicy::LeastLoaded,
+    );
+    let mut rec = RingBufferRecorder::new(4096);
+    let schedule =
+        FaultPlan::seeded_churn(seed, nodes as u32, Cycles::new(HORIZON), churn_events).build();
+    let tw = Cycles::new(10_000);
+    let mut steps: Vec<(Cycles, u8, u32)> = (0..20u32)
+        .map(|i| (Cycles::new(u64::from(i) * 1_500), 1, i))
+        .collect();
+    for (i, injection) in schedule.injections().iter().enumerate() {
+        steps.push((injection.at, 0, i as u32));
+    }
+    steps.sort_by_key(|&(at, rank, idx)| (at, rank, idx));
+    for (at, rank, idx) in steps {
+        cluster.run_until(at, &mut rec);
+        if rank == 0 {
+            let injection = schedule.injections()[idx as usize];
+            match injection.fault {
+                Fault::NodeJoin { .. } => {
+                    let _ = cluster.join_node(Lac::new(LacConfig::default()), at);
+                }
+                _ => cluster.apply(injection, &mut rec),
+            }
+        } else {
+            let req = AdmissionRequest::builder(JobId::new(idx), ResourceRequest::paper_job(), tw)
+                .mode(if idx % 2 == 0 {
+                    ExecutionMode::Strict
+                } else {
+                    ExecutionMode::Elastic(Percent::new(50.0))
+                })
+                .deadline(at + tw + tw)
+                .build();
+            cluster.gac_mut().submit(req, at, &mut rec);
+        }
+    }
+    for _ in 0..8 {
+        if cluster.gac().idle() && cluster.gac().placements().is_empty() {
+            break;
+        }
+        let until = cluster.now() + Cycles::new(HORIZON / 4);
+        cluster.run_until(until, &mut rec);
+    }
+    let c = rec.counters();
+    (c.leases_expired, c.leases_renewed)
+}
+
+/// The admission decision stream of a quiet in-process GAC after optional
+/// drain-then-rejoin churn, rendered for byte comparison. Node ids are
+/// deliberately excluded: the drained slot's capacity comes back under the
+/// joined node's id, and that renaming is the only thing allowed to
+/// differ.
+fn decision_stream(churned: Option<NodeId>, jobs: u32, stagger: u64, tw: u64) -> String {
+    let mut gac = GlobalAdmissionController::new(4, LacConfig::default(), ProbePolicy::FirstFit);
+    let mut rec = NullRecorder;
+    if let Some(node) = churned {
+        // Quiet cluster: nothing placed yet, so the drain migrates
+        // nothing and the join restores the original capacity.
+        let _ = gac.drain_node(node, Cycles::new(5), &mut rec);
+        let _ = gac.join_node(Cycles::new(10), &mut rec);
+    }
+    let mut out = String::new();
+    for i in 0..jobs {
+        let now = Cycles::new(100 + u64::from(i) * stagger);
+        let _ = gac.advance(now);
+        let (_, decision) = gac.submit(
+            JobId::new(i),
+            ExecutionMode::Strict,
+            ResourceRequest::paper_job(),
+            Cycles::new(tw),
+            Some(now + Cycles::new(tw * 2)),
+        );
+        out.push_str(&format!("{i}:{decision:?}\n"));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property 1: any churn schedule — joins, drains, restarts, kills —
+    /// over a lossy network loses no admitted job and resolves every
+    /// membership transition.
+    #[test]
+    fn churn_never_loses_an_admitted_job(
+        seed in 1u64..5_000,
+        nodes in 8usize..20,
+        churn_events in 0usize..12,
+        kills in 0u32..3,
+    ) {
+        let mut p = ChurnParams::standard();
+        p.nodes = nodes;
+        p.jobs = 60;
+        p.horizon = Cycles::new(480_000);
+        p.seed = seed;
+        p.churn_events = churn_events;
+        p.kills = kills;
+        let o = run_churn(&p);
+        prop_assert!(o.undecided.is_empty(), "undecided: {:?}", o.undecided);
+        prop_assert!(
+            o.unaccounted.is_empty(),
+            "admitted but neither completed XOR revoked: {:?}",
+            o.unaccounted
+        );
+        prop_assert_eq!(o.joining, 0, "a join handshake never completed");
+        prop_assert_eq!(o.draining, 0, "a drain never finished");
+        prop_assert_eq!(o.pending_reconciles, 0);
+        prop_assert_eq!(o.leases_expired, 0, "healthy churn must expire no leases");
+        prop_assert!(o.final_nodes >= nodes, "membership is append-only");
+    }
+
+    /// Property 2: with no frame loss, heartbeat renewals always land
+    /// inside TTL + grace — zero `LeaseExpired`, churn or not.
+    #[test]
+    fn a_lossless_link_never_expires_a_lease(
+        seed in 1u64..10_000,
+        nodes in 3usize..8,
+        churn_events in 0usize..8,
+        base in 1u64..20,
+        jitter in 0u64..16,
+        dup_pct in 0u32..30,
+    ) {
+        let (expired, renewed) = lossless_churn(seed, nodes, churn_events, base, jitter, dup_pct);
+        prop_assert_eq!(expired, 0, "a lease expired on a lossless link");
+        prop_assert!(renewed > 0, "heartbeats renewed nothing");
+    }
+
+    /// Property 3: draining an idle node and joining a replacement is
+    /// invisible to every subsequent admission decision.
+    #[test]
+    fn quiet_drain_then_rejoin_changes_no_decision(
+        node in 1u32..4,
+        jobs in 1u32..24,
+        stagger in 50u64..500,
+        tw in 200u64..2_000,
+    ) {
+        let churned = decision_stream(Some(NodeId::new(node)), jobs, stagger, tw);
+        let pristine = decision_stream(None, jobs, stagger, tw);
+        prop_assert_eq!(churned, pristine, "drain-then-rejoin changed a decision");
+    }
+}
+
+/// The decision-stream comparison above is only meaningful if the mix
+/// actually produces both verdicts; pin that with a plain test.
+#[test]
+fn the_quiet_churn_decision_stream_exercises_both_verdicts() {
+    let s = decision_stream(None, 23, 60, 1_900);
+    assert!(s.contains("Accepted"), "stream has accepts:\n{s}");
+    assert!(s.contains("Rejected"), "stream has rejects:\n{s}");
+}

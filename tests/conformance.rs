@@ -1,7 +1,7 @@
 //! The executable conformance suite as a library: cheap `--only` subsets
-//! at quick parameters, plus the broken-guard and stuck-knob injections
-//! that the suite must catch. The full 15-check run at standard
-//! parameters is exercised by CI's `conform-smoke` job
+//! at quick parameters, plus the broken-guard, stuck-knob and
+//! frozen-lease injections that the suite must catch. The full 16-check
+//! run at standard parameters is exercised by CI's `conform-smoke` job
 //! (`cmpqos conform --seed 1`).
 
 use cmpqos::experiments::ExperimentParams;
@@ -48,6 +48,20 @@ fn stuck_knob_injection_fails_the_slo_check() {
     );
 }
 
+/// The frozen-lease injection must fail the `churn` check: placements
+/// whose leases silently stop renewing cannot claim the zero-expiry
+/// survival contract.
+#[test]
+fn frozen_lease_injection_fails_the_churn_check() {
+    let params = ExperimentParams::quick();
+    let report = conform::run(&params, &only(&["churn"]), Inject::FrozenLease);
+    assert!(
+        !report.passed(),
+        "frozen leases conformed:\n{}",
+        report.render()
+    );
+}
+
 /// A typo'd `--only` id is a failed verdict, not a silent no-op: the
 /// suite never reports success for checks it did not run.
 #[test]
@@ -61,7 +75,7 @@ fn unknown_check_id_fails_rather_than_skips() {
 /// produces (one verdict per `EXPERIMENTS.md` row).
 #[test]
 fn check_list_is_complete_and_duplicate_free() {
-    assert_eq!(CHECKS.len(), 15);
+    assert_eq!(CHECKS.len(), 16);
     let mut sorted: Vec<_> = CHECKS.to_vec();
     sorted.sort_unstable();
     sorted.dedup();
