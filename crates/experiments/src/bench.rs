@@ -226,6 +226,13 @@ fn timed_experiments(params: &ExperimentParams) -> Vec<Timed> {
                 let _ = crate::slo::run(p);
             }),
         },
+        Timed {
+            name: "traffic_scenario",
+            cells: 4,
+            run: Box::new(|p| {
+                let _ = crate::traffic::run(p);
+            }),
+        },
     ]
 }
 
@@ -477,6 +484,21 @@ fn component_benches(params: &ExperimentParams) -> Vec<ComponentBench> {
         .collect();
     timed("timeline_parse_512_records", 20, &mut || {
         cmpqos_obs::Timeline::from_jsonl(&jsonl).expect("records parse");
+    });
+
+    // The traffic experiment's exact percentile reporter: record a
+    // 4,096-sample latency multiset (xorshifted, fully deterministic)
+    // and extract the p50/p95/p99/p999 summary.
+    timed("percentile_record_4096_summary", 200, &mut || {
+        let mut reporter = cmpqos_scenario::PercentileReporter::default();
+        let mut x = 0x9E37_79B9_u64;
+        for _ in 0..4_096 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            reporter.record(x % 100_000);
+        }
+        let _ = reporter.summary();
     });
 
     out

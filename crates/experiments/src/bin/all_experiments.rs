@@ -60,6 +60,10 @@ fn main() {
         let rows = slo::run(&params);
         slo::print(&rows, &params);
     });
+    timed(&mut times, "traffic (scenario DSL)", || {
+        let reports = traffic::run(&params);
+        traffic::print(&reports, &params);
+    });
     timed(&mut times, "ablations", || {
         ablation::print(&params);
     });

@@ -38,6 +38,7 @@ pub mod overload;
 pub mod params;
 pub mod slo;
 pub mod table1;
+pub mod traffic;
 pub mod variance;
 
 pub use params::ExperimentParams;

@@ -1,0 +1,183 @@
+//! Exact nearest-rank percentile reporting.
+//!
+//! No sketches and no interpolation: the reporter keeps the full latency
+//! multiset as ordered counts and answers per-mille quantiles exactly, so
+//! the reported p999 *is* a latency that some drained request actually
+//! waited. A sort-based oracle ([`quantile_sorted`]) must agree
+//! bit-for-bit on every multiset — including ties, empty, and
+//! single-element inputs (`tests/traffic_properties.rs`).
+
+use std::collections::BTreeMap;
+
+/// An exact percentile reporter over a `u64` latency multiset.
+///
+/// # Examples
+///
+/// ```
+/// use cmpqos_scenario::PercentileReporter;
+/// let mut r = PercentileReporter::default();
+/// for v in [3, 1, 2, 2, 9] {
+///     r.record(v);
+/// }
+/// assert_eq!(r.quantile_permille(500), Some(2)); // median
+/// assert_eq!(r.quantile_permille(999), Some(9)); // tail
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PercentileReporter {
+    counts: BTreeMap<u64, u64>,
+    n: u64,
+}
+
+impl PercentileReporter {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.n += 1;
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The nearest-rank per-mille quantile: the value at (1-based)
+    /// rank `⌈q·n / 1000⌉` of the sorted multiset, clamped to rank ≥ 1.
+    /// `None` when empty.
+    #[must_use]
+    pub fn quantile_permille(&self, q: u32) -> Option<u64> {
+        if self.n == 0 {
+            return None;
+        }
+        let rank = ((u128::from(q) * u128::from(self.n)).div_ceil(1000) as u64).clamp(1, self.n);
+        let mut seen = 0u64;
+        for (&value, &count) in &self.counts {
+            seen += count;
+            if seen >= rank {
+                return Some(value);
+            }
+        }
+        unreachable!("rank {rank} beyond {} recorded samples", self.n)
+    }
+
+    /// The standard latency summary: p50/p95/p99/p999.
+    #[must_use]
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            samples: self.n,
+            p50: self.quantile_permille(500),
+            p95: self.quantile_permille(950),
+            p99: self.quantile_permille(990),
+            p999: self.quantile_permille(999),
+        }
+    }
+}
+
+/// The p50/p95/p99/p999 of one latency multiset (cycles).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Samples in the multiset.
+    pub samples: u64,
+    /// Median (500‰).
+    pub p50: Option<u64>,
+    /// 95th percentile (950‰).
+    pub p95: Option<u64>,
+    /// 99th percentile (990‰).
+    pub p99: Option<u64>,
+    /// 99.9th percentile (999‰).
+    pub p999: Option<u64>,
+}
+
+impl LatencySummary {
+    /// Scales every quantile by `k` — the metamorphic expectation when
+    /// all input times scale by `k` (nearest-rank picks the same order
+    /// statistic, so the relation is exact).
+    #[must_use]
+    pub fn scaled(&self, k: u64) -> LatencySummary {
+        LatencySummary {
+            samples: self.samples,
+            p50: self.p50.map(|v| v * k),
+            p95: self.p95.map(|v| v * k),
+            p99: self.p99.map(|v| v * k),
+            p999: self.p999.map(|v| v * k),
+        }
+    }
+}
+
+/// Sort-based oracle: the same nearest-rank quantile computed the naive
+/// way. Must match [`PercentileReporter::quantile_permille`] on every
+/// input.
+#[must_use]
+pub fn quantile_sorted(values: &[u64], q: u32) -> Option<u64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as u64;
+    let rank = ((u128::from(q) * u128::from(n)).div_ceil(1000) as u64).clamp(1, n);
+    Some(sorted[(rank - 1) as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reporter(values: &[u64]) -> PercentileReporter {
+        let mut r = PercentileReporter::default();
+        for &v in values {
+            r.record(v);
+        }
+        r
+    }
+
+    #[test]
+    fn empty_input_has_no_quantiles() {
+        let r = PercentileReporter::default();
+        assert!(r.is_empty());
+        assert_eq!(r.quantile_permille(500), None);
+        assert_eq!(r.summary().p999, None);
+        assert_eq!(quantile_sorted(&[], 500), None);
+    }
+
+    #[test]
+    fn single_element_answers_every_quantile() {
+        let r = reporter(&[42]);
+        for q in [1, 500, 950, 990, 999] {
+            assert_eq!(r.quantile_permille(q), Some(42));
+            assert_eq!(quantile_sorted(&[42], q), Some(42));
+        }
+    }
+
+    #[test]
+    fn ties_collapse_to_the_tied_value() {
+        let r = reporter(&[7, 7, 7, 7, 100]);
+        assert_eq!(r.quantile_permille(500), Some(7));
+        assert_eq!(r.quantile_permille(990), Some(100));
+    }
+
+    #[test]
+    fn matches_the_sort_oracle_on_a_fixed_multiset() {
+        let values = [5u64, 1, 1, 9, 3, 3, 3, 2, 8, 8, 0, 14];
+        let r = reporter(&values);
+        for q in [1, 100, 250, 500, 750, 900, 950, 990, 999] {
+            assert_eq!(r.quantile_permille(q), quantile_sorted(&values, q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn scaling_the_multiset_scales_the_summary() {
+        let values = [4u64, 8, 15, 16, 23, 42];
+        let scaled: Vec<u64> = values.iter().map(|v| v * 7).collect();
+        assert_eq!(
+            reporter(&values).summary().scaled(7),
+            reporter(&scaled).summary()
+        );
+    }
+}

@@ -1,0 +1,349 @@
+//! A dependency-free TOML-subset loader and canonical emitter for
+//! [`ScenarioSpec`].
+//!
+//! The container builds fully offline, so rather than pulling a TOML
+//! crate this module hand-rolls exactly the subset the schema needs:
+//! `key = value` pairs (unsigned integers and `"strings"`), full-line
+//! `#` comments, and `[[tier]]` array-of-tables sections. The emitter
+//! is *canonical* — fixed key order, shape-relevant keys only — so
+//! `emit(parse(s))` is a fixed point: parsing the emitted text and
+//! emitting again reproduces it byte-for-byte (checked in CI).
+//!
+//! The full schema is documented in `docs/workloads.md`.
+
+use crate::spec::{ScenarioSpec, TierSpec};
+use crate::streams::ArrivalShape;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One parsed `key = value` payload.
+enum Value {
+    Int(u64),
+    Str(String),
+}
+
+impl Value {
+    fn int(&self, key: &str, line: usize) -> Result<u64, String> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            Value::Str(_) => Err(format!("line {line}: `{key}` must be an integer")),
+        }
+    }
+
+    fn str(&self, key: &str, line: usize) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            Value::Int(_) => Err(format!("line {line}: `{key}` must be a quoted string")),
+        }
+    }
+}
+
+fn parse_value(raw: &str, line: usize) -> Result<Value, String> {
+    let raw = raw.trim();
+    if let Some(rest) = raw.strip_prefix('"') {
+        let Some(end) = rest.find('"') else {
+            return Err(format!("line {line}: unterminated string"));
+        };
+        let trailing = rest[end + 1..].trim();
+        if !trailing.is_empty() && !trailing.starts_with('#') {
+            return Err(format!("line {line}: trailing text after string"));
+        }
+        return Ok(Value::Str(rest[..end].to_string()));
+    }
+    let digits = raw.split('#').next().unwrap_or("").trim();
+    digits
+        .parse::<u64>()
+        .map(Value::Int)
+        .map_err(|_| format!("line {line}: expected an unsigned integer, got `{raw}`"))
+}
+
+/// One section's key/value pairs with source-line numbers.
+type Section = BTreeMap<String, (Value, usize)>;
+
+fn take_int(section: &mut Section, key: &str, default: u64) -> Result<u64, String> {
+    match section.remove(key) {
+        Some((v, line)) => v.int(key, line),
+        None => Ok(default),
+    }
+}
+
+fn build_tier(mut section: Section, index: usize) -> Result<TierSpec, String> {
+    let name = match section.remove("name") {
+        Some((v, line)) => v.str("name", line)?.to_string(),
+        None => return Err(format!("tier {index}: missing `name`")),
+    };
+    let mut tier = TierSpec::new(&name);
+    tier.sources = take_int(&mut section, "sources", u64::from(tier.sources))?.max(1) as u32;
+    tier.mean_inter_arrival =
+        take_int(&mut section, "mean_inter_arrival", tier.mean_inter_arrival)?.max(1);
+    let shape_name = match section.remove("shape") {
+        Some((v, line)) => v.str("shape", line)?.to_string(),
+        None => "steady".to_string(),
+    };
+    tier.shape = match shape_name.as_str() {
+        "steady" => ArrivalShape::Steady,
+        "diurnal" => ArrivalShape::Diurnal {
+            period: take_int(&mut section, "period", 50_000)?.max(2),
+            swing_pct: take_int(&mut section, "swing_pct", 50)?.min(99) as u32,
+        },
+        "bursty" => ArrivalShape::Bursty {
+            period: take_int(&mut section, "period", 50_000)?.max(1),
+            on_pct: take_int(&mut section, "on_pct", 20)?.min(100) as u32,
+            burst_div: take_int(&mut section, "burst_div", 8)?.max(1) as u32,
+        },
+        other => {
+            return Err(format!(
+                "tier `{name}`: unknown shape `{other}` (steady|diurnal|bursty)"
+            ))
+        }
+    };
+    tier.size.base = take_int(&mut section, "size_base", tier.size.base)?.max(1);
+    tier.size.tail_pct =
+        take_int(&mut section, "size_tail_pct", u64::from(tier.size.tail_pct))? as u32;
+    tier.size.tail_cap =
+        take_int(&mut section, "size_tail_cap", u64::from(tier.size.tail_cap))? as u32;
+    tier.mix.strict_pct =
+        take_int(&mut section, "strict_pct", u64::from(tier.mix.strict_pct))?.min(100) as u32;
+    tier.mix.elastic_pct =
+        take_int(&mut section, "elastic_pct", u64::from(tier.mix.elastic_pct))?.min(100) as u32;
+    tier.mix.elastic_slack_pct = take_int(
+        &mut section,
+        "elastic_slack_pct",
+        u64::from(tier.mix.elastic_slack_pct),
+    )? as u32;
+    tier.deadline_slack_pct = take_int(
+        &mut section,
+        "deadline_slack_pct",
+        u64::from(tier.deadline_slack_pct),
+    )? as u32;
+    tier.drain_every = take_int(&mut section, "drain_every", tier.drain_every)?.max(1);
+    tier.queue_capacity =
+        take_int(&mut section, "queue_capacity", tier.queue_capacity as u64)?.max(1) as usize;
+    tier.bucket_capacity = take_int(&mut section, "bucket_capacity", tier.bucket_capacity)?.max(1);
+    tier.refill_interval = take_int(&mut section, "refill_interval", tier.refill_interval)?.max(1);
+    tier.breaker_window = take_int(
+        &mut section,
+        "breaker_window",
+        u64::from(tier.breaker_window),
+    )? as u32;
+    tier.breaker_threshold_pct = take_int(
+        &mut section,
+        "breaker_threshold_pct",
+        u64::from(tier.breaker_threshold_pct),
+    )?
+    .min(100) as u32;
+    tier.breaker_cooldown = take_int(&mut section, "breaker_cooldown", tier.breaker_cooldown)?;
+    if let Some((key, (_, line))) = section.iter().next() {
+        return Err(format!("line {line}: unknown tier key `{key}`"));
+    }
+    Ok(tier)
+}
+
+/// Parses a [`ScenarioSpec`] from the TOML subset.
+///
+/// # Errors
+///
+/// Returns a line-numbered message on malformed syntax, unknown keys,
+/// missing `name`s, or a scenario with no tiers.
+pub fn parse_toml(text: &str) -> Result<ScenarioSpec, String> {
+    let mut header: Section = BTreeMap::new();
+    let mut tiers: Vec<Section> = Vec::new();
+    for (i, raw_line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Section headers carry no strings, so a trailing `#` comment is
+        // unambiguous here.
+        if line.split('#').next().unwrap_or("").trim() == "[[tier]]" {
+            tiers.push(BTreeMap::new());
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "line {line_no}: unknown section `{line}` (only [[tier]] is supported)"
+            ));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {line_no}: expected `key = value`"));
+        };
+        let key = key.trim().to_string();
+        let value = parse_value(value, line_no)?;
+        let section = tiers.last_mut().unwrap_or(&mut header);
+        if section.insert(key.clone(), (value, line_no)).is_some() {
+            return Err(format!("line {line_no}: duplicate key `{key}`"));
+        }
+    }
+
+    let name = match header.remove("name") {
+        Some((v, line)) => v.str("name", line)?.to_string(),
+        None => return Err("missing top-level `name`".to_string()),
+    };
+    let seed = take_int(&mut header, "seed", 0)?;
+    let mut spec = ScenarioSpec::new(&name, seed);
+    spec.horizon = take_int(&mut header, "horizon", spec.horizon)?.max(1);
+    spec.ways_min = take_int(&mut header, "ways_min", u64::from(spec.ways_min))?.max(1) as u16;
+    spec.ways_max = take_int(&mut header, "ways_max", u64::from(spec.ways_max))?
+        .max(u64::from(spec.ways_min)) as u16;
+    if let Some((key, (_, line))) = header.iter().next() {
+        return Err(format!("line {line}: unknown key `{key}`"));
+    }
+    for (index, section) in tiers.into_iter().enumerate() {
+        spec.tiers.push(build_tier(section, index)?);
+    }
+    if spec.tiers.is_empty() {
+        return Err("scenario has no [[tier]] sections".to_string());
+    }
+    Ok(spec)
+}
+
+fn emit_str(out: &mut String, key: &str, value: &str) {
+    let _ = writeln!(out, "{key} = \"{value}\"");
+}
+
+fn emit_int(out: &mut String, key: &str, value: u64) {
+    let _ = writeln!(out, "{key} = {value}");
+}
+
+/// Emits the canonical TOML for `spec`: fixed key order, every field
+/// explicit, shape-relevant keys only. `emit(parse(emit(spec)))` is
+/// byte-identical to `emit(spec)`.
+#[must_use]
+pub fn emit_toml(spec: &ScenarioSpec) -> String {
+    let mut out = String::new();
+    emit_str(&mut out, "name", &spec.name);
+    emit_int(&mut out, "seed", spec.seed);
+    emit_int(&mut out, "horizon", spec.horizon);
+    emit_int(&mut out, "ways_min", u64::from(spec.ways_min));
+    emit_int(&mut out, "ways_max", u64::from(spec.ways_max));
+    for tier in &spec.tiers {
+        out.push('\n');
+        out.push_str("[[tier]]\n");
+        emit_str(&mut out, "name", &tier.name);
+        emit_int(&mut out, "sources", u64::from(tier.sources));
+        emit_int(&mut out, "mean_inter_arrival", tier.mean_inter_arrival);
+        match tier.shape {
+            ArrivalShape::Steady => emit_str(&mut out, "shape", "steady"),
+            ArrivalShape::Diurnal { period, swing_pct } => {
+                emit_str(&mut out, "shape", "diurnal");
+                emit_int(&mut out, "period", period);
+                emit_int(&mut out, "swing_pct", u64::from(swing_pct));
+            }
+            ArrivalShape::Bursty {
+                period,
+                on_pct,
+                burst_div,
+            } => {
+                emit_str(&mut out, "shape", "bursty");
+                emit_int(&mut out, "period", period);
+                emit_int(&mut out, "on_pct", u64::from(on_pct));
+                emit_int(&mut out, "burst_div", u64::from(burst_div));
+            }
+        }
+        emit_int(&mut out, "size_base", tier.size.base);
+        emit_int(&mut out, "size_tail_pct", u64::from(tier.size.tail_pct));
+        emit_int(&mut out, "size_tail_cap", u64::from(tier.size.tail_cap));
+        emit_int(&mut out, "strict_pct", u64::from(tier.mix.strict_pct));
+        emit_int(&mut out, "elastic_pct", u64::from(tier.mix.elastic_pct));
+        emit_int(
+            &mut out,
+            "elastic_slack_pct",
+            u64::from(tier.mix.elastic_slack_pct),
+        );
+        emit_int(
+            &mut out,
+            "deadline_slack_pct",
+            u64::from(tier.deadline_slack_pct),
+        );
+        emit_int(&mut out, "drain_every", tier.drain_every);
+        emit_int(&mut out, "queue_capacity", tier.queue_capacity as u64);
+        emit_int(&mut out, "bucket_capacity", tier.bucket_capacity);
+        emit_int(&mut out, "refill_interval", tier.refill_interval);
+        emit_int(&mut out, "breaker_window", u64::from(tier.breaker_window));
+        emit_int(
+            &mut out,
+            "breaker_threshold_pct",
+            u64::from(tier.breaker_threshold_pct),
+        );
+        emit_int(&mut out, "breaker_cooldown", tier.breaker_cooldown);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_a_fixed_point_for_seeded_specs() {
+        for seed in 0..24u64 {
+            let spec = ScenarioSpec::seeded(seed);
+            let text = emit_toml(&spec);
+            let parsed = parse_toml(&text).expect("canonical text parses");
+            assert_eq!(parsed, spec, "seed {seed}: parse(emit(spec)) != spec");
+            assert_eq!(emit_toml(&parsed), text, "seed {seed}: emit not canonical");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\
+# a scenario
+name = \"demo\"
+seed = 7
+
+[[tier]]
+name = \"only\"
+shape = \"bursty\"
+period = 1000 # trailing comment
+on_pct = 30
+burst_div = 4
+";
+        let spec = parse_toml(text).expect("parses");
+        assert_eq!(spec.name, "demo");
+        assert_eq!(
+            spec.tiers[0].shape,
+            ArrivalShape::Bursty {
+                period: 1000,
+                on_pct: 30,
+                burst_div: 4
+            }
+        );
+    }
+
+    #[test]
+    fn trailing_comments_on_headers_and_strings_are_ignored() {
+        let text = "\
+name = \"annotated\"
+seed = 3
+[[tier]]   # latency-sensitive traffic
+name = \"premium\"
+shape = \"steady\"  # Poisson arrivals
+";
+        let spec = parse_toml(text).expect("parses");
+        assert_eq!(spec.seed, 3);
+        assert_eq!(spec.tiers[0].name, "premium");
+        assert_eq!(spec.tiers[0].shape, ArrivalShape::Steady);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_toml("name = \"x\"\nbogus_key = 3\n[[tier]]\nname = \"t\"\n")
+            .expect_err("unknown key rejected");
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse_toml("name = \"x\"\n[[tier]]\nname = \"t\"\nshape = \"square\"\n")
+            .expect_err("unknown shape rejected");
+        assert!(err.contains("square"), "{err}");
+        let err = parse_toml("seed = 3\n").expect_err("missing name rejected");
+        assert!(err.contains("name"), "{err}");
+        let err = parse_toml("name = \"x\"\n").expect_err("no tiers rejected");
+        assert!(err.contains("tier"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let err = parse_toml("name = \"x\"\nname = \"y\"\n").expect_err("dup rejected");
+        assert!(err.contains("duplicate"), "{err}");
+    }
+}

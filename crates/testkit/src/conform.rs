@@ -14,10 +14,13 @@
 //! `lac` (§7.5) — plus `guard`, the stealing-guard contract replay
 //! ([`crate::shadow::GuardHarness`]) that the fault-injection mode below
 //! exists to break, `slo`, the closed-loop-beats-static dominance shape
-//! of the adaptive extension's SLO grid, and `churn`, the
+//! of the adaptive extension's SLO grid, `churn`, the
 //! elastic-membership survival contract (every admitted job completed
 //! XOR revoked across joins, drains, restarts and kills, with zero lease
-//! expiries on a healthy run).
+//! expiries on a healthy run), and `traffic`, the tiered-priority shape
+//! of the scenario-DSL grid (per-tier p99 admission latency ordered
+//! premium <= standard <= batch with deadline-hit rates ordered the
+//! same way and premium's above a floor).
 //!
 //! [`Inject::BrokenGuard`] deliberately mis-calibrates the guard by one
 //! percentage point (controllers run at `X + 1` while the suite still
@@ -27,10 +30,13 @@
 //! strict-dominance assertion must catch *that*. [`Inject::FrozenLease`]
 //! suppresses heartbeat lease renewal on two churn-cell nodes; the
 //! `churn` check's zero-expiry assertion must catch *that*.
+//! [`Inject::StarveTier`] inflates the premium tier's drain cadence
+//! 64×, so premium jobs rot in their intake queue; the `traffic`
+//! check's tier-ordering assertions must catch *that*.
 
 use crate::shadow::{off_by_one_probe, GuardHarness, GuardHarnessConfig};
 use cmpqos_experiments::{
-    chaos, fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, lac_overhead, slo, table1,
+    chaos, fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, lac_overhead, slo, table1, traffic,
     ExperimentParams,
 };
 use cmpqos_trace::spec::SensitivityClass;
@@ -61,6 +67,12 @@ pub enum Inject {
     /// out, the failure mode of a renewal path wired around the lease
     /// table. The `churn` check's zero-expiry assertion must catch it.
     FrozenLease,
+    /// Inflate the premium tier's drain cadence 64× — the scheduler bug
+    /// where the highest-priority queue silently stops being serviced
+    /// while lower tiers hum along. The `traffic` check's tier-ordering
+    /// assertions (p99 and deadline-hit rate both ordered by priority)
+    /// must catch it.
+    StarveTier,
 }
 
 /// One check's outcome.
@@ -112,9 +124,9 @@ impl ConformReport {
 }
 
 /// All check ids, in `EXPERIMENTS.md` table order.
-pub const CHECKS: [&str; 16] = [
+pub const CHECKS: [&str; 17] = [
     "fig1", "fig3", "fig4", "table1", "fig5a", "fig5b", "fig6", "fig7", "fig8a", "fig8b", "fig9a",
-    "fig9b", "lac", "guard", "slo", "churn",
+    "fig9b", "lac", "guard", "slo", "churn", "traffic",
 ];
 
 fn approx_monotone_nondecreasing(xs: &[f64], tolerance: f64) -> bool {
@@ -674,6 +686,60 @@ pub fn run(params: &ExperimentParams, only: &[String], inject: Inject) -> Confor
         );
     }
 
+    if want("traffic") {
+        // The scenario-DSL tiered topology at two fidelities (like
+        // `churn`): the full 200k-cycle horizon at standard work, a 60k
+        // horizon when the params ask for quick turnaround. The priority
+        // mechanism is the premium tier's hot drain cadence, so both the
+        // tail-latency and the deadline-hit orderings must follow tier
+        // priority — and premium's hit rate must clear an absolute floor,
+        // so a uniformly-degraded run cannot pass on ordering alone.
+        let horizon = if params.work.get() < 400_000 {
+            100_000
+        } else {
+            200_000
+        };
+        let mut spec = traffic::tiered_spec(params.seed, horizon);
+        if matches!(inject, Inject::StarveTier) {
+            spec = spec.starved(64);
+        }
+        let report = cmpqos_scenario::run(&spec);
+        let p99: Vec<u64> = report
+            .tiers
+            .iter()
+            .map(|t| t.latency.p99.unwrap_or(u64::MAX))
+            .collect();
+        let hit: Vec<u64> = report
+            .tiers
+            .iter()
+            .map(|t| t.deadline_hit_permille().unwrap_or(0))
+            .collect();
+        let p99_ordered = p99.windows(2).all(|w| w[0] <= w[1]);
+        // The lower tiers' hit rates trade places with horizon and seed
+        // (batch's opportunistic-heavy mix carries few deadlines), so the
+        // contract is: premium tops the hit-rate table *and* clears an
+        // absolute floor — ordering alone would pass a uniformly-degraded
+        // run, the floor alone would pass a premium-starved short run.
+        let premium_tops = hit.iter().all(|&h| h <= hit[0]);
+        let premium_floor = hit.first().is_some_and(|&h| h >= 600);
+        push(
+            "traffic",
+            "tiered traffic: p99 latency ordered by priority; premium tops deadline-hit with >= 60%",
+            p99_ordered && premium_tops && premium_floor,
+            format!(
+                "p99 {} cycles; deadline hit {} permille (horizon {horizon})",
+                p99.iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("/"),
+                hit.iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("/")
+            ),
+        );
+    }
+
     ConformReport { verdicts }
 }
 
@@ -725,6 +791,20 @@ mod tests {
     fn frozen_lease_injection_fails_the_churn_check() {
         let params = ExperimentParams::quick();
         let report = run(&params, &only(&["churn"]), Inject::FrozenLease);
+        assert!(!report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn traffic_check_passes_quickly() {
+        let params = ExperimentParams::quick();
+        let report = run(&params, &only(&["traffic"]), Inject::None);
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn starve_tier_injection_fails_the_traffic_check() {
+        let params = ExperimentParams::quick();
+        let report = run(&params, &only(&["traffic"]), Inject::StarveTier);
         assert!(!report.passed(), "{}", report.render());
     }
 

@@ -25,6 +25,16 @@
 //!    scheduler's own baselines — so a run under the PID controller must
 //!    be *byte-identical* to the same run under the never-intervening
 //!    [`AdaptiveController::baseline`].
+//! 5. **Traffic time-scaling is exact** — scaling every stored time in a
+//!    materialized traffic timeline by an integer `k` (arrivals, sizes,
+//!    deadlines) and replaying under the matching
+//!    [`ScenarioSpec::scaled`] spec (horizon, drain cadences, refill
+//!    intervals, breaker cooldowns all `× k`) preserves the per-tier
+//!    offered/shed/admitted/rejected counts exactly and scales every
+//!    latency percentile by exactly `k` — the same order statistic over
+//!    a `k×`-stretched multiset. [`ScenarioSpec::seeded_scalable`] pins
+//!    Elastic slack to 25% with sizes a multiple of four so the LAC's
+//!    `tw · 1.25` arithmetic stays exact under scaling.
 
 use cmpqos_adapt::{AdaptiveController, PidConfig};
 use cmpqos_core::{
@@ -32,6 +42,7 @@ use cmpqos_core::{
     ResourceRequest, SchedulerConfig, SloSpec,
 };
 use cmpqos_obs::ShardRecorder;
+use cmpqos_scenario::{replay as replay_traffic, scale_timeline, timeline, ScenarioSpec};
 use cmpqos_system::SystemConfig;
 use cmpqos_trace::spec;
 use cmpqos_types::{Cycles, Instructions, JobId, Percent, Ways};
@@ -404,6 +415,61 @@ pub fn zero_slack_stealing_matches_disabled(seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// Relation 5: replaying a `k×`-scaled copy of a traffic timeline under
+/// the matching `k×`-scaled spec preserves every per-tier count
+/// (offered, each shed class, admitted, rejected, deadline totals and
+/// hits) and scales every latency percentile by exactly `k`.
+///
+/// # Errors
+///
+/// Returns a description of the first count or percentile that failed to
+/// scale.
+pub fn traffic_time_scaling_preserves_decisions(seed: u64) -> Result<(), String> {
+    let spec = ScenarioSpec::seeded_scalable(seed);
+    let arrivals = timeline(&spec);
+    let base = replay_traffic(&spec, &arrivals);
+    for k in [3u64, 10] {
+        let scaled = replay_traffic(&spec.scaled(k), &scale_timeline(&arrivals, k));
+        for (b, s) in base.tiers.iter().zip(&scaled.tiers) {
+            let counts = |t: &cmpqos_scenario::TierReport| {
+                (
+                    t.offered,
+                    t.shed_infeasible,
+                    t.shed_rate_limited,
+                    t.shed_breaker,
+                    t.shed_queue_full,
+                    t.admitted,
+                    t.rejected,
+                    t.deadline_total,
+                    t.deadline_hits,
+                )
+            };
+            if counts(b) != counts(s) {
+                return Err(format!(
+                    "seed {seed} k={k} tier {}: counts changed under scaling: {:?} vs {:?}",
+                    b.name,
+                    counts(b),
+                    counts(s)
+                ));
+            }
+            if s.latency != b.latency.scaled(k) {
+                return Err(format!(
+                    "seed {seed} k={k} tier {}: latency percentiles did not scale by {k}: \
+                     {:?} vs base {:?}",
+                    b.name, s.latency, b.latency
+                ));
+            }
+            if s.goodput != b.goodput * k {
+                return Err(format!(
+                    "seed {seed} k={k} tier {}: goodput {} != base {} x {k}",
+                    b.name, s.goodput, b.goodput
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,6 +500,13 @@ mod tests {
     fn loose_slo_pid_is_byte_identical_to_the_static_baseline() {
         for seed in 1..=cases(2) as u64 {
             loose_slo_adaptive_matches_static(seed).unwrap();
+        }
+    }
+
+    #[test]
+    fn traffic_time_scaling_is_exact() {
+        for seed in 0..cases(12) as u64 {
+            traffic_time_scaling_preserves_decisions(seed).unwrap();
         }
     }
 }

@@ -25,6 +25,13 @@
 //!   `cmpqos_adapt::pid_step` and the exact-`i128` [`OraclePid`] in
 //!   lockstep, with level, integral, and previous error compared after
 //!   every step.
+//! * [`ScenarioKind::Traffic`] — the traffic DSL: the seed fully derives
+//!   a [`cmpqos_scenario::ScenarioSpec`] (arrival shapes, size mixtures,
+//!   tenant topology, intake knobs), its materialized timeline is
+//!   flattened into the same offer/drain op language the intake runner
+//!   speaks, and the stream replays differentially through
+//!   [`AdmissionIntake`] + [`Lac`] vs [`OracleIntake`] + [`OracleLac`]
+//!   under the spec-derived intake config.
 //!
 //! On divergence the runner reports a [`Divergence`] whose
 //! [`Divergence::repro`] is a one-line `cmpqos explore` invocation;
@@ -40,6 +47,7 @@ use cmpqos_core::{
 use cmpqos_faults::{Fault, Injection};
 use cmpqos_obs::NullRecorder;
 use cmpqos_recovery::JournaledLac;
+use cmpqos_scenario::ScenarioSpec;
 use cmpqos_system::SystemConfig;
 use cmpqos_trace::spec;
 use cmpqos_types::{Cycles, Instructions, JobId, NodeId, Percent, SourceId, Ways};
@@ -73,6 +81,12 @@ pub enum ScenarioKind {
     /// Adaptive control law: production `pid_step` vs the exact-`i128`
     /// [`OraclePid`] over seed-derived gains and error streams.
     Adapt,
+    /// Traffic-DSL scenarios: the seed derives a whole
+    /// [`cmpqos_scenario::ScenarioSpec`] arrival/tenant topology, the
+    /// materialized timeline becomes an offer/drain op stream, and the
+    /// stream replays differentially through
+    /// [`AdmissionIntake`] + [`Lac`] vs [`OracleIntake`] + [`OracleLac`].
+    Traffic,
 }
 
 impl ScenarioKind {
@@ -87,6 +101,7 @@ impl ScenarioKind {
             ScenarioKind::Batch => "batch",
             ScenarioKind::Net => "net",
             ScenarioKind::Adapt => "adapt",
+            ScenarioKind::Traffic => "traffic",
         }
     }
 
@@ -101,12 +116,13 @@ impl ScenarioKind {
             "batch" => Some(ScenarioKind::Batch),
             "net" => Some(ScenarioKind::Net),
             "adapt" => Some(ScenarioKind::Adapt),
+            "traffic" => Some(ScenarioKind::Traffic),
             _ => None,
         }
     }
 
     /// All kinds, in explorer rotation order.
-    pub const ALL: [ScenarioKind; 7] = [
+    pub const ALL: [ScenarioKind; 8] = [
         ScenarioKind::Lac,
         ScenarioKind::Intake,
         ScenarioKind::Scheduler,
@@ -114,6 +130,7 @@ impl ScenarioKind {
         ScenarioKind::Batch,
         ScenarioKind::Net,
         ScenarioKind::Adapt,
+        ScenarioKind::Traffic,
     ];
 }
 
@@ -256,6 +273,9 @@ impl Scenario {
     /// this derivation is the repro contract behind [`Divergence::repro`].
     #[must_use]
     pub fn generate(kind: ScenarioKind, seed: u64) -> Self {
+        if kind == ScenarioKind::Traffic {
+            return Self::generate_traffic(seed);
+        }
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0000 ^ (kind.as_str().len() as u64));
         let len = rng.gen_range(6..32usize);
         let mut ops = Vec::with_capacity(len);
@@ -432,6 +452,71 @@ impl Scenario {
         }
         Self { seed, kind, ops }
     }
+
+    /// Derives a whole traffic scenario from the DSL: the seed fully
+    /// determines a [`ScenarioSpec`] (via [`ScenarioSpec::seeded`]),
+    /// whose materialized arrival timeline is flattened into the
+    /// offer/drain op language — `Advance` to each event instant,
+    /// `Offer` per arrival (source flattened to `tier * 4 + source` so
+    /// per-tenant buckets stay distinct through one shared intake), and
+    /// `Drain` at the union of every tier's drain ticks plus the
+    /// horizon. Re-generating from the same seed reproduces the
+    /// identical traffic, so shrunken repros stay one-liners.
+    #[must_use]
+    pub fn generate_traffic(seed: u64) -> Self {
+        let spec = ScenarioSpec::seeded(seed);
+        let arrivals = cmpqos_scenario::timeline(&spec);
+
+        // (time, kind 0=offer / 1=drain, arrival index)
+        let mut events: Vec<(u64, u8, usize)> = Vec::new();
+        for (i, a) in arrivals.iter().enumerate() {
+            events.push((a.at, 0, i));
+        }
+        let mut ticks: Vec<u64> = Vec::new();
+        for tier in &spec.tiers {
+            let de = tier.drain_every.max(1);
+            let mut tick = de;
+            while tick <= spec.horizon {
+                ticks.push(tick);
+                tick += de;
+            }
+        }
+        ticks.push(spec.horizon);
+        ticks.sort_unstable();
+        ticks.dedup();
+        for tick in ticks {
+            events.push((tick, 1, 0));
+        }
+        events.sort_by_key(|&(time, kind, index)| (time, kind, index));
+
+        let mut ops = Vec::with_capacity(events.len() * 2);
+        let mut now = 0u64;
+        for (time, kind, index) in events {
+            if time > now {
+                ops.push(Op::Advance { delta: time - now });
+                now = time;
+            }
+            if kind == 0 {
+                let a = &arrivals[index];
+                ops.push(Op::Offer {
+                    id: index as u32,
+                    source: a.tier as u32 * 4 + a.source,
+                    mode: a.mode,
+                    cores: 1,
+                    ways: a.ways,
+                    tw: a.tw,
+                    deadline: a.deadline,
+                });
+            } else {
+                ops.push(Op::Drain);
+            }
+        }
+        Self {
+            seed,
+            kind: ScenarioKind::Traffic,
+            ops,
+        }
+    }
 }
 
 /// A production-vs-oracle disagreement, with everything needed to replay
@@ -502,6 +587,7 @@ pub fn run(scenario: &Scenario) -> Result<(), Divergence> {
         ScenarioKind::Batch => run_batch(scenario),
         ScenarioKind::Net => run_net(scenario),
         ScenarioKind::Adapt => run_adapt(scenario.seed),
+        ScenarioKind::Traffic => run_traffic(scenario),
     }
 }
 
@@ -1099,6 +1185,34 @@ pub fn run_intake(scenario: &Scenario) -> Result<(), Divergence> {
         .breaker_threshold_pct(50)
         .breaker_cooldown(Cycles::new(200))
         .build();
+    run_intake_with(scenario, config)
+}
+
+/// Traffic-DSL differential ([`ScenarioKind::Traffic`]): the seed's
+/// [`ScenarioSpec`] supplies both the op stream (see
+/// [`Scenario::generate_traffic`]) and the intake config — the highest
+/// priority tier's queue, bucket, and refill knobs, with the breaker
+/// tightened so DSL-length scenarios actually trip it.
+///
+/// # Errors
+///
+/// Returns the first divergence between the production intake/LAC pair
+/// and their oracles.
+pub fn run_traffic(scenario: &Scenario) -> Result<(), Divergence> {
+    let spec = ScenarioSpec::seeded(scenario.seed);
+    let tier = &spec.tiers[0];
+    let config = IntakeConfig::builder()
+        .queue_capacity(tier.queue_capacity)
+        .bucket_capacity(tier.bucket_capacity.min(u64::from(u32::MAX)) as u32)
+        .refill_interval(Cycles::new(tier.refill_interval))
+        .breaker_window(4)
+        .breaker_threshold_pct(50)
+        .breaker_cooldown(Cycles::new(200))
+        .build();
+    run_intake_with(scenario, config)
+}
+
+fn run_intake_with(scenario: &Scenario, config: IntakeConfig) -> Result<(), Divergence> {
     let mut intake = AdmissionIntake::new(NodeId::new(0), config);
     let mut lac = Lac::new(LacConfig::default());
     let mut oracle_intake = OracleIntake::new(&config);
@@ -1665,6 +1779,35 @@ mod tests {
             if let Err(d) = run_adapt(seed) {
                 panic!("{}", d.render());
             }
+        }
+    }
+
+    #[test]
+    fn traffic_scenarios_have_no_divergences() {
+        for seed in 0..crate::cases(12) as u64 {
+            let s = Scenario::generate(ScenarioKind::Traffic, seed);
+            if let Err(d) = run(&s) {
+                panic!("{}", d.render());
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_generation_reproduces_identical_traffic_from_the_seed() {
+        // The shrinker's repro contract: the seed alone re-derives the
+        // whole DSL topology and the exact op stream.
+        for seed in 0..24u64 {
+            let a = Scenario::generate(ScenarioKind::Traffic, seed);
+            let b = Scenario::generate(ScenarioKind::Traffic, seed);
+            assert_eq!(a.ops, b.ops, "seed {seed}: op streams differ");
+            assert!(
+                a.ops.iter().any(|o| matches!(o, Op::Offer { .. })),
+                "seed {seed}: no offers generated"
+            );
+            assert!(
+                a.ops.iter().any(|o| matches!(o, Op::Drain)),
+                "seed {seed}: no drains generated"
+            );
         }
     }
 

@@ -44,6 +44,7 @@ fn main() -> ExitCode {
         "recover" => cmd_recover(&flags),
         "conform" => cmd_conform(&flags),
         "explore" => cmd_explore(&flags),
+        "traffic" => cmd_traffic(&flags),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {
@@ -68,23 +69,34 @@ usage:
                (rebuilds admission state from a write-ahead reservation
                 journal, tolerating a torn or corrupted tail)
   cmpqos conform [--scale N] [--work N] [--seed N] [--jobs N]
-               [--only fig1,fig8a,...] [--inject broken-guard|stuck-knob|frozen-lease]
+               [--only fig1,fig8a,...] [--inject broken-guard|stuck-knob|frozen-lease|starve-tier]
                (machine-checks every EXPERIMENTS.md shape verdict;
                 exits nonzero if any check fails)
-  cmpqos explore [--scenarios N] [--seed N] [--kind lac|intake|scheduler|gac|batch|net|adapt|all]
+  cmpqos explore [--scenarios N] [--seed N] [--kind lac|intake|scheduler|gac|batch|net|adapt|traffic|all]
                (differential explorer: random scenarios diffed against the
                 reference oracles; on divergence prints a shrunken
-                counterexample and a one-line repro, exits nonzero)";
+                counterexample and a one-line repro, exits nonzero)
+  cmpqos traffic [--spec <path.toml>] [--emit-toml] [--seed N] [--jobs N]
+               (seeded traffic-DSL scenarios through the admission stack:
+                per-tier exact p50/p95/p99/p999 admission latency,
+                deadline-hit rate, shed breakdown and goodput; without
+                --spec runs the standard four-scenario grid; --emit-toml
+                prints the canonical TOML instead of running)";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(key) = it.next() {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected a --flag, got `{key}`"));
         };
-        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
-        flags.insert(name.to_string(), value.clone());
+        // A flag followed by another flag (or nothing) is a bare boolean
+        // switch, e.g. `--emit-toml`; its presence is its value.
+        let value = match it.peek() {
+            Some(next) if !next.starts_with("--") => it.next().cloned().unwrap_or_default(),
+            _ => String::new(),
+        };
+        flags.insert(name.to_string(), value);
     }
     Ok(flags)
 }
@@ -289,9 +301,11 @@ fn cmd_conform(flags: &HashMap<String, String>) -> Result<(), String> {
         Some("broken-guard") => Inject::BrokenGuard,
         Some("stuck-knob") => Inject::StuckKnob,
         Some("frozen-lease") => Inject::FrozenLease,
+        Some("starve-tier") => Inject::StarveTier,
         Some(other) => {
             return Err(format!(
-                "unknown --inject `{other}` (expected broken-guard, stuck-knob or frozen-lease)"
+                "unknown --inject `{other}` (expected broken-guard, stuck-knob, \
+                 frozen-lease or starve-tier)"
             ))
         }
     };
@@ -319,7 +333,9 @@ fn cmd_explore(flags: &HashMap<String, String>) -> Result<(), String> {
     let kinds: Vec<ScenarioKind> = match flags.get("kind").map(String::as_str) {
         None | Some("all") => ScenarioKind::ALL.to_vec(),
         Some(k) => vec![ScenarioKind::parse(k).ok_or_else(|| {
-            format!("unknown --kind `{k}` (expected lac|intake|scheduler|gac|batch|net|adapt|all)")
+            format!(
+                "unknown --kind `{k}` (expected lac|intake|scheduler|gac|batch|net|adapt|traffic|all)"
+            )
         })?],
     };
     let report = explore(seed, scenarios, &kinds);
@@ -341,6 +357,40 @@ fn cmd_explore(flags: &HashMap<String, String>) -> Result<(), String> {
             Err("divergence from the reference oracle".into())
         }
     }
+}
+
+fn cmd_traffic(flags: &HashMap<String, String>) -> Result<(), String> {
+    use cmpqos::experiments::traffic;
+    use cmpqos::scenario::{emit_toml, parse_toml, run as run_scenario};
+
+    let params = experiment_params(flags)?;
+    let spec = match flags.get("spec") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            Some(parse_toml(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
+    if flags.contains_key("emit-toml") {
+        // Canonical form: of the loaded spec, or of the grid's base
+        // topology when no --spec was given.
+        let spec =
+            spec.unwrap_or_else(|| cmpqos::experiments::traffic::tiered_spec(params.seed, 200_000));
+        print!("{}", emit_toml(&spec));
+        return Ok(());
+    }
+    match spec {
+        Some(spec) => {
+            let report = run_scenario(&spec);
+            println!("{}", traffic::render_report(&report));
+        }
+        None => {
+            let reports = traffic::run(&params);
+            traffic::print(&reports, &params);
+        }
+    }
+    Ok(())
 }
 
 fn cmd_recover(flags: &HashMap<String, String>) -> Result<(), String> {

@@ -20,6 +20,7 @@ pub use cmpqos_mem as mem;
 pub use cmpqos_net as net;
 pub use cmpqos_obs as obs;
 pub use cmpqos_recovery as recovery;
+pub use cmpqos_scenario as scenario;
 pub use cmpqos_system as system;
 pub use cmpqos_testkit as testkit;
 pub use cmpqos_trace as trace;

@@ -1,8 +1,8 @@
 //! The executable conformance suite as a library: cheap `--only` subsets
-//! at quick parameters, plus the broken-guard, stuck-knob and
-//! frozen-lease injections that the suite must catch. The full 16-check
-//! run at standard parameters is exercised by CI's `conform-smoke` job
-//! (`cmpqos conform --seed 1`).
+//! at quick parameters, plus the broken-guard, stuck-knob, frozen-lease
+//! and starve-tier injections that the suite must catch. The full
+//! 17-check run at standard parameters is exercised by CI's
+//! `conform-smoke` job (`cmpqos conform --seed 1`).
 
 use cmpqos::experiments::ExperimentParams;
 use cmpqos::testkit::conform::{self, Inject, CHECKS};
@@ -62,6 +62,20 @@ fn frozen_lease_injection_fails_the_churn_check() {
     );
 }
 
+/// The starve-tier injection must fail the `traffic` check: a scheduler
+/// that silently stops servicing the highest-priority queue cannot
+/// claim the tiered-latency ordering.
+#[test]
+fn starve_tier_injection_fails_the_traffic_check() {
+    let params = ExperimentParams::quick();
+    let report = conform::run(&params, &only(&["traffic"]), Inject::StarveTier);
+    assert!(
+        !report.passed(),
+        "starved premium tier conformed:\n{}",
+        report.render()
+    );
+}
+
 /// A typo'd `--only` id is a failed verdict, not a silent no-op: the
 /// suite never reports success for checks it did not run.
 #[test]
@@ -75,7 +89,7 @@ fn unknown_check_id_fails_rather_than_skips() {
 /// produces (one verdict per `EXPERIMENTS.md` row).
 #[test]
 fn check_list_is_complete_and_duplicate_free() {
-    assert_eq!(CHECKS.len(), 16);
+    assert_eq!(CHECKS.len(), 17);
     let mut sorted: Vec<_> = CHECKS.to_vec();
     sorted.sort_unstable();
     sorted.dedup();

@@ -24,6 +24,7 @@ fn explorer_finds_no_divergences_in_any_scenario_kind() {
         (ScenarioKind::Scheduler, 3, 0xC33),
         (ScenarioKind::Gac, 6, 0xD44),
         (ScenarioKind::Net, 6, 0xE55),
+        (ScenarioKind::Traffic, 12, 0xF66),
     ] {
         let n = cmpqos::testkit::cases(default);
         let report = scenario::explore(base_seed, n, &[kind]);

@@ -1,0 +1,137 @@
+//! Properties of the traffic-scenario DSL (`cmpqos-scenario`):
+//!
+//! * the streaming [`PercentileReporter`] matches a sort-based exact
+//!   oracle bit-for-bit, including ties, empty, and single-element
+//!   multisets;
+//! * the same seed produces byte-identical traffic reports (and
+//!   rendered tables) at any engine `--jobs` width;
+//! * metamorphic relation 5: scaling all stored times by an integer `k`
+//!   preserves the accept set exactly and scales every latency
+//!   percentile by exactly `k`;
+//! * the canonical TOML emitter and parser are mutual fixed points over
+//!   seeded specs.
+
+use cmpqos::experiments::{traffic, ExperimentParams};
+use cmpqos::scenario::{emit_toml, parse_toml, quantile_sorted, PercentileReporter, ScenarioSpec};
+use cmpqos::testkit::metamorphic::traffic_time_scaling_preserves_decisions;
+use proptest::prelude::*;
+
+fn reporter_of(samples: &[u64]) -> PercentileReporter {
+    let mut r = PercentileReporter::default();
+    for &s in samples {
+        r.record(s);
+    }
+    r
+}
+
+proptest! {
+    /// The streaming counts-walk quantile equals the exact sort-based
+    /// oracle for every multiset and every per-mille rank.
+    #[test]
+    fn percentile_reporter_matches_the_sort_oracle(
+        samples in proptest::collection::vec(0u64..5_000, 1..400),
+        q in 1u32..1001,
+    ) {
+        let r = reporter_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(r.quantile_permille(q), quantile_sorted(&sorted, q));
+    }
+
+    /// The four named percentiles agree with the oracle too (the summary
+    /// is just four fixed ranks).
+    #[test]
+    fn latency_summary_matches_the_sort_oracle(
+        samples in proptest::collection::vec(0u64..100_000, 1..300),
+    ) {
+        let r = reporter_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let s = r.summary();
+        prop_assert_eq!(s.samples, samples.len() as u64);
+        prop_assert_eq!(s.p50, quantile_sorted(&sorted, 500));
+        prop_assert_eq!(s.p95, quantile_sorted(&sorted, 950));
+        prop_assert_eq!(s.p99, quantile_sorted(&sorted, 990));
+        prop_assert_eq!(s.p999, quantile_sorted(&sorted, 999));
+    }
+
+    /// Canonical-form round trip: `parse(emit(spec)) == spec`, and the
+    /// emission is a fixed point (`emit(parse(emit(spec))) == emit(spec)`).
+    #[test]
+    fn toml_round_trip_is_exact_over_seeded_specs(seed in 0u64..500) {
+        let spec = ScenarioSpec::seeded(seed);
+        let text = emit_toml(&spec);
+        let parsed = parse_toml(&text).expect("canonical emission parses");
+        prop_assert_eq!(&parsed, &spec);
+        prop_assert_eq!(emit_toml(&parsed), text);
+    }
+}
+
+/// Ties, duplicates at the rank boundary, empty, and single-element
+/// multisets — the places nearest-rank implementations drift.
+#[test]
+fn percentile_edge_cases_match_the_oracle_exactly() {
+    let empty = PercentileReporter::default();
+    assert_eq!(empty.quantile_permille(500), None);
+    assert_eq!(quantile_sorted(&[], 500), None);
+    assert!(empty.summary().p50.is_none());
+
+    let single = reporter_of(&[7]);
+    for q in [1, 500, 990, 999, 1000] {
+        assert_eq!(single.quantile_permille(q), Some(7));
+        assert_eq!(quantile_sorted(&[7], q), Some(7));
+    }
+
+    // All-ties: every rank lands on the same value.
+    let ties = reporter_of(&[42; 97]);
+    let sorted = [42u64; 97];
+    for q in [1, 250, 500, 950, 990, 999, 1000] {
+        assert_eq!(ties.quantile_permille(q), Some(42));
+        assert_eq!(quantile_sorted(&sorted, q), Some(42));
+    }
+
+    // A tie block straddling the p95 rank boundary.
+    let mut mixed: Vec<u64> = vec![1; 94];
+    mixed.extend([5; 3]);
+    mixed.extend([9; 3]);
+    let r = reporter_of(&mixed);
+    let mut sorted = mixed.clone();
+    sorted.sort_unstable();
+    for q in [940, 950, 960, 970, 980, 990, 1000] {
+        assert_eq!(
+            r.quantile_permille(q),
+            quantile_sorted(&sorted, q),
+            "q={q} over the tie block"
+        );
+    }
+}
+
+/// The same seed yields byte-identical traffic reports — and rendered
+/// tables — whether the experiment grid runs serially or on a wide pool.
+#[test]
+fn same_seed_traffic_is_byte_identical_at_any_jobs_width() {
+    let mut serial = ExperimentParams::quick();
+    serial.jobs = 1;
+    let mut wide = serial.clone();
+    wide.jobs = 4;
+    let a = traffic::run(&serial);
+    let b = traffic::run(&wide);
+    assert_eq!(a, b, "reports diverged across --jobs widths");
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(
+            traffic::render_report(x),
+            traffic::render_report(y),
+            "rendered tables diverged across --jobs widths"
+        );
+    }
+}
+
+/// Metamorphic relation 5 across seeds: time-scaling a materialized
+/// timeline by k preserves every per-tier count and scales every
+/// percentile exactly.
+#[test]
+fn time_scaling_preserves_the_accept_set_and_scales_percentiles() {
+    for seed in 0..cmpqos::testkit::cases(16) as u64 {
+        traffic_time_scaling_preserves_decisions(seed).unwrap();
+    }
+}
